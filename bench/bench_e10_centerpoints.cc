@@ -1,0 +1,113 @@
+// Experiment E10 (Section 1.2, center points): a (beta + eps)-center of a
+// robust sample is a beta-center of the stream. We stream 2-D points
+// (uniform square, ring, and skewed-mixture distributions), maintain a
+// reservoir sized by Theorem 1.2 for the discretized halfspace family, and
+// compare the Tukey depth of the sample-derived center in the sample vs in
+// the full stream.
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <numbers>
+#include <vector>
+
+#include "core/random.h"
+#include "core/reservoir_sampler.h"
+#include "core/sample_bounds.h"
+#include "geometry/center_point.h"
+#include "harness/table.h"
+#include "harness/trial_runner.h"
+#include "setsystem/halfspace_family.h"
+#include "stream/generators.h"
+
+namespace robust_sampling {
+namespace {
+
+constexpr double kEps = 0.05;
+constexpr double kDelta = 0.1;
+constexpr int kDirections = 32;
+constexpr size_t kN = 40000;
+constexpr size_t kTrials = 4;
+
+std::vector<Point> MakeStream(int kind, uint64_t seed) {
+  switch (kind) {
+    case 0:
+      return UniformPointStream(kN, 2, -1.0, 1.0, seed);
+    case 1: {  // ring
+      Rng rng(seed);
+      std::vector<Point> pts;
+      pts.reserve(kN);
+      for (size_t i = 0; i < kN; ++i) {
+        const double t = rng.NextDoubleIn(0.0, 2.0 * std::numbers::pi);
+        const double r = rng.NextDoubleIn(0.9, 1.1);
+        pts.push_back(Point{r * std::cos(t), r * std::sin(t)});
+      }
+      return pts;
+    }
+    default:  // skewed mixture: 90% near (0,0), 10% near (5,5)
+      return GaussianMixturePointStream(
+          kN,
+          {{0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0},
+           {0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}, {5.0, 5.0}},
+          0.5, seed);
+  }
+}
+
+struct DepthResult {
+  double depth_in_sample;
+  double depth_in_stream;
+};
+
+DepthResult TrialOnce(int kind, size_t k, uint64_t seed) {
+  ReservoirSampler<Point> reservoir(k, seed);
+  const auto stream = MakeStream(kind, MixSeed(seed, 53));
+  for (const Point& p : stream) reservoir.Insert(p);
+  const Point center = ApproximateCenter2D(reservoir.sample(), kDirections);
+  return DepthResult{
+      TukeyDepth2D(reservoir.sample(), center, kDirections),
+      TukeyDepth2D(stream, center, kDirections)};
+}
+
+void Run() {
+  // Halfspace family: kDirections normals x an offset grid of 200 levels.
+  HalfspaceFamily2D family(kDirections, 200, -8.0, 8.0);
+  const size_t k = ReservoirRobustK(kEps, kDelta, family.LogCardinality());
+  std::cout << "# E10: beta-center points from a robust sample "
+               "(Section 1.2, [CEM+96])\n";
+  std::cout << "n = " << kN << ", halfspace family " << family.Name()
+            << " (ln|R| = " << FormatDouble(family.LogCardinality(), 1)
+            << "), Thm 1.2 k = " << k << ", eps = " << kEps << ", "
+            << kTrials << " trials/row\n\n";
+  MarkdownTable table({"distribution", "mean depth(sample)",
+                       "mean depth(stream)", "mean depth loss",
+                       "loss <= eps"});
+  const char* names[] = {"uniform square", "ring", "skewed mixture"};
+  for (int kind = 0; kind < 3; ++kind) {
+    double ds = 0.0, dx = 0.0, worst_loss = 0.0;
+    for (size_t t = 0; t < kTrials; ++t) {
+      const auto r = TrialOnce(kind, k, MixSeed(0xE10, kind * 100 + t));
+      ds += r.depth_in_sample;
+      dx += r.depth_in_stream;
+      worst_loss = std::max(worst_loss,
+                            r.depth_in_sample - r.depth_in_stream);
+    }
+    table.AddRow({names[kind], FormatDouble(ds / kTrials, 4),
+                  FormatDouble(dx / kTrials, 4),
+                  FormatDouble(ds / kTrials - dx / kTrials, 4),
+                  FormatBool(worst_loss <= kEps)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: the center found on the sample keeps (up to "
+               "eps) its depth on the full stream — depth(stream) >= "
+               "depth(sample) - eps — so a (beta+eps)-center of the sample "
+               "certifies a beta-center of the stream. Depths near 1/2 for "
+               "symmetric data, lower for the skewed mixture.\n";
+}
+
+}  // namespace
+}  // namespace robust_sampling
+
+int main() {
+  robust_sampling::Run();
+  return 0;
+}

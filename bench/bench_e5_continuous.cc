@@ -1,0 +1,138 @@
+// Experiment E5 (Theorem 1.4): continuous robustness. Measures the
+// max-over-prefixes discrepancy of ReservoirSample across k values around
+// the Theorem 1.4 bound, under both a static and an adaptive adversary,
+// and shows that BernoulliSample cannot be continuously robust. Also
+// ablates the checkpoint schedule: the geometric (1 + eps/4) schedule of
+// the Theorem 1.4 proof versus the naive dense schedule, comparing the
+// number of certification checks each needs.
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "adversary/basic_adversaries.h"
+#include "adversary/bisection_adversary.h"
+#include "core/adversarial_game.h"
+#include "core/bernoulli_sampler.h"
+#include "core/checkpoints.h"
+#include "core/reservoir_sampler.h"
+#include "core/sample_bounds.h"
+#include "harness/table.h"
+#include "harness/trial_runner.h"
+#include "setsystem/discrepancy.h"
+
+namespace robust_sampling {
+namespace {
+
+constexpr double kEps = 0.25;
+constexpr double kDelta = 0.1;
+constexpr size_t kN = 4000;
+constexpr int64_t kUniverse = 1 << 20;
+constexpr size_t kTrials = 6;
+
+DiscrepancyFn<int64_t> PrefixFn() {
+  return [](const std::vector<int64_t>& x, const std::vector<int64_t>& s) {
+    return PrefixDiscrepancy(x, s);
+  };
+}
+
+double MaxDiscOnce(size_t k, bool adaptive, uint64_t seed) {
+  ReservoirSampler<int64_t> sampler(k, seed);
+  const auto schedule =
+      CheckpointSchedule::Geometric(std::max<size_t>(k, 1), kN, kEps / 4.0);
+  if (adaptive) {
+    BisectionAdversaryInt64 adv(kUniverse, 0.9);
+    return RunContinuousAdaptiveGame(sampler, adv, kN, PrefixFn(), kEps,
+                                     schedule)
+        .max_discrepancy;
+  }
+  UniformAdversary adv(kUniverse, MixSeed(seed, 17));
+  return RunContinuousAdaptiveGame(sampler, adv, kN, PrefixFn(), kEps,
+                                   schedule)
+      .max_discrepancy;
+}
+
+void Run() {
+  const double log_r = std::log(static_cast<double>(kUniverse));
+  const size_t k_continuous =
+      ReservoirContinuousK(kEps, kDelta, log_r, kN, /*c=*/4.0);
+  const size_t k_plain = ReservoirRobustK(kEps, kDelta, log_r);
+  std::cout << "# E5: continuous robustness of ReservoirSample "
+               "(Theorem 1.4)\n";
+  std::cout << "n = " << kN << ", universe = 2^20 (prefix family), eps = "
+            << kEps << ", delta = " << kDelta
+            << ", Thm 1.4 k (c=4) = " << k_continuous
+            << ", plain Thm 1.2 k = " << k_plain << ", " << kTrials
+            << " trials/row\n\n";
+  MarkdownTable table({"k", "adversary", "mean max-disc", "worst max-disc",
+                       "Pr[max-disc<=eps]"});
+  for (size_t k : {size_t{8}, size_t{64}, k_plain, k_continuous}) {
+    for (bool adaptive : {false, true}) {
+      const auto stats = RunTrials(kTrials, 0xE5, [&](uint64_t seed) {
+        return MaxDiscOnce(k, adaptive, seed);
+      });
+      table.AddRow({std::to_string(k), adaptive ? "bisection" : "uniform",
+                    FormatDouble(stats.mean, 4), FormatDouble(stats.max, 4),
+                    FormatDouble(stats.FractionAtMost(kEps), 2)});
+    }
+  }
+  table.Print(std::cout);
+
+  // Bernoulli impossibility (footnote 4): round 1 is unsampled w.p. 1 - p.
+  size_t violations = 0;
+  constexpr size_t kBernoulliRuns = 400;
+  for (size_t run = 0; run < kBernoulliRuns; ++run) {
+    BernoulliSampler<int64_t> sampler(0.3, MixSeed(0xE5B, run));
+    StaticAdversary<int64_t> adv(std::vector<int64_t>(16, 1));
+    const auto r = RunContinuousAdaptiveGame(
+        sampler, adv, 16, PrefixFn(), 0.5, CheckpointSchedule::All(16));
+    violations += !r.continuously_approximating;
+  }
+  std::cout << "\nBernoulliSample(p=0.3) continuous violation rate over "
+            << kBernoulliRuns << " runs: "
+            << FormatDouble(static_cast<double>(violations) / kBernoulliRuns,
+                            3)
+            << " (theory: >= 1 - p = 0.7 -> not continuously robust for "
+               "any useful p).\n";
+
+  // Checkpoint-schedule ablation: certification cost.
+  std::cout << "\n## Ablation: checkpoint schedule density (certification "
+               "checks to cover all n rounds)\n\n";
+  MarkdownTable ab({"schedule", "checks", "mean max-disc at checkpoints"});
+  const size_t k = k_continuous;
+  struct Sched {
+    const char* name;
+    CheckpointSchedule schedule;
+  };
+  const Sched schedules[] = {
+      {"geometric(1+eps/4)",
+       CheckpointSchedule::Geometric(k, kN, kEps / 4.0)},
+      {"every n/20", CheckpointSchedule::Every(kN / 20, kN)},
+      {"all rounds (naive union bound)", CheckpointSchedule::All(kN)},
+  };
+  for (const auto& s : schedules) {
+    const auto stats = RunTrials(4, 0xE5C, [&](uint64_t seed) {
+      UniformAdversary adv(kUniverse, MixSeed(seed, 19));
+      ReservoirSampler<int64_t> sampler(k, seed);
+      return RunContinuousAdaptiveGame(sampler, adv, kN, PrefixFn(), kEps,
+                                       s.schedule)
+          .max_discrepancy;
+    });
+    ab.AddRow({s.name, std::to_string(s.schedule.size()),
+               FormatDouble(stats.mean, 4)});
+  }
+  ab.Print(std::cout);
+  std::cout << "\nShape check: k at the Thm 1.4 bound keeps max-disc <= eps "
+               "under both adversaries; undersized k fails; the geometric "
+               "schedule needs exponentially fewer checks than the naive "
+               "one at (near) identical certified discrepancy.\n";
+}
+
+}  // namespace
+}  // namespace robust_sampling
+
+int main() {
+  robust_sampling::Run();
+  return 0;
+}

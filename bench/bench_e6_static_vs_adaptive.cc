@@ -1,0 +1,112 @@
+// Experiment E6 (the paper's central contrast): VC-dimension governs the
+// static setting, cardinality ln|R| governs the adaptive one. The prefix
+// family has VC-dimension 1, so the classical static bound gives a small
+// constant-size sample — enough for any oblivious stream, but defeated by
+// the adaptive bisection attack over a large universe. The Theorem 1.2
+// size (proportional to ln N) restores robustness.
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "adversary/basic_adversaries.h"
+#include "adversary/bisection_adversary.h"
+#include "core/adversarial_game.h"
+#include "core/big_uint.h"
+#include "core/reservoir_sampler.h"
+#include "core/sample_bounds.h"
+#include "harness/table.h"
+#include "harness/trial_runner.h"
+#include "setsystem/discrepancy.h"
+
+namespace robust_sampling {
+namespace {
+
+constexpr double kEps = 0.25;
+constexpr double kDelta = 0.1;
+constexpr size_t kN = 4000;
+constexpr double kLogUniverse = 3000.0;  // ln N: room for the attack at k~100
+constexpr size_t kTrials = 8;
+
+double StaticOnce(size_t k, uint64_t seed) {
+  UniformAdversary adv(1 << 30, MixSeed(seed, 23));
+  ReservoirSampler<int64_t> sampler(k, seed);
+  return RunAdaptiveGame<int64_t>(
+             sampler, adv, kN,
+             [](const std::vector<int64_t>& x,
+                const std::vector<int64_t>& s) {
+               return PrefixDiscrepancy(x, s);
+             },
+             kEps)
+      .discrepancy;
+}
+
+double AdaptiveOnce(size_t k, uint64_t seed) {
+  const double k_accepted =
+      static_cast<double>(k) *
+      (1.0 + std::log(static_cast<double>(kN) / static_cast<double>(k)));
+  const double split =
+      std::min(1.0 - 1e-6, std::max(0.5, 1.0 - k_accepted / kN));
+  BisectionAdversaryBig adv(BigUint::ApproxExp(kLogUniverse), split);
+  ReservoirSampler<BigUint> sampler(k, seed);
+  return RunAdaptiveGame<BigUint>(
+             sampler, adv, kN,
+             [](const std::vector<BigUint>& x,
+                const std::vector<BigUint>& s) {
+               return PrefixDiscrepancy(x, s);
+             },
+             kEps)
+      .discrepancy;
+}
+
+void Run() {
+  const size_t k_static = ReservoirStaticK(kEps, kDelta, /*vc_dimension=*/1.0);
+  const size_t k_robust = ReservoirRobustK(kEps, kDelta, kLogUniverse);
+  std::cout << "# E6: static (VC) sample size vs adaptive (ln|R|) sample "
+               "size — the paper's headline gap\n";
+  std::cout << "prefix family, VC-dim = 1, ln N = " << kLogUniverse
+            << ", n = " << kN << ", eps = " << kEps << ", delta = " << kDelta
+            << "\nstatic k (VC bound) = " << k_static
+            << "; robust k (Thm 1.2) = " << k_robust << "; " << kTrials
+            << " trials/cell\n\n";
+  MarkdownTable table(
+      {"k", "sized by", "adversary", "mean disc", "Pr[disc<=eps]"});
+  struct Row {
+    size_t k;
+    const char* sized_by;
+  };
+  const Row rows[] = {{k_static, "static VC bound"},
+                      {k_robust, "Thm 1.2 (ln N)"}};
+  for (const auto& row : rows) {
+    {
+      const auto stats = RunTrials(kTrials, 0xE6, [&](uint64_t seed) {
+        return StaticOnce(row.k, seed);
+      });
+      table.AddRow({std::to_string(row.k), row.sized_by, "static uniform",
+                    FormatDouble(stats.mean, 4),
+                    FormatDouble(stats.FractionAtMost(kEps), 2)});
+    }
+    {
+      const auto stats = RunTrials(kTrials, 0xE6A, [&](uint64_t seed) {
+        return AdaptiveOnce(row.k, seed);
+      });
+      table.AddRow({std::to_string(row.k), row.sized_by,
+                    "adaptive bisection", FormatDouble(stats.mean, 4),
+                    FormatDouble(stats.FractionAtMost(kEps), 2)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: the VC-sized sample succeeds on the static "
+               "stream and fails against the adaptive adversary; the "
+               "ln N-sized sample succeeds against both. This is Theorems "
+               "1.2 + 1.3 in one table.\n";
+}
+
+}  // namespace
+}  // namespace robust_sampling
+
+int main() {
+  robust_sampling::Run();
+  return 0;
+}

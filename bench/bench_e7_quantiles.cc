@@ -1,0 +1,158 @@
+// Experiment E7 (Corollary 1.5): robust quantile sketching. An adaptive
+// adversary watches the reservoir and plays the continuous bisection
+// attack on [0, 1]; we report the worst rank error over a grid of
+// quantiles for (a) the reservoir sample sized by Corollary 1.5, (b) an
+// undersized reservoir, (c) the deterministic GK summary, and (d) the
+// randomized KLL sketch. GK is robust by determinism; the properly sized
+// sample matches it (Cor. 1.5); the undersized sample is the weak link.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "adversary/bisection_adversary.h"
+#include "core/adversarial_game.h"
+#include "core/reservoir_sampler.h"
+#include "core/sample_bounds.h"
+#include "harness/table.h"
+#include "harness/trial_runner.h"
+#include "quantiles/exact_quantiles.h"
+#include "quantiles/gk_sketch.h"
+#include "quantiles/kll_sketch.h"
+#include "quantiles/sample_quantile_sketch.h"
+
+namespace robust_sampling {
+namespace {
+
+constexpr double kEps = 0.1;
+constexpr double kDelta = 0.1;
+constexpr size_t kN = 30000;
+constexpr size_t kTrials = 5;
+// The adversary plays on [0,1] doubles, i.e. the universe of distinct
+// representable values has ln|U| ~ 40 for the attack's working precision.
+constexpr double kLogUniverse = 40.0;
+
+const double kQuantiles[] = {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99};
+
+// The continuous bisection attack, falling back to uniform filler once
+// double precision is exhausted (so the stream stays statistically hard
+// for the whole n rounds instead of degenerating to a constant).
+class BisectionWithUniformFallback : public Adversary<double> {
+ public:
+  explicit BisectionWithUniformFallback(uint64_t seed)
+      : bisection_(0.0, 1.0, 0.9), rng_(seed) {}
+
+  double NextElement(const std::vector<double>& sample, size_t round)
+      override {
+    const double x = bisection_.NextElement(sample, round);
+    if (bisection_.exhausted()) return rng_.NextDouble();
+    return x;
+  }
+
+  void Observe(const std::vector<double>& sample, bool kept,
+               size_t round) override {
+    bisection_.Observe(sample, kept, round);
+  }
+
+  std::string Name() const override { return "bisection+uniform"; }
+
+ private:
+  BisectionAdversaryDouble bisection_;
+  Rng rng_;
+};
+
+// Runs the adversarial stream against all sketches simultaneously: the
+// adversary adapts to the *reservoir under test*; the other sketches see
+// the same stream (they are passengers, as in a real pipeline).
+double WorstRankErrorOnce(size_t reservoir_k, QuantileSketch* passenger,
+                          uint64_t seed) {
+  BisectionWithUniformFallback adv(MixSeed(seed, 101));
+  ReservoirSampler<double> reservoir(reservoir_k, seed);
+  ExactQuantiles exact;
+  for (size_t i = 1; i <= kN; ++i) {
+    const double x = adv.NextElement(reservoir.sample(), i);
+    reservoir.Insert(x);
+    if (passenger != nullptr) passenger->Insert(x);
+    exact.Insert(x);
+    adv.Observe(reservoir.sample(), reservoir.last_kept(), i);
+  }
+  double worst = 0.0;
+  if (passenger != nullptr) {
+    for (double q : kQuantiles) {
+      worst = std::max(worst, exact.RankError(q, passenger->Quantile(q)));
+    }
+    return worst;
+  }
+  std::vector<double> sample = reservoir.sample();
+  std::sort(sample.begin(), sample.end());
+  for (double q : kQuantiles) {
+    const double m = static_cast<double>(sample.size());
+    int64_t idx = static_cast<int64_t>(std::ceil(q * m)) - 1;
+    idx = std::clamp(idx, int64_t{0},
+                     static_cast<int64_t>(sample.size()) - 1);
+    worst = std::max(
+        worst, exact.RankError(q, sample[static_cast<size_t>(idx)]));
+  }
+  return worst;
+}
+
+void Run() {
+  const size_t k_robust = ReservoirRobustK(kEps, kDelta, kLogUniverse);
+  const size_t k_small = 10;
+  std::cout << "# E7: robust quantile sketches under an adaptive adversary "
+               "(Corollary 1.5)\n";
+  std::cout << "n = " << kN << ", eps = " << kEps
+            << ", Cor. 1.5 reservoir k = " << k_robust
+            << "; adversary = continuous bisection watching the reservoir; "
+            << kTrials << " trials/row\n\n";
+  MarkdownTable table({"sketch", "space (items)", "mean worst rank err",
+                       "max worst rank err", "meets eps"});
+
+  struct RowDef {
+    const char* name;
+    size_t reservoir_k;  // 0 = use passenger sketch
+    int passenger;       // 0 none, 1 gk, 2 kll
+  };
+  const RowDef defs[] = {
+      {"reservoir (Cor 1.5 k)", k_robust, 0},
+      {"reservoir (undersized k=10)", k_small, 0},
+      {"GK (deterministic, eps/2)", k_robust, 1},
+      {"KLL (k=512)", k_robust, 2},
+  };
+  for (const auto& def : defs) {
+    size_t space = 0;
+    const auto stats = RunTrials(kTrials, 0xE7, [&](uint64_t seed) {
+      std::unique_ptr<QuantileSketch> passenger;
+      if (def.passenger == 1) passenger = std::make_unique<GkSketch>(kEps / 2);
+      if (def.passenger == 2) {
+        passenger = std::make_unique<KllSketch>(512, MixSeed(seed, 3));
+      }
+      const double err =
+          WorstRankErrorOnce(def.reservoir_k, passenger.get(), seed);
+      space = passenger != nullptr ? passenger->SpaceItems()
+                                   : def.reservoir_k;
+      return err;
+    });
+    const bool meets = stats.FractionAtMost(kEps) >= 1.0 - 2 * kDelta;
+    table.AddRow({def.name, std::to_string(space),
+                  FormatDouble(stats.mean, 4), FormatDouble(stats.max, 4),
+                  FormatBool(meets)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: the Cor. 1.5-sized reservoir and the "
+               "deterministic GK summary meet the eps rank-error target "
+               "under the adaptive stream; the undersized reservoir does "
+               "not. (KLL sees the same stream but the adversary cannot "
+               "observe its internal state in this protocol.)\n";
+}
+
+}  // namespace
+}  // namespace robust_sampling
+
+int main() {
+  robust_sampling::Run();
+  return 0;
+}

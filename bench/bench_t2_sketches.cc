@@ -1,0 +1,140 @@
+// T2: throughput microbenchmarks for the quantile and heavy-hitter
+// substrates (google-benchmark): GK, KLL, sample-based quantiles;
+// Misra-Gries, SpaceSaving, CountMin, sample-based heavy hitters.
+
+#include <cstdint>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "heavy/count_min.h"
+#include "heavy/misra_gries.h"
+#include "heavy/sample_heavy_hitters.h"
+#include "heavy/space_saving.h"
+#include "quantiles/gk_sketch.h"
+#include "quantiles/kll_sketch.h"
+#include "quantiles/sample_quantile_sketch.h"
+#include "stream/generators.h"
+
+namespace robust_sampling {
+namespace {
+
+constexpr size_t kStreamLen = 1 << 16;
+
+const std::vector<double>& DoubleStream() {
+  static const std::vector<double> stream =
+      UniformDoubleStream(kStreamLen, 0.0, 1.0, 11);
+  return stream;
+}
+
+const std::vector<int64_t>& ZipfStream() {
+  static const std::vector<int64_t> stream =
+      ZipfIntStream(kStreamLen, 100000, 1.1, 13);
+  return stream;
+}
+
+void BM_GkSketchInsert(benchmark::State& state) {
+  const double eps = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    GkSketch g(eps);
+    for (double v : DoubleStream()) g.Insert(v);
+    benchmark::DoNotOptimize(g.SpaceItems());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStreamLen));
+}
+BENCHMARK(BM_GkSketchInsert)->Arg(20)->Arg(100);
+
+void BM_KllSketchInsert(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    KllSketch s(k, 42);
+    for (double v : DoubleStream()) s.Insert(v);
+    benchmark::DoNotOptimize(s.SpaceItems());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStreamLen));
+}
+BENCHMARK(BM_KllSketchInsert)->Arg(128)->Arg(512);
+
+void BM_SampleQuantileInsert(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    SampleQuantileSketch s(k, 42);
+    for (double v : DoubleStream()) s.Insert(v);
+    benchmark::DoNotOptimize(s.SpaceItems());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStreamLen));
+}
+BENCHMARK(BM_SampleQuantileInsert)->Arg(512)->Arg(4096);
+
+void BM_MisraGriesInsert(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    MisraGries mg(k);
+    for (int64_t v : ZipfStream()) mg.Insert(v);
+    benchmark::DoNotOptimize(mg.SpaceItems());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStreamLen));
+}
+BENCHMARK(BM_MisraGriesInsert)->Arg(64)->Arg(1024);
+
+void BM_SpaceSavingInsert(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    SpaceSaving ss(k);
+    for (int64_t v : ZipfStream()) ss.Insert(v);
+    benchmark::DoNotOptimize(ss.SpaceItems());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStreamLen));
+}
+BENCHMARK(BM_SpaceSavingInsert)->Arg(64)->Arg(1024);
+
+void BM_CountMinInsert(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    CountMinSketch cm(width, 4, 42);
+    for (int64_t v : ZipfStream()) cm.Insert(v);
+    benchmark::DoNotOptimize(cm.StreamSize());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStreamLen));
+}
+BENCHMARK(BM_CountMinInsert)->Arg(256)->Arg(4096);
+
+void BM_SampleHeavyHittersInsert(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    SampleHeavyHitters shh(k, 42);
+    for (int64_t v : ZipfStream()) shh.Insert(v);
+    benchmark::DoNotOptimize(shh.SpaceItems());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStreamLen));
+}
+BENCHMARK(BM_SampleHeavyHittersInsert)->Arg(1024)->Arg(8192);
+
+void BM_GkSketchQuery(benchmark::State& state) {
+  GkSketch g(0.01);
+  for (double v : DoubleStream()) g.Insert(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.Quantile(0.5));
+  }
+}
+BENCHMARK(BM_GkSketchQuery);
+
+void BM_KllSketchQuery(benchmark::State& state) {
+  KllSketch s(512, 42);
+  for (double v : DoubleStream()) s.Insert(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Quantile(0.5));
+  }
+}
+BENCHMARK(BM_KllSketchQuery);
+
+}  // namespace
+}  // namespace robust_sampling
+
+BENCHMARK_MAIN();

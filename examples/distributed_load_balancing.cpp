@@ -1,0 +1,78 @@
+// Scenario: a distributed database front-end routes each incoming query to
+// one of K query-processing servers uniformly at random (paper Section
+// 1.2, "Sampling in modern data-processing systems"). Each server tunes
+// its query optimizer from the substream it sees — which is exactly a
+// Bernoulli(1/K) sample of the workload. Is that safe if the workload
+// shifts adversarially?
+//
+// The example routes an adaptive workload (an adversary observing the
+// routing decisions and bisecting against server 0), then checks that
+// every server's substream still represents the global workload.
+//
+// Build & run:  ./build/examples/example_distributed_load_balancing
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "adversary/bisection_adversary.h"
+#include "core/sample_bounds.h"
+#include "distributed/load_balancer.h"
+#include "setsystem/discrepancy.h"
+#include "stream/generators.h"
+
+int main() {
+  namespace rs = robust_sampling;
+  const int servers = 8;
+  const size_t n = 160000;
+  const double eps = 0.05;
+
+  rs::LoadBalancedCluster cluster(servers, /*seed=*/3);
+
+  // Adversarial mix: half Zipf background, half chosen by an attacker who
+  // sees where every query landed and runs the bisection strategy against
+  // server 0 ("sampled" = landed on server 0).
+  rs::BisectionAdversaryInt64 attacker(int64_t{1} << 62,
+                                       1.0 - 1.0 / servers);
+  const auto background = rs::ZipfIntStream(n, 1 << 20, 1.1, /*seed=*/9);
+  for (size_t i = 1; i <= n; ++i) {
+    int64_t query;
+    if (i % 2 == 0) {
+      query = attacker.NextElement(cluster.ServerStream(0), i);
+    } else {
+      query = background[i - 1];
+    }
+    const int server = cluster.Route(query);
+    if (i % 2 == 0) {
+      attacker.Observe(cluster.ServerStream(0), server == 0, i);
+    }
+  }
+
+  std::cout << "Routed " << cluster.TotalQueries() << " queries to "
+            << servers << " servers.\n\nserver | load   | KS discrepancy "
+            << "vs global workload\n";
+  const auto loads = cluster.Loads();
+  const auto discs = cluster.PerServerPrefixDiscrepancy();
+  double worst = 0.0;
+  for (int s = 0; s < servers; ++s) {
+    worst = std::max(worst, discs[s]);
+    std::printf("  %2d   | %6zu | %.4f%s\n", s, loads[s], discs[s],
+                s == 0 ? "   <- under direct attack" : "");
+  }
+
+  const double p_needed = rs::BernoulliRobustP(
+      eps, 0.05, 62.0 * std::log(2.0), n);
+  std::cout << "\nWorst per-server discrepancy: " << worst << " (target eps "
+            << eps << ").\n";
+  std::cout << "Theory check (Thm 1.2): routing fraction 1/K = "
+            << 1.0 / servers << " vs required p = " << p_needed << " -> "
+            << (1.0 / servers >= p_needed ? "provably robust."
+                                          : "below the proven bound.")
+            << "\n";
+  std::cout << "Random routing keeps every optimizer's view representative "
+               "- even the attacked server's. Random sampling is not a "
+               "risk here (paper Section 1.2).\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+#ifndef ROBUST_SAMPLING_ADVERSARY_BASIC_ADVERSARIES_H_
+#define ROBUST_SAMPLING_ADVERSARY_BASIC_ADVERSARIES_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adversarial_game.h"
+#include "core/check.h"
+#include "core/random.h"
+
+namespace robust_sampling {
+
+/// A static (oblivious) adversary: replays a stream fixed in advance,
+/// ignoring the sampler's state. This is exactly the classical non-adaptive
+/// setting; Theorem 1.2's contrast experiments (E6) pit it against the
+/// adaptive strategies.
+template <typename T>
+class StaticAdversary : public Adversary<T> {
+ public:
+  explicit StaticAdversary(std::vector<T> stream)
+      : stream_(std::move(stream)) {
+    RS_CHECK_MSG(!stream_.empty(), "static stream must be non-empty");
+  }
+
+  T NextElement(const std::vector<T>& /*sample_before*/,
+                size_t round) override {
+    RS_CHECK_MSG(round <= stream_.size(), "static stream exhausted");
+    return stream_[round - 1];
+  }
+
+  std::string Name() const override { return "static"; }
+
+ private:
+  std::vector<T> stream_;
+};
+
+/// An i.i.d. uniform adversary over the integer universe {1, ..., N}: the
+/// benign baseline (no adaptivity, no structure).
+class UniformAdversary : public Adversary<int64_t> {
+ public:
+  UniformAdversary(int64_t universe_size, uint64_t seed)
+      : universe_size_(universe_size), rng_(seed) {
+    RS_CHECK(universe_size >= 1);
+  }
+
+  int64_t NextElement(const std::vector<int64_t>& /*sample_before*/,
+                      size_t /*round*/) override {
+    return static_cast<int64_t>(
+               rng_.NextBelow(static_cast<uint64_t>(universe_size_))) +
+           1;
+  }
+
+  std::string Name() const override { return "uniform"; }
+
+ private:
+  int64_t universe_size_;
+  Rng rng_;
+};
+
+/// A greedy range-gap adversary: fixes one target range R (given as a
+/// membership predicate plus canonical in-range / out-of-range elements)
+/// and, each round, submits whichever element greedily widens the current
+/// gap d_R(S) - d_R(X).
+///
+/// Rationale: if the sample currently over-represents R (gap >= 0), padding
+/// the stream with out-of-range elements lowers d_R(X) while d_R(S) only
+/// drops if the pad happens to be sampled; symmetrically for
+/// under-representation. This is a natural state-feedback strategy — weaker
+/// than the bisection attack (it targets a single range, so Lemma 4.1's
+/// martingale bound applies to it with ln|R| = 0) and used in experiments
+/// as the "mild" adaptive strategy.
+template <typename T>
+class GreedyGapAdversary : public Adversary<T> {
+ public:
+  using Predicate = std::function<bool(const T&)>;
+
+  GreedyGapAdversary(Predicate in_range, T in_exemplar, T out_exemplar)
+      : in_range_(std::move(in_range)),
+        in_exemplar_(std::move(in_exemplar)),
+        out_exemplar_(std::move(out_exemplar)) {
+    RS_CHECK_MSG(in_range_(in_exemplar_), "in_exemplar must lie in the range");
+    RS_CHECK_MSG(!in_range_(out_exemplar_),
+                 "out_exemplar must lie outside the range");
+  }
+
+  T NextElement(const std::vector<T>& sample_before, size_t round) override {
+    const double n = static_cast<double>(round - 1);
+    const double m = static_cast<double>(sample_before.size());
+    double d_sample = 0.0;
+    if (m > 0) {
+      size_t c = 0;
+      for (const T& x : sample_before) c += in_range_(x);
+      d_sample = static_cast<double>(c) / m;
+    }
+    const double d_stream = n > 0 ? static_cast<double>(in_count_) / n : 0.0;
+    const bool pad_out = d_sample - d_stream >= 0.0;
+    const T& pick = pad_out ? out_exemplar_ : in_exemplar_;
+    if (!pad_out) ++in_count_;
+    return pick;
+  }
+
+  std::string Name() const override { return "greedy-gap"; }
+
+ private:
+  Predicate in_range_;
+  T in_exemplar_;
+  T out_exemplar_;
+  size_t in_count_ = 0;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_ADVERSARY_BASIC_ADVERSARIES_H_

@@ -1,0 +1,138 @@
+#include "adversary/bisection_adversary.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+// ---------------------------------------------------------------- double --
+
+BisectionAdversaryDouble::BisectionAdversaryDouble(double lo, double hi,
+                                                   double split)
+    : a_(lo), b_(hi), split_(split) {
+  RS_CHECK_MSG(lo < hi, "range must be non-degenerate");
+  RS_CHECK_MSG(split > 0.0 && split < 1.0, "split must lie in (0, 1)");
+}
+
+double BisectionAdversaryDouble::NextElement(
+    const std::vector<double>& /*sample_before*/, size_t /*round*/) {
+  double x = a_ + split_ * (b_ - a_);
+  if (x <= a_ || x >= b_) {
+    // Double precision exhausted: the working range no longer contains a
+    // representable interior point.
+    exhausted_ = true;
+    x = a_;
+  }
+  pending_ = x;
+  return x;
+}
+
+void BisectionAdversaryDouble::Observe(
+    const std::vector<double>& /*sample_after*/, bool kept,
+    size_t /*round*/) {
+  if (exhausted_) return;
+  if (kept) {
+    a_ = pending_;
+  } else {
+    b_ = pending_;
+  }
+}
+
+std::string BisectionAdversaryDouble::Name() const {
+  return "bisection-double(split=" + std::to_string(split_) + ")";
+}
+
+// ----------------------------------------------------------------- int64 --
+
+BisectionAdversaryInt64::BisectionAdversaryInt64(int64_t universe_size,
+                                                 double split)
+    : a_(1), b_(universe_size), split_(split) {
+  RS_CHECK_MSG(universe_size >= 2, "universe must have >= 2 elements");
+  RS_CHECK_MSG(universe_size <= (int64_t{1} << 62), "universe too large");
+  RS_CHECK_MSG(split > 0.0 && split < 1.0, "split must lie in (0, 1)");
+}
+
+int64_t BisectionAdversaryInt64::NextElement(
+    const std::vector<int64_t>& /*sample_before*/, size_t /*round*/) {
+  if (b_ - a_ <= 1) {
+    // Fig. 3 with floor() would now repeat a boundary element; the working
+    // range is out of interior points and the attack stalls.
+    exhausted_ = true;
+  }
+  int64_t x;
+  if (exhausted_) {
+    x = a_;
+  } else {
+    x = a_ + static_cast<int64_t>(
+                 std::floor(split_ * static_cast<double>(b_ - a_)));
+    // Keep x a strict interior point so Claim 5.2's invariant (sampled <= a,
+    // unsampled >= b) is maintained with strict progress.
+    if (x <= a_) x = a_ + 1;
+    if (x >= b_) x = b_ - 1;
+  }
+  pending_ = x;
+  return x;
+}
+
+void BisectionAdversaryInt64::Observe(
+    const std::vector<int64_t>& /*sample_after*/, bool kept,
+    size_t /*round*/) {
+  if (exhausted_) return;
+  if (kept) {
+    a_ = pending_;
+  } else {
+    b_ = pending_;
+  }
+}
+
+std::string BisectionAdversaryInt64::Name() const {
+  return "bisection-int64(split=" + std::to_string(split_) + ")";
+}
+
+// ------------------------------------------------------------------- big --
+
+BisectionAdversaryBig::BisectionAdversaryBig(BigUint universe_size,
+                                             double split)
+    : a_(1), b_(std::move(universe_size)), split_(split) {
+  RS_CHECK_MSG(BigUint(2) <= b_, "universe must have >= 2 elements");
+  RS_CHECK_MSG(split > 0.0 && split < 1.0, "split must lie in (0, 1)");
+  split_num_ = static_cast<uint64_t>(std::ldexp(split, 32));
+  if (split_num_ == 0) split_num_ = 1;
+}
+
+BigUint BisectionAdversaryBig::NextElement(
+    const std::vector<BigUint>& /*sample_before*/, size_t /*round*/) {
+  const BigUint one(1);
+  if (b_ - a_ <= one) {
+    exhausted_ = true;
+  }
+  BigUint x;
+  if (exhausted_) {
+    x = a_;
+  } else {
+    // x = a + floor(split * (b - a)), with split = split_num_ / 2^32.
+    x = a_ + (b_ - a_).MulU64(split_num_).ShiftRight(32);
+    if (x <= a_) x = a_ + one;
+    if (x >= b_) x = b_ - one;
+  }
+  pending_ = x;
+  return x;
+}
+
+void BisectionAdversaryBig::Observe(
+    const std::vector<BigUint>& /*sample_after*/, bool kept,
+    size_t /*round*/) {
+  if (exhausted_) return;
+  if (kept) {
+    a_ = pending_;
+  } else {
+    b_ = pending_;
+  }
+}
+
+std::string BisectionAdversaryBig::Name() const {
+  return "bisection-big(split=" + std::to_string(split_) + ")";
+}
+
+}  // namespace robust_sampling

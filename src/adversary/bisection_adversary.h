@@ -1,0 +1,111 @@
+#ifndef ROBUST_SAMPLING_ADVERSARY_BISECTION_ADVERSARY_H_
+#define ROBUST_SAMPLING_ADVERSARY_BISECTION_ADVERSARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/adversarial_game.h"
+#include "core/big_uint.h"
+
+namespace robust_sampling {
+
+// The paper's attack (Section 1 "Attacking sampling algorithms" and Fig. 3):
+// the adversary maintains a working range [a_i, b_i] and submits
+//   x_i = a_i + (1 - p') * (b_i - a_i)
+// (the intro's simple version uses the midpoint, i.e. p' = 1/2). If x_i is
+// sampled the range moves up (a_{i+1} = x_i); otherwise it moves down
+// (b_{i+1} = x_i). Invariant (Claim 5.2): every sampled element is <= a_i,
+// every unsampled element is >= b_i, so the final sample consists of
+// exactly the smallest elements ever sampled — maximally unrepresentative
+// w.r.t. the prefix family.
+//
+// Three domains are provided:
+//  * BisectionAdversaryDouble — real interval [lo, hi] (the "theoretical"
+//    continuous attack; limited by double precision to ~1000 effective
+//    range contractions near a non-zero accumulation point).
+//  * BisectionAdversaryInt64  — discrete universe {1..N}, N <= 2^62 (fast;
+//    enough for moderate n since the attack stalls once b - a <= 1).
+//  * BisectionAdversaryBig    — discrete universe {1..N} with N an
+//    arbitrary-precision integer, faithfully realizing Theorem 1.3's
+//    exponentially large universes.
+//
+// Each tracks whether it ran out of room (`exhausted()`); once exhausted it
+// keeps submitting the current lower endpoint, and the attack's guarantee
+// degrades gracefully.
+
+/// Continuous-domain bisection attack over [lo, hi].
+class BisectionAdversaryDouble : public Adversary<double> {
+ public:
+  /// `split` is the fraction of the current range below the submitted
+  /// point: x = a + split * (b - a). Fig. 3 uses split = 1 - p'; the intro's
+  /// midpoint attack is split = 0.5. Requires 0 < split < 1, lo < hi.
+  BisectionAdversaryDouble(double lo, double hi, double split);
+
+  double NextElement(const std::vector<double>& sample_before,
+                     size_t round) override;
+  void Observe(const std::vector<double>& sample_after, bool kept,
+               size_t round) override;
+  std::string Name() const override;
+
+  bool exhausted() const { return exhausted_; }
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  double a_, b_, split_;
+  double pending_ = 0.0;
+  bool exhausted_ = false;
+};
+
+/// Discrete bisection attack over {1..N} with 64-bit arithmetic.
+class BisectionAdversaryInt64 : public Adversary<int64_t> {
+ public:
+  /// Universe {1..universe_size}; split as above (Fig. 3: 1 - p').
+  BisectionAdversaryInt64(int64_t universe_size, double split);
+
+  int64_t NextElement(const std::vector<int64_t>& sample_before,
+                      size_t round) override;
+  void Observe(const std::vector<int64_t>& sample_after, bool kept,
+               size_t round) override;
+  std::string Name() const override;
+
+  bool exhausted() const { return exhausted_; }
+  int64_t a() const { return a_; }
+  int64_t b() const { return b_; }
+
+ private:
+  int64_t a_, b_;
+  double split_;
+  int64_t pending_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Discrete bisection attack over {1..N} with arbitrary-precision N —
+/// the exact Fig. 3 strategy for Theorem 1.3's universe sizes
+/// (ln N = Theta((ln n)^2)).
+class BisectionAdversaryBig : public Adversary<BigUint> {
+ public:
+  BisectionAdversaryBig(BigUint universe_size, double split);
+
+  BigUint NextElement(const std::vector<BigUint>& sample_before,
+                      size_t round) override;
+  void Observe(const std::vector<BigUint>& sample_after, bool kept,
+               size_t round) override;
+  std::string Name() const override;
+
+  bool exhausted() const { return exhausted_; }
+  const BigUint& a() const { return a_; }
+  const BigUint& b() const { return b_; }
+
+ private:
+  BigUint a_, b_;
+  uint64_t split_num_;  // split as split_num_ / 2^32
+  double split_;
+  BigUint pending_;
+  bool exhausted_ = false;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_ADVERSARY_BISECTION_ADVERSARY_H_

@@ -1,0 +1,74 @@
+#ifndef ROBUST_SAMPLING_CORE_BERNOULLI_SAMPLER_H_
+#define ROBUST_SAMPLING_CORE_BERNOULLI_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+#include "core/random.h"
+
+namespace robust_sampling {
+
+/// BernoulliSample(p) — the paper's first protagonist (Section 1).
+///
+/// Every inserted element is stored in the sample independently with
+/// probability p. For a stream of length n the sample size is Bin(n, p),
+/// concentrated around n*p regardless of the adversary's strategy (the
+/// sampler's coins are independent of the stream content).
+///
+/// Robustness (Theorem 1.2): with
+///   p >= 10 * (ln|R| + ln(4/delta)) / (eps^2 * n)
+/// the final sample is an eps-approximation of the stream w.r.t. (U, R) with
+/// probability >= 1 - delta, against any adaptive adversary. See
+/// `BernoulliRobustP()` in core/sample_bounds.h.
+///
+/// Not continuously robust (Section 6, footnote 4): no Bernoulli parameter
+/// p < 1 - delta can make every prefix representative.
+template <typename T>
+class BernoulliSampler {
+ public:
+  /// Creates a sampler that keeps each element with probability `p`.
+  /// Requires p in [0, 1].
+  BernoulliSampler(double p, uint64_t seed)
+      : p_(p), rng_(seed) {
+    RS_CHECK_MSG(p >= 0.0 && p <= 1.0, "Bernoulli p must lie in [0, 1]");
+  }
+
+  /// Processes one stream element: keeps it with probability p.
+  void Insert(const T& x) {
+    ++stream_size_;
+    last_kept_ = rng_.NextBernoulli(p_);
+    if (last_kept_) sample_.push_back(x);
+  }
+
+  /// The current sample S_i (adversary-visible state).
+  const std::vector<T>& sample() const { return sample_; }
+
+  /// Number of stream elements processed so far.
+  size_t stream_size() const { return stream_size_; }
+
+  /// Whether the most recently inserted element was kept.
+  bool last_kept() const { return last_kept_; }
+
+  /// The sampling probability p.
+  double p() const { return p_; }
+
+  /// Discards the sample and stream position, keeping the RNG state.
+  void Reset() {
+    sample_.clear();
+    stream_size_ = 0;
+    last_kept_ = false;
+  }
+
+ private:
+  double p_;
+  Rng rng_;
+  std::vector<T> sample_;
+  size_t stream_size_ = 0;
+  bool last_kept_ = false;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_CORE_BERNOULLI_SAMPLER_H_

@@ -1,0 +1,210 @@
+#include "core/big_uint.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}  // namespace
+
+BigUint::BigUint(uint64_t value) {
+  if (value != 0) limbs_.push_back(value);
+}
+
+void BigUint::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::Pow2(uint32_t bits) {
+  BigUint r;
+  r.limbs_.assign(bits / 64 + 1, 0);
+  r.limbs_.back() = 1ULL << (bits % 64);
+  return r;
+}
+
+BigUint BigUint::ApproxExp(double x) {
+  RS_CHECK(x >= 0.0);
+  RS_CHECK_MSG(x < 3.0e6, "exponent too large");
+  const double t = x / kLn2;  // e^x = 2^t
+  const double b = std::floor(t);
+  const double frac = t - b;
+  // mantissa = 2^frac scaled to 63 bits, in [2^63, 2^64).
+  const uint64_t mantissa =
+      static_cast<uint64_t>(std::ldexp(std::exp2(frac), 63));
+  const int64_t shift = static_cast<int64_t>(b) - 63;
+  BigUint m(mantissa);
+  if (shift >= 0) return m.ShiftLeft(static_cast<uint32_t>(shift));
+  const uint32_t right = static_cast<uint32_t>(-shift);
+  if (right >= 64) return BigUint(0);
+  return m.ShiftRight(right);
+}
+
+uint32_t BigUint::BitLength() const {
+  if (limbs_.empty()) return 0;
+  const uint64_t top = limbs_.back();
+  const int top_bits = 64 - __builtin_clzll(top);
+  return static_cast<uint32_t>((limbs_.size() - 1) * 64 + top_bits);
+}
+
+double BigUint::Log() const {
+  RS_CHECK_MSG(!IsZero(), "log of zero");
+  const uint32_t bits = BitLength();
+  if (bits <= 64) {
+    return std::log(static_cast<double>(limbs_[0]));
+  }
+  const BigUint top = ShiftRight(bits - 64);
+  return std::log(static_cast<double>(top.limbs_[0])) +
+         static_cast<double>(bits - 64) * kLn2;
+}
+
+double BigUint::ToDouble() const {
+  if (IsZero()) return 0.0;
+  const uint32_t bits = BitLength();
+  if (bits <= 64) return static_cast<double>(limbs_[0]);
+  const BigUint top = ShiftRight(bits - 64);
+  return std::ldexp(static_cast<double>(top.limbs_[0]),
+                    static_cast<int>(bits - 64));
+}
+
+std::string BigUint::ToHexString() const {
+  if (IsZero()) return "0";
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 15; nib >= 0; --nib) {
+      const int v = static_cast<int>((limbs_[i] >> (nib * 4)) & 0xF);
+      if (out.empty() && v == 0) continue;
+      out.push_back(kHex[v]);
+    }
+  }
+  return out;
+}
+
+BigUint BigUint::Add(const BigUint& other) const {
+  BigUint r;
+  const size_t n = std::max(limbs_.size(), other.limbs_.size());
+  r.limbs_.reserve(n + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t a = i < limbs_.size() ? limbs_[i] : 0;
+    const uint64_t b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const __uint128_t sum =
+        static_cast<__uint128_t>(a) + static_cast<__uint128_t>(b) + carry;
+    r.limbs_.push_back(static_cast<uint64_t>(sum));
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  if (carry) r.limbs_.push_back(carry);
+  return r;
+}
+
+BigUint BigUint::Sub(const BigUint& other) const {
+  RS_CHECK_MSG(*this >= other, "BigUint subtraction underflow");
+  BigUint r;
+  r.limbs_.reserve(limbs_.size());
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t a = limbs_[i];
+    const uint64_t b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const __uint128_t need = static_cast<__uint128_t>(b) + borrow;
+    uint64_t out;
+    if (static_cast<__uint128_t>(a) >= need) {
+      out = a - static_cast<uint64_t>(need);
+      borrow = 0;
+    } else {
+      out = static_cast<uint64_t>((static_cast<__uint128_t>(1) << 64) + a -
+                                  need);
+      borrow = 1;
+    }
+    r.limbs_.push_back(out);
+  }
+  RS_CHECK(borrow == 0);
+  r.Normalize();
+  return r;
+}
+
+BigUint BigUint::MulU64(uint64_t factor) const {
+  if (factor == 0 || IsZero()) return BigUint(0);
+  BigUint r;
+  r.limbs_.reserve(limbs_.size() + 1);
+  uint64_t carry = 0;
+  for (uint64_t limb : limbs_) {
+    const __uint128_t prod =
+        static_cast<__uint128_t>(limb) * factor + carry;
+    r.limbs_.push_back(static_cast<uint64_t>(prod));
+    carry = static_cast<uint64_t>(prod >> 64);
+  }
+  if (carry) r.limbs_.push_back(carry);
+  return r;
+}
+
+BigUint BigUint::DivU64(uint64_t divisor) const {
+  RS_CHECK_MSG(divisor != 0, "division by zero");
+  BigUint r;
+  r.limbs_.assign(limbs_.size(), 0);
+  __uint128_t rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    const __uint128_t cur = (rem << 64) | limbs_[i];
+    r.limbs_[i] = static_cast<uint64_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  r.Normalize();
+  return r;
+}
+
+uint64_t BigUint::ModU64(uint64_t divisor) const {
+  RS_CHECK_MSG(divisor != 0, "division by zero");
+  __uint128_t rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 64) | limbs_[i]) % divisor;
+  }
+  return static_cast<uint64_t>(rem);
+}
+
+BigUint BigUint::ShiftLeft(uint32_t bits) const {
+  if (IsZero()) return BigUint(0);
+  const uint32_t limb_shift = bits / 64;
+  const uint32_t bit_shift = bits % 64;
+  BigUint r;
+  r.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    r.limbs_[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift)
+                                          : limbs_[i];
+    if (bit_shift) {
+      r.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  r.Normalize();
+  return r;
+}
+
+BigUint BigUint::ShiftRight(uint32_t bits) const {
+  const uint32_t limb_shift = bits / 64;
+  const uint32_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigUint(0);
+  BigUint r;
+  r.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < r.limbs_.size(); ++i) {
+    r.limbs_[i] = bit_shift ? (limbs_[i + limb_shift] >> bit_shift)
+                            : limbs_[i + limb_shift];
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      r.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  r.Normalize();
+  return r;
+}
+
+bool operator<(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size();
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i];
+  }
+  return false;
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,92 @@
+#ifndef ROBUST_SAMPLING_CORE_BIG_UINT_H_
+#define ROBUST_SAMPLING_CORE_BIG_UINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace robust_sampling {
+
+/// Minimal arbitrary-precision unsigned integer.
+///
+/// Theorem 1.3 places the attack over a universe U = [N] whose size must be
+/// (nearly) exponential in the stream length — ln N = Theta((ln n)^2) for
+/// the Fig. 3 strategy to sustain n rounds, far beyond uint64 (and beyond
+/// exact double representation). BigUint supplies exactly the arithmetic the
+/// attack and its analysis need: comparison, add/sub, multiplication and
+/// division by 64-bit words, bit length, and approximate logarithm.
+///
+/// Representation: little-endian 64-bit limbs, normalized (no high zero
+/// limbs; the value zero has no limbs). Copyable, movable, totally ordered.
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+
+  /// From a 64-bit value.
+  explicit BigUint(uint64_t value);
+
+  /// 2^bits.
+  static BigUint Pow2(uint32_t bits);
+
+  /// floor(e^x) for x >= 0, accurate to within a few units in the last
+  /// ~50 bits (sufficient for constructing universes with a prescribed
+  /// ln N). Requires x < 3e6 (about a million limbs).
+  static BigUint ApproxExp(double x);
+
+  bool IsZero() const { return limbs_.empty(); }
+
+  /// Number of significant bits (0 for zero).
+  uint32_t BitLength() const;
+
+  /// Natural log; requires non-zero. Accurate to double precision.
+  double Log() const;
+
+  /// Lossy conversion (may overflow to +inf for huge values).
+  double ToDouble() const;
+
+  /// Lowercase hex, no leading zeros ("0" for zero).
+  std::string ToHexString() const;
+
+  // Arithmetic. Subtraction requires *this >= other (checked).
+  BigUint Add(const BigUint& other) const;
+  BigUint Sub(const BigUint& other) const;
+  BigUint MulU64(uint64_t factor) const;
+  /// Floor division; requires divisor != 0.
+  BigUint DivU64(uint64_t divisor) const;
+  /// Remainder of division by a 64-bit divisor; requires divisor != 0.
+  uint64_t ModU64(uint64_t divisor) const;
+  BigUint ShiftLeft(uint32_t bits) const;
+  BigUint ShiftRight(uint32_t bits) const;
+
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigUint& a, const BigUint& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const BigUint& a, const BigUint& b);
+  friend bool operator<=(const BigUint& a, const BigUint& b) {
+    return !(b < a);
+  }
+  friend bool operator>(const BigUint& a, const BigUint& b) { return b < a; }
+  friend bool operator>=(const BigUint& a, const BigUint& b) {
+    return !(a < b);
+  }
+
+  friend BigUint operator+(const BigUint& a, const BigUint& b) {
+    return a.Add(b);
+  }
+  friend BigUint operator-(const BigUint& a, const BigUint& b) {
+    return a.Sub(b);
+  }
+
+ private:
+  void Normalize();
+
+  std::vector<uint64_t> limbs_;  // little-endian
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_CORE_BIG_UINT_H_

@@ -1,0 +1,43 @@
+#ifndef ROBUST_SAMPLING_CORE_CHECK_H_
+#define ROBUST_SAMPLING_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Precondition checking for the robust_sampling library.
+//
+// The library does not use exceptions (Google style). API misuse — e.g. a
+// sampling probability outside [0, 1], or an empty reservoir — is a
+// programming error, not a recoverable condition, so a violated RS_CHECK
+// prints the failing condition with its location and aborts.
+//
+// RS_CHECK is always on; RS_DCHECK compiles away in NDEBUG builds and should
+// guard hot-path invariants only.
+
+#define RS_CHECK(condition)                                              \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "RS_CHECK failed: %s at %s:%d\n", #condition, \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define RS_CHECK_MSG(condition, msg)                                         \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "RS_CHECK failed: %s (%s) at %s:%d\n", #condition, \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define RS_DCHECK(condition) \
+  do {                       \
+  } while (0)
+#else
+#define RS_DCHECK(condition) RS_CHECK(condition)
+#endif
+
+#endif  // ROBUST_SAMPLING_CORE_CHECK_H_

@@ -1,0 +1,46 @@
+#include "core/checkpoints.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+CheckpointSchedule CheckpointSchedule::Geometric(size_t first, size_t n,
+                                                 double beta) {
+  RS_CHECK(first >= 1);
+  RS_CHECK(first <= n);
+  RS_CHECK(beta > 0.0);
+  std::vector<size_t> points;
+  size_t i = first;
+  points.push_back(i);
+  while (i < n) {
+    const double grown = (1.0 + beta) * static_cast<double>(i);
+    size_t next = static_cast<size_t>(std::floor(grown));
+    next = std::max(next, i + 1);  // always advance
+    next = std::min(next, n);
+    points.push_back(next);
+    i = next;
+  }
+  return CheckpointSchedule(std::move(points));
+}
+
+CheckpointSchedule CheckpointSchedule::Every(size_t stride, size_t n) {
+  RS_CHECK(stride >= 1);
+  RS_CHECK(n >= 1);
+  std::vector<size_t> points;
+  for (size_t i = stride; i <= n; i += stride) points.push_back(i);
+  if (points.empty() || points.back() != n) points.push_back(n);
+  return CheckpointSchedule(std::move(points));
+}
+
+CheckpointSchedule CheckpointSchedule::All(size_t n) {
+  return Every(/*stride=*/1, n);
+}
+
+bool CheckpointSchedule::Contains(size_t i) const {
+  return std::binary_search(points_.begin(), points_.end(), i);
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,50 @@
+#ifndef ROBUST_SAMPLING_CORE_CHECKPOINTS_H_
+#define ROBUST_SAMPLING_CORE_CHECKPOINTS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace robust_sampling {
+
+/// The geometric checkpoint schedule from the proof of Theorem 1.4.
+///
+/// Continuous robustness is certified by checking the sample at a sparse set
+/// of rounds k = i_1 < i_2 < ... < i_t = n with i_{j+1} <= (1 + beta) i_j
+/// (beta = eps/4 in the paper): if S_{i_j} is an (eps/4)-approximation at
+/// every checkpoint and at most eps*k/2 insertions happen inside each gap,
+/// then S_i is an eps-approximation at *every* i (Claims 6.1–6.3). The
+/// schedule has t = O(beta^{-1} ln(n/k)) points — exponentially fewer than
+/// the naive union bound over all n rounds.
+class CheckpointSchedule {
+ public:
+  /// Geometric schedule: i_1 = first, then the largest integer not exceeding
+  /// (1 + beta) * i_j (always advancing by at least 1), ending at n.
+  /// Requires 1 <= first <= n and beta > 0.
+  static CheckpointSchedule Geometric(size_t first, size_t n, double beta);
+
+  /// Dense schedule: every `stride`-th round plus round n (the naive
+  /// union-bound alternative; used as the ablation baseline in E5).
+  static CheckpointSchedule Every(size_t stride, size_t n);
+
+  /// All rounds 1..n (exhaustive continuous checking, for tests).
+  static CheckpointSchedule All(size_t n);
+
+  /// The checkpoint rounds, strictly increasing, last element = n.
+  const std::vector<size_t>& points() const { return points_; }
+
+  /// Number of checkpoints t.
+  size_t size() const { return points_.size(); }
+
+  /// Whether round i is a checkpoint (O(log t) binary search).
+  bool Contains(size_t i) const;
+
+ private:
+  explicit CheckpointSchedule(std::vector<size_t> points)
+      : points_(std::move(points)) {}
+
+  std::vector<size_t> points_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_CORE_CHECKPOINTS_H_

@@ -1,0 +1,108 @@
+#ifndef ROBUST_SAMPLING_CORE_CONTINUOUS_MONITOR_H_
+#define ROBUST_SAMPLING_CORE_CONTINUOUS_MONITOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/check.h"
+#include "core/checkpoints.h"
+
+namespace robust_sampling {
+
+/// Online continuous-robustness certification (the operational form of
+/// Theorem 1.4): wraps a stream + sample pair and, at the geometric
+/// checkpoints of the Thm 1.4 proof, evaluates the discrepancy of the
+/// current sample against the current stream prefix. If every checkpoint
+/// passes at eps/2, Claims 6.1–6.3 guarantee every *round* is within eps
+/// (for reservoir samples whose per-gap churn is bounded), at a total
+/// certification cost of O(eps^{-1} ln n) discrepancy evaluations instead
+/// of n.
+///
+/// The monitor owns a copy of the stream (needed to evaluate prefix
+/// discrepancies); it is an observability tool, not a hot-path component.
+template <typename T>
+class ContinuousMonitor {
+ public:
+  using DiscrepancyEvaluator =
+      std::function<double(const std::vector<T>&, const std::vector<T>&)>;
+
+  /// `eps` is the *round-level* target; checkpoints are held to eps/2 on
+  /// the (1 + eps/4)-geometric schedule starting at `first_checkpoint`
+  /// (use the reservoir capacity k). `horizon` is the maximum stream
+  /// length to pre-plan checkpoints for.
+  ContinuousMonitor(double eps, size_t first_checkpoint, size_t horizon,
+                    DiscrepancyEvaluator evaluator)
+      : eps_(eps),
+        schedule_(MakeSchedule(eps, first_checkpoint, horizon)),
+        evaluator_(std::move(evaluator)) {}
+
+  /// Records round i's element and, if i is a checkpoint, evaluates the
+  /// sample. Returns true if this round was a checkpoint.
+  bool Observe(const T& element, const std::vector<T>& current_sample) {
+    stream_.push_back(element);
+    const size_t i = stream_.size();
+    if (next_idx_ >= schedule_.points().size() ||
+        schedule_.points()[next_idx_] != i) {
+      return false;
+    }
+    ++next_idx_;
+    ++checks_performed_;
+    const double d = evaluator_(stream_, current_sample);
+    if (d > max_checkpoint_discrepancy_) {
+      max_checkpoint_discrepancy_ = d;
+      worst_round_ = i;
+    }
+    if (d > eps_ / 2.0 && first_violation_round_ == 0) {
+      first_violation_round_ = i;
+    }
+    return true;
+  }
+
+  /// Whether every checkpoint so far passed at eps/2 — the Thm 1.4
+  /// certificate that every round is within eps.
+  bool certified() const { return first_violation_round_ == 0; }
+
+  /// Largest checkpoint discrepancy observed.
+  double max_checkpoint_discrepancy() const {
+    return max_checkpoint_discrepancy_;
+  }
+
+  /// Round of the largest checkpoint discrepancy (0 if none evaluated).
+  size_t worst_round() const { return worst_round_; }
+
+  /// First checkpoint round exceeding eps/2 (0 if none).
+  size_t first_violation_round() const { return first_violation_round_; }
+
+  /// Number of checkpoint evaluations performed so far.
+  size_t checks_performed() const { return checks_performed_; }
+
+  /// Total planned checkpoints up to the horizon.
+  size_t planned_checks() const { return schedule_.size(); }
+
+  /// Rounds observed so far.
+  size_t rounds() const { return stream_.size(); }
+
+ private:
+  static CheckpointSchedule MakeSchedule(double eps, size_t first_checkpoint,
+                                         size_t horizon) {
+    RS_CHECK_MSG(eps > 0.0 && eps < 1.0, "eps must lie in (0, 1)");
+    return CheckpointSchedule::Geometric(first_checkpoint, horizon,
+                                         eps / 4.0);
+  }
+
+  double eps_;
+  CheckpointSchedule schedule_;
+  DiscrepancyEvaluator evaluator_;
+  std::vector<T> stream_;
+  size_t next_idx_ = 0;
+  size_t checks_performed_ = 0;
+  double max_checkpoint_discrepancy_ = 0.0;
+  size_t worst_round_ = 0;
+  size_t first_violation_round_ = 0;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_CORE_CONTINUOUS_MONITOR_H_

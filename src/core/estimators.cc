@@ -1,0 +1,14 @@
+#include "core/estimators.h"
+
+#include <cmath>
+
+namespace robust_sampling {
+
+double HoeffdingHalfWidth(size_t sample_size, double delta) {
+  RS_CHECK_MSG(sample_size >= 1, "sample must be non-empty");
+  RS_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+  return std::sqrt(std::log(2.0 / delta) /
+                   (2.0 * static_cast<double>(sample_size)));
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,61 @@
+#ifndef ROBUST_SAMPLING_CORE_ESTIMATORS_H_
+#define ROBUST_SAMPLING_CORE_ESTIMATORS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+/// A density/count estimate read off a sample, with a confidence interval.
+struct DensityEstimate {
+  double density = 0.0;     ///< estimated d_R(X) = d_R(S).
+  double count = 0.0;       ///< estimated |R ∩ X| = density * n.
+  double half_width = 0.0;  ///< density confidence half-width at 1 - delta.
+
+  double density_lo() const { return density - half_width; }
+  double density_hi() const { return density + half_width; }
+};
+
+/// Hoeffding half-width for the mean of `sample_size` [0,1]-bounded draws
+/// at confidence 1 - delta: sqrt(ln(2/delta) / (2 * sample_size)).
+///
+/// Caveat (the whole point of the paper): this is the *static* interval.
+/// Under an adaptive adversary it is valid only when the sample size meets
+/// the Theorem 1.2 bound for the full set system; for a single
+/// post-specified range it remains a useful diagnostic.
+double HoeffdingHalfWidth(size_t sample_size, double delta);
+
+/// Estimates the density and count of the range {x : predicate(x)} in a
+/// stream of length `stream_size` from its sample. Requires a non-empty
+/// sample and delta in (0, 1).
+template <typename T>
+DensityEstimate EstimateRange(const std::vector<T>& sample,
+                              size_t stream_size,
+                              const std::function<bool(const T&)>& predicate,
+                              double delta) {
+  RS_CHECK_MSG(!sample.empty(), "cannot estimate from an empty sample");
+  size_t hits = 0;
+  for (const T& x : sample) hits += predicate(x);
+  DensityEstimate est;
+  est.density = static_cast<double>(hits) / static_cast<double>(sample.size());
+  est.count = est.density * static_cast<double>(stream_size);
+  est.half_width = HoeffdingHalfWidth(sample.size(), delta);
+  return est;
+}
+
+/// Estimates the rank fraction (fraction of stream elements <= x) from a
+/// sample of a well-ordered stream.
+template <typename T>
+DensityEstimate EstimateRankFraction(const std::vector<T>& sample,
+                                     size_t stream_size, const T& x,
+                                     double delta) {
+  return EstimateRange<T>(
+      sample, stream_size, [&x](const T& v) { return !(x < v); }, delta);
+}
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_CORE_ESTIMATORS_H_

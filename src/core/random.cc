@@ -1,0 +1,133 @@
+#include "core/random.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256pp::Xoshiro256pp(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm.Next();
+  // An all-zero state is the (single) invalid state for xoshiro; SplitMix64
+  // cannot emit four consecutive zeros, but keep the guard explicit.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = kDefaultSeed;
+  }
+}
+
+uint64_t Xoshiro256pp::NextUint64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Xoshiro256pp::NextBelow(uint64_t bound) {
+  RS_CHECK(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Xoshiro256pp::NextDouble() {
+  // 53 high bits -> uniform dyadic rational in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256pp::NextDoubleIn(double lo, double hi) {
+  RS_CHECK(lo < hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Xoshiro256pp::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Xoshiro256pp::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+void Xoshiro256pp::Jump() {
+  static constexpr uint64_t kJump[] = {0x180ec6d33cfd0abaULL,
+                                       0xd5a61266f0c9392cULL,
+                                       0xa9582618e03fc9aaULL,
+                                       0x39abdc4529b1661cULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      NextUint64();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
+Xoshiro256pp Xoshiro256pp::Split(uint64_t index) const {
+  Xoshiro256pp child = *this;
+  child.has_cached_gaussian_ = false;
+  for (uint64_t i = 0; i <= index; ++i) child.Jump();
+  return child;
+}
+
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  // Full avalanche on `a`, then a SplitMix step keyed by `b`: for fixed `a`
+  // this is a bijection in `b`, so (a, b) pairs essentially never collide.
+  SplitMix64 sm_a(a);
+  SplitMix64 sm_b(sm_a.Next() ^ (b * 0x9e3779b97f4a7c15ULL));
+  return sm_b.Next();
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,129 @@
+#ifndef ROBUST_SAMPLING_CORE_ROBUST_SAMPLE_H_
+#define ROBUST_SAMPLING_CORE_ROBUST_SAMPLE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/check.h"
+#include "core/reservoir_sampler.h"
+#include "core/sample_bounds.h"
+
+namespace robust_sampling {
+
+/// High-level facade over the paper's main result: a reservoir sampler
+/// automatically sized by Theorem 1.2 so that, with probability >= 1-delta,
+/// the maintained sample is an eps-approximation of the stream w.r.t. the
+/// chosen set system — **even when the stream is chosen by an adaptive
+/// adversary that observes the full sample after every insertion**.
+///
+/// Typical use:
+///
+///     auto s = RobustSample<int64_t>::ForQuantiles(0.05, 0.01,
+///                                                  /*universe=*/1 << 20,
+///                                                  /*seed=*/1);
+///     for (int64_t x : stream) s.Insert(x);
+///     double below = s.EstimateDensity([](int64_t v) { return v <= 100; });
+///
+/// Every density/count read off the sample is then eps-accurate for every
+/// range of the configured family simultaneously.
+template <typename T>
+class RobustSample {
+ public:
+  /// Tuning knobs; see the factory functions for common instantiations.
+  struct Options {
+    double eps = 0.1;     ///< density error bound, in (0, 1).
+    double delta = 0.05;  ///< failure probability, in (0, 1).
+    /// ln|R| of the set system whose ranges must be preserved.
+    double log_cardinality = 0.0;
+    uint64_t seed = Rng::kDefaultSeed;
+  };
+
+  /// Sample sized for an arbitrary set system with the given ln|R|.
+  static RobustSample ForSetSystem(const Options& options) {
+    return RobustSample(options);
+  }
+
+  /// Sample sized for all quantiles over a well-ordered universe of
+  /// `universe_size` values (Corollary 1.5: prefix family, ln|R| = ln|U|).
+  static RobustSample ForQuantiles(double eps, double delta,
+                                   uint64_t universe_size, uint64_t seed) {
+    Options options;
+    options.eps = eps;
+    options.delta = delta;
+    options.log_cardinality =
+        std::log(static_cast<double>(universe_size));
+    options.seed = seed;
+    return RobustSample(options);
+  }
+
+  /// Sample sized for all element frequencies over a universe of
+  /// `universe_size` values (Corollary 1.6: singleton family with the
+  /// eps/3 slack baked in).
+  static RobustSample ForFrequencies(double eps, double delta,
+                                     uint64_t universe_size, uint64_t seed) {
+    Options options;
+    options.eps = eps / 3.0;
+    options.delta = delta;
+    options.log_cardinality =
+        std::log(static_cast<double>(universe_size));
+    options.seed = seed;
+    return RobustSample(options);
+  }
+
+  /// Processes one stream element.
+  void Insert(const T& x) { reservoir_.Insert(x); }
+
+  /// The current sample (also what an adversary would see).
+  const std::vector<T>& sample() const { return reservoir_.sample(); }
+
+  /// Stream length so far.
+  size_t stream_size() const { return reservoir_.stream_size(); }
+
+  /// The Theorem 1.2 reservoir capacity this instance was sized to.
+  size_t capacity() const { return reservoir_.capacity(); }
+
+  double eps() const { return options_.eps; }
+  double delta() const { return options_.delta; }
+
+  /// Estimated density of {x : predicate(x)} in the stream. If the
+  /// predicate describes a range of the configured family, the estimate is
+  /// within eps of the truth with probability 1 - delta (adversarially).
+  double EstimateDensity(const std::function<bool(const T&)>& predicate)
+      const {
+    const auto& s = reservoir_.sample();
+    if (s.empty()) return 0.0;
+    size_t hits = 0;
+    for (const T& x : s) hits += predicate(x);
+    return static_cast<double>(hits) / static_cast<double>(s.size());
+  }
+
+  /// Estimated number of stream elements in the range (density * n).
+  double EstimateCount(const std::function<bool(const T&)>& predicate)
+      const {
+    return EstimateDensity(predicate) *
+           static_cast<double>(reservoir_.stream_size());
+  }
+
+  /// Read access to the underlying reservoir.
+  const ReservoirSampler<T>& reservoir() const { return reservoir_; }
+
+ private:
+  explicit RobustSample(const Options& options)
+      : options_(options),
+        reservoir_(
+            ReservoirRobustK(options.eps, options.delta,
+                             options.log_cardinality),
+            options.seed) {
+    RS_CHECK_MSG(options.log_cardinality >= 0.0,
+                 "log_cardinality must be non-negative");
+  }
+
+  Options options_;
+  ReservoirSampler<T> reservoir_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_CORE_ROBUST_SAMPLE_H_

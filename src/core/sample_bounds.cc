@@ -1,0 +1,135 @@
+#include "core/sample_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+namespace {
+
+void CheckEpsDelta(double eps, double delta) {
+  RS_CHECK_MSG(eps > 0.0 && eps < 1.0, "eps must lie in (0, 1)");
+  RS_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+}
+
+size_t CeilToSize(double x) {
+  RS_CHECK(x >= 0.0);
+  const double c = std::ceil(x);
+  RS_CHECK_MSG(c < 9.0e18, "bound overflows size_t");
+  return static_cast<size_t>(std::max(c, 1.0));
+}
+
+}  // namespace
+
+double BernoulliRobustP(double eps, double delta, double log_cardinality,
+                        uint64_t n) {
+  CheckEpsDelta(eps, delta);
+  RS_CHECK(log_cardinality >= 0.0);
+  RS_CHECK(n >= 1);
+  const double p = 10.0 * (log_cardinality + std::log(4.0 / delta)) /
+                   (eps * eps * static_cast<double>(n));
+  return std::min(p, 1.0);
+}
+
+size_t ReservoirRobustK(double eps, double delta, double log_cardinality) {
+  CheckEpsDelta(eps, delta);
+  RS_CHECK(log_cardinality >= 0.0);
+  return CeilToSize(2.0 * (log_cardinality + std::log(2.0 / delta)) /
+                    (eps * eps));
+}
+
+double BernoulliSingleRangeP(double eps, double delta, uint64_t n) {
+  return BernoulliRobustP(eps, delta, /*log_cardinality=*/0.0, n);
+}
+
+size_t ReservoirSingleRangeK(double eps, double delta) {
+  return ReservoirRobustK(eps, delta, /*log_cardinality=*/0.0);
+}
+
+double BernoulliStaticP(double eps, double delta, double vc_dimension,
+                        uint64_t n, double c) {
+  CheckEpsDelta(eps, delta);
+  RS_CHECK(vc_dimension >= 0.0);
+  RS_CHECK(n >= 1);
+  RS_CHECK(c > 0.0);
+  const double p = c * (vc_dimension + std::log(1.0 / delta)) /
+                   (eps * eps * static_cast<double>(n));
+  return std::min(p, 1.0);
+}
+
+size_t ReservoirStaticK(double eps, double delta, double vc_dimension,
+                        double c) {
+  CheckEpsDelta(eps, delta);
+  RS_CHECK(vc_dimension >= 0.0);
+  RS_CHECK(c > 0.0);
+  return CeilToSize(c * (vc_dimension + std::log(1.0 / delta)) / (eps * eps));
+}
+
+size_t ReservoirContinuousK(double eps, double delta, double log_cardinality,
+                            uint64_t n, double c) {
+  CheckEpsDelta(eps, delta);
+  RS_CHECK(log_cardinality >= 0.0);
+  RS_CHECK(n >= 2);
+  RS_CHECK(c > 0.0);
+  const double lnln = std::log(std::max(std::log(static_cast<double>(n)), 1.0));
+  return CeilToSize(c *
+                    (log_cardinality + std::log(1.0 / delta) +
+                     std::log(1.0 / eps) + lnln) /
+                    (eps * eps));
+}
+
+double AttackThresholdBernoulliP(double log_cardinality, uint64_t n,
+                                 double c) {
+  RS_CHECK(log_cardinality > 0.0);
+  RS_CHECK(n >= 2);
+  RS_CHECK(c > 0.0);
+  return c * log_cardinality /
+         (static_cast<double>(n) * std::log(static_cast<double>(n)));
+}
+
+size_t AttackThresholdReservoirK(double log_cardinality, uint64_t n,
+                                 double c) {
+  RS_CHECK(log_cardinality > 0.0);
+  RS_CHECK(n >= 2);
+  RS_CHECK(c > 0.0);
+  const double k =
+      c * log_cardinality / std::log(static_cast<double>(n));
+  return static_cast<size_t>(std::max(std::floor(k), 1.0));
+}
+
+size_t QuantileSketchK(double eps, double delta, uint64_t universe_size) {
+  RS_CHECK(universe_size >= 1);
+  return ReservoirRobustK(eps, delta,
+                          std::log(static_cast<double>(universe_size)));
+}
+
+double QuantileSketchP(double eps, double delta, uint64_t universe_size,
+                       uint64_t n) {
+  RS_CHECK(universe_size >= 1);
+  return BernoulliRobustP(eps, delta,
+                          std::log(static_cast<double>(universe_size)), n);
+}
+
+size_t HeavyHitterK(double eps, double delta, uint64_t universe_size) {
+  RS_CHECK(universe_size >= 1);
+  // eps' = eps/3 with the singleton system (Cor. 1.6 proof).
+  return ReservoirRobustK(eps / 3.0, delta,
+                          std::log(static_cast<double>(universe_size)));
+}
+
+double HeavyHitterP(double eps, double delta, uint64_t universe_size,
+                    uint64_t n) {
+  RS_CHECK(universe_size >= 1);
+  return BernoulliRobustP(eps / 3.0, delta,
+                          std::log(static_cast<double>(universe_size)), n);
+}
+
+double AttackMinUniverseSize(uint64_t n) {
+  RS_CHECK(n >= 2);
+  const double nd = static_cast<double>(n);
+  return std::ceil(std::pow(nd, 6.0) * std::log(nd));
+}
+
+}  // namespace robust_sampling

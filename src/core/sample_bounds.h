@@ -1,0 +1,97 @@
+#ifndef ROBUST_SAMPLING_CORE_SAMPLE_BOUNDS_H_
+#define ROBUST_SAMPLING_CORE_SAMPLE_BOUNDS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace robust_sampling {
+
+// Closed-form sample-size bounds from the paper. All `eps`/`delta`
+// parameters must lie in (0, 1); `log_cardinality` is ln|R| (natural log of
+// the number of ranges in the set system) and must be >= 0.
+//
+//   Theorem 1.2  adversarial robustness of Bernoulli / reservoir sampling
+//   Theorem 1.3  thresholds below which the Fig. 3 attack defeats them
+//   Theorem 1.4  continuous robustness of reservoir sampling
+//   Static (VC)  the classical non-adaptive bounds [VC71, Tal94, LLS01]
+//   Cor. 1.5/1.6 quantile sketch / heavy hitter instantiations
+
+/// Theorem 1.2, Bernoulli case: the smallest p such that BernoulliSample(p)
+/// is (eps, delta)-robust for a length-n stream w.r.t. a set system with
+/// ln|R| = log_cardinality:
+///   p = 10 * (log_cardinality + ln(4/delta)) / (eps^2 * n), capped at 1.
+double BernoulliRobustP(double eps, double delta, double log_cardinality,
+                        uint64_t n);
+
+/// Theorem 1.2, reservoir case: the smallest integer k such that
+/// ReservoirSample(k) is (eps, delta)-robust:
+///   k = ceil(2 * (log_cardinality + ln(2/delta)) / eps^2).
+size_t ReservoirRobustK(double eps, double delta, double log_cardinality);
+
+/// Lemma 4.1, Bernoulli case (single fixed range R, no union bound):
+///   p = 10 * ln(4/delta) / (eps^2 * n), capped at 1.
+double BernoulliSingleRangeP(double eps, double delta, uint64_t n);
+
+/// Lemma 4.1, reservoir case (single fixed range R):
+///   k = ceil(2 * ln(2/delta) / eps^2).
+size_t ReservoirSingleRangeK(double eps, double delta);
+
+/// Classical static (non-adaptive) bound: p = c*(d + ln(1/delta))/(eps^2*n)
+/// with d the VC-dimension. The absolute constant is not pinned down by
+/// [VC71, Tal94, LLS01]; `c` defaults to 10 to parallel Theorem 1.2.
+double BernoulliStaticP(double eps, double delta, double vc_dimension,
+                        uint64_t n, double c = 10.0);
+
+/// Classical static reservoir bound: k = ceil(c*(d + ln(1/delta))/eps^2),
+/// with c defaulting to 2 to parallel Theorem 1.2.
+size_t ReservoirStaticK(double eps, double delta, double vc_dimension,
+                        double c = 2.0);
+
+/// Theorem 1.4: reservoir size for (eps, delta)-continuous robustness:
+///   k = ceil(c * (log_cardinality + ln(1/delta) + ln(1/eps) + ln ln n)
+///            / eps^2).
+/// The paper leaves the constant unspecified; our implementation of the
+/// checkpoint argument (core/checkpoints.h) is valid with c = 32 (default).
+size_t ReservoirContinuousK(double eps, double delta, double log_cardinality,
+                            uint64_t n, double c = 32.0);
+
+/// Theorem 1.3, Bernoulli case: any p *below* this threshold,
+///   c * log_cardinality / (n * ln n),
+/// is defeated by the Fig. 3 bisection attack (for the prefix system over a
+/// universe of size N, log_cardinality = ln N, n^6 ln n <= N <= 2^(n/2)).
+double AttackThresholdBernoulliP(double log_cardinality, uint64_t n,
+                                 double c = 1.0 / 6.0);
+
+/// Theorem 1.3, reservoir case: any k below
+///   c * log_cardinality / ln n
+/// is defeated by the attack.
+size_t AttackThresholdReservoirK(double log_cardinality, uint64_t n,
+                                 double c = 1.0 / 6.0);
+
+/// Corollary 1.5: reservoir size for an (eps, delta)-robust quantile sketch
+/// over a well-ordered universe of size universe_size (set system = prefixes,
+/// |R| = |U|): k = ceil(2 * (ln(universe_size) + ln(2/delta)) / eps^2).
+size_t QuantileSketchK(double eps, double delta, uint64_t universe_size);
+
+/// Corollary 1.5, Bernoulli form: p = 10*(ln|U| + ln(4/delta))/(eps^2 n).
+double QuantileSketchP(double eps, double delta, uint64_t universe_size,
+                       uint64_t n);
+
+/// Corollary 1.6: reservoir size for robust (alpha, eps) heavy hitters over
+/// a universe of size universe_size. Internally uses the eps' = eps/3 trick
+/// with the singleton system (ln|R| = ln|U|):
+///   k = ceil(2 * (ln(universe_size) + ln(2/delta)) / (eps/3)^2).
+size_t HeavyHitterK(double eps, double delta, uint64_t universe_size);
+
+/// Corollary 1.6, Bernoulli form.
+double HeavyHitterP(double eps, double delta, uint64_t universe_size,
+                    uint64_t n);
+
+/// Theorem 1.3 constraint on the universe size for the attack's set system:
+/// returns the smallest admissible N (= ceil(n^6 ln n)) for stream length n.
+/// The upper constraint N <= 2^(n/2) is the caller's to respect.
+double AttackMinUniverseSize(uint64_t n);
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_CORE_SAMPLE_BOUNDS_H_

@@ -1,0 +1,36 @@
+#ifndef ROBUST_SAMPLING_CORE_SAMPLER_H_
+#define ROBUST_SAMPLING_CORE_SAMPLER_H_
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+namespace robust_sampling {
+
+/// The streaming-sampler concept shared by every sampler in this library and
+/// required by the adversarial game engine (`RunAdaptiveGame`,
+/// `RunContinuousAdaptiveGame`).
+///
+/// In the paper's model (Section 2) the sampler's state sigma_i after round i
+/// *is* the current sample, and the adversary observes it in full before
+/// choosing the next element. Samplers therefore expose:
+///
+///  * `Insert(x)`        — process stream element x_i (sigma_{i-1} -> sigma_i);
+///  * `sample()`         — the current sampled subsequence S_i (the full
+///                         adversary-visible state);
+///  * `stream_size()`    — i, the number of elements processed so far;
+///  * `last_kept()`      — whether the most recently inserted element was
+///                         added to the sample (observable by the adversary
+///                         since it sees sigma_i; exposed directly as a
+///                         convenience for attack implementations).
+template <typename S, typename T>
+concept StreamSampler = requires(S s, const S cs, const T& x) {
+  { s.Insert(x) };
+  { cs.sample() } -> std::convertible_to<const std::vector<T>&>;
+  { cs.stream_size() } -> std::convertible_to<size_t>;
+  { cs.last_kept() } -> std::convertible_to<bool>;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_CORE_SAMPLER_H_

@@ -1,0 +1,105 @@
+#ifndef ROBUST_SAMPLING_CORE_WEIGHTED_RESERVOIR_SAMPLER_H_
+#define ROBUST_SAMPLING_CORE_WEIGHTED_RESERVOIR_SAMPLER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+#include "core/random.h"
+
+namespace robust_sampling {
+
+/// Weighted reservoir sampling without replacement (Efraimidis–Spirakis
+/// "A-Res", 2006) — the weighted flavor referenced in the paper's related
+/// work (Section 1.3, [ES06]).
+///
+/// Each element x with weight w > 0 receives a key u^{1/w} with u uniform in
+/// (0, 1); the sample is the k elements with the largest keys. The
+/// probability that an element is selected is proportional to its weight in
+/// the appropriate sequential sense (Efraimidis–Spirakis Theorem 1). With
+/// all weights equal this reduces exactly to uniform reservoir sampling.
+///
+/// The sample is kept as a binary min-heap on keys, so insertion is
+/// O(log k) worst case.
+template <typename T>
+class WeightedReservoirSampler {
+ public:
+  /// A sampled element together with its A-Res key.
+  struct Entry {
+    T value;
+    double weight;
+    double key;  // u^{1/w}; the reservoir keeps the k largest keys.
+  };
+
+  /// Creates a weighted reservoir of capacity `k`. Requires k >= 1.
+  WeightedReservoirSampler(size_t k, uint64_t seed) : k_(k), rng_(seed) {
+    RS_CHECK_MSG(k >= 1, "reservoir capacity must be >= 1");
+    heap_.reserve(k);
+  }
+
+  /// Processes one stream element with the given positive weight.
+  void Insert(const T& x, double weight) {
+    RS_CHECK_MSG(weight > 0.0, "weights must be positive");
+    ++stream_size_;
+    // key = u^{1/w}, computed in log-space for numerical stability:
+    // log key = log(u) / w.
+    const double u = std::max(rng_.NextDouble(), 1e-300);
+    const double key = std::exp(std::log(u) / weight);
+    if (heap_.size() < k_) {
+      heap_.push_back(Entry{x, weight, key});
+      std::push_heap(heap_.begin(), heap_.end(), KeyGreater);
+      last_kept_ = true;
+      return;
+    }
+    if (key > heap_.front().key) {
+      std::pop_heap(heap_.begin(), heap_.end(), KeyGreater);
+      heap_.back() = Entry{x, weight, key};
+      std::push_heap(heap_.begin(), heap_.end(), KeyGreater);
+      last_kept_ = true;
+    } else {
+      last_kept_ = false;
+    }
+  }
+
+  /// Convenience overload: unit weight (reduces to uniform reservoir
+  /// sampling in distribution).
+  void Insert(const T& x) { Insert(x, 1.0); }
+
+  /// The current sample entries, in heap order (no particular sort).
+  const std::vector<Entry>& entries() const { return heap_; }
+
+  /// Copies out the sampled values (heap order).
+  std::vector<T> SampleValues() const {
+    std::vector<T> values;
+    values.reserve(heap_.size());
+    for (const Entry& e : heap_) values.push_back(e.value);
+    return values;
+  }
+
+  /// Number of stream elements processed so far.
+  size_t stream_size() const { return stream_size_; }
+
+  /// Whether the most recently inserted element entered the reservoir.
+  bool last_kept() const { return last_kept_; }
+
+  /// The reservoir capacity k.
+  size_t capacity() const { return k_; }
+
+ private:
+  static bool KeyGreater(const Entry& a, const Entry& b) {
+    return a.key > b.key;  // min-heap on key
+  }
+
+  size_t k_;
+  Rng rng_;
+  std::vector<Entry> heap_;
+  size_t stream_size_ = 0;
+  bool last_kept_ = false;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_CORE_WEIGHTED_RESERVOIR_SAMPLER_H_

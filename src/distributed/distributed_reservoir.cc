@@ -1,0 +1,64 @@
+#include "distributed/distributed_reservoir.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+DistributedReservoir::DistributedReservoir(int num_sites, size_t k,
+                                           uint64_t seed)
+    : num_sites_(num_sites), k_(k) {
+  RS_CHECK_MSG(num_sites >= 1, "need at least one site");
+  RS_CHECK_MSG(k >= 1, "sample capacity must be >= 1");
+  site_rngs_.reserve(num_sites);
+  for (int s = 0; s < num_sites; ++s) {
+    site_rngs_.emplace_back(MixSeed(seed, static_cast<uint64_t>(s)));
+  }
+  site_thresholds_.assign(num_sites,
+                          std::numeric_limits<uint64_t>::max());
+  coordinator_heap_.reserve(k);
+}
+
+void DistributedReservoir::Insert(int site, int64_t value) {
+  RS_CHECK(site >= 0 && site < num_sites_);
+  ++total_items_;
+  const uint64_t tag = site_rngs_[site].NextUint64();
+  // Site-local filter: only candidates below the last broadcast threshold
+  // are forwarded.
+  if (tag >= site_thresholds_[site]) return;
+  ++messages_sent_;
+  // Coordinator side: keep the k smallest tags.
+  if (coordinator_heap_.size() < k_) {
+    coordinator_heap_.push_back(Tagged{tag, value});
+    std::push_heap(coordinator_heap_.begin(), coordinator_heap_.end());
+    if (coordinator_heap_.size() == k_) {
+      // The k-th smallest tag is now finite: first threshold broadcast.
+      ++broadcasts_;
+      std::fill(site_thresholds_.begin(), site_thresholds_.end(),
+                coordinator_heap_.front().tag);
+    }
+    return;
+  }
+  if (tag < coordinator_heap_.front().tag) {
+    std::pop_heap(coordinator_heap_.begin(), coordinator_heap_.end());
+    coordinator_heap_.back() = Tagged{tag, value};
+    std::push_heap(coordinator_heap_.begin(), coordinator_heap_.end());
+    // The k-th smallest tag dropped: broadcast the new threshold.
+    ++broadcasts_;
+    std::fill(site_thresholds_.begin(), site_thresholds_.end(),
+              coordinator_heap_.front().tag);
+  }
+  // Note: a forwarded item with tag >= current max is simply discarded by
+  // the coordinator (the site's threshold was stale); no broadcast needed.
+}
+
+std::vector<int64_t> DistributedReservoir::Sample() const {
+  std::vector<int64_t> out;
+  out.reserve(coordinator_heap_.size());
+  for (const Tagged& t : coordinator_heap_) out.push_back(t.value);
+  return out;
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,45 @@
+#include "distributed/load_balancer.h"
+
+#include "core/check.h"
+#include "setsystem/discrepancy.h"
+
+namespace robust_sampling {
+
+LoadBalancedCluster::LoadBalancedCluster(int num_servers, uint64_t seed)
+    : num_servers_(num_servers), rng_(seed) {
+  RS_CHECK_MSG(num_servers >= 1, "need at least one server");
+  server_streams_.resize(num_servers);
+}
+
+int LoadBalancedCluster::Route(int64_t query) {
+  const int server = static_cast<int>(
+      rng_.NextBelow(static_cast<uint64_t>(num_servers_)));
+  full_stream_.push_back(query);
+  server_streams_[server].push_back(query);
+  last_server_ = server;
+  return server;
+}
+
+const std::vector<int64_t>& LoadBalancedCluster::ServerStream(
+    int server) const {
+  RS_CHECK(server >= 0 && server < num_servers_);
+  return server_streams_[server];
+}
+
+std::vector<size_t> LoadBalancedCluster::Loads() const {
+  std::vector<size_t> loads(num_servers_);
+  for (int s = 0; s < num_servers_; ++s) {
+    loads[s] = server_streams_[s].size();
+  }
+  return loads;
+}
+
+std::vector<double> LoadBalancedCluster::PerServerPrefixDiscrepancy() const {
+  std::vector<double> out(num_servers_);
+  for (int s = 0; s < num_servers_; ++s) {
+    out[s] = PrefixDiscrepancy(full_stream_, server_streams_[s]);
+  }
+  return out;
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,62 @@
+#ifndef ROBUST_SAMPLING_DISTRIBUTED_LOAD_BALANCER_H_
+#define ROBUST_SAMPLING_DISTRIBUTED_LOAD_BALANCER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+
+namespace robust_sampling {
+
+/// Round-based simulation of the paper's distributed-database scenario
+/// (Section 1.2, "Sampling in modern data-processing systems"): every
+/// incoming query is routed to one of K query-processing servers uniformly
+/// at random, so each server's substream is exactly a BernoulliSample(1/K)
+/// of the full query stream.
+///
+/// The simulation exposes everything an adaptive adversary could observe
+/// (which server received each query, and every server's full substream),
+/// so experiment E12 can replay the paper's attack against a chosen
+/// server's "sample" and verify that Theorem 1.2 protects each server once
+/// its expected substream size n/K clears the robustness bound.
+class LoadBalancedCluster {
+ public:
+  /// Requires num_servers >= 1.
+  LoadBalancedCluster(int num_servers, uint64_t seed);
+
+  /// Routes one query to a uniformly random server; returns the server id.
+  int Route(int64_t query);
+
+  /// The server that received the most recent query.
+  int last_server() const { return last_server_; }
+
+  /// Substream of queries received by `server`.
+  const std::vector<int64_t>& ServerStream(int server) const;
+
+  /// The full query stream, in arrival order.
+  const std::vector<int64_t>& FullStream() const { return full_stream_; }
+
+  /// Total queries routed.
+  size_t TotalQueries() const { return full_stream_.size(); }
+
+  /// Per-server load (number of queries), for balance reporting.
+  std::vector<size_t> Loads() const;
+
+  /// Per-server representativeness: the Kolmogorov–Smirnov (prefix-family)
+  /// discrepancy between each server's substream and the full stream.
+  std::vector<double> PerServerPrefixDiscrepancy() const;
+
+  int num_servers() const { return num_servers_; }
+
+ private:
+  int num_servers_;
+  Rng rng_;
+  std::vector<int64_t> full_stream_;
+  std::vector<std::vector<int64_t>> server_streams_;
+  int last_server_ = -1;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_DISTRIBUTED_LOAD_BALANCER_H_

@@ -1,0 +1,75 @@
+#include "geometry/center_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+double TukeyDepth2D(const std::vector<Point>& points, const Point& c,
+                    int num_directions) {
+  RS_CHECK_MSG(!points.empty(), "depth in an empty point set");
+  RS_CHECK(c.size() == 2);
+  RS_CHECK(num_directions >= 1);
+  const double n = static_cast<double>(points.size());
+  double min_fraction = 1.0;
+  for (int j = 0; j < num_directions; ++j) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(j) / num_directions;
+    const double ux = std::cos(theta), uy = std::sin(theta);
+    const double cproj = ux * c[0] + uy * c[1];
+    size_t count = 0;
+    for (const Point& p : points) {
+      RS_DCHECK(p.size() == 2);
+      if (ux * p[0] + uy * p[1] >= cproj) ++count;
+    }
+    min_fraction = std::min(min_fraction, static_cast<double>(count) / n);
+  }
+  return min_fraction;
+}
+
+bool IsBetaCenter2D(const std::vector<Point>& points, const Point& c,
+                    double beta, int num_directions) {
+  return TukeyDepth2D(points, c, num_directions) >= beta;
+}
+
+size_t DeepestCandidate2D(const std::vector<Point>& points,
+                          const std::vector<Point>& candidates,
+                          int num_directions) {
+  RS_CHECK_MSG(!candidates.empty(), "no candidates");
+  size_t best = 0;
+  double best_depth = -1.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double d = TukeyDepth2D(points, candidates[i], num_directions);
+    if (d > best_depth) {
+      best_depth = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Point ApproximateCenter2D(const std::vector<Point>& points,
+                          int num_directions) {
+  RS_CHECK_MSG(!points.empty(), "empty point set");
+  std::vector<Point> candidates = points;
+  // Coordinate-wise median — a (1/(d+1) = 1/3)-ish center for benign data
+  // and a strong candidate in general.
+  std::vector<double> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const Point& p : points) {
+    xs.push_back(p[0]);
+    ys.push_back(p[1]);
+  }
+  const size_t mid = points.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  std::nth_element(ys.begin(), ys.begin() + mid, ys.end());
+  candidates.push_back(Point{xs[mid], ys[mid]});
+  const size_t best = DeepestCandidate2D(points, candidates, num_directions);
+  return candidates[best];
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,52 @@
+#ifndef ROBUST_SAMPLING_GEOMETRY_CENTER_POINT_H_
+#define ROBUST_SAMPLING_GEOMETRY_CENTER_POINT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "setsystem/point.h"
+
+namespace robust_sampling {
+
+/// beta-center points (paper Section 1.2, "Center points"; [CEM+96]).
+///
+/// A point c is a beta-center of a point set P if every closed halfspace
+/// containing c contains at least beta*|P| points of P. Equivalently, c's
+/// *Tukey depth* is >= beta. In the plane a (1/3)-center always exists
+/// (the classical centerpoint theorem).
+///
+/// This module works with a discretized direction set (matching
+/// HalfspaceFamily2D): depth is evaluated over `num_directions` evenly
+/// spaced halfspace normals. If a sample S is an eps-approximation of the
+/// stream X w.r.t. halfspaces, then depth_X(c) >= depth_S(c) - eps for
+/// every c, so a (beta + eps)-center of the sample is a beta-center of the
+/// stream — computable from the (robust) sample alone.
+
+/// The discretized Tukey depth of c in `points`: the minimum, over
+/// `num_directions` halfspace normals u, of the fraction of points p with
+/// u . p >= u . c (the cheapest closed halfspace containing c).
+/// Requires points non-empty, 2-D.
+double TukeyDepth2D(const std::vector<Point>& points, const Point& c,
+                    int num_directions);
+
+/// Whether c is a beta-center of `points` under the discretized depth.
+bool IsBetaCenter2D(const std::vector<Point>& points, const Point& c,
+                    double beta, int num_directions);
+
+/// Finds the deepest point among `candidates` (argmax of TukeyDepth2D),
+/// returning its index. Requires non-empty candidates and points.
+size_t DeepestCandidate2D(const std::vector<Point>& points,
+                          const std::vector<Point>& candidates,
+                          int num_directions);
+
+/// Computes an approximate center of `points` by searching a candidate set
+/// made of (a) the points themselves and (b) the coordinate-wise median.
+/// Returns the deepest candidate. With `points` = a robust sample of a
+/// stream, this realizes the paper's "compute a beta-center of a stream in
+/// the adversarial model" application.
+Point ApproximateCenter2D(const std::vector<Point>& points,
+                          int num_directions);
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_GEOMETRY_CENTER_POINT_H_

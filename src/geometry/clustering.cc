@@ -1,0 +1,131 @@
+#include "geometry/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+double SquaredDistance(const Point& a, const Point& b) {
+  RS_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    sum += d * d;
+  }
+  return sum;
+}
+
+namespace {
+
+double NearestCenterDistance(const Point& p,
+                             const std::vector<Point>& centers,
+                             size_t* index = nullptr) {
+  double best = std::numeric_limits<double>::infinity();
+  size_t best_idx = 0;
+  for (size_t c = 0; c < centers.size(); ++c) {
+    const double d = SquaredDistance(p, centers[c]);
+    if (d < best) {
+      best = d;
+      best_idx = c;
+    }
+  }
+  if (index != nullptr) *index = best_idx;
+  return best;
+}
+
+}  // namespace
+
+double KMeansCost(const std::vector<Point>& points,
+                  const std::vector<Point>& centers) {
+  RS_CHECK_MSG(!points.empty(), "empty point set");
+  RS_CHECK_MSG(!centers.empty(), "no centers");
+  double total = 0.0;
+  for (const Point& p : points) total += NearestCenterDistance(p, centers);
+  return total / static_cast<double>(points.size());
+}
+
+std::vector<Point> KMeansPlusPlusInit(const std::vector<Point>& points,
+                                      size_t k, Rng& rng) {
+  RS_CHECK(k >= 1);
+  RS_CHECK(points.size() >= k);
+  std::vector<Point> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng.NextBelow(points.size())]);
+  std::vector<double> dist2(points.size());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist2[i] = NearestCenterDistance(points[i], centers);
+      total += dist2[i];
+    }
+    if (total == 0.0) {
+      // All points coincide with existing centers; pad with duplicates.
+      centers.push_back(centers.back());
+      continue;
+    }
+    double target = rng.NextDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      target -= dist2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+  return centers;
+}
+
+KMeansResult KMeans(const std::vector<Point>& points, size_t k,
+                    uint64_t seed, int max_iterations) {
+  RS_CHECK(k >= 1);
+  RS_CHECK_MSG(points.size() >= k, "fewer points than clusters");
+  RS_CHECK(max_iterations >= 1);
+  const size_t dims = points[0].size();
+  Rng rng(seed);
+  KMeansResult result;
+  result.centers = KMeansPlusPlusInit(points, k, rng);
+  std::vector<size_t> assignment(points.size());
+  double prev_cost = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    double cost = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      cost += NearestCenterDistance(points[i], result.centers,
+                                    &assignment[i]);
+    }
+    cost /= static_cast<double>(points.size());
+    // Update step.
+    std::vector<Point> sums(k, Point(dims, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const size_t c = assignment[i];
+      ++counts[c];
+      for (size_t j = 0; j < dims; ++j) sums[c][j] += points[i][j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centers[c] = points[rng.NextBelow(points.size())];
+        continue;
+      }
+      for (size_t j = 0; j < dims; ++j) {
+        result.centers[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+    if (prev_cost - cost <= 1e-12 * std::max(1.0, cost)) {
+      result.cost = cost;
+      return result;
+    }
+    prev_cost = cost;
+  }
+  result.cost = KMeansCost(points, result.centers);
+  return result;
+}
+
+}  // namespace robust_sampling

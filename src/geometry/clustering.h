@@ -1,0 +1,44 @@
+#ifndef ROBUST_SAMPLING_GEOMETRY_CLUSTERING_H_
+#define ROBUST_SAMPLING_GEOMETRY_CLUSTERING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "setsystem/point.h"
+
+namespace robust_sampling {
+
+/// k-means clustering (Lloyd's algorithm with k-means++ seeding) — the
+/// clustering substrate for the paper's "sample, cluster the sample,
+/// extrapolate" framework (Section 1.2, "Clustering").
+
+/// Result of one k-means run.
+struct KMeansResult {
+  std::vector<Point> centers;
+  double cost = 0.0;       ///< mean squared distance to nearest center.
+  int iterations = 0;      ///< Lloyd iterations performed.
+};
+
+/// Squared Euclidean distance.
+double SquaredDistance(const Point& a, const Point& b);
+
+/// Mean squared distance from each point to its nearest center.
+/// Requires non-empty points and centers.
+double KMeansCost(const std::vector<Point>& points,
+                  const std::vector<Point>& centers);
+
+/// k-means++ seeding: D^2-weighted center initialization.
+std::vector<Point> KMeansPlusPlusInit(const std::vector<Point>& points,
+                                      size_t k, Rng& rng);
+
+/// Full pipeline: k-means++ seeding then Lloyd iterations until
+/// (relative) convergence or max_iterations. Requires k >= 1,
+/// points.size() >= k.
+KMeansResult KMeans(const std::vector<Point>& points, size_t k,
+                    uint64_t seed, int max_iterations = 50);
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_GEOMETRY_CLUSTERING_H_

@@ -1,0 +1,42 @@
+#include "geometry/range_counting.h"
+
+#include "core/check.h"
+#include "core/sample_bounds.h"
+
+namespace robust_sampling {
+
+size_t ExactBoxCount(const std::vector<Point>& points,
+                     const RectangleFamily::Box& box) {
+  size_t count = 0;
+  for (const Point& p : points) count += box.Contains(p);
+  return count;
+}
+
+SampleRangeCounter::SampleRangeCounter(size_t k, uint64_t seed)
+    : reservoir_(k, seed) {}
+
+SampleRangeCounter SampleRangeCounter::ForAccuracy(double eps, double delta,
+                                                   int64_t grid_size,
+                                                   int dims, uint64_t seed) {
+  const RectangleFamily family(grid_size, dims);
+  return SampleRangeCounter(
+      ReservoirRobustK(eps, delta, family.LogCardinality()), seed);
+}
+
+void SampleRangeCounter::Insert(const Point& p) { reservoir_.Insert(p); }
+
+double SampleRangeCounter::EstimateDensity(
+    const RectangleFamily::Box& box) const {
+  const std::vector<Point>& s = reservoir_.sample();
+  if (s.empty()) return 0.0;
+  size_t count = 0;
+  for (const Point& p : s) count += box.Contains(p);
+  return static_cast<double>(count) / static_cast<double>(s.size());
+}
+
+double SampleRangeCounter::EstimateCount(
+    const RectangleFamily::Box& box) const {
+  return EstimateDensity(box) * static_cast<double>(StreamSize());
+}
+
+}  // namespace robust_sampling

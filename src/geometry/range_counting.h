@@ -1,0 +1,53 @@
+#ifndef ROBUST_SAMPLING_GEOMETRY_RANGE_COUNTING_H_
+#define ROBUST_SAMPLING_GEOMETRY_RANGE_COUNTING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reservoir_sampler.h"
+#include "setsystem/point.h"
+#include "setsystem/rectangle_family.h"
+
+namespace robust_sampling {
+
+/// Exact number of stream points inside the box (the ground truth).
+size_t ExactBoxCount(const std::vector<Point>& points,
+                     const RectangleFamily::Box& box);
+
+/// Sample-based range counting (paper Section 1.2, "Range queries"):
+/// maintain a robust reservoir sample of the point stream; answer a
+/// box-count query R with  d_R(S) * n  — additive error eps*n whenever the
+/// sample is an eps-approximation w.r.t. the box family, which Theorem 1.2
+/// guarantees (even adversarially) at sample size
+/// O((d ln m + ln(1/delta))/eps^2).
+class SampleRangeCounter {
+ public:
+  /// Explicit reservoir size k.
+  SampleRangeCounter(size_t k, uint64_t seed);
+
+  /// Sized by Theorem 1.2 for the box family over [1..grid_size]^dims.
+  static SampleRangeCounter ForAccuracy(double eps, double delta,
+                                        int64_t grid_size, int dims,
+                                        uint64_t seed);
+
+  /// Processes one stream point.
+  void Insert(const Point& p);
+
+  /// Estimated number of stream points in `box`: d_box(S) * n.
+  double EstimateCount(const RectangleFamily::Box& box) const;
+
+  /// Estimated density d_box(S).
+  double EstimateDensity(const RectangleFamily::Box& box) const;
+
+  size_t StreamSize() const { return reservoir_.stream_size(); }
+  size_t SampleSize() const { return reservoir_.sample().size(); }
+  const ReservoirSampler<Point>& reservoir() const { return reservoir_; }
+
+ private:
+  ReservoirSampler<Point> reservoir_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_GEOMETRY_RANGE_COUNTING_H_

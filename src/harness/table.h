@@ -1,0 +1,43 @@
+#ifndef ROBUST_SAMPLING_HARNESS_TABLE_H_
+#define ROBUST_SAMPLING_HARNESS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace robust_sampling {
+
+/// Column-aligned markdown table emitter used by every experiment binary in
+/// bench/ to print its results in a self-contained, paste-ready form.
+class MarkdownTable {
+ public:
+  explicit MarkdownTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Prints ToString() to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("0.0123").
+std::string FormatDouble(double v, int precision = 4);
+
+/// Scientific formatting for very large/small magnitudes ("1.23e+18").
+std::string FormatScientific(double v, int precision = 2);
+
+/// "yes"/"no".
+std::string FormatBool(bool v);
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_HARNESS_TABLE_H_

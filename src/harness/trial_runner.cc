@@ -1,0 +1,55 @@
+#include "harness/trial_runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/random.h"
+
+namespace robust_sampling {
+
+double TrialStats::FractionAtMost(double threshold) const {
+  if (values.empty()) return 0.0;
+  size_t count = 0;
+  for (double v : values) count += v <= threshold;
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+double TrialStats::FractionAtLeast(double threshold) const {
+  if (values.empty()) return 0.0;
+  size_t count = 0;
+  for (double v : values) count += v >= threshold;
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+double TrialStats::Quantile(double q) const {
+  RS_CHECK(!values.empty());
+  RS_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  int64_t idx = static_cast<int64_t>(std::ceil(q * n)) - 1;
+  idx = std::clamp(idx, int64_t{0}, static_cast<int64_t>(sorted.size()) - 1);
+  return sorted[static_cast<size_t>(idx)];
+}
+
+TrialStats RunTrials(size_t num_trials, uint64_t base_seed,
+                     const std::function<double(uint64_t)>& trial) {
+  RS_CHECK(num_trials >= 1);
+  TrialStats stats;
+  stats.values.reserve(num_trials);
+  for (size_t t = 0; t < num_trials; ++t) {
+    stats.values.push_back(trial(MixSeed(base_seed, t)));
+  }
+  std::vector<double> sorted = stats.values;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  stats.median = sorted[sorted.size() / 2];
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  stats.mean = sum / static_cast<double>(sorted.size());
+  return stats;
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,37 @@
+#ifndef ROBUST_SAMPLING_HARNESS_TRIAL_RUNNER_H_
+#define ROBUST_SAMPLING_HARNESS_TRIAL_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace robust_sampling {
+
+/// Summary statistics over repeated experiment trials.
+struct TrialStats {
+  std::vector<double> values;  ///< raw per-trial metric, trial order.
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+
+  /// Fraction of trials with value <= threshold (e.g. the empirical
+  /// (eps, delta)-robustness success rate).
+  double FractionAtMost(double threshold) const;
+
+  /// Fraction of trials with value >= threshold (e.g. attack success rate).
+  double FractionAtLeast(double threshold) const;
+
+  /// Empirical q-quantile of the per-trial values.
+  double Quantile(double q) const;
+};
+
+/// Runs `trial` num_trials times with derived, independent seeds
+/// (MixSeed(base_seed, trial_index)) and aggregates the returned metric.
+/// Deterministic in (num_trials, base_seed).
+TrialStats RunTrials(size_t num_trials, uint64_t base_seed,
+                     const std::function<double(uint64_t)>& trial);
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_HARNESS_TRIAL_RUNNER_H_

@@ -1,0 +1,96 @@
+#include "heavy/count_min.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "core/check.h"
+#include "core/random.h"
+
+namespace robust_sampling {
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed,
+                               size_t max_candidates,
+                               bool conservative_update)
+    : width_(width),
+      depth_(depth),
+      max_candidates_(max_candidates),
+      conservative_update_(conservative_update) {
+  RS_CHECK_MSG(width >= 2, "width must be >= 2");
+  RS_CHECK_MSG(depth >= 1, "depth must be >= 1");
+  RS_CHECK_MSG(max_candidates >= 1, "need at least one candidate slot");
+  SplitMix64 sm(seed);
+  row_seeds_.resize(depth_);
+  for (auto& s : row_seeds_) s = sm.Next();
+  counters_.assign(depth_, std::vector<uint64_t>(width_, 0));
+}
+
+size_t CountMinSketch::Bucket(size_t row, int64_t x) const {
+  RS_DCHECK(row < depth_);
+  SplitMix64 sm(static_cast<uint64_t>(x) ^ row_seeds_[row]);
+  return static_cast<size_t>(sm.Next() % width_);
+}
+
+void CountMinSketch::Insert(int64_t x) {
+  ++n_;
+  if (conservative_update_) {
+    // Raise only the counters at the current minimum: the estimate after
+    // the update is exactly min + 1, and no counter overshoots it.
+    const uint64_t target = EstimateCount(x) + 1;
+    for (size_t r = 0; r < depth_; ++r) {
+      uint64_t& c = counters_[r][Bucket(r, x)];
+      c = std::max(c, target);
+    }
+  } else {
+    for (size_t r = 0; r < depth_; ++r) {
+      ++counters_[r][Bucket(r, x)];
+    }
+  }
+  // Candidate tracking for heavy-hitter reporting.
+  auto it = candidates_.find(x);
+  if (it != candidates_.end()) {
+    ++it->second;
+  } else if (candidates_.size() < max_candidates_) {
+    candidates_.emplace(x, 1);
+  } else {
+    // Evict the least-inserted candidate to make room.
+    auto min_it = candidates_.begin();
+    for (auto iter = candidates_.begin(); iter != candidates_.end(); ++iter) {
+      if (iter->second < min_it->second) min_it = iter;
+    }
+    candidates_.erase(min_it);
+    candidates_.emplace(x, 1);
+  }
+}
+
+uint64_t CountMinSketch::EstimateCount(int64_t x) const {
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  for (size_t r = 0; r < depth_; ++r) {
+    best = std::min(best, counters_[r][Bucket(r, x)]);
+  }
+  return best;
+}
+
+double CountMinSketch::EstimateFrequency(int64_t x) const {
+  if (n_ == 0) return 0.0;
+  return static_cast<double>(EstimateCount(x)) / static_cast<double>(n_);
+}
+
+std::vector<HeavyHitter> CountMinSketch::HeavyHitters(
+    double threshold) const {
+  std::vector<HeavyHitter> out;
+  if (n_ == 0) return out;
+  for (const auto& [elem, unused_insertions] : candidates_) {
+    const double f = EstimateFrequency(elem);
+    if (f >= threshold) out.push_back(HeavyHitter{elem, f});
+  }
+  SortHeavyHitters(&out);
+  return out;
+}
+
+std::string CountMinSketch::Name() const {
+  return std::string(conservative_update_ ? "count-min-cu(" : "count-min(") +
+         std::to_string(width_) + "x" + std::to_string(depth_) + ")";
+}
+
+}  // namespace robust_sampling

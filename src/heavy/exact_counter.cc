@@ -1,0 +1,43 @@
+#include "heavy/exact_counter.h"
+
+#include <algorithm>
+
+namespace robust_sampling {
+
+void SortHeavyHitters(std::vector<HeavyHitter>* hitters) {
+  std::sort(hitters->begin(), hitters->end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              if (a.frequency != b.frequency) return a.frequency > b.frequency;
+              return a.element < b.element;
+            });
+}
+
+void ExactCounter::Insert(int64_t x) {
+  ++counts_[x];
+  ++n_;
+}
+
+double ExactCounter::EstimateFrequency(int64_t x) const {
+  if (n_ == 0) return 0.0;
+  const auto it = counts_.find(x);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(n_);
+}
+
+uint64_t ExactCounter::Count(int64_t x) const {
+  const auto it = counts_.find(x);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<HeavyHitter> ExactCounter::HeavyHitters(double threshold) const {
+  std::vector<HeavyHitter> out;
+  if (n_ == 0) return out;
+  for (const auto& [elem, count] : counts_) {
+    const double f = static_cast<double>(count) / static_cast<double>(n_);
+    if (f >= threshold) out.push_back(HeavyHitter{elem, f});
+  }
+  SortHeavyHitters(&out);
+  return out;
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,36 @@
+#ifndef ROBUST_SAMPLING_HEAVY_EXACT_COUNTER_H_
+#define ROBUST_SAMPLING_HEAVY_EXACT_COUNTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "heavy/frequency_estimator.h"
+
+namespace robust_sampling {
+
+/// Ground-truth frequencies: a full hash-map of counts. O(distinct)
+/// space — the oracle the sketches are measured against.
+class ExactCounter : public FrequencyEstimator {
+ public:
+  ExactCounter() = default;
+
+  void Insert(int64_t x) override;
+  double EstimateFrequency(int64_t x) const override;
+  std::vector<HeavyHitter> HeavyHitters(double threshold) const override;
+  size_t StreamSize() const override { return n_; }
+  size_t SpaceItems() const override { return counts_.size(); }
+  std::string Name() const override { return "exact"; }
+
+  /// Exact count of x.
+  uint64_t Count(int64_t x) const;
+
+ private:
+  std::unordered_map<int64_t, uint64_t> counts_;
+  size_t n_ = 0;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_HEAVY_EXACT_COUNTER_H_

@@ -1,0 +1,58 @@
+#ifndef ROBUST_SAMPLING_HEAVY_FREQUENCY_ESTIMATOR_H_
+#define ROBUST_SAMPLING_HEAVY_FREQUENCY_ESTIMATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace robust_sampling {
+
+/// A reported heavy hitter: element and its estimated relative frequency.
+struct HeavyHitter {
+  int64_t element;
+  double frequency;
+
+  friend bool operator==(const HeavyHitter& a, const HeavyHitter& b) {
+    return a.element == b.element && a.frequency == b.frequency;
+  }
+};
+
+/// Common interface for streaming frequency/heavy-hitter algorithms (the
+/// Corollary 1.6 application and its baselines).
+///
+/// The (alpha, eps) heavy hitters contract (paper Section 1.2): the output
+/// list must contain every element of relative frequency >= alpha and no
+/// element of relative frequency <= alpha - eps.
+class FrequencyEstimator {
+ public:
+  virtual ~FrequencyEstimator() = default;
+
+  /// Processes one stream element.
+  virtual void Insert(int64_t x) = 0;
+
+  /// Estimated relative frequency of x in the stream so far (0 if the
+  /// stream is empty).
+  virtual double EstimateFrequency(int64_t x) const = 0;
+
+  /// Elements whose estimated frequency passes `threshold`, sorted by
+  /// descending frequency (ties broken by ascending element).
+  virtual std::vector<HeavyHitter> HeavyHitters(double threshold) const = 0;
+
+  /// Number of stream elements processed.
+  virtual size_t StreamSize() const = 0;
+
+  /// Number of counters/items currently retained.
+  virtual size_t SpaceItems() const = 0;
+
+  /// Algorithm name for reports.
+  virtual std::string Name() const = 0;
+};
+
+/// Sorts a heavy-hitter list into the canonical report order (descending
+/// frequency, then ascending element).
+void SortHeavyHitters(std::vector<HeavyHitter>* hitters);
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_HEAVY_FREQUENCY_ESTIMATOR_H_

@@ -1,0 +1,85 @@
+#include "heavy/misra_gries.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+MisraGries::MisraGries(size_t num_counters) : k_(num_counters) {
+  RS_CHECK_MSG(num_counters >= 1, "need at least one counter");
+  counters_.reserve(num_counters + 1);
+}
+
+void MisraGries::Insert(int64_t x) {
+  ++n_;
+  auto it = counters_.find(x);
+  if (it != counters_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counters_.size() < k_) {
+    counters_.emplace(x, 1);
+    return;
+  }
+  // All k counters occupied by other elements: decrement everyone and evict
+  // the zeros (the classical MG step).
+  for (auto iter = counters_.begin(); iter != counters_.end();) {
+    if (--iter->second == 0) {
+      iter = counters_.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+}
+
+void MisraGries::Merge(const MisraGries& other) {
+  RS_CHECK_MSG(other.k_ == k_, "merging summaries of different sizes");
+  for (const auto& [elem, count] : other.counters_) {
+    counters_[elem] += count;
+  }
+  n_ += other.n_;
+  if (counters_.size() > k_) {
+    // Find the (k+1)-st largest count and subtract it from everyone.
+    std::vector<uint64_t> counts;
+    counts.reserve(counters_.size());
+    for (const auto& [elem, count] : counters_) counts.push_back(count);
+    std::nth_element(counts.begin(), counts.begin() + static_cast<int64_t>(k_),
+                     counts.end(), std::greater<uint64_t>());
+    const uint64_t cut = counts[k_];
+    for (auto it = counters_.begin(); it != counters_.end();) {
+      if (it->second <= cut) {
+        it = counters_.erase(it);
+      } else {
+        it->second -= cut;
+        ++it;
+      }
+    }
+  }
+}
+
+double MisraGries::EstimateFrequency(int64_t x) const {
+  if (n_ == 0) return 0.0;
+  const auto it = counters_.find(x);
+  if (it == counters_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(n_);
+}
+
+std::vector<HeavyHitter> MisraGries::HeavyHitters(double threshold) const {
+  std::vector<HeavyHitter> out;
+  if (n_ == 0) return out;
+  for (const auto& [elem, count] : counters_) {
+    const double f = static_cast<double>(count) / static_cast<double>(n_);
+    if (f >= threshold) out.push_back(HeavyHitter{elem, f});
+  }
+  SortHeavyHitters(&out);
+  return out;
+}
+
+std::string MisraGries::Name() const {
+  return "misra-gries(k=" + std::to_string(k_) + ")";
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,52 @@
+#ifndef ROBUST_SAMPLING_HEAVY_MISRA_GRIES_H_
+#define ROBUST_SAMPLING_HEAVY_MISRA_GRIES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "heavy/frequency_estimator.h"
+
+namespace robust_sampling {
+
+/// Misra–Gries deterministic frequency summary with k counters.
+///
+/// Guarantee: true_count - n/(k+1) <= stored_count <= true_count, so with
+/// k >= ceil(1/eps) counters every frequency is estimated with additive
+/// error < eps (one-sided undercount).
+///
+/// Role in this repository: the canonical *deterministic* heavy-hitter
+/// baseline for Corollary 1.6. Its output is a function of the stream
+/// alone, hence automatically robust to adaptive adversaries — but it must
+/// process every element, while the paper's sampled approach touches only
+/// a sublinear subset (and generalizes beyond frequencies).
+class MisraGries : public FrequencyEstimator {
+ public:
+  /// Requires num_counters >= 1.
+  explicit MisraGries(size_t num_counters);
+
+  void Insert(int64_t x) override;
+
+  /// Merges another Misra-Gries summary into this one (Agarwal et al.
+  /// mergeable-summaries construction): counters are added pointwise, then
+  /// reduced back to k counters by subtracting the (k+1)-st largest count.
+  /// The merged error bound (n1 + n2)/(k + 1) is preserved.
+  void Merge(const MisraGries& other);
+  double EstimateFrequency(int64_t x) const override;
+  std::vector<HeavyHitter> HeavyHitters(double threshold) const override;
+  size_t StreamSize() const override { return n_; }
+  size_t SpaceItems() const override { return counters_.size(); }
+  std::string Name() const override;
+
+  size_t num_counters() const { return k_; }
+
+ private:
+  size_t k_;
+  std::unordered_map<int64_t, uint64_t> counters_;
+  size_t n_ = 0;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_HEAVY_MISRA_GRIES_H_

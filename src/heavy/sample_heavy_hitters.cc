@@ -1,0 +1,57 @@
+#include "heavy/sample_heavy_hitters.h"
+
+#include <unordered_map>
+
+#include "core/check.h"
+#include "core/sample_bounds.h"
+
+namespace robust_sampling {
+
+SampleHeavyHitters::SampleHeavyHitters(size_t k, uint64_t seed)
+    : reservoir_(k, seed) {}
+
+SampleHeavyHitters SampleHeavyHitters::ForAccuracy(double eps, double delta,
+                                                   uint64_t universe_size,
+                                                   uint64_t seed) {
+  return SampleHeavyHitters(HeavyHitterK(eps, delta, universe_size), seed);
+}
+
+void SampleHeavyHitters::Insert(int64_t x) { reservoir_.Insert(x); }
+
+double SampleHeavyHitters::EstimateFrequency(int64_t x) const {
+  const std::vector<int64_t>& s = reservoir_.sample();
+  if (s.empty()) return 0.0;
+  size_t count = 0;
+  for (int64_t v : s) count += v == x;
+  return static_cast<double>(count) / static_cast<double>(s.size());
+}
+
+std::vector<HeavyHitter> SampleHeavyHitters::HeavyHitters(
+    double threshold) const {
+  std::vector<HeavyHitter> out;
+  const std::vector<int64_t>& s = reservoir_.sample();
+  if (s.empty()) return out;
+  std::unordered_map<int64_t, size_t> counts;
+  for (int64_t v : s) ++counts[v];
+  const double m = static_cast<double>(s.size());
+  for (const auto& [elem, count] : counts) {
+    const double f = static_cast<double>(count) / m;
+    if (f >= threshold) out.push_back(HeavyHitter{elem, f});
+  }
+  SortHeavyHitters(&out);
+  return out;
+}
+
+std::vector<HeavyHitter> SampleHeavyHitters::Report(double alpha,
+                                                    double eps) const {
+  RS_CHECK(alpha > 0.0 && alpha <= 1.0);
+  RS_CHECK(eps > 0.0 && eps < 1.0);
+  return HeavyHitters(alpha - eps / 3.0);
+}
+
+std::string SampleHeavyHitters::Name() const {
+  return "reservoir-sample-hh(k=" + std::to_string(reservoir_.capacity()) +
+         ")";
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,54 @@
+#ifndef ROBUST_SAMPLING_HEAVY_SAMPLE_HEAVY_HITTERS_H_
+#define ROBUST_SAMPLING_HEAVY_SAMPLE_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reservoir_sampler.h"
+#include "heavy/frequency_estimator.h"
+
+namespace robust_sampling {
+
+/// The paper's robust heavy-hitter algorithm (Corollary 1.6): maintain a
+/// reservoir sample sized for an eps' = eps/3 approximation w.r.t. the
+/// singleton family and report every sampled element whose *sample*
+/// frequency is >= alpha - eps'.
+///
+/// Guarantee (adaptive adversary, prob. 1 - delta): every element with
+/// stream frequency >= alpha is reported, and no element with stream
+/// frequency <= alpha - eps is reported.
+class SampleHeavyHitters : public FrequencyEstimator {
+ public:
+  /// Explicit reservoir size k.
+  SampleHeavyHitters(size_t k, uint64_t seed);
+
+  /// Sized by Corollary 1.6 for the (alpha, eps, delta) contract over a
+  /// universe of `universe_size` elements.
+  static SampleHeavyHitters ForAccuracy(double eps, double delta,
+                                        uint64_t universe_size,
+                                        uint64_t seed);
+
+  void Insert(int64_t x) override;
+  double EstimateFrequency(int64_t x) const override;
+  std::vector<HeavyHitter> HeavyHitters(double threshold) const override;
+
+  /// The Corollary 1.6 report: elements with sample frequency
+  /// >= alpha - eps/3. Prefer this over HeavyHitters(alpha) when the
+  /// (alpha, eps) contract matters.
+  std::vector<HeavyHitter> Report(double alpha, double eps) const;
+
+  size_t StreamSize() const override { return reservoir_.stream_size(); }
+  size_t SpaceItems() const override { return reservoir_.sample().size(); }
+  std::string Name() const override;
+
+  /// Read access to the underlying reservoir.
+  const ReservoirSampler<int64_t>& reservoir() const { return reservoir_; }
+
+ private:
+  ReservoirSampler<int64_t> reservoir_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_HEAVY_SAMPLE_HEAVY_HITTERS_H_

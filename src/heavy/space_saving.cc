@@ -1,0 +1,68 @@
+#include "heavy/space_saving.h"
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+SpaceSaving::SpaceSaving(size_t num_counters) : k_(num_counters) {
+  RS_CHECK_MSG(num_counters >= 1, "need at least one counter");
+}
+
+void SpaceSaving::Bump(int64_t x, uint64_t old_count, uint64_t new_count) {
+  auto range = by_count_.equal_range(old_count);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == x) {
+      by_count_.erase(it);
+      break;
+    }
+  }
+  by_count_.emplace(new_count, x);
+}
+
+void SpaceSaving::Insert(int64_t x) {
+  ++n_;
+  auto it = counts_.find(x);
+  if (it != counts_.end()) {
+    const uint64_t old_count = it->second;
+    ++it->second;
+    Bump(x, old_count, it->second);
+    return;
+  }
+  if (counts_.size() < k_) {
+    counts_.emplace(x, 1);
+    by_count_.emplace(1, x);
+    return;
+  }
+  // Evict the minimum-count entry; the newcomer inherits its count + 1.
+  const auto min_it = by_count_.begin();
+  const uint64_t min_count = min_it->first;
+  const int64_t victim = min_it->second;
+  by_count_.erase(min_it);
+  counts_.erase(victim);
+  counts_.emplace(x, min_count + 1);
+  by_count_.emplace(min_count + 1, x);
+}
+
+double SpaceSaving::EstimateFrequency(int64_t x) const {
+  if (n_ == 0) return 0.0;
+  const auto it = counts_.find(x);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(n_);
+}
+
+std::vector<HeavyHitter> SpaceSaving::HeavyHitters(double threshold) const {
+  std::vector<HeavyHitter> out;
+  if (n_ == 0) return out;
+  for (const auto& [elem, count] : counts_) {
+    const double f = static_cast<double>(count) / static_cast<double>(n_);
+    if (f >= threshold) out.push_back(HeavyHitter{elem, f});
+  }
+  SortHeavyHitters(&out);
+  return out;
+}
+
+std::string SpaceSaving::Name() const {
+  return "space-saving(k=" + std::to_string(k_) + ")";
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,63 @@
+#include "quantiles/exact_quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+ExactQuantiles::ExactQuantiles(std::vector<double> data)
+    : data_(std::move(data)), dirty_(true) {}
+
+void ExactQuantiles::Insert(double x) {
+  data_.push_back(x);
+  dirty_ = true;
+}
+
+void ExactQuantiles::EnsureSorted() const {
+  if (dirty_ || sorted_.size() != data_.size()) {
+    sorted_ = data_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+}
+
+double ExactQuantiles::Quantile(double q) const {
+  RS_CHECK_MSG(!data_.empty(), "quantile of an empty stream");
+  RS_CHECK(q >= 0.0 && q <= 1.0);
+  EnsureSorted();
+  const double n = static_cast<double>(sorted_.size());
+  // Smallest index i (0-based) with (i+1)/n >= q, i.e. i = ceil(q*n) - 1.
+  int64_t idx = static_cast<int64_t>(std::ceil(q * n)) - 1;
+  idx = std::clamp(idx, int64_t{0},
+                   static_cast<int64_t>(sorted_.size()) - 1);
+  return sorted_[static_cast<size_t>(idx)];
+}
+
+double ExactQuantiles::RankFraction(double x) const {
+  RS_CHECK_MSG(!data_.empty(), "rank in an empty stream");
+  EnsureSorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double ExactQuantiles::RankError(double q, double estimate) const {
+  RS_CHECK_MSG(!data_.empty(), "rank in an empty stream");
+  EnsureSorted();
+  // The estimate occupies the whole rank interval [F(v-), F(v)] when values
+  // tie; its error is the distance from q to that interval.
+  const double n = static_cast<double>(sorted_.size());
+  const auto lo =
+      std::lower_bound(sorted_.begin(), sorted_.end(), estimate);
+  const auto hi =
+      std::upper_bound(sorted_.begin(), sorted_.end(), estimate);
+  const double f_lo = static_cast<double>(lo - sorted_.begin()) / n;
+  const double f_hi = static_cast<double>(hi - sorted_.begin()) / n;
+  if (q < f_lo) return f_lo - q;
+  if (q > f_hi) return q - f_hi;
+  return 0.0;
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,41 @@
+#ifndef ROBUST_SAMPLING_QUANTILES_EXACT_QUANTILES_H_
+#define ROBUST_SAMPLING_QUANTILES_EXACT_QUANTILES_H_
+
+#include <string>
+#include <vector>
+
+#include "quantiles/quantile_sketch.h"
+
+namespace robust_sampling {
+
+/// Ground-truth quantiles: stores the full stream and sorts lazily.
+/// O(n) space — the oracle every sketch is measured against.
+class ExactQuantiles : public QuantileSketch {
+ public:
+  ExactQuantiles() = default;
+
+  /// Bulk construction from an existing stream.
+  explicit ExactQuantiles(std::vector<double> data);
+
+  void Insert(double x) override;
+  double Quantile(double q) const override;
+  double RankFraction(double x) const override;
+  size_t StreamSize() const override { return data_.size(); }
+  size_t SpaceItems() const override { return data_.size(); }
+  std::string Name() const override { return "exact"; }
+
+  /// Exact rank error of an estimate: |RankFraction(estimate) - q|,
+  /// the metric used in experiment E7.
+  double RankError(double q, double estimate) const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> data_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_QUANTILES_EXACT_QUANTILES_H_

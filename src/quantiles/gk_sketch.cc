@@ -1,0 +1,92 @@
+#include "quantiles/gk_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+GkSketch::GkSketch(double eps) : eps_(eps) {
+  RS_CHECK_MSG(eps > 0.0 && eps < 1.0, "eps must lie in (0, 1)");
+  compress_period_ =
+      std::max<uint64_t>(1, static_cast<uint64_t>(1.0 / (2.0 * eps_)));
+}
+
+void GkSketch::Insert(double x) {
+  ++n_;
+  // Position of the first tuple with value > x.
+  const auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), x,
+      [](double value, const Tuple& t) { return value < t.v; });
+  const size_t idx = static_cast<size_t>(it - tuples_.begin());
+  uint64_t delta = 0;
+  if (idx != 0 && idx != tuples_.size()) {
+    // Interior insertion: inherit the local uncertainty budget.
+    const double band = 2.0 * eps_ * static_cast<double>(n_);
+    delta = band >= 1.0 ? static_cast<uint64_t>(band) - 1 : 0;
+  }
+  tuples_.insert(it, Tuple{x, 1, delta});
+  if (n_ % compress_period_ == 0) Compress();
+}
+
+void GkSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const uint64_t threshold =
+      static_cast<uint64_t>(2.0 * eps_ * static_cast<double>(n_));
+  // Merge tuple i into its successor whenever the combined uncertainty
+  // stays within the 2*eps*n band. Keep the first tuple so the minimum is
+  // always represented exactly.
+  for (size_t i = tuples_.size() - 1; i-- > 1;) {
+    if (tuples_[i].g + tuples_[i + 1].g + tuples_[i + 1].delta <= threshold) {
+      tuples_[i + 1].g += tuples_[i].g;
+      tuples_.erase(tuples_.begin() + static_cast<int64_t>(i));
+    }
+  }
+}
+
+double GkSketch::Quantile(double q) const {
+  RS_CHECK_MSG(n_ > 0, "quantile of an empty stream");
+  RS_CHECK(q >= 0.0 && q <= 1.0);
+  const uint64_t r = std::max<uint64_t>(
+      1, std::min<uint64_t>(
+             n_, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n_)))));
+  const double slack = eps_ * static_cast<double>(n_);
+  uint64_t rmin = 0;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    const uint64_t rmax = rmin + t.delta;
+    if (static_cast<double>(r) - static_cast<double>(rmin) <= slack &&
+        static_cast<double>(rmax) - static_cast<double>(r) <= slack) {
+      return t.v;
+    }
+  }
+  return tuples_.back().v;
+}
+
+double GkSketch::RankFraction(double x) const {
+  RS_CHECK_MSG(n_ > 0, "rank in an empty stream");
+  uint64_t rmin = 0;
+  uint64_t best_rmin = 0, best_rmax = 0;
+  bool found = false;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    if (t.v <= x) {
+      best_rmin = rmin;
+      best_rmax = rmin + t.delta;
+      found = true;
+    } else {
+      break;
+    }
+  }
+  if (!found) return 0.0;
+  const double mid =
+      (static_cast<double>(best_rmin) + static_cast<double>(best_rmax)) / 2.0;
+  return mid / static_cast<double>(n_);
+}
+
+std::string GkSketch::Name() const {
+  return "gk(eps=" + std::to_string(eps_) + ")";
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,58 @@
+#ifndef ROBUST_SAMPLING_QUANTILES_GK_SKETCH_H_
+#define ROBUST_SAMPLING_QUANTILES_GK_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quantiles/quantile_sketch.h"
+
+namespace robust_sampling {
+
+/// Greenwald–Khanna deterministic eps-approximate quantile summary
+/// (SIGMOD 2001; cited by the paper as [GK01]).
+///
+/// Maintains O((1/eps) log(eps n)) tuples (v, g, delta) where g bounds the
+/// rank gap to the previous tuple and delta the rank uncertainty; every
+/// rank/quantile answer has additive rank error <= eps*n.
+///
+/// Role in this repository: the *deterministic baseline* for Corollary 1.5.
+/// A deterministic summary's answers are a function of the stream alone, so
+/// it is automatically robust against adaptive adversaries (paper Section 1,
+/// "Comparison to deterministic sampling algorithms") — at the cost of a
+/// more complicated, task-specific algorithm that must inspect every stream
+/// element, whereas the robust sample touches only a sublinear subset.
+class GkSketch : public QuantileSketch {
+ public:
+  /// Requires eps in (0, 1).
+  explicit GkSketch(double eps);
+
+  void Insert(double x) override;
+  double Quantile(double q) const override;
+  double RankFraction(double x) const override;
+  size_t StreamSize() const override { return n_; }
+  size_t SpaceItems() const override { return tuples_.size(); }
+  std::string Name() const override;
+
+  double eps() const { return eps_; }
+
+ private:
+  /// One summary tuple: value, rank gap to predecessor (g), and rank
+  /// uncertainty (delta). rmin_i = sum_{j<=i} g_j; rmax_i = rmin_i + delta_i.
+  struct Tuple {
+    double v;
+    uint64_t g;
+    uint64_t delta;
+  };
+
+  void Compress();
+
+  double eps_;
+  std::vector<Tuple> tuples_;
+  uint64_t n_ = 0;
+  uint64_t compress_period_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_QUANTILES_GK_SKETCH_H_

@@ -1,0 +1,116 @@
+#include "quantiles/kll_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+namespace {
+constexpr double kCapacityRatio = 2.0 / 3.0;
+}  // namespace
+
+KllSketch::KllSketch(size_t k, uint64_t seed) : k_(k), rng_(seed) {
+  RS_CHECK_MSG(k >= 4, "KLL needs k >= 4");
+  levels_.emplace_back();
+}
+
+size_t KllSketch::LevelCapacity(size_t level) const {
+  // The top level has capacity k; lower levels decay geometrically.
+  const size_t depth = levels_.size() - 1 - level;
+  const double cap =
+      static_cast<double>(k_) * std::pow(kCapacityRatio, depth);
+  return std::max<size_t>(2, static_cast<size_t>(std::ceil(cap)));
+}
+
+void KllSketch::Insert(double x) {
+  ++n_;
+  levels_[0].push_back(x);
+  size_t h = 0;
+  while (h < levels_.size() && levels_[h].size() >= LevelCapacity(h)) {
+    CompactLevel(h);
+    ++h;
+  }
+}
+
+void KllSketch::Merge(const KllSketch& other) {
+  while (levels_.size() < other.levels_.size()) levels_.emplace_back();
+  for (size_t h = 0; h < other.levels_.size(); ++h) {
+    levels_[h].insert(levels_[h].end(), other.levels_[h].begin(),
+                      other.levels_[h].end());
+  }
+  n_ += other.n_;
+  for (size_t h = 0; h < levels_.size(); ++h) {
+    while (levels_[h].size() >= LevelCapacity(h) && levels_[h].size() >= 2) {
+      CompactLevel(h);
+    }
+  }
+}
+
+void KllSketch::CompactLevel(size_t level) {
+  if (level + 1 == levels_.size()) levels_.emplace_back();
+  std::vector<double>& buf = levels_[level];
+  std::sort(buf.begin(), buf.end());
+  // Compact an even-length prefix; a leftover odd item stays behind so the
+  // total weight (= stream length) is preserved exactly.
+  const size_t pairs = buf.size() / 2;
+  const size_t offset = rng_.NextBelow(2);
+  std::vector<double>& up = levels_[level + 1];
+  for (size_t i = 0; i < pairs; ++i) {
+    up.push_back(buf[2 * i + offset]);
+  }
+  if (buf.size() % 2 == 1) {
+    buf[0] = buf.back();
+    buf.resize(1);
+  } else {
+    buf.clear();
+  }
+}
+
+size_t KllSketch::SpaceItems() const {
+  size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+double KllSketch::RankFraction(double x) const {
+  RS_CHECK_MSG(n_ > 0, "rank in an empty stream");
+  double weighted = 0.0;
+  for (size_t h = 0; h < levels_.size(); ++h) {
+    const double w = std::ldexp(1.0, static_cast<int>(h));
+    for (double v : levels_[h]) {
+      if (v <= x) weighted += w;
+    }
+  }
+  return weighted / static_cast<double>(n_);
+}
+
+double KllSketch::Quantile(double q) const {
+  RS_CHECK_MSG(n_ > 0, "quantile of an empty stream");
+  RS_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<std::pair<double, double>> weighted;  // (value, weight)
+  weighted.reserve(SpaceItems());
+  for (size_t h = 0; h < levels_.size(); ++h) {
+    const double w = std::ldexp(1.0, static_cast<int>(h));
+    for (double v : levels_[h]) weighted.emplace_back(v, w);
+  }
+  RS_CHECK(!weighted.empty());
+  std::sort(weighted.begin(), weighted.end());
+  double total = 0.0;
+  for (const auto& [v, w] : weighted) total += w;
+  const double target = q * total;
+  double acc = 0.0;
+  for (const auto& [v, w] : weighted) {
+    acc += w;
+    if (acc >= target) return v;
+  }
+  return weighted.back().first;
+}
+
+std::string KllSketch::Name() const {
+  return "kll(k=" + std::to_string(k_) + ")";
+}
+
+}  // namespace robust_sampling

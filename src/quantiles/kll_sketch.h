@@ -1,0 +1,61 @@
+#ifndef ROBUST_SAMPLING_QUANTILES_KLL_SKETCH_H_
+#define ROBUST_SAMPLING_QUANTILES_KLL_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "quantiles/quantile_sketch.h"
+
+namespace robust_sampling {
+
+/// KLL streaming quantile sketch (Karnin–Lang–Liberty, FOCS 2016; cited by
+/// the paper as [KLL16]).
+///
+/// A hierarchy of compactors: level h stores items of weight 2^h; when a
+/// level overflows, its sorted buffer is halved by keeping every other item
+/// (random even/odd offset) and promoting the survivors. Level capacities
+/// decay geometrically (ratio 2/3) below the top, giving O((1/eps)
+/// sqrt(log 1/delta)) space for eps rank error in the *static* setting.
+///
+/// Role in this repository: the modern *randomized* comparator for
+/// Corollary 1.5. Unlike the deterministic GK summary, KLL's guarantees are
+/// probabilistic over its compaction coins — the paper's adversarial model
+/// (which reveals internal state) is exactly the regime where such static
+/// analyses stop applying, making KLL the natural "state-of-the-art but not
+/// adversarially analyzed" reference point in experiment E7.
+class KllSketch : public QuantileSketch {
+ public:
+  /// `k` is the top-level capacity (space/accuracy knob; eps ~ c/k).
+  KllSketch(size_t k, uint64_t seed);
+
+  void Insert(double x) override;
+
+  /// Merges another sketch into this one (mergeable-summaries semantics):
+  /// after the call, *this summarizes the concatenation of both input
+  /// streams. Buffers are concatenated level-wise and overflowing levels
+  /// compact upward; total weight is conserved exactly.
+  void Merge(const KllSketch& other);
+  double Quantile(double q) const override;
+  double RankFraction(double x) const override;
+  size_t StreamSize() const override { return n_; }
+  size_t SpaceItems() const override;
+  std::string Name() const override;
+
+  /// Number of compactor levels currently allocated.
+  size_t NumLevels() const { return levels_.size(); }
+
+ private:
+  size_t LevelCapacity(size_t level) const;
+  void CompactLevel(size_t level);
+
+  size_t k_;
+  Rng rng_;
+  std::vector<std::vector<double>> levels_;  // levels_[h]: weight-2^h items
+  uint64_t n_ = 0;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_QUANTILES_KLL_SKETCH_H_

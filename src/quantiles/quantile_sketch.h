@@ -1,0 +1,40 @@
+#ifndef ROBUST_SAMPLING_QUANTILES_QUANTILE_SKETCH_H_
+#define ROBUST_SAMPLING_QUANTILES_QUANTILE_SKETCH_H_
+
+#include <cstddef>
+#include <string>
+
+namespace robust_sampling {
+
+/// Common interface for streaming quantile summaries (the Corollary 1.5
+/// application and its baselines).
+///
+/// Rank convention: `RankFraction(x)` estimates the fraction of stream
+/// elements <= x; `Quantile(q)` returns an estimate of the smallest value v
+/// whose rank fraction is >= q (so Quantile(0.5) is the lower median).
+class QuantileSketch {
+ public:
+  virtual ~QuantileSketch() = default;
+
+  /// Processes one stream element.
+  virtual void Insert(double x) = 0;
+
+  /// Estimated q-quantile, q in [0, 1]. Requires a non-empty stream.
+  virtual double Quantile(double q) const = 0;
+
+  /// Estimated fraction of stream elements <= x. Requires non-empty stream.
+  virtual double RankFraction(double x) const = 0;
+
+  /// Number of stream elements processed.
+  virtual size_t StreamSize() const = 0;
+
+  /// Number of items currently retained (the space footprint).
+  virtual size_t SpaceItems() const = 0;
+
+  /// Algorithm name for reports.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_QUANTILES_QUANTILE_SKETCH_H_

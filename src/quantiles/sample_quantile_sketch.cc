@@ -1,0 +1,47 @@
+#include "quantiles/sample_quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/sample_bounds.h"
+
+namespace robust_sampling {
+
+SampleQuantileSketch::SampleQuantileSketch(size_t k, uint64_t seed)
+    : reservoir_(k, seed) {}
+
+SampleQuantileSketch SampleQuantileSketch::ForAccuracy(double eps,
+                                                       double delta,
+                                                       uint64_t universe_size,
+                                                       uint64_t seed) {
+  return SampleQuantileSketch(QuantileSketchK(eps, delta, universe_size),
+                              seed);
+}
+
+void SampleQuantileSketch::Insert(double x) { reservoir_.Insert(x); }
+
+double SampleQuantileSketch::Quantile(double q) const {
+  RS_CHECK_MSG(reservoir_.stream_size() > 0, "quantile of an empty stream");
+  RS_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> s = reservoir_.sample();
+  std::sort(s.begin(), s.end());
+  const double m = static_cast<double>(s.size());
+  int64_t idx = static_cast<int64_t>(std::ceil(q * m)) - 1;
+  idx = std::clamp(idx, int64_t{0}, static_cast<int64_t>(s.size()) - 1);
+  return s[static_cast<size_t>(idx)];
+}
+
+double SampleQuantileSketch::RankFraction(double x) const {
+  RS_CHECK_MSG(reservoir_.stream_size() > 0, "rank in an empty stream");
+  const std::vector<double>& s = reservoir_.sample();
+  size_t count = 0;
+  for (double v : s) count += v <= x;
+  return static_cast<double>(count) / static_cast<double>(s.size());
+}
+
+std::string SampleQuantileSketch::Name() const {
+  return "reservoir-sample(k=" + std::to_string(reservoir_.capacity()) + ")";
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,48 @@
+#ifndef ROBUST_SAMPLING_QUANTILES_SAMPLE_QUANTILE_SKETCH_H_
+#define ROBUST_SAMPLING_QUANTILES_SAMPLE_QUANTILE_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reservoir_sampler.h"
+#include "quantiles/quantile_sketch.h"
+
+namespace robust_sampling {
+
+/// The paper's robust quantile sketch (Corollary 1.5): maintain a reservoir
+/// sample of size k = ceil(2 (ln|U| + ln(2/delta)) / eps^2) and answer all
+/// quantile/rank queries from the sample.
+///
+/// Because the sample is an eps-approximation w.r.t. the prefix family with
+/// probability 1 - delta *even against an adaptive adversary that watches
+/// the reservoir*, every quantile of the sample is within eps rank error of
+/// the corresponding stream quantile, simultaneously for all q.
+class SampleQuantileSketch : public QuantileSketch {
+ public:
+  /// Sketch with an explicit reservoir size k.
+  SampleQuantileSketch(size_t k, uint64_t seed);
+
+  /// Sketch sized by Corollary 1.5 for the given accuracy target over a
+  /// well-ordered universe of `universe_size` distinct values.
+  static SampleQuantileSketch ForAccuracy(double eps, double delta,
+                                          uint64_t universe_size,
+                                          uint64_t seed);
+
+  void Insert(double x) override;
+  double Quantile(double q) const override;
+  double RankFraction(double x) const override;
+  size_t StreamSize() const override { return reservoir_.stream_size(); }
+  size_t SpaceItems() const override { return reservoir_.sample().size(); }
+  std::string Name() const override;
+
+  /// Read access to the underlying reservoir (e.g. for adversarial games).
+  const ReservoirSampler<double>& reservoir() const { return reservoir_; }
+
+ private:
+  ReservoirSampler<double> reservoir_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_QUANTILES_SAMPLE_QUANTILE_SKETCH_H_

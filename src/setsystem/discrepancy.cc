@@ -1,0 +1,124 @@
+#include "setsystem/discrepancy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+double HalfspaceDiscrepancy(const HalfspaceFamily2D& family,
+                            const std::vector<Point>& stream,
+                            const std::vector<Point>& sample) {
+  double trivial;
+  if (internal::HandleTrivial(stream, sample, &trivial)) return trivial;
+  const double n = static_cast<double>(stream.size());
+  const double m = static_cast<double>(sample.size());
+  double best = 0.0;
+  std::vector<double> px, ps;
+  px.reserve(stream.size());
+  ps.reserve(sample.size());
+  for (int j = 0; j < family.num_directions(); ++j) {
+    double nx, ny;
+    family.Direction(j, &nx, &ny);
+    px.clear();
+    ps.clear();
+    for (const Point& p : stream) px.push_back(nx * p[0] + ny * p[1]);
+    for (const Point& p : sample) ps.push_back(nx * p[0] + ny * p[1]);
+    std::sort(px.begin(), px.end());
+    std::sort(ps.begin(), ps.end());
+    // Scan the offset grid with two pointers; halfspace j,i contains x iff
+    // projection <= t_i.
+    size_t ix = 0, is = 0;
+    for (int i = 0; i < family.num_offsets(); ++i) {
+      const double t =
+          family.Range(static_cast<uint64_t>(j) * family.num_offsets() + i)
+              .offset;
+      while (ix < px.size() && px[ix] <= t) ++ix;
+      while (is < ps.size() && ps[is] <= t) ++is;
+      const double diff =
+          static_cast<double>(ix) / n - static_cast<double>(is) / m;
+      best = std::max(best, std::abs(diff));
+    }
+  }
+  return best;
+}
+
+namespace {
+
+struct BoxEnumState {
+  const std::vector<Point>* stream;
+  const std::vector<Point>* sample;
+  const std::vector<std::vector<double>>* coords;  // distinct coords per dim
+  int dims;
+  std::vector<double> lo, hi;
+  double n, m;
+  double best = 0.0;
+};
+
+bool InBox(const Point& p, const std::vector<double>& lo,
+           const std::vector<double>& hi, int dims) {
+  for (int j = 0; j < dims; ++j) {
+    if (p[j] < lo[j] || p[j] > hi[j]) return false;
+  }
+  return true;
+}
+
+void EnumerateBoxes(BoxEnumState* st, int dim) {
+  if (dim == st->dims) {
+    size_t cx = 0, cs = 0;
+    for (const Point& p : *st->stream) cx += InBox(p, st->lo, st->hi, st->dims);
+    for (const Point& p : *st->sample) cs += InBox(p, st->lo, st->hi, st->dims);
+    const double diff =
+        static_cast<double>(cx) / st->n - static_cast<double>(cs) / st->m;
+    st->best = std::max(st->best, std::abs(diff));
+    return;
+  }
+  const std::vector<double>& cs = (*st->coords)[dim];
+  for (size_t a = 0; a < cs.size(); ++a) {
+    for (size_t b = a; b < cs.size(); ++b) {
+      st->lo[dim] = cs[a];
+      st->hi[dim] = cs[b];
+      EnumerateBoxes(st, dim + 1);
+    }
+  }
+}
+
+}  // namespace
+
+double BoxDiscrepancyExact(const std::vector<Point>& stream,
+                           const std::vector<Point>& sample, int dims) {
+  RS_CHECK(dims >= 1);
+  double trivial;
+  if (internal::HandleTrivial(stream, sample, &trivial)) return trivial;
+  // The density of a box only changes when a face crosses a data
+  // coordinate, so restricting lo/hi to data coordinates is exact.
+  std::vector<std::vector<double>> coords(dims);
+  for (int j = 0; j < dims; ++j) {
+    for (const Point& p : stream) {
+      RS_CHECK(static_cast<int>(p.size()) == dims);
+      coords[j].push_back(p[j]);
+    }
+    for (const Point& p : sample) {
+      RS_CHECK(static_cast<int>(p.size()) == dims);
+      coords[j].push_back(p[j]);
+    }
+    std::sort(coords[j].begin(), coords[j].end());
+    coords[j].erase(std::unique(coords[j].begin(), coords[j].end()),
+                    coords[j].end());
+  }
+  BoxEnumState st;
+  st.stream = &stream;
+  st.sample = &sample;
+  st.coords = &coords;
+  st.dims = dims;
+  st.lo.resize(dims);
+  st.hi.resize(dims);
+  st.n = static_cast<double>(stream.size());
+  st.m = static_cast<double>(sample.size());
+  EnumerateBoxes(&st, 0);
+  return st.best;
+}
+
+}  // namespace robust_sampling

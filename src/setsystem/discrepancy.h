@@ -1,0 +1,233 @@
+#ifndef ROBUST_SAMPLING_SETSYSTEM_DISCREPANCY_H_
+#define ROBUST_SAMPLING_SETSYSTEM_DISCREPANCY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+#include "core/random.h"
+#include "setsystem/halfspace_family.h"
+#include "setsystem/point.h"
+#include "setsystem/set_system.h"
+
+namespace robust_sampling {
+
+// Discrepancy evaluators: given the stream X and the sample S, compute
+//   sup_{R in family} | d_R(X) - d_R(S) |
+// (Definition 1.1). S is an eps-approximation iff this value is <= eps.
+//
+// Conventions shared by all evaluators:
+//  * An empty sample of a non-empty stream is maximally unrepresentative:
+//    the discrepancy is defined as 1 (Definition 1.1 requires S non-empty).
+//  * An empty stream has discrepancy 0 by convention.
+//
+// The *Sorted variants require their inputs pre-sorted ascending and run in
+// O(n + s); the convenience overloads copy and sort (O((n+s) log(n+s))).
+// All are exact suprema over the full (implicit) family — no enumeration.
+
+namespace internal {
+
+template <typename T>
+bool HandleTrivial(const std::vector<T>& stream, const std::vector<T>& sample,
+                   double* out) {
+  if (stream.empty()) {
+    *out = 0.0;
+    return true;
+  }
+  if (sample.empty()) {
+    *out = 1.0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace internal
+
+/// Exact sup over all one-sided prefix ranges {x : x <= b} of the density
+/// difference — the (two-sided) Kolmogorov–Smirnov distance between the
+/// empirical distributions of X and S. Equals the discrepancy w.r.t.
+/// PrefixFamily when elements come from a well-ordered universe.
+template <typename T>
+double PrefixDiscrepancySorted(const std::vector<T>& stream,
+                               const std::vector<T>& sample) {
+  double trivial;
+  if (internal::HandleTrivial(stream, sample, &trivial)) return trivial;
+  const double n = static_cast<double>(stream.size());
+  const double m = static_cast<double>(sample.size());
+  size_t ix = 0, is = 0;
+  double best = 0.0;
+  while (ix < stream.size() || is < sample.size()) {
+    // Next distinct value v = min of the two heads.
+    const bool take_stream =
+        is == sample.size() ||
+        (ix < stream.size() && !(sample[is] < stream[ix]));
+    const T& v = take_stream ? stream[ix] : sample[is];
+    while (ix < stream.size() && !(v < stream[ix])) ++ix;
+    while (is < sample.size() && !(v < sample[is])) ++is;
+    const double diff =
+        static_cast<double>(ix) / n - static_cast<double>(is) / m;
+    best = std::max(best, std::abs(diff));
+  }
+  return best;
+}
+
+/// Convenience overload: copies and sorts its inputs.
+template <typename T>
+double PrefixDiscrepancy(std::vector<T> stream, std::vector<T> sample) {
+  std::sort(stream.begin(), stream.end());
+  std::sort(sample.begin(), sample.end());
+  return PrefixDiscrepancySorted(stream, sample);
+}
+
+/// Exact sup over all closed intervals [a, b] (a <= b, including
+/// singletons) of the density difference — the discrepancy w.r.t.
+/// IntervalFamily (and its continuous analogue).
+///
+/// Uses the identity d_[a,b] = F(b) - F(a-): writing G(v) = F_X(v) - F_S(v),
+/// the supremum equals max over data values b of
+///   max( G(b) - min_{a <= b} G(a-),  max_{a <= b} G(a-) - G(b) ),
+/// computed in one merged scan with running prefix extrema.
+template <typename T>
+double IntervalDiscrepancySorted(const std::vector<T>& stream,
+                                 const std::vector<T>& sample) {
+  double trivial;
+  if (internal::HandleTrivial(stream, sample, &trivial)) return trivial;
+  const double n = static_cast<double>(stream.size());
+  const double m = static_cast<double>(sample.size());
+  size_t ix = 0, is = 0;
+  double g_prev = 0.0;       // G just below the current value (= G(a-))
+  double min_g_minus = 0.0;  // running min of G(a-) over a <= current b
+  double max_g_minus = 0.0;  // running max of G(a-)
+  double best = 0.0;
+  while (ix < stream.size() || is < sample.size()) {
+    const bool take_stream =
+        is == sample.size() ||
+        (ix < stream.size() && !(sample[is] < stream[ix]));
+    const T& v = take_stream ? stream[ix] : sample[is];
+    while (ix < stream.size() && !(v < stream[ix])) ++ix;
+    while (is < sample.size() && !(v < sample[is])) ++is;
+    min_g_minus = std::min(min_g_minus, g_prev);
+    max_g_minus = std::max(max_g_minus, g_prev);
+    const double g =
+        static_cast<double>(ix) / n - static_cast<double>(is) / m;
+    best = std::max(best, std::max(g - min_g_minus, max_g_minus - g));
+    g_prev = g;
+  }
+  return best;
+}
+
+/// Convenience overload: copies and sorts its inputs.
+template <typename T>
+double IntervalDiscrepancy(std::vector<T> stream, std::vector<T> sample) {
+  std::sort(stream.begin(), stream.end());
+  std::sort(sample.begin(), sample.end());
+  return IntervalDiscrepancySorted(stream, sample);
+}
+
+/// Exact sup over all singletons {v} of |freq_X(v) - freq_S(v)| — the
+/// discrepancy w.r.t. SingletonFamily (heavy-hitter error).
+template <typename T>
+double SingletonDiscrepancySorted(const std::vector<T>& stream,
+                                  const std::vector<T>& sample) {
+  double trivial;
+  if (internal::HandleTrivial(stream, sample, &trivial)) return trivial;
+  const double n = static_cast<double>(stream.size());
+  const double m = static_cast<double>(sample.size());
+  size_t ix = 0, is = 0;
+  double best = 0.0;
+  while (ix < stream.size() || is < sample.size()) {
+    const bool take_stream =
+        is == sample.size() ||
+        (ix < stream.size() && !(sample[is] < stream[ix]));
+    const T& v = take_stream ? stream[ix] : sample[is];
+    size_t cx = 0, cs = 0;
+    while (ix < stream.size() && !(v < stream[ix])) ++ix, ++cx;
+    while (is < sample.size() && !(v < sample[is])) ++is, ++cs;
+    const double diff =
+        static_cast<double>(cx) / n - static_cast<double>(cs) / m;
+    best = std::max(best, std::abs(diff));
+  }
+  return best;
+}
+
+/// Convenience overload: copies and sorts its inputs.
+template <typename T>
+double SingletonDiscrepancy(std::vector<T> stream, std::vector<T> sample) {
+  std::sort(stream.begin(), stream.end());
+  std::sort(sample.begin(), sample.end());
+  return SingletonDiscrepancySorted(stream, sample);
+}
+
+/// Brute-force discrepancy over an explicit set system: evaluates
+/// |d_R(X) - d_R(S)| for every range (O(|R| * (n + s)) membership tests).
+/// Exact; requires NumRanges() to be small enough to enumerate.
+template <typename T>
+double ExplicitDiscrepancyExact(const SetSystem<T>& family,
+                                const std::vector<T>& stream,
+                                const std::vector<T>& sample) {
+  double trivial;
+  if (internal::HandleTrivial(stream, sample, &trivial)) return trivial;
+  const double n = static_cast<double>(stream.size());
+  const double m = static_cast<double>(sample.size());
+  double best = 0.0;
+  for (uint64_t r = 0; r < family.NumRanges(); ++r) {
+    size_t cx = 0, cs = 0;
+    for (const T& x : stream) cx += family.Contains(r, x);
+    for (const T& x : sample) cs += family.Contains(r, x);
+    const double diff =
+        static_cast<double>(cx) / n - static_cast<double>(cs) / m;
+    best = std::max(best, std::abs(diff));
+  }
+  return best;
+}
+
+/// Monte-Carlo lower bound on the discrepancy for families too large to
+/// enumerate: evaluates `max_ranges` ranges (all of them if NumRanges() <=
+/// max_ranges, making the result exact; otherwise a uniform random subset
+/// drawn with the given seed). Returns a value <= the true discrepancy.
+template <typename T>
+double ExplicitDiscrepancySampled(const SetSystem<T>& family,
+                                  const std::vector<T>& stream,
+                                  const std::vector<T>& sample,
+                                  uint64_t max_ranges, uint64_t seed) {
+  double trivial;
+  if (internal::HandleTrivial(stream, sample, &trivial)) return trivial;
+  const uint64_t total = family.NumRanges();
+  if (total <= max_ranges) {
+    return ExplicitDiscrepancyExact(family, stream, sample);
+  }
+  const double n = static_cast<double>(stream.size());
+  const double m = static_cast<double>(sample.size());
+  Rng rng(seed);
+  double best = 0.0;
+  for (uint64_t t = 0; t < max_ranges; ++t) {
+    const uint64_t r = rng.NextBelow(total);
+    size_t cx = 0, cs = 0;
+    for (const T& x : stream) cx += family.Contains(r, x);
+    for (const T& x : sample) cs += family.Contains(r, x);
+    const double diff =
+        static_cast<double>(cx) / n - static_cast<double>(cs) / m;
+    best = std::max(best, std::abs(diff));
+  }
+  return best;
+}
+
+/// Exact discrepancy w.r.t. a HalfspaceFamily2D, computed per direction by
+/// projecting both point sets onto the direction's normal and scanning the
+/// offset grid — O(directions * ((n+s) log(n+s) + offsets)) instead of
+/// O(|R| * (n+s)).
+double HalfspaceDiscrepancy(const HalfspaceFamily2D& family,
+                            const std::vector<Point>& stream,
+                            const std::vector<Point>& sample);
+
+/// Exact discrepancy of d-dimensional point sets w.r.t. the axis-aligned
+/// box family over [1..m]^d, via enumeration of the O((n+s)^{2d}) candidate
+/// canonical boxes snapped to data coordinates. Exponential in d; intended
+/// for small inputs in tests (d <= 2, n+s <= a few hundred).
+double BoxDiscrepancyExact(const std::vector<Point>& stream,
+                           const std::vector<Point>& sample, int dims);
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_SETSYSTEM_DISCREPANCY_H_

@@ -1,0 +1,49 @@
+#ifndef ROBUST_SAMPLING_SETSYSTEM_EXPLICIT_FAMILY_H_
+#define ROBUST_SAMPLING_SETSYSTEM_EXPLICIT_FAMILY_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+#include "setsystem/set_system.h"
+
+namespace robust_sampling {
+
+/// An arbitrary finite set system given by explicit membership predicates —
+/// the fully general form of Definition 1.1. Useful for tests, for custom
+/// application-defined families, and for VC-dimension experiments on small
+/// hand-built systems.
+template <typename T>
+class ExplicitFamily : public SetSystem<T> {
+ public:
+  using Predicate = std::function<bool(const T&)>;
+
+  /// Builds the family from named membership predicates. Requires at least
+  /// one range.
+  ExplicitFamily(std::string name, std::vector<Predicate> ranges)
+      : name_(std::move(name)), ranges_(std::move(ranges)) {
+    RS_CHECK_MSG(!ranges_.empty(), "a set system needs at least one range");
+  }
+
+  uint64_t NumRanges() const override { return ranges_.size(); }
+
+  bool Contains(uint64_t range_index, const T& x) const override {
+    RS_DCHECK(range_index < ranges_.size());
+    return ranges_[range_index](x);
+  }
+
+  std::string Name() const override { return name_; }
+
+  /// Appends one more range to the family.
+  void AddRange(Predicate pred) { ranges_.push_back(std::move(pred)); }
+
+ private:
+  std::string name_;
+  std::vector<Predicate> ranges_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_SETSYSTEM_EXPLICIT_FAMILY_H_

@@ -1,0 +1,64 @@
+#include "setsystem/halfspace_family.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+HalfspaceFamily2D::HalfspaceFamily2D(int num_directions, int num_offsets,
+                                     double offset_lo, double offset_hi)
+    : num_directions_(num_directions),
+      num_offsets_(num_offsets),
+      offset_lo_(offset_lo),
+      offset_hi_(offset_hi) {
+  RS_CHECK_MSG(num_directions >= 1, "need at least one direction");
+  RS_CHECK_MSG(num_offsets >= 2, "need at least two offsets");
+  RS_CHECK_MSG(offset_lo < offset_hi, "offset range must be non-degenerate");
+  cos_.resize(num_directions_);
+  sin_.resize(num_directions_);
+  for (int j = 0; j < num_directions_; ++j) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(j) / num_directions_;
+    cos_[j] = std::cos(theta);
+    sin_[j] = std::sin(theta);
+  }
+}
+
+uint64_t HalfspaceFamily2D::NumRanges() const {
+  return static_cast<uint64_t>(num_directions_) *
+         static_cast<uint64_t>(num_offsets_);
+}
+
+HalfspaceFamily2D::Halfspace HalfspaceFamily2D::Range(
+    uint64_t range_index) const {
+  RS_DCHECK(range_index < NumRanges());
+  const int j = static_cast<int>(range_index / num_offsets_);
+  const int i = static_cast<int>(range_index % num_offsets_);
+  Halfspace h;
+  h.nx = cos_[j];
+  h.ny = sin_[j];
+  h.offset = offset_lo_ + (offset_hi_ - offset_lo_) *
+                              static_cast<double>(i) /
+                              static_cast<double>(num_offsets_ - 1);
+  return h;
+}
+
+bool HalfspaceFamily2D::Contains(uint64_t range_index, const Point& x) const {
+  RS_DCHECK(x.size() == 2);
+  return Range(range_index).Contains(x);
+}
+
+void HalfspaceFamily2D::Direction(int j, double* nx, double* ny) const {
+  RS_CHECK(j >= 0 && j < num_directions_);
+  *nx = cos_[j];
+  *ny = sin_[j];
+}
+
+std::string HalfspaceFamily2D::Name() const {
+  return "halfspaces2d[" + std::to_string(num_directions_) + " dirs x " +
+         std::to_string(num_offsets_) + " offsets]";
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,63 @@
+#ifndef ROBUST_SAMPLING_SETSYSTEM_HALFSPACE_FAMILY_H_
+#define ROBUST_SAMPLING_SETSYSTEM_HALFSPACE_FAMILY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "setsystem/point.h"
+#include "setsystem/set_system.h"
+
+namespace robust_sampling {
+
+/// A finite family of 2-D closed halfspaces
+///   R = { {x : x . u_j <= t_i} : j < num_directions, i < num_offsets },
+/// with u_j = (cos theta_j, sin theta_j), theta_j = 2*pi*j/num_directions,
+/// and offsets t_i an even grid over [offset_lo, offset_hi].
+///
+/// This is the discretized halfspace system used by the beta-center-point
+/// application (Section 1.2, [CEM+96]): an eps-approximation w.r.t.
+/// halfspaces lets a (beta + eps)-center of the sample serve as a
+/// beta-center of the stream. Discretizing directions/offsets keeps |R|
+/// finite so Theorem 1.2 applies with ln|R| = ln(directions * offsets).
+class HalfspaceFamily2D : public SetSystem<Point> {
+ public:
+  /// One halfspace {x : x . normal <= offset}.
+  struct Halfspace {
+    double nx, ny;   // unit normal
+    double offset;   // threshold t
+
+    bool Contains(const Point& p) const {
+      return nx * p[0] + ny * p[1] <= offset;
+    }
+  };
+
+  /// Requires num_directions >= 1, num_offsets >= 2, offset_lo < offset_hi.
+  HalfspaceFamily2D(int num_directions, int num_offsets, double offset_lo,
+                    double offset_hi);
+
+  uint64_t NumRanges() const override;
+  bool Contains(uint64_t range_index, const Point& x) const override;
+  std::string Name() const override;
+
+  /// Decodes range_index into its halfspace.
+  Halfspace Range(uint64_t range_index) const;
+
+  int num_directions() const { return num_directions_; }
+  int num_offsets() const { return num_offsets_; }
+
+  /// The unit normal of direction j.
+  void Direction(int j, double* nx, double* ny) const;
+
+ private:
+  int num_directions_;
+  int num_offsets_;
+  double offset_lo_;
+  double offset_hi_;
+  std::vector<double> cos_;  // precomputed normals
+  std::vector<double> sin_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_SETSYSTEM_HALFSPACE_FAMILY_H_

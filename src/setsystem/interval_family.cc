@@ -1,0 +1,61 @@
+#include "setsystem/interval_family.h"
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+namespace {
+
+// Number of intervals whose left endpoint is < a (1-based): those with left
+// endpoint j contribute N - j + 1 ranges.
+uint64_t RangesBefore(int64_t a, int64_t n) {
+  // sum_{j=1}^{a-1} (n - j + 1) = (a-1)*n - (a-1)(a-2)/2
+  const uint64_t am1 = static_cast<uint64_t>(a - 1);
+  return am1 * static_cast<uint64_t>(n) - am1 * (am1 - 1) / 2;
+}
+
+}  // namespace
+
+IntervalFamily::IntervalFamily(int64_t universe_size)
+    : universe_size_(universe_size) {
+  RS_CHECK_MSG(universe_size >= 1, "universe must be non-empty");
+  RS_CHECK_MSG(universe_size <= 6000000000LL,
+               "interval family cardinality overflows uint64");
+}
+
+uint64_t IntervalFamily::NumRanges() const {
+  const uint64_t n = static_cast<uint64_t>(universe_size_);
+  return n * (n + 1) / 2;
+}
+
+std::pair<int64_t, int64_t> IntervalFamily::RangeBounds(
+    uint64_t range_index) const {
+  RS_DCHECK(range_index < NumRanges());
+  // Binary search the left endpoint a in [1, N]: largest a with
+  // RangesBefore(a) <= range_index.
+  int64_t lo = 1, hi = universe_size_;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo + 1) / 2;
+    if (RangesBefore(mid, universe_size_) <= range_index) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const int64_t a = lo;
+  const int64_t b = a + static_cast<int64_t>(
+                            range_index - RangesBefore(a, universe_size_));
+  RS_DCHECK(a >= 1 && a <= b && b <= universe_size_);
+  return {a, b};
+}
+
+bool IntervalFamily::Contains(uint64_t range_index, const int64_t& x) const {
+  const auto [a, b] = RangeBounds(range_index);
+  return x >= a && x <= b;
+}
+
+std::string IntervalFamily::Name() const {
+  return "intervals[1.." + std::to_string(universe_size_) + "]";
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,40 @@
+#ifndef ROBUST_SAMPLING_SETSYSTEM_INTERVAL_FAMILY_H_
+#define ROBUST_SAMPLING_SETSYSTEM_INTERVAL_FAMILY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "setsystem/set_system.h"
+
+namespace robust_sampling {
+
+/// The family of all consecutive intervals R = { [a, b] : a <= b in U } over
+/// U = {1, ..., N}, including all singletons [a, a] — the paper's canonical
+/// "representative sample" set system for well-ordered universes (Section 1,
+/// "What is a representative sample?").
+///
+/// VC-dimension 2; cardinality |R| = N(N+1)/2, so ln|R| ~= 2 ln N.
+class IntervalFamily : public SetSystem<int64_t> {
+ public:
+  /// Family over U = {1, ..., universe_size}. Requires universe_size in
+  /// [1, ~6.07e9] so that N(N+1)/2 fits in uint64.
+  explicit IntervalFamily(int64_t universe_size);
+
+  uint64_t NumRanges() const override;
+  bool Contains(uint64_t range_index, const int64_t& x) const override;
+  std::string Name() const override;
+
+  /// Decodes range_index into its (a, b) endpoints, 1 <= a <= b <= N.
+  /// Ranges are ordered lexicographically: [1,1],[1,2],...,[1,N],[2,2],...
+  std::pair<int64_t, int64_t> RangeBounds(uint64_t range_index) const;
+
+  int64_t universe_size() const { return universe_size_; }
+
+ private:
+  int64_t universe_size_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_SETSYSTEM_INTERVAL_FAMILY_H_

@@ -1,0 +1,15 @@
+#ifndef ROBUST_SAMPLING_SETSYSTEM_POINT_H_
+#define ROBUST_SAMPLING_SETSYSTEM_POINT_H_
+
+#include <vector>
+
+namespace robust_sampling {
+
+/// A point in d-dimensional Euclidean space; the element type for the
+/// geometric set systems (rectangles, halfspaces) and the geometry
+/// substrate (range counting, center points, clustering).
+using Point = std::vector<double>;
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_SETSYSTEM_POINT_H_

@@ -1,0 +1,29 @@
+#include "setsystem/prefix_family.h"
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+PrefixFamily::PrefixFamily(int64_t universe_size)
+    : universe_size_(universe_size) {
+  RS_CHECK_MSG(universe_size >= 1, "universe must be non-empty");
+}
+
+uint64_t PrefixFamily::NumRanges() const {
+  return static_cast<uint64_t>(universe_size_);
+}
+
+bool PrefixFamily::Contains(uint64_t range_index, const int64_t& x) const {
+  RS_DCHECK(range_index < NumRanges());
+  return x >= 1 && x <= RangeEnd(range_index);
+}
+
+int64_t PrefixFamily::RangeEnd(uint64_t range_index) const {
+  return static_cast<int64_t>(range_index) + 1;
+}
+
+std::string PrefixFamily::Name() const {
+  return "prefixes[1.." + std::to_string(universe_size_) + "]";
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,38 @@
+#ifndef ROBUST_SAMPLING_SETSYSTEM_PREFIX_FAMILY_H_
+#define ROBUST_SAMPLING_SETSYSTEM_PREFIX_FAMILY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "setsystem/set_system.h"
+
+namespace robust_sampling {
+
+/// The one-sided prefix family R = { [1, b] : b in U } over the well-ordered
+/// universe U = {1, ..., N}.
+///
+/// This is the set system of Theorem 1.3 (the attack) and of Corollary 1.5
+/// (quantile sketching): it has VC-dimension 1 but cardinality |R| = N, and
+/// an eps-approximation with respect to it preserves the rank of every
+/// element up to +-eps*n — i.e., all quantiles simultaneously.
+class PrefixFamily : public SetSystem<int64_t> {
+ public:
+  /// Family over U = {1, ..., universe_size}. Requires universe_size >= 1.
+  explicit PrefixFamily(int64_t universe_size);
+
+  uint64_t NumRanges() const override;
+  bool Contains(uint64_t range_index, const int64_t& x) const override;
+  std::string Name() const override;
+
+  /// The right endpoint b of range `range_index` (= range_index + 1).
+  int64_t RangeEnd(uint64_t range_index) const;
+
+  int64_t universe_size() const { return universe_size_; }
+
+ private:
+  int64_t universe_size_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_SETSYSTEM_PREFIX_FAMILY_H_

@@ -1,0 +1,92 @@
+#include "setsystem/rectangle_family.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+namespace {
+
+// Decodes a triangular interval index t in [0, m(m+1)/2) into (a, b),
+// 1 <= a <= b <= m, ordered [1,1],[1,2],...,[1,m],[2,2],...
+void DecodeInterval(uint64_t t, int64_t m, int64_t* a, int64_t* b) {
+  // Left endpoint j contributes (m - j + 1) intervals. Walk with a binary
+  // search over the prefix sums (a-1)*m - (a-1)(a-2)/2.
+  int64_t lo = 1, hi = m;
+  auto before = [m](int64_t j) {
+    const uint64_t jm1 = static_cast<uint64_t>(j - 1);
+    return jm1 * static_cast<uint64_t>(m) - jm1 * (jm1 - 1) / 2;
+  };
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo + 1) / 2;
+    if (before(mid) <= t) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  *a = lo;
+  *b = lo + static_cast<int64_t>(t - before(lo));
+}
+
+}  // namespace
+
+bool RectangleFamily::Box::Contains(const Point& p) const {
+  RS_DCHECK(p.size() == lo.size());
+  for (size_t j = 0; j < lo.size(); ++j) {
+    if (p[j] < static_cast<double>(lo[j]) ||
+        p[j] > static_cast<double>(hi[j])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RectangleFamily::RectangleFamily(int64_t grid_size, int dims)
+    : grid_size_(grid_size), dims_(dims) {
+  RS_CHECK_MSG(grid_size >= 1, "grid must be non-empty");
+  RS_CHECK_MSG(dims >= 1, "need at least one dimension");
+  intervals_per_dim_ = static_cast<uint64_t>(grid_size) *
+                       static_cast<uint64_t>(grid_size + 1) / 2;
+  // Check (m(m+1)/2)^d fits in uint64.
+  double log2_total = static_cast<double>(dims) *
+                      std::log2(static_cast<double>(intervals_per_dim_));
+  RS_CHECK_MSG(log2_total < 63.0,
+               "rectangle family cardinality overflows uint64");
+}
+
+uint64_t RectangleFamily::NumRanges() const {
+  uint64_t total = 1;
+  for (int j = 0; j < dims_; ++j) total *= intervals_per_dim_;
+  return total;
+}
+
+double RectangleFamily::LogCardinality() const {
+  return static_cast<double>(dims_) *
+         std::log(static_cast<double>(intervals_per_dim_));
+}
+
+RectangleFamily::Box RectangleFamily::RangeBox(uint64_t range_index) const {
+  RS_DCHECK(range_index < NumRanges());
+  Box box;
+  box.lo.resize(dims_);
+  box.hi.resize(dims_);
+  for (int j = 0; j < dims_; ++j) {
+    const uint64_t t = range_index % intervals_per_dim_;
+    range_index /= intervals_per_dim_;
+    DecodeInterval(t, grid_size_, &box.lo[j], &box.hi[j]);
+  }
+  return box;
+}
+
+bool RectangleFamily::Contains(uint64_t range_index, const Point& x) const {
+  return RangeBox(range_index).Contains(x);
+}
+
+std::string RectangleFamily::Name() const {
+  return "boxes[1.." + std::to_string(grid_size_) + "]^" +
+         std::to_string(dims_);
+}
+
+}  // namespace robust_sampling

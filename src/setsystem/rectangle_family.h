@@ -1,0 +1,57 @@
+#ifndef ROBUST_SAMPLING_SETSYSTEM_RECTANGLE_FAMILY_H_
+#define ROBUST_SAMPLING_SETSYSTEM_RECTANGLE_FAMILY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "setsystem/point.h"
+#include "setsystem/set_system.h"
+
+namespace robust_sampling {
+
+/// The family of all axis-aligned boxes over the grid universe U = [m]^d —
+/// the set system of the paper's range-query application (Section 1.2):
+/// an eps-approximation answers every box-counting query with additive
+/// error eps*n, and ln|R| = O(d ln m) so the robust sample size is
+/// O((d ln m + ln 1/delta) / eps^2).
+///
+/// A box is a product of per-dimension integer intervals [a_j, b_j] with
+/// 1 <= a_j <= b_j <= m, so |R| = (m(m+1)/2)^d. VC-dimension is 2d.
+class RectangleFamily : public SetSystem<Point> {
+ public:
+  /// An axis-aligned box: per-dimension closed bounds.
+  struct Box {
+    std::vector<int64_t> lo;  // a_j, inclusive
+    std::vector<int64_t> hi;  // b_j, inclusive
+
+    /// Whether p (coordinates compared after truncation toward zero is NOT
+    /// applied — containment uses real-valued comparison lo <= x <= hi).
+    bool Contains(const Point& p) const;
+  };
+
+  /// Family over [1..grid_size]^dims. Requires dims >= 1, grid_size >= 1,
+  /// and (m(m+1)/2)^d to fit in uint64 (checked).
+  RectangleFamily(int64_t grid_size, int dims);
+
+  uint64_t NumRanges() const override;
+  double LogCardinality() const override;
+  bool Contains(uint64_t range_index, const Point& x) const override;
+  std::string Name() const override;
+
+  /// Decodes range_index into its box (mixed-radix over per-dimension
+  /// triangular interval indices).
+  Box RangeBox(uint64_t range_index) const;
+
+  int64_t grid_size() const { return grid_size_; }
+  int dims() const { return dims_; }
+
+ private:
+  int64_t grid_size_;
+  int dims_;
+  uint64_t intervals_per_dim_;  // m(m+1)/2
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_SETSYSTEM_RECTANGLE_FAMILY_H_

@@ -1,0 +1,47 @@
+#ifndef ROBUST_SAMPLING_SETSYSTEM_SET_SYSTEM_H_
+#define ROBUST_SAMPLING_SETSYSTEM_SET_SYSTEM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace robust_sampling {
+
+/// A set system (U, R) over elements of type T (paper Definition 1.1).
+///
+/// R is a finite, indexable family of ranges R_0, ..., R_{|R|-1}, each a
+/// subset of the universe U. The two quantities that drive the paper's
+/// bounds are exposed directly:
+///
+///  * `NumRanges()`      — |R|, the cardinality of the family;
+///  * `LogCardinality()` — ln|R|, the "cardinality dimension" that replaces
+///                         the VC-dimension in Theorem 1.2.
+///
+/// Membership is a virtual call, which is fine for the brute-force
+/// discrepancy evaluator; families with structure (prefixes, intervals,
+/// halfspaces) additionally have exact O((n+s) log) discrepancy fast paths
+/// in setsystem/discrepancy.h that bypass this interface.
+template <typename T>
+class SetSystem {
+ public:
+  virtual ~SetSystem() = default;
+
+  /// |R|: the number of ranges in the family.
+  virtual uint64_t NumRanges() const = 0;
+
+  /// ln|R|. Default: log of NumRanges(); families whose cardinality
+  /// overflows uint64 override this directly.
+  virtual double LogCardinality() const {
+    return std::log(static_cast<double>(NumRanges()));
+  }
+
+  /// Whether element x belongs to range `range_index` (< NumRanges()).
+  virtual bool Contains(uint64_t range_index, const T& x) const = 0;
+
+  /// Human-readable family name for reports.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_SETSYSTEM_SET_SYSTEM_H_

@@ -1,0 +1,29 @@
+#include "setsystem/singleton_family.h"
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+SingletonFamily::SingletonFamily(int64_t universe_size)
+    : universe_size_(universe_size) {
+  RS_CHECK_MSG(universe_size >= 1, "universe must be non-empty");
+}
+
+uint64_t SingletonFamily::NumRanges() const {
+  return static_cast<uint64_t>(universe_size_);
+}
+
+bool SingletonFamily::Contains(uint64_t range_index, const int64_t& x) const {
+  RS_DCHECK(range_index < NumRanges());
+  return x == RangeElement(range_index);
+}
+
+int64_t SingletonFamily::RangeElement(uint64_t range_index) const {
+  return static_cast<int64_t>(range_index) + 1;
+}
+
+std::string SingletonFamily::Name() const {
+  return "singletons[1.." + std::to_string(universe_size_) + "]";
+}
+
+}  // namespace robust_sampling

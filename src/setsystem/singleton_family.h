@@ -1,0 +1,37 @@
+#ifndef ROBUST_SAMPLING_SETSYSTEM_SINGLETON_FAMILY_H_
+#define ROBUST_SAMPLING_SETSYSTEM_SINGLETON_FAMILY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "setsystem/set_system.h"
+
+namespace robust_sampling {
+
+/// The singleton family R = { {a} : a in U } over U = {1, ..., N} — the set
+/// system of the heavy hitters application (Corollary 1.6): an
+/// eps-approximation w.r.t. singletons preserves every element's empirical
+/// frequency to +-eps.
+///
+/// VC-dimension 1; cardinality |R| = N.
+class SingletonFamily : public SetSystem<int64_t> {
+ public:
+  /// Family over U = {1, ..., universe_size}. Requires universe_size >= 1.
+  explicit SingletonFamily(int64_t universe_size);
+
+  uint64_t NumRanges() const override;
+  bool Contains(uint64_t range_index, const int64_t& x) const override;
+  std::string Name() const override;
+
+  /// The element of range `range_index` (= range_index + 1).
+  int64_t RangeElement(uint64_t range_index) const;
+
+  int64_t universe_size() const { return universe_size_; }
+
+ private:
+  int64_t universe_size_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_SETSYSTEM_SINGLETON_FAMILY_H_

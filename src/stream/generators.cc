@@ -1,0 +1,98 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/random.h"
+#include "stream/zipf.h"
+
+namespace robust_sampling {
+
+std::vector<int64_t> UniformIntStream(size_t n, int64_t universe_size,
+                                      uint64_t seed) {
+  RS_CHECK(universe_size >= 1);
+  Rng rng(seed);
+  std::vector<int64_t> stream(n);
+  for (auto& x : stream) {
+    x = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(universe_size))) +
+        1;
+  }
+  return stream;
+}
+
+std::vector<int64_t> ZipfIntStream(size_t n, int64_t universe_size,
+                                   double exponent, uint64_t seed) {
+  ZipfDistribution zipf(universe_size, exponent);
+  Rng rng(seed);
+  std::vector<int64_t> stream(n);
+  for (auto& x : stream) x = zipf.Sample(rng);
+  return stream;
+}
+
+std::vector<int64_t> SortedIntStream(size_t n, int64_t universe_size) {
+  RS_CHECK(universe_size >= 1);
+  std::vector<int64_t> stream(n);
+  for (size_t i = 0; i < n; ++i) {
+    stream[i] = static_cast<int64_t>(i % static_cast<size_t>(universe_size)) +
+                1;
+  }
+  return stream;
+}
+
+std::vector<int64_t> GaussianIntStream(size_t n, int64_t universe_size,
+                                       double mean_frac, double sd_frac,
+                                       uint64_t seed) {
+  RS_CHECK(universe_size >= 1);
+  Rng rng(seed);
+  const double mean = mean_frac * static_cast<double>(universe_size);
+  const double sd = sd_frac * static_cast<double>(universe_size);
+  std::vector<int64_t> stream(n);
+  for (auto& x : stream) {
+    const double v = std::round(mean + sd * rng.NextGaussian());
+    x = std::clamp(static_cast<int64_t>(v), int64_t{1}, universe_size);
+  }
+  return stream;
+}
+
+std::vector<double> UniformDoubleStream(size_t n, double lo, double hi,
+                                        uint64_t seed) {
+  RS_CHECK(lo < hi);
+  Rng rng(seed);
+  std::vector<double> stream(n);
+  for (auto& x : stream) x = rng.NextDoubleIn(lo, hi);
+  return stream;
+}
+
+std::vector<Point> UniformPointStream(size_t n, int dims, double lo,
+                                      double hi, uint64_t seed) {
+  RS_CHECK(dims >= 1);
+  RS_CHECK(lo < hi);
+  Rng rng(seed);
+  std::vector<Point> stream(n, Point(dims));
+  for (auto& p : stream) {
+    for (int j = 0; j < dims; ++j) p[j] = rng.NextDoubleIn(lo, hi);
+  }
+  return stream;
+}
+
+std::vector<Point> GaussianMixturePointStream(
+    size_t n, const std::vector<Point>& centers, double stddev,
+    uint64_t seed) {
+  RS_CHECK(!centers.empty());
+  RS_CHECK(stddev >= 0.0);
+  const size_t dims = centers[0].size();
+  for (const Point& c : centers) RS_CHECK(c.size() == dims);
+  Rng rng(seed);
+  std::vector<Point> stream(n, Point(dims));
+  for (auto& p : stream) {
+    const Point& c = centers[rng.NextBelow(centers.size())];
+    for (size_t j = 0; j < dims; ++j) {
+      p[j] = c[j] + stddev * rng.NextGaussian();
+    }
+  }
+  return stream;
+}
+
+}  // namespace robust_sampling

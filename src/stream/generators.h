@@ -1,0 +1,50 @@
+#ifndef ROBUST_SAMPLING_STREAM_GENERATORS_H_
+#define ROBUST_SAMPLING_STREAM_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "setsystem/point.h"
+
+namespace robust_sampling {
+
+// Static (non-adaptive) stream workload generators. All take explicit
+// seeds; all integer universes are {1, ..., N}.
+
+/// n i.i.d. uniform elements of {1..N}.
+std::vector<int64_t> UniformIntStream(size_t n, int64_t universe_size,
+                                      uint64_t seed);
+
+/// n i.i.d. Zipf(exponent) elements of {1..N} (skewed workload).
+std::vector<int64_t> ZipfIntStream(size_t n, int64_t universe_size,
+                                   double exponent, uint64_t seed);
+
+/// n elements ascending with wraparound: (i mod N) + 1 — a deterministic
+/// worst-case *order* for order-sensitive algorithms.
+std::vector<int64_t> SortedIntStream(size_t n, int64_t universe_size);
+
+/// n i.i.d. rounded-Gaussian elements, mean = mean_frac*N,
+/// sd = sd_frac*N, clamped to {1..N} (clustered numeric workload).
+std::vector<int64_t> GaussianIntStream(size_t n, int64_t universe_size,
+                                       double mean_frac, double sd_frac,
+                                       uint64_t seed);
+
+/// n i.i.d. uniform doubles in [lo, hi).
+std::vector<double> UniformDoubleStream(size_t n, double lo, double hi,
+                                        uint64_t seed);
+
+/// n i.i.d. uniform points in [lo, hi)^dims.
+std::vector<Point> UniformPointStream(size_t n, int dims, double lo,
+                                      double hi, uint64_t seed);
+
+/// n points from an isotropic Gaussian mixture with the given centers and
+/// common standard deviation (equal weights). The workload of the
+/// clustering experiment (E11).
+std::vector<Point> GaussianMixturePointStream(
+    size_t n, const std::vector<Point>& centers, double stddev,
+    uint64_t seed);
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_STREAM_GENERATORS_H_

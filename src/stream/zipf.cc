@@ -1,0 +1,38 @@
+#include "stream/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+ZipfDistribution::ZipfDistribution(int64_t universe_size, double exponent)
+    : universe_size_(universe_size), exponent_(exponent) {
+  RS_CHECK_MSG(universe_size >= 1, "universe must be non-empty");
+  RS_CHECK_MSG(universe_size <= 50000000, "universe too large for CDF table");
+  RS_CHECK_MSG(exponent >= 0.0, "exponent must be non-negative");
+  cdf_.resize(universe_size);
+  double acc = 0.0;
+  for (int64_t i = 1; i <= universe_size; ++i) {
+    acc += std::pow(static_cast<double>(i), -exponent);
+    cdf_[i - 1] = acc;
+  }
+  const double total = acc;
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+int64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::Probability(int64_t i) const {
+  RS_CHECK(i >= 1 && i <= universe_size_);
+  const double lo = i == 1 ? 0.0 : cdf_[i - 2];
+  return cdf_[i - 1] - lo;
+}
+
+}  // namespace robust_sampling

@@ -1,0 +1,40 @@
+#ifndef ROBUST_SAMPLING_STREAM_ZIPF_H_
+#define ROBUST_SAMPLING_STREAM_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+
+namespace robust_sampling {
+
+/// Zipf(s) distribution over {1, ..., N}: P(i) proportional to 1/i^s.
+///
+/// Heavy-hitter and load-balancing experiments use Zipfian traffic as the
+/// realistic skewed background workload. Implementation: exact inverse-CDF
+/// sampling over a precomputed cumulative table (O(N) memory, O(log N) per
+/// draw) — simple, exact, and fast enough for the universe sizes used in
+/// experiments (N <= ~10^7).
+class ZipfDistribution {
+ public:
+  /// Requires universe_size in [1, 5e7] and exponent >= 0 (0 = uniform).
+  ZipfDistribution(int64_t universe_size, double exponent);
+
+  /// Draws one variate in {1, ..., N}.
+  int64_t Sample(Rng& rng) const;
+
+  /// Exact probability of element i (1-based).
+  double Probability(int64_t i) const;
+
+  int64_t universe_size() const { return universe_size_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  int64_t universe_size_;
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i+1)
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_STREAM_ZIPF_H_

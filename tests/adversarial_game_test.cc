@@ -1,0 +1,157 @@
+#include "core/adversarial_game.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "adversary/basic_adversaries.h"
+#include "core/bernoulli_sampler.h"
+#include "core/reservoir_sampler.h"
+#include "gtest/gtest.h"
+#include "setsystem/discrepancy.h"
+
+namespace robust_sampling {
+namespace {
+
+DiscrepancyFn<int64_t> PrefixFn() {
+  return [](const std::vector<int64_t>& x, const std::vector<int64_t>& s) {
+    return PrefixDiscrepancy(x, s);
+  };
+}
+
+TEST(AdaptiveGameTest, StreamHasExactlyNElements) {
+  StaticAdversary<int64_t> adv(std::vector<int64_t>(100, 7));
+  ReservoirSampler<int64_t> sampler(10, 1);
+  const auto result = RunAdaptiveGame(sampler, adv, 100, PrefixFn(), 0.1);
+  EXPECT_EQ(result.stream.size(), 100u);
+  EXPECT_EQ(result.sample.size(), 10u);
+}
+
+TEST(AdaptiveGameTest, ConstantStreamIsPerfectlyRepresented) {
+  StaticAdversary<int64_t> adv(std::vector<int64_t>(200, 42));
+  ReservoirSampler<int64_t> sampler(5, 2);
+  const auto result = RunAdaptiveGame(sampler, adv, 200, PrefixFn(), 0.1);
+  EXPECT_DOUBLE_EQ(result.discrepancy, 0.0);
+  EXPECT_TRUE(result.is_approximation);
+}
+
+TEST(AdaptiveGameTest, StaticAdversaryReplaysItsStream) {
+  std::vector<int64_t> fixed{3, 1, 4, 1, 5, 9, 2, 6};
+  StaticAdversary<int64_t> adv(fixed);
+  BernoulliSampler<int64_t> sampler(0.5, 3);
+  const auto result = RunAdaptiveGame(sampler, adv, 8, PrefixFn(), 0.5);
+  EXPECT_EQ(result.stream, fixed);
+}
+
+TEST(AdaptiveGameTest, UniformAdversaryStaysInUniverse) {
+  UniformAdversary adv(50, 11);
+  ReservoirSampler<int64_t> sampler(20, 4);
+  const auto result = RunAdaptiveGame(sampler, adv, 500, PrefixFn(), 0.5);
+  for (int64_t v : result.stream) {
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(AdaptiveGameTest, BernoulliSamplerSampleIsSubsequence) {
+  UniformAdversary adv(100, 13);
+  BernoulliSampler<int64_t> sampler(0.2, 5);
+  const auto result = RunAdaptiveGame(sampler, adv, 1000, PrefixFn(), 0.5);
+  // Every sampled element appears in the stream (multiset inclusion via
+  // sorted merge).
+  auto stream = result.stream;
+  auto sample = result.sample;
+  std::sort(stream.begin(), stream.end());
+  std::sort(sample.begin(), sample.end());
+  EXPECT_TRUE(std::includes(stream.begin(), stream.end(), sample.begin(),
+                            sample.end()));
+}
+
+TEST(AdaptiveGameTest, IsApproximationThresholdRespected) {
+  // Sample = stream -> discrepancy 0 -> approximation at any eps.
+  StaticAdversary<int64_t> adv(std::vector<int64_t>{1, 2, 3});
+  ReservoirSampler<int64_t> sampler(3, 1);
+  const auto result = RunAdaptiveGame(sampler, adv, 3, PrefixFn(), 0.01);
+  EXPECT_TRUE(result.is_approximation);
+}
+
+TEST(AdaptiveGameTest, GreedyGapAdversaryBuildsValidStream) {
+  GreedyGapAdversary<int64_t> adv(
+      [](const int64_t& v) { return v <= 10; }, 5, 20);
+  ReservoirSampler<int64_t> sampler(8, 6);
+  const auto result = RunAdaptiveGame(sampler, adv, 300, PrefixFn(), 0.5);
+  for (int64_t v : result.stream) {
+    EXPECT_TRUE(v == 5 || v == 20);
+  }
+}
+
+TEST(ContinuousGameTest, AllScheduleChecksEveryRound) {
+  StaticAdversary<int64_t> adv(std::vector<int64_t>(50, 9));
+  ReservoirSampler<int64_t> sampler(5, 7);
+  const auto result = RunContinuousAdaptiveGame(
+      sampler, adv, 50, PrefixFn(), 0.1, CheckpointSchedule::All(50));
+  // Constant stream: zero discrepancy at every prefix.
+  EXPECT_DOUBLE_EQ(result.max_discrepancy, 0.0);
+  EXPECT_TRUE(result.continuously_approximating);
+  EXPECT_EQ(result.first_violation_round, 0u);
+}
+
+TEST(ContinuousGameTest, ViolationRecordedNotFatal) {
+  // Reservoir of size 1 on an increasing stream: after enough rounds some
+  // prefix will be badly represented at eps = 0.05.
+  StaticAdversary<int64_t> adv([] {
+    std::vector<int64_t> v;
+    for (int64_t i = 1; i <= 200; ++i) v.push_back(i);
+    return v;
+  }());
+  ReservoirSampler<int64_t> sampler(1, 8);
+  const auto result = RunContinuousAdaptiveGame(
+      sampler, adv, 200, PrefixFn(), 0.05, CheckpointSchedule::All(200));
+  EXPECT_FALSE(result.continuously_approximating);
+  EXPECT_GT(result.first_violation_round, 0u);
+  EXPECT_GE(result.max_discrepancy, 0.05);
+  EXPECT_EQ(result.stream.size(), 200u);  // game ran to completion
+}
+
+TEST(ContinuousGameTest, WorstRoundIsACheckedRound) {
+  StaticAdversary<int64_t> adv([] {
+    std::vector<int64_t> v;
+    for (int64_t i = 1; i <= 300; ++i) v.push_back(i % 37 + 1);
+    return v;
+  }());
+  ReservoirSampler<int64_t> sampler(10, 9);
+  const auto schedule = CheckpointSchedule::Geometric(10, 300, 0.25);
+  const auto result = RunContinuousAdaptiveGame(sampler, adv, 300, PrefixFn(),
+                                                0.9, schedule);
+  EXPECT_TRUE(schedule.Contains(result.worst_round));
+}
+
+TEST(ContinuousGameTest, GeometricScheduleMaxBoundedByAllScheduleMax) {
+  // Checking fewer rounds can only lower the observed max.
+  auto make_stream = [] {
+    std::vector<int64_t> v;
+    for (int64_t i = 1; i <= 400; ++i) v.push_back((i * 17) % 100 + 1);
+    return v;
+  };
+  StaticAdversary<int64_t> adv_all(make_stream());
+  ReservoirSampler<int64_t> s_all(12, 10);
+  const auto all = RunContinuousAdaptiveGame(
+      s_all, adv_all, 400, PrefixFn(), 0.9, CheckpointSchedule::All(400));
+  StaticAdversary<int64_t> adv_geo(make_stream());
+  ReservoirSampler<int64_t> s_geo(12, 10);  // same seed -> same trajectory
+  const auto geo = RunContinuousAdaptiveGame(
+      s_geo, adv_geo, 400, PrefixFn(), 0.9,
+      CheckpointSchedule::Geometric(12, 400, 0.25));
+  EXPECT_LE(geo.max_discrepancy, all.max_discrepancy + 1e-12);
+}
+
+TEST(ContinuousGameDeathTest, ScheduleBeyondNAborts) {
+  StaticAdversary<int64_t> adv(std::vector<int64_t>(10, 1));
+  ReservoirSampler<int64_t> sampler(2, 1);
+  EXPECT_DEATH(RunContinuousAdaptiveGame(sampler, adv, 5, PrefixFn(), 0.1,
+                                         CheckpointSchedule::All(10)),
+               "past the stream length");
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,164 @@
+#include "core/big_uint.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "gtest/gtest.h"
+
+namespace robust_sampling {
+namespace {
+
+TEST(BigUintTest, DefaultIsZero) {
+  BigUint z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToHexString(), "0");
+  EXPECT_EQ(z.ToDouble(), 0.0);
+}
+
+TEST(BigUintTest, SmallValues) {
+  BigUint v(255);
+  EXPECT_FALSE(v.IsZero());
+  EXPECT_EQ(v.BitLength(), 8u);
+  EXPECT_EQ(v.ToHexString(), "ff");
+  EXPECT_EQ(v.ToDouble(), 255.0);
+}
+
+TEST(BigUintTest, Pow2) {
+  EXPECT_EQ(BigUint::Pow2(0), BigUint(1));
+  EXPECT_EQ(BigUint::Pow2(10), BigUint(1024));
+  const BigUint big = BigUint::Pow2(200);
+  EXPECT_EQ(big.BitLength(), 201u);
+  EXPECT_NEAR(big.Log(), 200.0 * std::log(2.0), 1e-9);
+}
+
+TEST(BigUintTest, ComparisonTotalOrder) {
+  const BigUint a(5), b(7), c = BigUint::Pow2(100);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_LE(a, a);
+  EXPECT_GT(c, a);
+  EXPECT_GE(b, b);
+  EXPECT_EQ(a, BigUint(5));
+  EXPECT_NE(a, b);
+}
+
+TEST(BigUintTest, AddSmall) {
+  EXPECT_EQ(BigUint(3) + BigUint(4), BigUint(7));
+  EXPECT_EQ(BigUint(0) + BigUint(9), BigUint(9));
+}
+
+TEST(BigUintTest, AddWithCarryAcrossLimbs) {
+  const BigUint max64(UINT64_MAX);
+  const BigUint sum = max64 + BigUint(1);
+  EXPECT_EQ(sum, BigUint::Pow2(64));
+}
+
+TEST(BigUintTest, SubInverseOfAdd) {
+  const BigUint a = BigUint::Pow2(130) + BigUint(12345);
+  const BigUint b = BigUint::Pow2(65) + BigUint(99);
+  EXPECT_EQ((a + b) - b, a);
+  EXPECT_EQ((a + b) - a, b);
+  EXPECT_EQ(a - a, BigUint(0));
+}
+
+TEST(BigUintTest, SubBorrowAcrossLimbs) {
+  const BigUint p64 = BigUint::Pow2(64);
+  EXPECT_EQ(p64 - BigUint(1), BigUint(UINT64_MAX));
+}
+
+TEST(BigUintTest, MulU64Basic) {
+  EXPECT_EQ(BigUint(6).MulU64(7), BigUint(42));
+  EXPECT_EQ(BigUint(42).MulU64(0), BigUint(0));
+  EXPECT_EQ(BigUint(0).MulU64(42), BigUint(0));
+}
+
+TEST(BigUintTest, MulU64Carry) {
+  // (2^64 - 1) * 2 = 2^65 - 2
+  const BigUint r = BigUint(UINT64_MAX).MulU64(2);
+  EXPECT_EQ(r, BigUint::Pow2(65) - BigUint(2));
+}
+
+TEST(BigUintTest, DivU64Basic) {
+  EXPECT_EQ(BigUint(42).DivU64(7), BigUint(6));
+  EXPECT_EQ(BigUint(43).DivU64(7), BigUint(6));  // floor
+  EXPECT_EQ(BigUint(6).DivU64(7), BigUint(0));
+}
+
+TEST(BigUintTest, DivU64MultiLimb) {
+  const BigUint a = BigUint::Pow2(130);
+  EXPECT_EQ(a.DivU64(2), BigUint::Pow2(129));
+  // Round-trip: (a / 3) * 3 + (a mod 3) == a.
+  const BigUint q = a.DivU64(3);
+  EXPECT_EQ(q.MulU64(3) + BigUint(a.ModU64(3)), a);
+}
+
+TEST(BigUintTest, ModU64) {
+  EXPECT_EQ(BigUint(10).ModU64(3), 1u);
+  EXPECT_EQ(BigUint::Pow2(64).ModU64(10), 6u);  // 2^64 mod 10 = 6
+}
+
+TEST(BigUintTest, Shifts) {
+  const BigUint a(0xABCD);
+  EXPECT_EQ(a.ShiftLeft(4).ToHexString(), "abcd0");
+  EXPECT_EQ(a.ShiftRight(4).ToHexString(), "abc");
+  EXPECT_EQ(a.ShiftLeft(64).ShiftRight(64), a);
+  EXPECT_EQ(a.ShiftRight(100), BigUint(0));
+  EXPECT_EQ(a.ShiftLeft(0), a);
+  EXPECT_EQ(a.ShiftRight(0), a);
+}
+
+TEST(BigUintTest, ShiftAcrossLimbs) {
+  const BigUint a = BigUint(1).ShiftLeft(100);
+  EXPECT_EQ(a, BigUint::Pow2(100));
+  EXPECT_EQ(a.ShiftRight(37), BigUint::Pow2(63));
+}
+
+TEST(BigUintTest, LogMatchesForSmallValues) {
+  for (uint64_t v : {1ULL, 2ULL, 10ULL, 12345ULL, 1ULL << 50}) {
+    EXPECT_NEAR(BigUint(v).Log(), std::log(static_cast<double>(v)), 1e-9);
+  }
+}
+
+TEST(BigUintTest, LogOfHugeValue) {
+  // ln(2^1000) = 1000 ln 2.
+  EXPECT_NEAR(BigUint::Pow2(1000).Log(), 1000.0 * std::log(2.0), 1e-6);
+}
+
+TEST(BigUintTest, ApproxExpRoundTripsThroughLog) {
+  for (double x : {1.0, 10.0, 50.0, 166.0, 500.0, 2000.0}) {
+    const BigUint v = BigUint::ApproxExp(x);
+    EXPECT_FALSE(v.IsZero());
+    // floor() shifts the log down by up to ln(v+1) - ln(v) ~ e^{-x}.
+    const double floor_slack = std::max(1e-6, 1.5 * std::exp(-x));
+    EXPECT_NEAR(v.Log(), x, floor_slack) << "x=" << x;
+  }
+}
+
+TEST(BigUintTest, ApproxExpSmall) {
+  EXPECT_EQ(BigUint::ApproxExp(0.0), BigUint(1));
+  // floor(e^1) = 2.
+  EXPECT_EQ(BigUint::ApproxExp(1.0), BigUint(2));
+}
+
+TEST(BigUintTest, ToDoubleLargeValue) {
+  const BigUint v = BigUint::Pow2(100);
+  EXPECT_NEAR(v.ToDouble(), std::ldexp(1.0, 100), std::ldexp(1.0, 50));
+}
+
+TEST(BigUintTest, HexStringMultiLimb) {
+  const BigUint v = BigUint::Pow2(64) + BigUint(0xF);
+  EXPECT_EQ(v.ToHexString(), "1000000000000000f");
+}
+
+TEST(BigUintDeathTest, SubUnderflowAborts) {
+  EXPECT_DEATH(BigUint(1) - BigUint(2), "underflow");
+}
+
+TEST(BigUintDeathTest, DivByZeroAborts) {
+  EXPECT_DEATH(BigUint(1).DivU64(0), "division by zero");
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,216 @@
+#include "adversary/bisection_adversary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/adversarial_game.h"
+#include "core/bernoulli_sampler.h"
+#include "core/big_uint.h"
+#include "core/reservoir_sampler.h"
+#include "gtest/gtest.h"
+#include "setsystem/discrepancy.h"
+
+namespace robust_sampling {
+namespace {
+
+// Claim 5.2, checked literally: after the game, every sampled element is
+// strictly smaller than every unsampled element (for Bernoulli sampling,
+// where the sample only grows).
+template <typename T>
+void ExpectSampledBelowUnsampled(const std::vector<T>& stream,
+                                 const std::vector<T>& sample) {
+  std::vector<T> sorted_sample = sample;
+  std::sort(sorted_sample.begin(), sorted_sample.end());
+  if (sorted_sample.empty()) return;
+  const T& max_sampled = sorted_sample.back();
+  // Count occurrences to handle multiset semantics: every stream element
+  // <= max_sampled must be in the sample.
+  size_t stream_below = 0;
+  for (const T& v : stream) stream_below += !(max_sampled < v);
+  EXPECT_EQ(stream_below, sample.size());
+}
+
+TEST(BisectionDoubleTest, MidpointAttackMakesSampleTheSmallest) {
+  // The intro's attack: Bernoulli sampling on [0,1], midpoint splits.
+  constexpr size_t kN = 40;  // well within double precision for split 0.5
+  BisectionAdversaryDouble adv(0.0, 1.0, 0.5);
+  BernoulliSampler<double> sampler(0.5, 17);
+  const auto result = RunAdaptiveGame<double>(
+      sampler, adv, kN,
+      [](const std::vector<double>& x, const std::vector<double>& s) {
+        return PrefixDiscrepancy(x, s);
+      },
+      0.5);
+  EXPECT_FALSE(adv.exhausted());
+  ExpectSampledBelowUnsampled(result.stream, result.sample);
+  // Discrepancy = 1 - |S|/n, which is large for p = 1/2 only if |S| < n/2;
+  // at minimum it's positive unless everything was sampled.
+  if (result.sample.size() < kN) {
+    EXPECT_NEAR(result.discrepancy,
+                1.0 - static_cast<double>(result.sample.size()) / kN, 1e-12);
+  }
+}
+
+TEST(BisectionDoubleTest, ExhaustionIsDetectedAndNonFatal) {
+  // Force precision exhaustion with a long stream; attack must stall, not
+  // crash or emit out-of-range values.
+  BisectionAdversaryDouble adv(0.0, 1.0, 0.5);
+  BernoulliSampler<double> sampler(0.5, 23);
+  for (size_t i = 1; i <= 5000; ++i) {
+    const double x = adv.NextElement(sampler.sample(), i);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    sampler.Insert(x);
+    adv.Observe(sampler.sample(), sampler.last_kept(), i);
+  }
+  EXPECT_TRUE(adv.exhausted());
+}
+
+TEST(BisectionInt64Test, InvariantHoldsThroughoutGame) {
+  constexpr int64_t kUniverse = int64_t{1} << 60;
+  constexpr size_t kN = 50;
+  BisectionAdversaryInt64 adv(kUniverse, 0.5);
+  BernoulliSampler<int64_t> sampler(0.5, 31);
+  std::vector<int64_t> stream;
+  for (size_t i = 1; i <= kN; ++i) {
+    const int64_t x = adv.NextElement(sampler.sample(), i);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, kUniverse);
+    sampler.Insert(x);
+    stream.push_back(x);
+    adv.Observe(sampler.sample(), sampler.last_kept(), i);
+    // Claim 5.2 invariant at every round.
+    for (int64_t v : sampler.sample()) EXPECT_LE(v, adv.a());
+  }
+  EXPECT_FALSE(adv.exhausted());
+  ExpectSampledBelowUnsampled(stream, sampler.sample());
+}
+
+TEST(BisectionInt64Test, SmallUniverseExhaustsGracefully) {
+  BisectionAdversaryInt64 adv(16, 0.5);
+  BernoulliSampler<int64_t> sampler(0.5, 37);
+  for (size_t i = 1; i <= 100; ++i) {
+    const int64_t x = adv.NextElement(sampler.sample(), i);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 16);
+    sampler.Insert(x);
+    adv.Observe(sampler.sample(), sampler.last_kept(), i);
+  }
+  EXPECT_TRUE(adv.exhausted());  // log2(16) = 4 < 100 rounds
+}
+
+TEST(BisectionInt64Test, UnbalancedSplitUsesFewerBitsPerUnsampledRound) {
+  // With split = 1 - p' close to 1, unsampled rounds (the common case at
+  // small p) shrink the range by only (1 - split): range lasts longer.
+  const int64_t universe = int64_t{1} << 40;
+  BisectionAdversaryInt64 balanced(universe, 0.5);
+  BisectionAdversaryInt64 skewed(universe, 0.9);
+  BernoulliSampler<int64_t> s1(0.0, 1), s2(0.0, 1);  // never samples
+  size_t balanced_rounds = 0, skewed_rounds = 0;
+  for (size_t i = 1; i <= 2000; ++i) {
+    if (!balanced.exhausted()) {
+      s1.Insert(balanced.NextElement(s1.sample(), i));
+      balanced.Observe(s1.sample(), s1.last_kept(), i);
+      if (!balanced.exhausted()) balanced_rounds = i;
+    }
+    if (!skewed.exhausted()) {
+      s2.Insert(skewed.NextElement(s2.sample(), i));
+      skewed.Observe(s2.sample(), s2.last_kept(), i);
+      if (!skewed.exhausted()) skewed_rounds = i;
+    }
+  }
+  EXPECT_GT(skewed_rounds, 2 * balanced_rounds);
+}
+
+TEST(BisectionBigTest, MatchesInt64OnSmallUniverse) {
+  // Same universe, same sampler coins -> identical streams.
+  const int64_t universe = 1 << 20;
+  BisectionAdversaryInt64 advi(universe, 0.75);
+  BisectionAdversaryBig advb(BigUint(static_cast<uint64_t>(universe)), 0.75);
+  BernoulliSampler<int64_t> si(0.3, 41);
+  BernoulliSampler<BigUint> sb(0.3, 41);
+  for (size_t i = 1; i <= 60; ++i) {
+    const int64_t xi = advi.NextElement(si.sample(), i);
+    const BigUint xb = advb.NextElement(sb.sample(), i);
+    // The two arithmetic paths may round differently by at most 1 (double
+    // vs fixed-point multiply); require near-agreement of the trajectory.
+    const double diff = std::abs(static_cast<double>(xi) - xb.ToDouble());
+    EXPECT_LE(diff, 2.0) << "round " << i;
+    si.Insert(xi);
+    sb.Insert(xb);
+    advi.Observe(si.sample(), si.last_kept(), i);
+    advb.Observe(sb.sample(), sb.last_kept(), i);
+  }
+}
+
+TEST(BisectionBigTest, SustainsTheoreticalUniverseSizes) {
+  // ln N = 2(ln n)^2 + 4 ln n for n = 500: the regime of Theorem 1.3.
+  constexpr size_t kN = 500;
+  const double ln_n = std::log(static_cast<double>(kN));
+  const double ln_universe = 2.0 * ln_n * ln_n + 4.0 * ln_n;
+  const BigUint universe = BigUint::ApproxExp(ln_universe);
+  const double p_prime = std::max(0.02, ln_n / static_cast<double>(kN));
+  BisectionAdversaryBig adv(universe, 1.0 - p_prime);
+  BernoulliSampler<BigUint> sampler(0.02, 43);
+  std::vector<BigUint> stream;
+  for (size_t i = 1; i <= kN; ++i) {
+    BigUint x = adv.NextElement(sampler.sample(), i);
+    sampler.Insert(x);
+    stream.push_back(std::move(x));
+    adv.Observe(sampler.sample(), sampler.last_kept(), i);
+  }
+  EXPECT_FALSE(adv.exhausted());
+  ExpectSampledBelowUnsampled(stream, sampler.sample());
+  // The sample is tiny and consists of the smallest elements: prefix
+  // discrepancy is ~ 1 - |S|/n, i.e. the sample is maximally
+  // unrepresentative.
+  const double disc = PrefixDiscrepancy(stream, sampler.sample());
+  EXPECT_GT(disc, 0.9);
+}
+
+TEST(BisectionReservoirTest, AttackConfinesSampleToEarlySmallElements) {
+  // Theorem 1.3 part 2: against ReservoirSample the ever-sampled elements
+  // are the k' smallest, with k' ~ k ln n; the final sample is a subset.
+  // The reservoir accepts ~k ln n elements, so the attack needs
+  // ln N > k' * ln(1/(1-split)) + n * ln(1/split): use a BigUint universe.
+  constexpr size_t kN = 2000;
+  constexpr size_t kK = 5;
+  const BigUint universe = BigUint::ApproxExp(300.0);
+  BisectionAdversaryBig adv(universe, 0.99);
+  ReservoirSampler<BigUint> sampler(kK, 47);
+  std::vector<BigUint> stream;
+  for (size_t i = 1; i <= kN; ++i) {
+    BigUint x = adv.NextElement(sampler.sample(), i);
+    sampler.Insert(x);
+    stream.push_back(std::move(x));
+    adv.Observe(sampler.sample(), sampler.last_kept(), i);
+  }
+  ASSERT_FALSE(adv.exhausted());
+  // All sampled elements lie at or below the adversary's lower frontier.
+  for (const BigUint& v : sampler.sample()) EXPECT_LE(v, adv.a());
+  // Discrepancy is large: the sample sits inside the k' smallest elements
+  // where k' <= O(k ln n) << n.
+  const double disc = PrefixDiscrepancy(stream, sampler.sample());
+  EXPECT_GT(disc, 0.5);
+}
+
+TEST(BisectionAdversaryTest, NamesAreDescriptive) {
+  BisectionAdversaryDouble d(0.0, 1.0, 0.5);
+  BisectionAdversaryInt64 i(100, 0.5);
+  BisectionAdversaryBig b(BigUint(100), 0.5);
+  EXPECT_NE(d.Name().find("bisection"), std::string::npos);
+  EXPECT_NE(i.Name().find("bisection"), std::string::npos);
+  EXPECT_NE(b.Name().find("bisection"), std::string::npos);
+}
+
+TEST(BisectionAdversaryDeathTest, InvalidParametersAbort) {
+  EXPECT_DEATH(BisectionAdversaryDouble(1.0, 0.0, 0.5), "non-degenerate");
+  EXPECT_DEATH(BisectionAdversaryDouble(0.0, 1.0, 0.0), "split");
+  EXPECT_DEATH(BisectionAdversaryInt64(1, 0.5), ">= 2");
+  EXPECT_DEATH(BisectionAdversaryBig(BigUint(1), 0.5), ">= 2");
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,120 @@
+#include "core/checkpoints.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace robust_sampling {
+namespace {
+
+TEST(CheckpointScheduleTest, GeometricStartsAtFirstEndsAtN) {
+  const auto s = CheckpointSchedule::Geometric(10, 1000, 0.25);
+  ASSERT_FALSE(s.points().empty());
+  EXPECT_EQ(s.points().front(), 10u);
+  EXPECT_EQ(s.points().back(), 1000u);
+}
+
+TEST(CheckpointScheduleTest, GeometricIsStrictlyIncreasing) {
+  const auto s = CheckpointSchedule::Geometric(5, 100000, 0.1);
+  for (size_t i = 1; i < s.points().size(); ++i) {
+    EXPECT_LT(s.points()[i - 1], s.points()[i]);
+  }
+}
+
+TEST(CheckpointScheduleTest, GeometricGapRatioBounded) {
+  const double beta = 0.25;
+  const auto s = CheckpointSchedule::Geometric(8, 1 << 20, beta);
+  for (size_t i = 1; i < s.points().size(); ++i) {
+    const double ratio = static_cast<double>(s.points()[i]) /
+                         static_cast<double>(s.points()[i - 1]);
+    // Each checkpoint is the largest integer <= (1+beta) * previous (but
+    // always advances by >= 1), so the ratio never exceeds 1 + beta.
+    EXPECT_LE(ratio, 1.0 + beta + 1e-12);
+  }
+}
+
+TEST(CheckpointScheduleTest, GeometricCountIsLogarithmic) {
+  const size_t n = 1 << 20;
+  const double beta = 0.25;
+  const auto s = CheckpointSchedule::Geometric(16, n, beta);
+  // t ~ log_{1+beta}(n/first) plus the initial rounding regime; a generous
+  // upper bound of 4x suffices to confirm logarithmic (not linear) growth.
+  const double expected =
+      std::log(static_cast<double>(n) / 16.0) / std::log1p(beta);
+  EXPECT_LT(static_cast<double>(s.size()), 4.0 * expected + 20.0);
+}
+
+TEST(CheckpointScheduleTest, GeometricDegenerateFirstEqualsN) {
+  const auto s = CheckpointSchedule::Geometric(50, 50, 0.25);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.points()[0], 50u);
+}
+
+TEST(CheckpointScheduleTest, GeometricAlwaysAdvancesForTinyBeta) {
+  // With beta so small that (1+beta)*i floors back to i, the schedule must
+  // still advance by one each step.
+  const auto s = CheckpointSchedule::Geometric(1, 20, 1e-9);
+  EXPECT_EQ(s.size(), 20u);
+  for (size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.points()[i], i + 1);
+}
+
+TEST(CheckpointScheduleTest, EveryStride) {
+  const auto s = CheckpointSchedule::Every(10, 35);
+  const std::vector<size_t> expected{10, 20, 30, 35};
+  EXPECT_EQ(s.points(), expected);
+}
+
+TEST(CheckpointScheduleTest, EveryStrideDividesN) {
+  const auto s = CheckpointSchedule::Every(5, 20);
+  const std::vector<size_t> expected{5, 10, 15, 20};
+  EXPECT_EQ(s.points(), expected);
+}
+
+TEST(CheckpointScheduleTest, AllCoversEveryRound) {
+  const auto s = CheckpointSchedule::All(7);
+  ASSERT_EQ(s.size(), 7u);
+  for (size_t i = 1; i <= 7; ++i) EXPECT_TRUE(s.Contains(i));
+}
+
+TEST(CheckpointScheduleTest, ContainsFindsOnlyScheduledRounds) {
+  const auto s = CheckpointSchedule::Every(10, 100);
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_TRUE(s.Contains(100));
+  EXPECT_FALSE(s.Contains(11));
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(101));
+}
+
+TEST(CheckpointScheduleDeathTest, InvalidArgumentsAbort) {
+  EXPECT_DEATH(CheckpointSchedule::Geometric(0, 10, 0.5), "first");
+  EXPECT_DEATH(CheckpointSchedule::Geometric(11, 10, 0.5), "first");
+  EXPECT_DEATH(CheckpointSchedule::Geometric(1, 10, 0.0), "beta");
+  EXPECT_DEATH(CheckpointSchedule::Every(0, 10), "stride");
+}
+
+// Theorem 1.4 shape check across (n, beta) grid.
+class GeometricScheduleSweep
+    : public ::testing::TestWithParam<std::pair<size_t, double>> {};
+
+TEST_P(GeometricScheduleSweep, EndsAtNAndRatioBounded) {
+  const auto [n, beta] = GetParam();
+  const size_t first = 4;
+  if (first > n) GTEST_SKIP();
+  const auto s = CheckpointSchedule::Geometric(first, n, beta);
+  EXPECT_EQ(s.points().back(), n);
+  for (size_t i = 1; i < s.points().size(); ++i) {
+    EXPECT_LE(static_cast<double>(s.points()[i]),
+              (1.0 + beta) * static_cast<double>(s.points()[i - 1]) + 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeometricScheduleSweep,
+    ::testing::Values(std::pair<size_t, double>{100, 0.05},
+                      std::pair<size_t, double>{1000, 0.1},
+                      std::pair<size_t, double>{10000, 0.25},
+                      std::pair<size_t, double>{100000, 0.5},
+                      std::pair<size_t, double>{12345, 0.0125}));
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,97 @@
+#include "core/continuous_monitor.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "core/reservoir_sampler.h"
+#include "core/sample_bounds.h"
+#include "gtest/gtest.h"
+#include "setsystem/discrepancy.h"
+
+namespace robust_sampling {
+namespace {
+
+ContinuousMonitor<int64_t>::DiscrepancyEvaluator PrefixEval() {
+  return [](const std::vector<int64_t>& x, const std::vector<int64_t>& s) {
+    return PrefixDiscrepancy(x, s);
+  };
+}
+
+TEST(ContinuousMonitorTest, ChecksOnlyAtScheduledRounds) {
+  const size_t n = 1000, k = 50;
+  ContinuousMonitor<int64_t> monitor(0.25, k, n, PrefixEval());
+  ReservoirSampler<int64_t> sampler(k, 1);
+  size_t checks = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    sampler.Insert(static_cast<int64_t>(i % 97));
+    checks += monitor.Observe(static_cast<int64_t>(i % 97),
+                              sampler.sample());
+  }
+  EXPECT_EQ(checks, monitor.checks_performed());
+  EXPECT_EQ(monitor.checks_performed(), monitor.planned_checks());
+  EXPECT_EQ(monitor.rounds(), n);
+  // Geometric schedule: far fewer checks than rounds.
+  EXPECT_LT(monitor.planned_checks(), n / 10);
+}
+
+TEST(ContinuousMonitorTest, CertifiesWellSizedReservoir) {
+  const double eps = 0.25;
+  const size_t n = 2000;
+  const size_t k = ReservoirContinuousK(eps, 0.1, std::log(4096.0), n, 4.0);
+  ContinuousMonitor<int64_t> monitor(eps, k, n, PrefixEval());
+  ReservoirSampler<int64_t> sampler(k, 2);
+  Rng rng(3);
+  for (size_t i = 1; i <= n; ++i) {
+    const int64_t x = static_cast<int64_t>(rng.NextBelow(4096)) + 1;
+    sampler.Insert(x);
+    monitor.Observe(x, sampler.sample());
+  }
+  EXPECT_TRUE(monitor.certified());
+  EXPECT_LE(monitor.max_checkpoint_discrepancy(), eps / 2.0);
+  EXPECT_EQ(monitor.first_violation_round(), 0u);
+}
+
+TEST(ContinuousMonitorTest, FlagsUndersizedReservoir) {
+  const double eps = 0.1;
+  const size_t n = 2000, k = 4;
+  ContinuousMonitor<int64_t> monitor(eps, k, n, PrefixEval());
+  ReservoirSampler<int64_t> sampler(k, 4);
+  Rng rng(5);
+  for (size_t i = 1; i <= n; ++i) {
+    const int64_t x = static_cast<int64_t>(rng.NextBelow(1 << 16)) + 1;
+    sampler.Insert(x);
+    monitor.Observe(x, sampler.sample());
+  }
+  EXPECT_FALSE(monitor.certified());
+  EXPECT_GT(monitor.first_violation_round(), 0u);
+  EXPECT_GT(monitor.max_checkpoint_discrepancy(), eps / 2.0);
+  EXPECT_GE(monitor.worst_round(), monitor.first_violation_round() > 0
+                ? k
+                : size_t{0});
+}
+
+TEST(ContinuousMonitorTest, WorstRoundTracksMaximum) {
+  const size_t n = 500, k = 10;
+  ContinuousMonitor<int64_t> monitor(0.5, k, n, PrefixEval());
+  ReservoirSampler<int64_t> sampler(k, 6);
+  for (size_t i = 1; i <= n; ++i) {
+    const int64_t x = static_cast<int64_t>(i);
+    sampler.Insert(x);
+    monitor.Observe(x, sampler.sample());
+  }
+  if (monitor.max_checkpoint_discrepancy() > 0.0) {
+    EXPECT_GT(monitor.worst_round(), 0u);
+    EXPECT_LE(monitor.worst_round(), n);
+  }
+}
+
+TEST(ContinuousMonitorDeathTest, InvalidEpsAborts) {
+  EXPECT_DEATH(ContinuousMonitor<int64_t>(0.0, 10, 100, PrefixEval()),
+               "eps");
+  EXPECT_DEATH(ContinuousMonitor<int64_t>(1.0, 10, 100, PrefixEval()),
+               "eps");
+}
+
+}  // namespace
+}  // namespace robust_sampling

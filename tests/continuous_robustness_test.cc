@@ -1,0 +1,153 @@
+// Tests for Theorem 1.4: continuous robustness of reservoir sampling, the
+// geometric checkpoint machinery, and the impossibility of continuous
+// robustness for Bernoulli sampling (footnote 4).
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "adversary/basic_adversaries.h"
+#include "adversary/bisection_adversary.h"
+#include "core/adversarial_game.h"
+#include "core/bernoulli_sampler.h"
+#include "core/checkpoints.h"
+#include "core/reservoir_sampler.h"
+#include "core/sample_bounds.h"
+#include "gtest/gtest.h"
+#include "harness/trial_runner.h"
+#include "setsystem/discrepancy.h"
+
+namespace robust_sampling {
+namespace {
+
+DiscrepancyFn<int64_t> PrefixFn() {
+  return [](const std::vector<int64_t>& x, const std::vector<int64_t>& s) {
+    return PrefixDiscrepancy(x, s);
+  };
+}
+
+TEST(ContinuousRobustnessTest, SizedReservoirIsContinuouslyRobustStatic) {
+  // Theorem 1.4 with a static (oblivious) stream, checked at *every* round.
+  const double eps = 0.25, delta = 0.1;
+  const size_t n = 2000;
+  const int64_t universe = 1 << 20;
+  const size_t k = ReservoirContinuousK(
+      eps, delta, std::log(static_cast<double>(universe)), n, /*c=*/4.0);
+  const auto stats = RunTrials(10, 31, [&](uint64_t seed) {
+    UniformAdversary adv(universe, MixSeed(seed, 3));
+    ReservoirSampler<int64_t> sampler(k, seed);
+    const auto r = RunContinuousAdaptiveGame(
+        sampler, adv, n, PrefixFn(), eps, CheckpointSchedule::All(n));
+    return r.max_discrepancy;
+  });
+  EXPECT_GE(stats.FractionAtMost(eps), 0.8)
+      << "worst max-discrepancy " << stats.max;
+}
+
+TEST(ContinuousRobustnessTest, SizedReservoirIsContinuouslyRobustAdaptive) {
+  // Same property against the bisection attack (which exhausts on this
+  // universe, as any adaptive strategy must when k is this large).
+  const double eps = 0.25, delta = 0.1;
+  const size_t n = 2000;
+  const int64_t universe = 1 << 20;
+  const size_t k = ReservoirContinuousK(
+      eps, delta, std::log(static_cast<double>(universe)), n, /*c=*/4.0);
+  const auto stats = RunTrials(10, 37, [&](uint64_t seed) {
+    BisectionAdversaryInt64 adv(universe, 0.9);
+    ReservoirSampler<int64_t> sampler(k, seed);
+    const auto r = RunContinuousAdaptiveGame(
+        sampler, adv, n, PrefixFn(), eps, CheckpointSchedule::All(n));
+    return r.max_discrepancy;
+  });
+  EXPECT_GE(stats.FractionAtMost(eps), 0.8)
+      << "worst max-discrepancy " << stats.max;
+}
+
+TEST(ContinuousRobustnessTest, GeometricCheckpointsCertifyAllRounds) {
+  // The Theorem 1.4 argument, empirically: if the geometric (eps/4)
+  // schedule sees discrepancy <= eps/2 at every checkpoint, then every
+  // round's discrepancy is <= eps (Claims 6.1-6.3 bridge the gaps).
+  const double eps = 0.3;
+  const size_t n = 1500;
+  const int64_t universe = 1 << 16;
+  const size_t k = ReservoirContinuousK(
+      eps, 0.1, std::log(static_cast<double>(universe)), n, /*c=*/4.0);
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    // Run twice with identical seeds: once geometric, once exhaustive.
+    UniformAdversary adv_a(universe, MixSeed(seed, 7));
+    ReservoirSampler<int64_t> s_a(k, seed);
+    const auto geo = RunContinuousAdaptiveGame(
+        s_a, adv_a, n, PrefixFn(), eps / 2.0,
+        CheckpointSchedule::Geometric(k, n, eps / 4.0));
+    UniformAdversary adv_b(universe, MixSeed(seed, 7));
+    ReservoirSampler<int64_t> s_b(k, seed);
+    const auto all = RunContinuousAdaptiveGame(
+        s_b, adv_b, n, PrefixFn(), eps, CheckpointSchedule::All(n));
+    if (geo.continuously_approximating) {
+      EXPECT_TRUE(all.continuously_approximating)
+          << "checkpoints passed at eps/2 but some round exceeded eps "
+          << "(seed " << seed << ", max " << all.max_discrepancy << ")";
+    }
+  }
+}
+
+TEST(ContinuousRobustnessTest, GeometricScheduleIsExponentiallySparser) {
+  const size_t n = 1 << 20;
+  const auto geo = CheckpointSchedule::Geometric(100, n, 0.0625);
+  const auto all = CheckpointSchedule::All(n);
+  EXPECT_LT(geo.size() * 1000, all.size());
+}
+
+TEST(ContinuousRobustnessTest, BernoulliCannotBeContinuouslyRobust) {
+  // Footnote 4: with probability 1 - p the first element is not sampled,
+  // so S_1 is empty (discrepancy 1 > eps) — Bernoulli sampling fails
+  // continuous robustness for any p < 1 - delta.
+  const double p = 0.3;
+  constexpr size_t kRuns = 2000;
+  size_t violations = 0;
+  for (size_t run = 0; run < kRuns; ++run) {
+    BernoulliSampler<int64_t> sampler(p, 1000 + run);
+    StaticAdversary<int64_t> adv(std::vector<int64_t>(10, 5));
+    const auto r = RunContinuousAdaptiveGame(
+        sampler, adv, 10, PrefixFn(), 0.5, CheckpointSchedule::All(10));
+    violations += !r.continuously_approximating;
+  }
+  // Violation probability >= 1 - p = 0.7.
+  EXPECT_GT(static_cast<double>(violations) / kRuns, 0.6);
+}
+
+TEST(ContinuousRobustnessTest, ViolationsLocalizedEarlyForReservoir) {
+  // A reservoir is exact for the first k rounds, so with a sufficient k
+  // any continuous violation can only occur after round k.
+  const size_t k = 50, n = 1000;
+  UniformAdversary adv(1 << 12, 17);
+  ReservoirSampler<int64_t> sampler(k, 19);
+  const auto r = RunContinuousAdaptiveGame(
+      sampler, adv, n, PrefixFn(), 1e-9, CheckpointSchedule::All(n));
+  // With eps ~ 0 the first violation happens as soon as sampling begins —
+  // i.e. strictly after the exact phase of k rounds.
+  ASSERT_GT(r.first_violation_round, 0u);
+  EXPECT_GT(r.first_violation_round, k);
+}
+
+TEST(ContinuousRobustnessTest, MaxDiscrepancyDecreasesWithK) {
+  const size_t n = 1500;
+  const int64_t universe = 1 << 16;
+  auto run_with_k = [&](size_t k) {
+    const auto stats = RunTrials(8, 59, [&](uint64_t seed) {
+      UniformAdversary adv(universe, MixSeed(seed, 9));
+      ReservoirSampler<int64_t> sampler(k, seed);
+      return RunContinuousAdaptiveGame(sampler, adv, n, PrefixFn(), 1.0,
+                                       CheckpointSchedule::Geometric(
+                                           k, n, 0.25))
+          .max_discrepancy;
+    });
+    return stats.mean;
+  };
+  const double coarse = run_with_k(20);
+  const double fine = run_with_k(500);
+  EXPECT_LT(fine, coarse);
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,230 @@
+#include "setsystem/discrepancy.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "gtest/gtest.h"
+#include "setsystem/explicit_family.h"
+#include "setsystem/interval_family.h"
+#include "setsystem/prefix_family.h"
+#include "setsystem/singleton_family.h"
+
+namespace robust_sampling {
+namespace {
+
+// Brute-force reference implementations over the discrete universe [1, N].
+double BrutePrefix(const std::vector<int64_t>& x, const std::vector<int64_t>& s,
+                   int64_t universe) {
+  PrefixFamily f(universe);
+  return ExplicitDiscrepancyExact(f, x, s);
+}
+
+double BruteInterval(const std::vector<int64_t>& x,
+                     const std::vector<int64_t>& s, int64_t universe) {
+  IntervalFamily f(universe);
+  return ExplicitDiscrepancyExact(f, x, s);
+}
+
+double BruteSingleton(const std::vector<int64_t>& x,
+                      const std::vector<int64_t>& s, int64_t universe) {
+  SingletonFamily f(universe);
+  return ExplicitDiscrepancyExact(f, x, s);
+}
+
+TEST(DiscrepancyTest, EmptyStreamIsZero) {
+  EXPECT_DOUBLE_EQ(PrefixDiscrepancy<int64_t>({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(IntervalDiscrepancy<int64_t>({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SingletonDiscrepancy<int64_t>({}, {}), 0.0);
+}
+
+TEST(DiscrepancyTest, EmptySampleIsOne) {
+  EXPECT_DOUBLE_EQ(PrefixDiscrepancy<int64_t>({1, 2, 3}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(IntervalDiscrepancy<int64_t>({1, 2, 3}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(SingletonDiscrepancy<int64_t>({1, 2, 3}, {}), 1.0);
+}
+
+TEST(DiscrepancyTest, SampleEqualsStreamIsZero) {
+  const std::vector<int64_t> x{5, 1, 9, 1, 7};
+  EXPECT_DOUBLE_EQ(PrefixDiscrepancy(x, x), 0.0);
+  EXPECT_DOUBLE_EQ(IntervalDiscrepancy(x, x), 0.0);
+  EXPECT_DOUBLE_EQ(SingletonDiscrepancy(x, x), 0.0);
+}
+
+TEST(DiscrepancyTest, PrefixKnownValue) {
+  // Stream 1..4, sample {1}: worst prefix is [1,1]: |1/4 - 1| = 3/4.
+  EXPECT_DOUBLE_EQ(PrefixDiscrepancy<int64_t>({1, 2, 3, 4}, {1}), 0.75);
+}
+
+TEST(DiscrepancyTest, PrefixSampleOfSmallestElements) {
+  // The attack's end state: sample = k smallest of n.
+  std::vector<int64_t> stream, sample;
+  for (int64_t i = 1; i <= 100; ++i) stream.push_back(i);
+  for (int64_t i = 1; i <= 10; ++i) sample.push_back(i);
+  // At b = 10: d(X) = 0.1, d(S) = 1.0 -> discrepancy 0.9 = 1 - k/n.
+  EXPECT_DOUBLE_EQ(PrefixDiscrepancy(stream, sample), 0.9);
+}
+
+TEST(DiscrepancyTest, IntervalCatchesMiddleGap) {
+  // Sample misses the middle mass: interval [5, 6] has stream density 1/2
+  // and sample density 0.
+  const std::vector<int64_t> stream{1, 5, 6, 9};
+  const std::vector<int64_t> sample{1, 9};
+  EXPECT_DOUBLE_EQ(IntervalDiscrepancy(stream, sample), 0.5);
+}
+
+TEST(DiscrepancyTest, IntervalAtLeastPrefix) {
+  // Prefixes are intervals [min, b], so interval discrepancy >= prefix
+  // discrepancy... (on the same data).
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int64_t> x, s;
+    for (int i = 0; i < 200; ++i) {
+      x.push_back(static_cast<int64_t>(rng.NextBelow(50)) + 1);
+    }
+    for (int i = 0; i < 20; ++i) {
+      s.push_back(static_cast<int64_t>(rng.NextBelow(50)) + 1);
+    }
+    EXPECT_GE(IntervalDiscrepancy(x, s) + 1e-12, PrefixDiscrepancy(x, s));
+  }
+}
+
+TEST(DiscrepancyTest, PrefixMatchesBruteForceOnRandomInputs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int64_t universe = 12;
+    std::vector<int64_t> x, s;
+    const size_t nx = 1 + rng.NextBelow(40);
+    const size_t ns = 1 + rng.NextBelow(10);
+    for (size_t i = 0; i < nx; ++i) {
+      x.push_back(static_cast<int64_t>(rng.NextBelow(universe)) + 1);
+    }
+    for (size_t i = 0; i < ns; ++i) {
+      s.push_back(static_cast<int64_t>(rng.NextBelow(universe)) + 1);
+    }
+    EXPECT_NEAR(PrefixDiscrepancy(x, s), BrutePrefix(x, s, universe), 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(DiscrepancyTest, IntervalMatchesBruteForceOnRandomInputs) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int64_t universe = 10;
+    std::vector<int64_t> x, s;
+    const size_t nx = 1 + rng.NextBelow(30);
+    const size_t ns = 1 + rng.NextBelow(8);
+    for (size_t i = 0; i < nx; ++i) {
+      x.push_back(static_cast<int64_t>(rng.NextBelow(universe)) + 1);
+    }
+    for (size_t i = 0; i < ns; ++i) {
+      s.push_back(static_cast<int64_t>(rng.NextBelow(universe)) + 1);
+    }
+    EXPECT_NEAR(IntervalDiscrepancy(x, s), BruteInterval(x, s, universe),
+                1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(DiscrepancyTest, SingletonMatchesBruteForceOnRandomInputs) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int64_t universe = 8;
+    std::vector<int64_t> x, s;
+    const size_t nx = 1 + rng.NextBelow(30);
+    const size_t ns = 1 + rng.NextBelow(8);
+    for (size_t i = 0; i < nx; ++i) {
+      x.push_back(static_cast<int64_t>(rng.NextBelow(universe)) + 1);
+    }
+    for (size_t i = 0; i < ns; ++i) {
+      s.push_back(static_cast<int64_t>(rng.NextBelow(universe)) + 1);
+    }
+    EXPECT_NEAR(SingletonDiscrepancy(x, s), BruteSingleton(x, s, universe),
+                1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(DiscrepancyTest, WorksOnDoubles) {
+  const std::vector<double> x{0.1, 0.2, 0.3, 0.4};
+  const std::vector<double> s{0.1, 0.2};
+  // Prefix at 0.2: |0.5 - 1.0| = 0.5.
+  EXPECT_DOUBLE_EQ(PrefixDiscrepancy(x, s), 0.5);
+}
+
+TEST(DiscrepancyTest, SortedVariantsRequireNoCopy) {
+  const std::vector<int64_t> x{1, 2, 3, 4, 5};
+  const std::vector<int64_t> s{1, 3, 5};
+  EXPECT_DOUBLE_EQ(PrefixDiscrepancySorted(x, s), PrefixDiscrepancy(x, s));
+  EXPECT_DOUBLE_EQ(IntervalDiscrepancySorted(x, s), IntervalDiscrepancy(x, s));
+}
+
+TEST(DiscrepancyTest, ExplicitExactSimpleFamily) {
+  ExplicitFamily<int64_t> f("evens", {[](const int64_t& v) {
+                              return v % 2 == 0;
+                            }});
+  // Stream half even; sample all odd -> |0.5 - 0| = 0.5.
+  const std::vector<int64_t> x{1, 2, 3, 4};
+  const std::vector<int64_t> s{1, 3};
+  EXPECT_DOUBLE_EQ(ExplicitDiscrepancyExact(f, x, s), 0.5);
+}
+
+TEST(DiscrepancyTest, SampledNeverExceedsExact) {
+  IntervalFamily f(30);
+  Rng rng(17);
+  std::vector<int64_t> x, s;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(static_cast<int64_t>(rng.NextBelow(30)) + 1);
+  }
+  for (int i = 0; i < 10; ++i) {
+    s.push_back(static_cast<int64_t>(rng.NextBelow(30)) + 1);
+  }
+  const double exact = ExplicitDiscrepancyExact(f, x, s);
+  const double sampled = ExplicitDiscrepancySampled(f, x, s, 50, 99);
+  EXPECT_LE(sampled, exact + 1e-12);
+  // With max_ranges >= |R| the sampled version is exact.
+  EXPECT_DOUBLE_EQ(ExplicitDiscrepancySampled(f, x, s, 10000, 99), exact);
+}
+
+TEST(DiscrepancyTest, HalfspaceDiscrepancyZeroForIdenticalSets) {
+  HalfspaceFamily2D f(8, 21, -2.0, 2.0);
+  const std::vector<Point> pts{{0.0, 0.0}, {1.0, 1.0}, {-1.0, 0.5}};
+  EXPECT_DOUBLE_EQ(HalfspaceDiscrepancy(f, pts, pts), 0.0);
+}
+
+TEST(DiscrepancyTest, HalfspaceDiscrepancyMatchesBruteForce) {
+  HalfspaceFamily2D f(6, 9, -1.5, 1.5);
+  Rng rng(23);
+  std::vector<Point> x, s;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back(Point{rng.NextDoubleIn(-1, 1), rng.NextDoubleIn(-1, 1)});
+  }
+  for (int i = 0; i < 8; ++i) {
+    s.push_back(Point{rng.NextDoubleIn(-1, 1), rng.NextDoubleIn(-1, 1)});
+  }
+  EXPECT_NEAR(HalfspaceDiscrepancy(f, x, s),
+              ExplicitDiscrepancyExact(f, x, s), 1e-12);
+}
+
+TEST(DiscrepancyTest, BoxDiscrepancy1DMatchesInterval) {
+  // In 1-D, box discrepancy over data-snapped boxes equals interval
+  // discrepancy on the values.
+  const std::vector<double> xv{1, 2, 3, 4, 5, 6};
+  const std::vector<double> sv{1, 6};
+  std::vector<Point> x, s;
+  for (double v : xv) x.push_back(Point{v});
+  for (double v : sv) s.push_back(Point{v});
+  EXPECT_NEAR(BoxDiscrepancyExact(x, s, 1),
+              IntervalDiscrepancy<double>(xv, sv), 1e-12);
+}
+
+TEST(DiscrepancyTest, BoxDiscrepancy2DDetectsMissingQuadrant) {
+  // Stream covers four quadrant corners; sample misses one.
+  const std::vector<Point> x{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<Point> s{{0, 0}, {0, 1}, {1, 0}};
+  // Worst box is {1}x{1}: stream density 1/4, sample density 0.
+  EXPECT_NEAR(BoxDiscrepancyExact(x, s, 2), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,125 @@
+#include "distributed/distributed_reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace robust_sampling {
+namespace {
+
+TEST(DistributedReservoirTest, HoldsEverythingWhileUnderCapacity) {
+  DistributedReservoir dr(3, 100, 1);
+  for (int64_t i = 0; i < 50; ++i) dr.Insert(static_cast<int>(i % 3), i);
+  auto sample = dr.Sample();
+  std::sort(sample.begin(), sample.end());
+  ASSERT_EQ(sample.size(), 50u);
+  for (int64_t i = 0; i < 50; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(DistributedReservoirTest, SampleSizeIsExactlyK) {
+  DistributedReservoir dr(4, 16, 2);
+  for (int64_t i = 0; i < 5000; ++i) dr.Insert(static_cast<int>(i % 4), i);
+  EXPECT_EQ(dr.Sample().size(), 16u);
+  EXPECT_EQ(dr.total_items(), 5000u);
+}
+
+TEST(DistributedReservoirTest, SampleIsSubsetOfUnion) {
+  DistributedReservoir dr(5, 20, 3);
+  std::set<int64_t> universe;
+  for (int64_t i = 0; i < 2000; ++i) {
+    dr.Insert(static_cast<int>(i % 5), i * 7);
+    universe.insert(i * 7);
+  }
+  for (int64_t v : dr.Sample()) EXPECT_TRUE(universe.count(v));
+}
+
+TEST(DistributedReservoirTest, UniformMarginalAcrossSites) {
+  // P(item in final sample) = k/n for every item, regardless of which site
+  // it arrived at.
+  constexpr size_t kK = 4, kN = 20, kRuns = 20000;
+  std::vector<int> counts(kN, 0);
+  for (size_t run = 0; run < kRuns; ++run) {
+    DistributedReservoir dr(3, kK, 100 + run);
+    for (size_t i = 0; i < kN; ++i) {
+      dr.Insert(static_cast<int>(i % 3), static_cast<int64_t>(i));
+    }
+    for (int64_t v : dr.Sample()) ++counts[static_cast<size_t>(v)];
+  }
+  const double expected = static_cast<double>(kRuns) * kK / kN;
+  const double sd = std::sqrt(expected * (1.0 - static_cast<double>(kK) / kN));
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(counts[i], expected, 6.0 * sd) << "item " << i;
+  }
+}
+
+TEST(DistributedReservoirTest, MessageCountIsSublinear) {
+  // Expected forwards ~ k + k ln(n/k) + m stale-threshold extras; far
+  // below n for large n.
+  constexpr size_t kK = 32;
+  constexpr size_t kN = 100000;
+  DistributedReservoir dr(8, kK, 5);
+  for (size_t i = 0; i < kN; ++i) {
+    dr.Insert(static_cast<int>(i % 8), static_cast<int64_t>(i));
+  }
+  const double budget =
+      10.0 * (static_cast<double>(kK) *
+                  (1.0 + std::log(static_cast<double>(kN) / kK)) +
+              8.0);
+  EXPECT_LT(static_cast<double>(dr.messages_sent()), budget);
+  EXPECT_LT(dr.messages_sent(), kN / 10);
+  // Broadcasts are bounded by accepted updates.
+  EXPECT_LE(dr.broadcasts(), dr.messages_sent());
+  EXPECT_GE(dr.broadcasts(), 1u);
+}
+
+TEST(DistributedReservoirTest, SingleSiteMatchesReservoirSemantics) {
+  DistributedReservoir dr(1, 10, 7);
+  for (int64_t i = 0; i < 1000; ++i) dr.Insert(0, i);
+  EXPECT_EQ(dr.Sample().size(), 10u);
+}
+
+TEST(DistributedReservoirTest, DeterministicGivenSeed) {
+  DistributedReservoir a(4, 8, 11), b(4, 8, 11);
+  for (int64_t i = 0; i < 2000; ++i) {
+    a.Insert(static_cast<int>(i % 4), i);
+    b.Insert(static_cast<int>(i % 4), i);
+  }
+  auto sa = a.Sample(), sb = b.Sample();
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(a.messages_sent(), b.messages_sent());
+}
+
+TEST(DistributedReservoirTest, SkewedSiteLoadsStillUniform) {
+  // Site 0 receives 90% of items; inclusion must still be uniform over
+  // items (tag-based bottom-k is oblivious to placement).
+  constexpr size_t kK = 5, kN = 20, kRuns = 20000;
+  std::vector<int> counts(kN, 0);
+  for (size_t run = 0; run < kRuns; ++run) {
+    DistributedReservoir dr(2, kK, 900 + run);
+    for (size_t i = 0; i < kN; ++i) {
+      dr.Insert(i % 10 == 9 ? 1 : 0, static_cast<int64_t>(i));
+    }
+    for (int64_t v : dr.Sample()) ++counts[static_cast<size_t>(v)];
+  }
+  const double expected = static_cast<double>(kRuns) * kK / kN;
+  const double sd = std::sqrt(expected * (1.0 - static_cast<double>(kK) / kN));
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(counts[i], expected, 6.0 * sd) << "item " << i;
+  }
+}
+
+TEST(DistributedReservoirDeathTest, InvalidArgumentsAbort) {
+  EXPECT_DEATH(DistributedReservoir(0, 4, 1), "site");
+  EXPECT_DEATH(DistributedReservoir(2, 0, 1), "capacity");
+  DistributedReservoir dr(2, 4, 1);
+  EXPECT_DEATH(dr.Insert(2, 5), "site");
+}
+
+}  // namespace
+}  // namespace robust_sampling

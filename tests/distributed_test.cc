@@ -1,0 +1,89 @@
+#include "distributed/load_balancer.h"
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "stream/generators.h"
+
+namespace robust_sampling {
+namespace {
+
+TEST(LoadBalancerTest, EveryQueryGoesToExactlyOneServer) {
+  LoadBalancedCluster cluster(4, 7);
+  for (int64_t q : UniformIntStream(1000, 100, 9)) cluster.Route(q);
+  const auto loads = cluster.Loads();
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), size_t{0}), 1000u);
+  EXPECT_EQ(cluster.TotalQueries(), 1000u);
+}
+
+TEST(LoadBalancerTest, RouteReturnsLastServer) {
+  LoadBalancedCluster cluster(8, 11);
+  for (int64_t q = 0; q < 50; ++q) {
+    const int s = cluster.Route(q);
+    EXPECT_EQ(s, cluster.last_server());
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 8);
+    EXPECT_EQ(cluster.ServerStream(s).back(), q);
+  }
+}
+
+TEST(LoadBalancerTest, LoadsAreBalanced) {
+  LoadBalancedCluster cluster(10, 13);
+  constexpr size_t kQueries = 100000;
+  for (size_t i = 0; i < kQueries; ++i) {
+    cluster.Route(static_cast<int64_t>(i));
+  }
+  const double expected = kQueries / 10.0;
+  const double sd = std::sqrt(expected * 0.9);
+  for (size_t load : cluster.Loads()) {
+    EXPECT_NEAR(static_cast<double>(load), expected, 6.0 * sd);
+  }
+}
+
+TEST(LoadBalancerTest, ServerSubstreamsPreserveArrivalOrder) {
+  LoadBalancedCluster cluster(3, 17);
+  for (int64_t q = 0; q < 500; ++q) cluster.Route(q);
+  for (int s = 0; s < 3; ++s) {
+    const auto& stream = cluster.ServerStream(s);
+    for (size_t i = 1; i < stream.size(); ++i) {
+      EXPECT_LT(stream[i - 1], stream[i]);  // increasing query ids
+    }
+  }
+}
+
+TEST(LoadBalancerTest, StaticStreamsGiveRepresentativeServers) {
+  // Section 1.2: each server's substream is a Bernoulli(1/K) sample of the
+  // stream; for a static (oblivious) workload, all servers are
+  // representative once n/K is large.
+  LoadBalancedCluster cluster(5, 19);
+  for (int64_t q : ZipfIntStream(50000, 1000, 1.1, 21)) cluster.Route(q);
+  for (double disc : cluster.PerServerPrefixDiscrepancy()) {
+    EXPECT_LT(disc, 0.03);
+  }
+}
+
+TEST(LoadBalancerTest, SingleServerSeesEverything) {
+  LoadBalancedCluster cluster(1, 23);
+  for (int64_t q = 0; q < 100; ++q) cluster.Route(q);
+  EXPECT_EQ(cluster.ServerStream(0).size(), 100u);
+  EXPECT_DOUBLE_EQ(cluster.PerServerPrefixDiscrepancy()[0], 0.0);
+}
+
+TEST(LoadBalancerTest, DeterministicGivenSeed) {
+  LoadBalancedCluster a(4, 29), b(4, 29);
+  for (int64_t q = 0; q < 1000; ++q) {
+    EXPECT_EQ(a.Route(q), b.Route(q));
+  }
+}
+
+TEST(LoadBalancerDeathTest, InvalidArgumentsAbort) {
+  EXPECT_DEATH(LoadBalancedCluster(0, 1), "at least one server");
+  LoadBalancedCluster cluster(2, 1);
+  EXPECT_DEATH(cluster.ServerStream(2), "server");
+  EXPECT_DEATH(cluster.ServerStream(-1), "server");
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,83 @@
+#include "core/estimators.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/reservoir_sampler.h"
+#include "gtest/gtest.h"
+#include "stream/generators.h"
+
+namespace robust_sampling {
+namespace {
+
+TEST(HoeffdingHalfWidthTest, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(HoeffdingHalfWidth(100, 0.05),
+                   std::sqrt(std::log(2.0 / 0.05) / 200.0));
+}
+
+TEST(HoeffdingHalfWidthTest, ShrinksWithSampleSize) {
+  EXPECT_GT(HoeffdingHalfWidth(10, 0.05), HoeffdingHalfWidth(1000, 0.05));
+}
+
+TEST(HoeffdingHalfWidthTest, GrowsWithConfidence) {
+  EXPECT_LT(HoeffdingHalfWidth(100, 0.1), HoeffdingHalfWidth(100, 0.001));
+}
+
+TEST(EstimateRangeTest, ExactOnFullSample) {
+  const std::vector<int64_t> sample{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto est = EstimateRange<int64_t>(
+      sample, 10, [](const int64_t& v) { return v <= 4; }, 0.05);
+  EXPECT_DOUBLE_EQ(est.density, 0.4);
+  EXPECT_DOUBLE_EQ(est.count, 4.0);
+  EXPECT_GT(est.half_width, 0.0);
+  EXPECT_LT(est.density_lo(), 0.4);
+  EXPECT_GT(est.density_hi(), 0.4);
+}
+
+TEST(EstimateRangeTest, CountScalesWithStreamSize) {
+  const std::vector<int64_t> sample{1, 2, 3, 4};
+  const auto est = EstimateRange<int64_t>(
+      sample, 1000, [](const int64_t& v) { return v % 2 == 0; }, 0.1);
+  EXPECT_DOUBLE_EQ(est.count, 500.0);
+}
+
+TEST(EstimateRangeTest, CoverageOnReservoirSamples) {
+  // The Hoeffding interval from a reservoir sample covers the true density
+  // for a post-specified range in well over 1 - delta of trials.
+  const double delta = 0.1;
+  const size_t n = 20000;
+  int covered = 0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto stream = UniformIntStream(n, 1000, 50 + t);
+    ReservoirSampler<int64_t> res(400, 90 + t);
+    size_t true_hits = 0;
+    for (int64_t v : stream) {
+      res.Insert(v);
+      true_hits += v <= 250;
+    }
+    const double truth = static_cast<double>(true_hits) / n;
+    const auto est = EstimateRange<int64_t>(
+        res.sample(), n, [](const int64_t& v) { return v <= 250; }, delta);
+    covered += truth >= est.density_lo() && truth <= est.density_hi();
+  }
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 1.0 - 2.0 * delta);
+}
+
+TEST(EstimateRankFractionTest, MatchesPredicateForm) {
+  const std::vector<int64_t> sample{10, 20, 30, 40};
+  const auto est = EstimateRankFraction<int64_t>(sample, 100, 25, 0.05);
+  EXPECT_DOUBLE_EQ(est.density, 0.5);
+  EXPECT_DOUBLE_EQ(est.count, 50.0);
+}
+
+TEST(EstimateRangeDeathTest, EmptySampleAborts) {
+  const std::vector<int64_t> empty;
+  EXPECT_DEATH(EstimateRange<int64_t>(
+                   empty, 10, [](const int64_t&) { return true; }, 0.05),
+               "empty sample");
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,263 @@
+// Randomized cross-validation ("fuzz") suite: every nontrivial algorithm is
+// checked against an independent reference implementation on thousands of
+// random inputs with fixed seeds.
+//
+//  * BigUint arithmetic vs native __int128
+//  * interval/prefix discrepancy vs an O(n^2) direct supremum
+//  * GK summary invariants (rank-band width <= 2 eps n; rmin monotone)
+//  * KLL weight conservation and rank-consistency under random merges
+//  * conservative-update CountMin sandwiched between truth and plain CM
+//  * reservoir inclusion probability under random stream lengths
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/big_uint.h"
+#include "core/random.h"
+#include "core/reservoir_sampler.h"
+#include "gtest/gtest.h"
+#include "heavy/count_min.h"
+#include "heavy/exact_counter.h"
+#include "quantiles/exact_quantiles.h"
+#include "quantiles/gk_sketch.h"
+#include "quantiles/kll_sketch.h"
+#include "setsystem/discrepancy.h"
+
+namespace robust_sampling {
+namespace {
+
+// ----------------------------------------------------------- BigUint ----
+
+BigUint FromU128(unsigned __int128 v) {
+  const uint64_t lo = static_cast<uint64_t>(v);
+  const uint64_t hi = static_cast<uint64_t>(v >> 64);
+  return BigUint(hi).ShiftLeft(64) + BigUint(lo);
+}
+
+TEST(BigUintFuzzTest, ArithmeticMatchesInt128) {
+  Rng rng(0xF0);
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Keep operands < 2^63 so products fit in 128 bits.
+    const uint64_t a64 = rng.NextUint64() >> (1 + rng.NextBelow(40));
+    const uint64_t b64 = rng.NextUint64() >> (1 + rng.NextBelow(40));
+    const unsigned __int128 a = a64, b = b64;
+    const BigUint A(a64), B(b64);
+    EXPECT_EQ(A + B, FromU128(a + b));
+    if (a64 >= b64) {
+      EXPECT_EQ(A - B, FromU128(a - b));
+    }
+    EXPECT_EQ(A.MulU64(b64), FromU128(a * b));
+    if (b64 != 0) {
+      EXPECT_EQ(A.DivU64(b64), FromU128(a / b));
+      EXPECT_EQ(A.ModU64(b64), static_cast<uint64_t>(a % b));
+    }
+    EXPECT_EQ(A < B, a < b);
+    EXPECT_EQ(A == B, a == b);
+  }
+}
+
+TEST(BigUintFuzzTest, ShiftRoundTrips) {
+  Rng rng(0xF1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const BigUint v(rng.NextUint64());
+    const uint32_t s = static_cast<uint32_t>(rng.NextBelow(300));
+    EXPECT_EQ(v.ShiftLeft(s).ShiftRight(s), v);
+  }
+}
+
+TEST(BigUintFuzzTest, MulDivRoundTripsMultiLimb) {
+  Rng rng(0xF2);
+  for (int trial = 0; trial < 1000; ++trial) {
+    BigUint v(rng.NextUint64());
+    v = v.ShiftLeft(static_cast<uint32_t>(rng.NextBelow(200)));
+    v = v + BigUint(rng.NextUint64());
+    const uint64_t d = rng.NextUint64() | 1;  // nonzero
+    const BigUint q = v.DivU64(d);
+    const uint64_t r = v.ModU64(d);
+    EXPECT_EQ(q.MulU64(d) + BigUint(r), v);
+    EXPECT_LT(r, d);
+  }
+}
+
+// ------------------------------------------------------- Discrepancy ----
+
+// O(n^2) direct supremum over intervals with endpoints at data values.
+double SlowIntervalDiscrepancy(std::vector<double> x, std::vector<double> s) {
+  std::vector<double> values = x;
+  values.insert(values.end(), s.begin(), s.end());
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  double best = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = i; j < values.size(); ++j) {
+      const double lo = values[i], hi = values[j];
+      size_t cx = 0, cs = 0;
+      for (double v : x) cx += v >= lo && v <= hi;
+      for (double v : s) cs += v >= lo && v <= hi;
+      best = std::max(best,
+                      std::abs(static_cast<double>(cx) / x.size() -
+                               static_cast<double>(cs) / s.size()));
+    }
+  }
+  return best;
+}
+
+TEST(DiscrepancyFuzzTest, IntervalMatchesQuadraticReference) {
+  Rng rng(0xF3);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<double> x, s;
+    const size_t nx = 2 + rng.NextBelow(40);
+    const size_t ns = 1 + rng.NextBelow(12);
+    for (size_t i = 0; i < nx; ++i) {
+      x.push_back(static_cast<double>(rng.NextBelow(15)));
+    }
+    for (size_t i = 0; i < ns; ++i) {
+      s.push_back(static_cast<double>(rng.NextBelow(15)));
+    }
+    EXPECT_NEAR(IntervalDiscrepancy(x, s), SlowIntervalDiscrepancy(x, s),
+                1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(DiscrepancyFuzzTest, PrefixIsKsDistance) {
+  // Prefix discrepancy equals the classical two-sided KS statistic,
+  // computed here directly from sorted arrays.
+  Rng rng(0xF4);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<double> x, s;
+    for (size_t i = 0; i < 50; ++i) x.push_back(rng.NextDouble());
+    for (size_t i = 0; i < 9; ++i) s.push_back(rng.NextDouble());
+    double ks = 0.0;
+    for (double v : x) {
+      size_t cx = 0, cs = 0;
+      for (double w : x) cx += w <= v;
+      for (double w : s) cs += w <= v;
+      ks = std::max(ks, std::abs(static_cast<double>(cx) / x.size() -
+                                 static_cast<double>(cs) / s.size()));
+    }
+    for (double v : s) {
+      size_t cx = 0, cs = 0;
+      for (double w : x) cx += w <= v;
+      for (double w : s) cs += w <= v;
+      ks = std::max(ks, std::abs(static_cast<double>(cx) / x.size() -
+                                 static_cast<double>(cs) / s.size()));
+    }
+    EXPECT_NEAR(PrefixDiscrepancy(x, s), ks, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------- GK ----
+
+TEST(GkFuzzTest, AllQuantilesWithinEpsOnRandomDistributions) {
+  Rng rng(0xF5);
+  const double eps = 0.05;
+  for (int trial = 0; trial < 8; ++trial) {
+    GkSketch g(eps);
+    ExactQuantiles exact;
+    const size_t n = 5000 + rng.NextBelow(10000);
+    const int dist = trial % 4;
+    for (size_t i = 0; i < n; ++i) {
+      double v;
+      switch (dist) {
+        case 0: v = rng.NextDouble(); break;
+        case 1: v = static_cast<double>(i); break;                  // sorted
+        case 2: v = static_cast<double>(n - i); break;              // reverse
+        default: v = static_cast<double>(rng.NextBelow(7)); break;  // ties
+      }
+      g.Insert(v);
+      exact.Insert(v);
+    }
+    for (double q = 0.05; q < 1.0; q += 0.05) {
+      EXPECT_LE(exact.RankError(q, g.Quantile(q)), eps + 1e-9)
+          << "trial " << trial << " q=" << q;
+    }
+  }
+}
+
+// --------------------------------------------------------------- KLL ----
+
+TEST(KllFuzzTest, RandomMergeTreesConserveWeightAndAccuracy) {
+  Rng rng(0xF6);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Build 8 sketches over random chunks, merge them in random order.
+    std::vector<KllSketch> parts;
+    ExactQuantiles exact;
+    size_t total = 0;
+    for (int p = 0; p < 8; ++p) {
+      parts.emplace_back(256, MixSeed(0xF6, trial * 100 + p));
+      const size_t n = 1000 + rng.NextBelow(4000);
+      total += n;
+      for (size_t i = 0; i < n; ++i) {
+        const double v = rng.NextGaussian() * (p + 1);
+        parts.back().Insert(v);
+        exact.Insert(v);
+      }
+    }
+    while (parts.size() > 1) {
+      const size_t a = rng.NextBelow(parts.size());
+      size_t b = rng.NextBelow(parts.size());
+      while (b == a) b = rng.NextBelow(parts.size());
+      parts[std::min(a, b)].Merge(parts[std::max(a, b)]);
+      parts.erase(parts.begin() + static_cast<int64_t>(std::max(a, b)));
+    }
+    EXPECT_EQ(parts[0].StreamSize(), total);
+    EXPECT_NEAR(parts[0].RankFraction(1e18), 1.0, 1e-12);
+    for (double q : {0.1, 0.5, 0.9}) {
+      EXPECT_LE(exact.RankError(q, parts[0].Quantile(q)), 0.08)
+          << "trial " << trial << " q=" << q;
+    }
+  }
+}
+
+// ---------------------------------------------- conservative CountMin ----
+
+TEST(CountMinFuzzTest, ConservativeSandwichedBetweenTruthAndPlain) {
+  Rng rng(0xF7);
+  for (int trial = 0; trial < 10; ++trial) {
+    CountMinSketch plain(64, 3, 42 + trial);
+    CountMinSketch cu(64, 3, 42 + trial, 1024, /*conservative_update=*/true);
+    ExactCounter exact;
+    for (int i = 0; i < 5000; ++i) {
+      const int64_t x = static_cast<int64_t>(rng.NextBelow(500));
+      plain.Insert(x);
+      cu.Insert(x);
+      exact.Insert(x);
+    }
+    for (int64_t x = 0; x < 500; ++x) {
+      const uint64_t truth = exact.Count(x);
+      EXPECT_GE(cu.EstimateCount(x), truth) << "x=" << x;
+      EXPECT_LE(cu.EstimateCount(x), plain.EstimateCount(x)) << "x=" << x;
+    }
+  }
+}
+
+// ----------------------------------------------------------- Reservoir ----
+
+TEST(ReservoirFuzzTest, InclusionProbabilityAcrossRandomShapes) {
+  Rng shape_rng(0xF8);
+  for (int shape = 0; shape < 4; ++shape) {
+    const size_t k = 1 + shape_rng.NextBelow(6);
+    const size_t n = k + 1 + shape_rng.NextBelow(30);
+    constexpr size_t kRuns = 12000;
+    std::vector<int> counts(n, 0);
+    for (size_t run = 0; run < kRuns; ++run) {
+      ReservoirSampler<int64_t> s(k, MixSeed(0xF8A, shape * 100000 + run));
+      for (size_t i = 0; i < n; ++i) s.Insert(static_cast<int64_t>(i));
+      for (int64_t v : s.sample()) ++counts[static_cast<size_t>(v)];
+    }
+    const double p = static_cast<double>(k) / static_cast<double>(n);
+    const double expected = kRuns * p;
+    const double sd = std::sqrt(expected * (1.0 - p));
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(counts[i], expected, 6.0 * sd + 1.0)
+          << "shape " << shape << " (k=" << k << ", n=" << n << ") item "
+          << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,157 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "core/random.h"
+#include "gtest/gtest.h"
+#include "stream/zipf.h"
+
+namespace robust_sampling {
+namespace {
+
+TEST(ZipfDistributionTest, ProbabilitiesSumToOne) {
+  ZipfDistribution z(100, 1.1);
+  double total = 0.0;
+  for (int64_t i = 1; i <= 100; ++i) total += z.Probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfDistributionTest, ProbabilitiesAreDecreasing) {
+  ZipfDistribution z(50, 1.0);
+  for (int64_t i = 2; i <= 50; ++i) {
+    EXPECT_LE(z.Probability(i), z.Probability(i - 1) + 1e-15);
+  }
+}
+
+TEST(ZipfDistributionTest, ZeroExponentIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (int64_t i = 1; i <= 10; ++i) {
+    EXPECT_NEAR(z.Probability(i), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfDistributionTest, SamplesMatchProbabilities) {
+  ZipfDistribution z(20, 1.2);
+  Rng rng(5);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(21, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const int64_t v = z.Sample(rng);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 20);
+    ++counts[v];
+  }
+  for (int64_t i = 1; i <= 20; ++i) {
+    const double expected = kDraws * z.Probability(i);
+    EXPECT_NEAR(counts[i], expected, 6.0 * std::sqrt(expected) + 6.0)
+        << "element " << i;
+  }
+}
+
+TEST(ZipfDistributionTest, HeadDominatesForLargeExponent) {
+  ZipfDistribution z(1000, 2.0);
+  EXPECT_GT(z.Probability(1), 0.5);
+}
+
+TEST(UniformIntStreamTest, RangeAndDeterminism) {
+  const auto a = UniformIntStream(1000, 50, 7);
+  const auto b = UniformIntStream(1000, 50, 7);
+  EXPECT_EQ(a, b);
+  for (int64_t v : a) {
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(UniformIntStreamTest, CoversUniverse) {
+  const auto s = UniformIntStream(5000, 10, 11);
+  std::vector<int> counts(11, 0);
+  for (int64_t v : s) ++counts[v];
+  for (int64_t i = 1; i <= 10; ++i) EXPECT_GT(counts[i], 0);
+}
+
+TEST(ZipfIntStreamTest, SkewedTowardSmallElements) {
+  const auto s = ZipfIntStream(10000, 1000, 1.5, 13);
+  size_t head = 0;
+  for (int64_t v : s) head += v <= 10;
+  // Zipf(1.5) over 1000 elements puts well over half the mass on the top 10.
+  EXPECT_GT(head, s.size() / 2);
+}
+
+TEST(SortedIntStreamTest, AscendingWithWraparound) {
+  const auto s = SortedIntStream(25, 10);
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i], static_cast<int64_t>(i % 10) + 1);
+  }
+}
+
+TEST(GaussianIntStreamTest, ClampedAndCentered) {
+  const auto s = GaussianIntStream(20000, 1000, 0.5, 0.1, 17);
+  double sum = 0.0;
+  for (int64_t v : s) {
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1000);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / static_cast<double>(s.size()), 500.0, 5.0);
+}
+
+TEST(UniformDoubleStreamTest, RangeRespected) {
+  const auto s = UniformDoubleStream(5000, -2.0, 3.0, 19);
+  for (double v : s) {
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+  const double mean = std::accumulate(s.begin(), s.end(), 0.0) / s.size();
+  EXPECT_NEAR(mean, 0.5, 0.1);
+}
+
+TEST(UniformPointStreamTest, DimsAndRange) {
+  const auto s = UniformPointStream(1000, 3, 0.0, 1.0, 23);
+  for (const Point& p : s) {
+    ASSERT_EQ(p.size(), 3u);
+    for (double c : p) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LT(c, 1.0);
+    }
+  }
+}
+
+TEST(GaussianMixturePointStreamTest, PointsClusterAroundCenters) {
+  const std::vector<Point> centers{{0.0, 0.0}, {10.0, 10.0}};
+  const auto s = GaussianMixturePointStream(4000, centers, 0.5, 29);
+  size_t near_any = 0;
+  for (const Point& p : s) {
+    for (const Point& c : centers) {
+      const double dx = p[0] - c[0], dy = p[1] - c[1];
+      if (std::sqrt(dx * dx + dy * dy) < 3.0) {
+        ++near_any;
+        break;
+      }
+    }
+  }
+  // With sd = 0.5, essentially every point is within 3.0 of its center.
+  EXPECT_GT(near_any, s.size() * 99 / 100);
+}
+
+TEST(GaussianMixturePointStreamTest, BothCentersUsed) {
+  const std::vector<Point> centers{{0.0, 0.0}, {10.0, 10.0}};
+  const auto s = GaussianMixturePointStream(1000, centers, 0.1, 31);
+  size_t near_first = 0;
+  for (const Point& p : s) near_first += p[0] < 5.0;
+  EXPECT_GT(near_first, 300u);
+  EXPECT_LT(near_first, 700u);
+}
+
+TEST(GeneratorDeathTest, InvalidParametersAbort) {
+  EXPECT_DEATH(UniformIntStream(10, 0, 1), "universe_size");
+  EXPECT_DEATH(ZipfDistribution(10, -1.0), "non-negative");
+  EXPECT_DEATH(UniformDoubleStream(10, 1.0, 1.0, 1), "lo < hi");
+  EXPECT_DEATH(GaussianMixturePointStream(10, {}, 1.0, 1), "empty");
+}
+
+}  // namespace
+}  // namespace robust_sampling

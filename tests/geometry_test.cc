@@ -1,0 +1,192 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "core/random.h"
+#include "geometry/center_point.h"
+#include "geometry/clustering.h"
+#include "geometry/range_counting.h"
+#include "gtest/gtest.h"
+#include "stream/generators.h"
+
+namespace robust_sampling {
+namespace {
+
+// -------------------------------------------------------- Range counting --
+
+TEST(RangeCountingTest, ExactBoxCount) {
+  const std::vector<Point> pts{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  RectangleFamily::Box box;
+  box.lo = {2, 2};
+  box.hi = {3, 3};
+  EXPECT_EQ(ExactBoxCount(pts, box), 2u);
+}
+
+TEST(RangeCountingTest, ExactWhenSampleHoldsEverything) {
+  SampleRangeCounter counter(10000, 3);
+  std::vector<Point> pts;
+  for (int64_t i = 1; i <= 100; ++i) {
+    const Point p{static_cast<double>(i % 10 + 1),
+                  static_cast<double>(i % 7 + 1)};
+    pts.push_back(p);
+    counter.Insert(p);
+  }
+  RectangleFamily::Box box;
+  box.lo = {1, 1};
+  box.hi = {5, 4};
+  EXPECT_DOUBLE_EQ(counter.EstimateCount(box),
+                   static_cast<double>(ExactBoxCount(pts, box)));
+}
+
+TEST(RangeCountingTest, ApproximatesCountsOnUniformPoints) {
+  const double eps = 0.05;
+  SampleRangeCounter counter =
+      SampleRangeCounter::ForAccuracy(eps, 0.05, 64, 2, 7);
+  const auto pts = UniformPointStream(100000, 2, 1.0, 65.0, 11);
+  for (const Point& p : pts) counter.Insert(p);
+  RectangleFamily family(64, 2);
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto box = family.RangeBox(rng.NextBelow(family.NumRanges()));
+    const double exact = static_cast<double>(ExactBoxCount(pts, box));
+    const double est = counter.EstimateCount(box);
+    EXPECT_NEAR(est, exact, eps * static_cast<double>(pts.size()))
+        << "trial " << trial;
+  }
+}
+
+TEST(RangeCountingTest, DensityInUnitInterval) {
+  SampleRangeCounter counter(100, 17);
+  for (const Point& p : UniformPointStream(5000, 2, 0.0, 10.0, 19)) {
+    counter.Insert(p);
+  }
+  RectangleFamily::Box box;
+  box.lo = {1, 1};
+  box.hi = {5, 5};
+  const double d = counter.EstimateDensity(box);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+// ---------------------------------------------------------- Center point --
+
+TEST(CenterPointTest, CentroidOfSymmetricCloudIsDeep) {
+  // Points on a circle: the center has depth ~1/2 under any direction.
+  std::vector<Point> pts;
+  for (int i = 0; i < 360; ++i) {
+    const double t = i * std::numbers::pi / 180.0;
+    pts.push_back(Point{std::cos(t), std::sin(t)});
+  }
+  EXPECT_GT(TukeyDepth2D(pts, Point{0.0, 0.0}, 32), 0.45);
+}
+
+TEST(CenterPointTest, ExtremePointIsShallow) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back(Point{static_cast<double>(i % 10),
+                        static_cast<double>(i / 10)});
+  }
+  // A point far outside the cloud has depth ~0 (some halfspace containing
+  // it contains almost nothing).
+  EXPECT_LT(TukeyDepth2D(pts, Point{100.0, 100.0}, 32), 0.05);
+}
+
+TEST(CenterPointTest, IsBetaCenterThreshold) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 360; ++i) {
+    const double t = i * std::numbers::pi / 180.0;
+    pts.push_back(Point{std::cos(t), std::sin(t)});
+  }
+  EXPECT_TRUE(IsBetaCenter2D(pts, Point{0.0, 0.0}, 0.4, 32));
+  EXPECT_FALSE(IsBetaCenter2D(pts, Point{2.0, 0.0}, 0.4, 32));
+}
+
+TEST(CenterPointTest, ApproximateCenterIsAOneThirdCenter) {
+  // The planar centerpoint theorem guarantees a 1/3-center exists; our
+  // candidate search must find a point of depth >= ~1/3 on benign data.
+  const auto pts = UniformPointStream(500, 2, 0.0, 1.0, 23);
+  const Point c = ApproximateCenter2D(pts, 16);
+  EXPECT_GE(TukeyDepth2D(pts, c, 16), 1.0 / 3.0 - 0.02);
+}
+
+TEST(CenterPointTest, CenterOfSampleIsCenterOfPopulation) {
+  // The paper's application: a (beta + eps)-center of a representative
+  // sample is a beta-center of the full set.
+  const auto all = UniformPointStream(20000, 2, 0.0, 1.0, 29);
+  const std::vector<Point> sample(all.begin(), all.begin() + 1000);
+  const Point c = ApproximateCenter2D(sample, 16);
+  const double depth_sample = TukeyDepth2D(sample, c, 16);
+  const double depth_all = TukeyDepth2D(all, c, 16);
+  EXPECT_GE(depth_all, depth_sample - 0.05);
+}
+
+TEST(CenterPointDeathTest, EmptyInputsAbort) {
+  EXPECT_DEATH(TukeyDepth2D({}, Point{0, 0}, 8), "empty");
+  EXPECT_DEATH(ApproximateCenter2D({}, 8), "empty");
+}
+
+// ------------------------------------------------------------ Clustering --
+
+TEST(ClusteringTest, SquaredDistanceBasics) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(ClusteringTest, CostZeroWhenCentersCoverPoints) {
+  const std::vector<Point> pts{{0, 0}, {5, 5}};
+  EXPECT_DOUBLE_EQ(KMeansCost(pts, pts), 0.0);
+}
+
+TEST(ClusteringTest, KMeansRecoversWellSeparatedClusters) {
+  const std::vector<Point> centers{{0.0, 0.0}, {100.0, 0.0}, {0.0, 100.0}};
+  const auto pts = GaussianMixturePointStream(3000, centers, 1.0, 31);
+  const auto result = KMeans(pts, 3, 33);
+  ASSERT_EQ(result.centers.size(), 3u);
+  // Every true center is close to some found center.
+  for (const Point& c : centers) {
+    double best = 1e300;
+    for (const Point& f : result.centers) {
+      best = std::min(best, std::sqrt(SquaredDistance(c, f)));
+    }
+    EXPECT_LT(best, 2.0);
+  }
+  // Cost ~ dims * sd^2 = 2.
+  EXPECT_LT(result.cost, 4.0);
+}
+
+TEST(ClusteringTest, MoreCentersNeverIncreaseCostMuch) {
+  const auto pts = UniformPointStream(2000, 2, 0.0, 10.0, 37);
+  const double c2 = KMeans(pts, 2, 39).cost;
+  const double c8 = KMeans(pts, 8, 39).cost;
+  EXPECT_LT(c8, c2 + 1e-9);
+}
+
+TEST(ClusteringTest, SampleClusteringApproximatesFullClustering) {
+  // The paper's clustering-on-a-sample framework: centers fit on a sample
+  // have near-optimal cost on the full data.
+  const std::vector<Point> centers{{0.0, 0.0}, {50.0, 0.0}, {25.0, 40.0}};
+  const auto all = GaussianMixturePointStream(20000, centers, 2.0, 41);
+  const std::vector<Point> sample(all.begin(), all.begin() + 1000);
+  const auto full_fit = KMeans(all, 3, 43);
+  const auto sample_fit = KMeans(sample, 3, 43);
+  const double cost_extrapolated = KMeansCost(all, sample_fit.centers);
+  EXPECT_LT(cost_extrapolated, 1.5 * full_fit.cost + 1.0);
+}
+
+TEST(ClusteringTest, DeterministicGivenSeed) {
+  const auto pts = UniformPointStream(500, 2, 0.0, 1.0, 47);
+  const auto a = KMeans(pts, 4, 49);
+  const auto b = KMeans(pts, 4, 49);
+  EXPECT_EQ(a.centers, b.centers);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(ClusteringDeathTest, InvalidArgumentsAbort) {
+  const std::vector<Point> pts{{0, 0}};
+  EXPECT_DEATH(KMeans(pts, 2, 1), "fewer points than clusters");
+}
+
+}  // namespace
+}  // namespace robust_sampling

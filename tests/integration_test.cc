@@ -1,0 +1,213 @@
+// End-to-end checks of the paper's headline claims, run as small versions
+// of the bench/ experiments: Theorem 1.2 (robust sample sizes defeat the
+// attack), Theorem 1.3 (undersized samples are defeated — over the
+// exponentially large universes the theorem requires), and the Section 1.2
+// applications under adversarial streams.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "adversary/basic_adversaries.h"
+#include "adversary/bisection_adversary.h"
+#include "core/adversarial_game.h"
+#include "core/bernoulli_sampler.h"
+#include "core/big_uint.h"
+#include "core/reservoir_sampler.h"
+#include "core/sample_bounds.h"
+#include "gtest/gtest.h"
+#include "harness/trial_runner.h"
+#include "quantiles/exact_quantiles.h"
+#include "setsystem/discrepancy.h"
+
+namespace robust_sampling {
+namespace {
+
+DiscrepancyFn<int64_t> PrefixFnInt() {
+  return [](const std::vector<int64_t>& x, const std::vector<int64_t>& s) {
+    return PrefixDiscrepancy(x, s);
+  };
+}
+
+DiscrepancyFn<BigUint> PrefixFnBig() {
+  return [](const std::vector<BigUint>& x, const std::vector<BigUint>& s) {
+    return PrefixDiscrepancy(x, s);
+  };
+}
+
+// Bisection attack against ReservoirSample(k) over a universe with
+// ln N = log_universe; returns the final prefix discrepancy.
+double AttackReservoirOnce(size_t k, size_t n, double split,
+                           double log_universe, uint64_t seed) {
+  BisectionAdversaryBig adv(BigUint::ApproxExp(log_universe), split);
+  ReservoirSampler<BigUint> sampler(k, seed);
+  return RunAdaptiveGame(sampler, adv, n, PrefixFnBig(), 0.25).discrepancy;
+}
+
+double AttackBernoulliOnce(double p, size_t n, double split,
+                           double log_universe, uint64_t seed) {
+  BisectionAdversaryBig adv(BigUint::ApproxExp(log_universe), split);
+  BernoulliSampler<BigUint> sampler(p, seed);
+  return RunAdaptiveGame(sampler, adv, n, PrefixFnBig(), 0.25).discrepancy;
+}
+
+TEST(TheoremOneTwoTest, RobustReservoirSurvivesBisectionAttack) {
+  // k sized by Theorem 1.2 for the prefix family over a universe with
+  // ln N = 60. At this k the attack cannot sustain its range (it needs
+  // ln N >> k' per accepted element), so it stalls and the sample stays
+  // representative — exactly the theorem's message.
+  const double eps = 0.25, delta = 0.1;
+  const double log_universe = 60.0;
+  const size_t k = ReservoirRobustK(eps, delta, log_universe);
+  const size_t n = 4000;
+  const double split = 1.0 - std::log(static_cast<double>(n)) / n;
+  const auto stats = RunTrials(10, 1001, [&](uint64_t seed) {
+    return AttackReservoirOnce(k, n, split, log_universe, seed);
+  });
+  // Theorem 1.2 promises failure probability <= delta = 0.1; allow slack.
+  EXPECT_GE(stats.FractionAtMost(eps), 0.8)
+      << "mean discrepancy " << stats.mean;
+}
+
+TEST(TheoremOneTwoTest, RobustBernoulliSurvivesBisectionAttack) {
+  const double eps = 0.25, delta = 0.1;
+  const double log_universe = 60.0;
+  const size_t n = 20000;  // large enough that the required p is < 1
+  const double p = BernoulliRobustP(eps, delta, log_universe, n);
+  ASSERT_LT(p, 1.0);
+  const double p_prime =
+      std::max(p, std::log(static_cast<double>(n)) / n);
+  const auto stats = RunTrials(10, 2001, [&](uint64_t seed) {
+    return AttackBernoulliOnce(p, n, 1.0 - p_prime, log_universe, seed);
+  });
+  EXPECT_GE(stats.FractionAtMost(eps), 0.8)
+      << "mean discrepancy " << stats.mean;
+}
+
+TEST(TheoremOneThreeTest, UndersizedReservoirIsDefeated) {
+  // k far below ln N / ln n with a universe large enough for the attack to
+  // run all n rounds: discrepancy exceeds 1/2 (Theorem 1.3, part 2).
+  const size_t n = 4000;
+  const size_t k = 3;
+  const double log_universe = 300.0;
+  const auto stats = RunTrials(10, 3001, [&](uint64_t seed) {
+    return AttackReservoirOnce(k, n, 0.99, log_universe, seed);
+  });
+  EXPECT_GE(stats.FractionAtLeast(0.5), 0.9)
+      << "mean discrepancy " << stats.mean;
+}
+
+TEST(TheoremOneThreeTest, UndersizedBernoulliIsDefeated) {
+  const size_t n = 4000;
+  const double p_prime = std::log(static_cast<double>(n)) / n;
+  const double log_universe = 300.0;
+  const auto stats = RunTrials(10, 4001, [&](uint64_t seed) {
+    return AttackBernoulliOnce(p_prime, n, 1.0 - p_prime, log_universe,
+                               seed);
+  });
+  EXPECT_GE(stats.FractionAtLeast(0.5), 0.9)
+      << "mean discrepancy " << stats.mean;
+}
+
+TEST(TheoremOneThreeTest, AttackedSampleIsExactlyTheSmallestElements) {
+  // The Bernoulli attack's signature end state (Claim 5.2): the sample is
+  // precisely the |S| smallest stream elements.
+  BisectionAdversaryBig adv(BigUint::ApproxExp(300.0), 0.99);
+  BernoulliSampler<BigUint> sampler(0.01, 77);
+  const auto result =
+      RunAdaptiveGame(sampler, adv, 2000, PrefixFnBig(), 0.25);
+  ASSERT_FALSE(adv.exhausted());
+  ASSERT_FALSE(result.sample.empty());
+  auto sorted_stream = result.stream;
+  std::sort(sorted_stream.begin(), sorted_stream.end());
+  auto sorted_sample = result.sample;
+  std::sort(sorted_sample.begin(), sorted_sample.end());
+  for (size_t i = 0; i < sorted_sample.size(); ++i) {
+    EXPECT_EQ(sorted_sample[i], sorted_stream[i]);
+  }
+  EXPECT_GT(result.discrepancy, 0.9);
+}
+
+TEST(StaticVsAdaptiveTest, StaticSampleSizeSufficesOnlyWithoutAdaptivity) {
+  // E6's core contrast at test scale: the prefix family has VC-dimension 1,
+  // so the *static* bound gives a small k. An oblivious stream is handled
+  // fine at that size; the adaptive bisection attack (over a universe sized
+  // so it can run) is not.
+  const double eps = 0.25, delta = 0.1;
+  const size_t k = ReservoirStaticK(eps, delta, /*vc_dimension=*/1.0);
+  const size_t n = 4000;
+  const auto static_stats = RunTrials(10, 5001, [&](uint64_t seed) {
+    UniformAdversary adv(1 << 30, MixSeed(seed, 1));
+    ReservoirSampler<int64_t> sampler(k, seed);
+    return RunAdaptiveGame(sampler, adv, n, PrefixFnInt(), eps).discrepancy;
+  });
+  EXPECT_GE(static_stats.FractionAtMost(eps), 0.8);
+  // The adaptive attack at the same k: needs ln N ~ k ln n room. The
+  // robust (Theorem 1.2) size for this universe would be ~2*ln N/eps^2,
+  // far above the static k — so the attack wins here.
+  const double log_universe = 3000.0;
+  ASSERT_GT(ReservoirRobustK(eps, delta, log_universe), 10 * k);
+  const auto adaptive_stats = RunTrials(10, 6001, [&](uint64_t seed) {
+    return AttackReservoirOnce(k, n, 0.99, log_universe, seed);
+  });
+  EXPECT_LE(adaptive_stats.FractionAtMost(eps), 0.5)
+      << "attack failed to beat the static-size sample; mean discrepancy "
+      << adaptive_stats.mean;
+}
+
+TEST(QuantileApplicationTest, AttackedReservoirQuantilesStayAccurate) {
+  // Corollary 1.5 at test scale: a reservoir sized for the prefix family
+  // over the attack universe gives eps-accurate quantiles under attack.
+  const double eps = 0.2, delta = 0.1;
+  const double log_universe = 60.0;
+  const size_t k =
+      ReservoirRobustK(eps, delta, log_universe);  // Cor. 1.5 form
+  const size_t n = 6000;
+  BisectionAdversaryBig adv(BigUint::ApproxExp(log_universe), 0.995);
+  ReservoirSampler<BigUint> sampler(k, 88);
+  const auto result = RunAdaptiveGame(sampler, adv, n, PrefixFnBig(), eps);
+  // Rank error of the sample median within eps.
+  auto sorted_stream = result.stream;
+  std::sort(sorted_stream.begin(), sorted_stream.end());
+  auto sample = result.sample;
+  std::sort(sample.begin(), sample.end());
+  const BigUint& sample_median = sample[sample.size() / 2];
+  // Rank of the sample median in the stream.
+  const auto lo = std::lower_bound(sorted_stream.begin(), sorted_stream.end(),
+                                   sample_median);
+  const auto hi = std::upper_bound(sorted_stream.begin(), sorted_stream.end(),
+                                   sample_median);
+  const double f_lo =
+      static_cast<double>(lo - sorted_stream.begin()) / n;
+  const double f_hi =
+      static_cast<double>(hi - sorted_stream.begin()) / n;
+  const double rank_error =
+      std::max(0.0, std::max(f_lo - 0.5, 0.5 - f_hi));
+  EXPECT_LE(rank_error, eps);
+}
+
+TEST(GreedyGapAdversaryTest, SingleRangeAttackBoundedByLemma41) {
+  // Lemma 4.1: against a single fixed range, even an adaptive adversary
+  // cannot push the density gap past eps at k = 2 ln(2/delta)/eps^2.
+  const double eps = 0.2, delta = 0.1;
+  const size_t k = ReservoirSingleRangeK(eps, delta);
+  const size_t n = 3000;
+  const auto stats = RunTrials(15, 7001, [&](uint64_t seed) {
+    GreedyGapAdversary<int64_t> adv(
+        [](const int64_t& v) { return v <= 100; }, 50, 1000);
+    ReservoirSampler<int64_t> sampler(k, seed);
+    const auto result = RunAdaptiveGame(sampler, adv, n, PrefixFnInt(), eps);
+    size_t in_stream = 0, in_sample = 0;
+    for (int64_t v : result.stream) in_stream += v <= 100;
+    for (int64_t v : result.sample) in_sample += v <= 100;
+    const double dx = static_cast<double>(in_stream) / n;
+    const double ds = static_cast<double>(in_sample) /
+                      static_cast<double>(result.sample.size());
+    return std::abs(dx - ds);
+  });
+  EXPECT_GE(stats.FractionAtMost(eps), 0.85) << "mean gap " << stats.mean;
+}
+
+}  // namespace
+}  // namespace robust_sampling

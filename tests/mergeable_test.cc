@@ -1,0 +1,132 @@
+// Tests for the mergeable-summary operations (KLL::Merge,
+// MisraGries::Merge): merged sketches must summarize the concatenated
+// streams within their error budgets.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "heavy/exact_counter.h"
+#include "heavy/misra_gries.h"
+#include "quantiles/exact_quantiles.h"
+#include "quantiles/kll_sketch.h"
+#include "stream/generators.h"
+
+namespace robust_sampling {
+namespace {
+
+TEST(KllMergeTest, StreamSizeIsSumOfParts) {
+  KllSketch a(64, 1), b(64, 2);
+  for (int i = 0; i < 1000; ++i) a.Insert(static_cast<double>(i));
+  for (int i = 0; i < 500; ++i) b.Insert(static_cast<double>(i));
+  a.Merge(b);
+  EXPECT_EQ(a.StreamSize(), 1500u);
+  // Weight conservation: max rank is exactly 1.
+  EXPECT_NEAR(a.RankFraction(1e18), 1.0, 1e-12);
+}
+
+TEST(KllMergeTest, MergeWithEmptyIsIdentity) {
+  KllSketch a(64, 3), empty(64, 4);
+  for (int i = 0; i < 2000; ++i) a.Insert(static_cast<double>(i % 101));
+  const double before = a.Quantile(0.5);
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), before);
+  EXPECT_EQ(a.StreamSize(), 2000u);
+}
+
+TEST(KllMergeTest, MergedQuantilesApproximateConcatenation) {
+  // Two disjoint halves: [0,1) and [1,2).
+  KllSketch a(512, 5), b(512, 6);
+  ExactQuantiles exact;
+  const auto lo = UniformDoubleStream(30000, 0.0, 1.0, 7);
+  const auto hi = UniformDoubleStream(30000, 1.0, 2.0, 8);
+  for (double v : lo) {
+    a.Insert(v);
+    exact.Insert(v);
+  }
+  for (double v : hi) {
+    b.Insert(v);
+    exact.Insert(v);
+  }
+  a.Merge(b);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_LE(exact.RankError(q, a.Quantile(q)), 0.05) << "q=" << q;
+  }
+}
+
+TEST(KllMergeTest, RepeatedMergesStaySublinear) {
+  KllSketch total(256, 9);
+  size_t n = 0;
+  for (int part = 0; part < 16; ++part) {
+    KllSketch piece(256, 100 + part);
+    for (int i = 0; i < 5000; ++i) {
+      piece.Insert(static_cast<double>((i * 37 + part) % 1009));
+    }
+    n += 5000;
+    total.Merge(piece);
+  }
+  EXPECT_EQ(total.StreamSize(), n);
+  EXPECT_LT(total.SpaceItems(), 5000u);
+  EXPECT_NEAR(total.RankFraction(1e18), 1.0, 1e-12);
+}
+
+TEST(MisraGriesMergeTest, CountsAddAndSpaceStaysBounded) {
+  MisraGries a(10), b(10);
+  for (int i = 0; i < 500; ++i) a.Insert(1);
+  for (int i = 0; i < 300; ++i) b.Insert(1);
+  for (int i = 0; i < 200; ++i) b.Insert(2);
+  a.Merge(b);
+  EXPECT_EQ(a.StreamSize(), 1000u);
+  EXPECT_LE(a.SpaceItems(), 10u);
+  // Element 1 has true frequency 0.8; MG error <= 1/11.
+  EXPECT_NEAR(a.EstimateFrequency(1), 0.8, 1.0 / 11.0 + 1e-12);
+}
+
+TEST(MisraGriesMergeTest, MergedErrorBoundHolds) {
+  // Error of the merged summary <= (n1 + n2)/(k + 1).
+  const size_t k = 20;
+  MisraGries a(k), b(k);
+  ExactCounter exact;
+  const auto s1 = ZipfIntStream(20000, 5000, 1.2, 11);
+  const auto s2 = ZipfIntStream(20000, 5000, 0.8, 13);
+  for (int64_t v : s1) {
+    a.Insert(v);
+    exact.Insert(v);
+  }
+  for (int64_t v : s2) {
+    b.Insert(v);
+    exact.Insert(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.StreamSize(), 40000u);
+  EXPECT_LE(a.SpaceItems(), k);
+  const double bound = 1.0 / (static_cast<double>(k) + 1.0);
+  for (int64_t x = 1; x <= 20; ++x) {
+    // Never overestimates; undercounts by at most n/(k+1).
+    EXPECT_LE(a.EstimateFrequency(x),
+              exact.EstimateFrequency(x) + 1e-12);
+    EXPECT_GE(a.EstimateFrequency(x),
+              exact.EstimateFrequency(x) - bound - 1e-12);
+  }
+}
+
+TEST(MisraGriesMergeTest, MajoritySurvivesMerge) {
+  MisraGries a(1), b(1);
+  for (int i = 0; i < 700; ++i) a.Insert(42);
+  for (int i = 0; i < 200; ++i) a.Insert(7);
+  for (int i = 0; i < 600; ++i) b.Insert(42);
+  for (int i = 0; i < 300; ++i) b.Insert(9);
+  a.Merge(b);
+  const auto hh = a.HeavyHitters(0.05);
+  ASSERT_EQ(hh.size(), 1u);
+  EXPECT_EQ(hh[0].element, 42);
+}
+
+TEST(MisraGriesMergeDeathTest, MismatchedSizesAbort) {
+  MisraGries a(5), b(6);
+  EXPECT_DEATH(a.Merge(b), "different sizes");
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,276 @@
+// Property-based tests: invariants that must hold across parameter sweeps
+// and adversary choices, including the deterministic combinatorial claims
+// (6.1, 6.2) underlying Theorem 1.4 and the adversary-independence of the
+// samplers' acceptance coins.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "adversary/basic_adversaries.h"
+#include "adversary/bisection_adversary.h"
+#include "core/adversarial_game.h"
+#include "core/bernoulli_sampler.h"
+#include "core/random.h"
+#include "core/reservoir_sampler.h"
+#include "core/sample_bounds.h"
+#include "gtest/gtest.h"
+#include "harness/trial_runner.h"
+#include "setsystem/discrepancy.h"
+
+namespace robust_sampling {
+namespace {
+
+DiscrepancyFn<int64_t> PrefixFn() {
+  return [](const std::vector<int64_t>& x, const std::vector<int64_t>& s) {
+    return PrefixDiscrepancy(x, s);
+  };
+}
+
+// ---------------------------------------------------- Claim 6.1 and 6.2 --
+
+TEST(ClaimSixOneTest, SwappingVValuesMovesDensityByAtMostVOverK) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t k = 20 + rng.NextBelow(30);
+    std::vector<int64_t> t(k), t2;
+    for (auto& v : t) v = static_cast<int64_t>(rng.NextBelow(100)) + 1;
+    t2 = t;
+    const size_t v = rng.NextBelow(k);  // change up to v values
+    for (size_t i = 0; i < v; ++i) {
+      t2[rng.NextBelow(k)] = static_cast<int64_t>(rng.NextBelow(100)) + 1;
+    }
+    // Count how many positions actually differ.
+    size_t diff = 0;
+    for (size_t i = 0; i < k; ++i) diff += t[i] != t2[i];
+    // For every prefix range [1, b], |d(T) - d(T')| <= diff/k.
+    for (int64_t b = 1; b <= 100; b += 7) {
+      size_t c1 = 0, c2 = 0;
+      for (size_t i = 0; i < k; ++i) {
+        c1 += t[i] <= b;
+        c2 += t2[i] <= b;
+      }
+      const double d1 = static_cast<double>(c1) / k;
+      const double d2 = static_cast<double>(c2) / k;
+      EXPECT_LE(std::abs(d1 - d2),
+                static_cast<double>(diff) / k + 1e-12);
+    }
+  }
+}
+
+TEST(ClaimSixTwoTest, ExtendingTheStreamDegradesApproximationByBeta) {
+  // If T is an alpha-approximation of X and X' extends X by at most beta*|X|
+  // elements, then T is an (alpha + beta)-approximation of X'.
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<int64_t> x;
+    const size_t n = 200 + rng.NextBelow(200);
+    for (size_t i = 0; i < n; ++i) {
+      x.push_back(static_cast<int64_t>(rng.NextBelow(50)) + 1);
+    }
+    // T = a random subsequence.
+    std::vector<int64_t> t;
+    for (int64_t v : x) {
+      if (rng.NextBernoulli(0.2)) t.push_back(v);
+    }
+    if (t.empty()) continue;
+    const double alpha = PrefixDiscrepancy(x, t);
+    // Extend by beta fraction.
+    const double beta = 0.25;
+    std::vector<int64_t> x_ext = x;
+    const size_t extra = static_cast<size_t>(beta * static_cast<double>(n));
+    for (size_t i = 0; i < extra; ++i) {
+      x_ext.push_back(static_cast<int64_t>(rng.NextBelow(50)) + 1);
+    }
+    const double alpha_ext = PrefixDiscrepancy(x_ext, t);
+    EXPECT_LE(alpha_ext, alpha + beta + 1e-12) << "trial " << trial;
+  }
+}
+
+// ------------------------------------- Adversary-independence of coins --
+
+TEST(CoinIndependenceTest, BernoulliSampleSizeDistributionUnderAttack) {
+  // The number of kept elements is Bin(n, p) no matter what the adversary
+  // does (coins are independent of values) — here under the bisection
+  // attack.
+  constexpr size_t kN = 2000;
+  constexpr double kP = 0.1;
+  const auto stats = RunTrials(60, 11, [&](uint64_t seed) {
+    BisectionAdversaryInt64 adv(int64_t{1} << 60, 1.0 - kP);
+    BernoulliSampler<int64_t> sampler(kP, seed);
+    const auto r = RunAdaptiveGame(sampler, adv, kN, PrefixFn(), 0.5);
+    return static_cast<double>(r.sample.size());
+  });
+  const double mean = kN * kP;
+  const double sd = std::sqrt(kN * kP * (1 - kP));
+  EXPECT_NEAR(stats.mean, mean, 4.0 * sd / std::sqrt(60.0));
+}
+
+TEST(CoinIndependenceTest, ReservoirAcceptRateUnderAttackMatchesKOverI) {
+  // P(round i accepted) = k/i regardless of the adversary.
+  constexpr size_t kK = 10;
+  constexpr size_t kI = 200;
+  constexpr size_t kRuns = 4000;
+  size_t accepted = 0;
+  for (size_t run = 0; run < kRuns; ++run) {
+    BisectionAdversaryInt64 adv(int64_t{1} << 60, 0.9);
+    ReservoirSampler<int64_t> sampler(kK, 100 + run);
+    for (size_t i = 1; i <= kI; ++i) {
+      const int64_t x = adv.NextElement(sampler.sample(), i);
+      sampler.Insert(x);
+      adv.Observe(sampler.sample(), sampler.last_kept(), i);
+    }
+    accepted += sampler.last_kept();
+  }
+  const double p = static_cast<double>(kK) / kI;
+  const double sd = std::sqrt(kRuns * p * (1 - p));
+  EXPECT_NEAR(static_cast<double>(accepted), kRuns * p, 6.0 * sd);
+}
+
+// ------------------------------------------ Lemma 4.1 robustness sweep --
+
+struct RobustnessCase {
+  double eps;
+  double delta;
+  int adversary;  // 0 = uniform, 1 = greedy-gap, 2 = bisection
+};
+
+class SingleRangeRobustnessTest
+    : public ::testing::TestWithParam<RobustnessCase> {
+ protected:
+  // Gap on the fixed target range R = [1, 100] within universe [1, 1000].
+  static double TargetGap(const std::vector<int64_t>& x,
+                          const std::vector<int64_t>& s) {
+    if (s.empty()) return 1.0;
+    size_t cx = 0, cs = 0;
+    for (int64_t v : x) cx += v <= 100;
+    for (int64_t v : s) cs += v <= 100;
+    return std::abs(static_cast<double>(cx) / static_cast<double>(x.size()) -
+                    static_cast<double>(cs) / static_cast<double>(s.size()));
+  }
+
+  std::unique_ptr<Adversary<int64_t>> MakeAdversary(int kind,
+                                                    uint64_t seed) const {
+    switch (kind) {
+      case 0:
+        return std::make_unique<UniformAdversary>(1000, seed);
+      case 1:
+        return std::make_unique<GreedyGapAdversary<int64_t>>(
+            [](const int64_t& v) { return v <= 100; }, 50, 500);
+      default:
+        return std::make_unique<BisectionAdversaryInt64>(1000, 0.5);
+    }
+  }
+};
+
+TEST_P(SingleRangeRobustnessTest, ReservoirGapWithinEps) {
+  const auto param = GetParam();
+  const size_t k = ReservoirSingleRangeK(param.eps, param.delta);
+  const size_t n = 2500;
+  const auto stats = RunTrials(12, 900 + param.adversary, [&](uint64_t seed) {
+    auto adv = MakeAdversary(param.adversary, MixSeed(seed, 5));
+    ReservoirSampler<int64_t> sampler(k, seed);
+    const auto r = RunAdaptiveGame(sampler, *adv, n, PrefixFn(), param.eps);
+    return TargetGap(r.stream, r.sample);
+  });
+  // Lemma 4.1 promises gap <= eps with prob >= 1 - delta; empirically
+  // require >= 1 - 2.5*delta over 12 trials.
+  EXPECT_GE(stats.FractionAtMost(param.eps),
+            1.0 - 2.5 * param.delta - 1e-9)
+      << "eps=" << param.eps << " delta=" << param.delta
+      << " adversary=" << param.adversary << " mean gap=" << stats.mean;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SingleRangeRobustnessTest,
+    ::testing::Values(RobustnessCase{0.2, 0.1, 0},
+                      RobustnessCase{0.2, 0.1, 1},
+                      RobustnessCase{0.2, 0.1, 2},
+                      RobustnessCase{0.15, 0.2, 0},
+                      RobustnessCase{0.15, 0.2, 1},
+                      RobustnessCase{0.15, 0.2, 2},
+                      RobustnessCase{0.3, 0.05, 1},
+                      RobustnessCase{0.3, 0.05, 2}));
+
+// -------------------------------------------------- Discrepancy algebra --
+
+TEST(DiscrepancyAlgebraTest, IdenticalMultisetsHaveZeroDiscrepancy) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int64_t> x;
+    for (int i = 0; i < 100; ++i) {
+      x.push_back(static_cast<int64_t>(rng.NextBelow(30)) + 1);
+    }
+    std::vector<int64_t> shuffled = x;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    EXPECT_DOUBLE_EQ(PrefixDiscrepancy(x, shuffled), 0.0);
+    EXPECT_DOUBLE_EQ(IntervalDiscrepancy(x, shuffled), 0.0);
+    EXPECT_DOUBLE_EQ(SingletonDiscrepancy(x, shuffled), 0.0);
+  }
+}
+
+TEST(DiscrepancyAlgebraTest, DiscrepancyIsSymmetricInArguments) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int64_t> x, s;
+    for (int i = 0; i < 80; ++i) {
+      x.push_back(static_cast<int64_t>(rng.NextBelow(40)) + 1);
+    }
+    for (int i = 0; i < 30; ++i) {
+      s.push_back(static_cast<int64_t>(rng.NextBelow(40)) + 1);
+    }
+    EXPECT_NEAR(PrefixDiscrepancy(x, s), PrefixDiscrepancy(s, x), 1e-12);
+    EXPECT_NEAR(IntervalDiscrepancy(x, s), IntervalDiscrepancy(s, x), 1e-12);
+  }
+}
+
+TEST(DiscrepancyAlgebraTest, BoundedByOne) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int64_t> x{1}, s{1000000};
+    for (int i = 0; i < 50; ++i) {
+      x.push_back(static_cast<int64_t>(rng.NextBelow(1000)) + 1);
+      s.push_back(static_cast<int64_t>(rng.NextBelow(1000)) + 1000000);
+    }
+    const double d = PrefixDiscrepancy(x, s);
+    EXPECT_LE(d, 1.0 + 1e-12);
+    EXPECT_GE(d, 0.0);
+  }
+}
+
+TEST(DiscrepancyAlgebraTest, DisjointSupportsHaveDiscrepancyOne) {
+  const std::vector<int64_t> x{1, 2, 3};
+  const std::vector<int64_t> s{10, 11};
+  EXPECT_DOUBLE_EQ(PrefixDiscrepancy(x, s), 1.0);
+  // Worst singleton is a sample value: |0 - 1/2| = 1/2.
+  EXPECT_DOUBLE_EQ(SingletonDiscrepancy(x, s), 0.5);
+}
+
+// Reservoir robustness across eps sweep with the full prefix family over a
+// small universe (exact |R| known, so Theorem 1.2 is applied faithfully).
+class FullFamilyRobustnessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FullFamilyRobustnessTest, ReservoirMeetsTheoremOneTwoOnSmallUniverse) {
+  const double eps = GetParam();
+  const double delta = 0.1;
+  const int64_t universe = 64;
+  const size_t k = ReservoirRobustK(eps, delta, std::log(64.0));
+  const size_t n = 3000;
+  const auto stats = RunTrials(10, 77, [&](uint64_t seed) {
+    // Bisection over the small universe: it will exhaust, but remains a
+    // legal adaptive strategy; robustness must hold against it regardless.
+    BisectionAdversaryInt64 adv(universe, 0.5);
+    ReservoirSampler<int64_t> sampler(k, seed);
+    return RunAdaptiveGame(sampler, adv, n, PrefixFn(), eps).discrepancy;
+  });
+  EXPECT_GE(stats.FractionAtMost(eps), 0.8) << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, FullFamilyRobustnessTest,
+                         ::testing::Values(0.1, 0.15, 0.2, 0.3));
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,274 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/random.h"
+#include "gtest/gtest.h"
+#include "quantiles/exact_quantiles.h"
+#include "quantiles/gk_sketch.h"
+#include "quantiles/kll_sketch.h"
+#include "quantiles/sample_quantile_sketch.h"
+#include "stream/generators.h"
+
+namespace robust_sampling {
+namespace {
+
+// ----------------------------------------------------------------- Exact --
+
+TEST(ExactQuantilesTest, SimpleQuantiles) {
+  ExactQuantiles q({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.21), 2.0);
+}
+
+TEST(ExactQuantilesTest, RankFraction) {
+  ExactQuantiles q({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(q.RankFraction(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(q.RankFraction(10.0), 0.25);
+  EXPECT_DOUBLE_EQ(q.RankFraction(25.0), 0.5);
+  EXPECT_DOUBLE_EQ(q.RankFraction(40.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.RankFraction(100.0), 1.0);
+}
+
+TEST(ExactQuantilesTest, InsertKeepsSortedViewFresh) {
+  ExactQuantiles q;
+  q.Insert(5.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 5.0);
+  q.Insert(1.0);
+  q.Insert(9.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 5.0);
+  q.Insert(0.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.25), 0.0);
+  EXPECT_EQ(q.StreamSize(), 4u);
+}
+
+TEST(ExactQuantilesTest, RankErrorHandlesTies) {
+  ExactQuantiles q({1.0, 2.0, 2.0, 2.0, 3.0});
+  // The value 2 spans rank fractions [0.2, 0.8]; any target inside is 0.
+  EXPECT_DOUBLE_EQ(q.RankError(0.5, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(q.RankError(0.2, 2.0), 0.0);
+  EXPECT_NEAR(q.RankError(0.1, 2.0), 0.1, 1e-12);
+  EXPECT_NEAR(q.RankError(0.9, 2.0), 0.1, 1e-12);
+}
+
+TEST(ExactQuantilesTest, QuantileOrderStatisticsDefinition) {
+  // Quantile(q) = smallest value with rank fraction >= q.
+  ExactQuantiles q({7.0, 7.0, 8.0, 9.0});
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.75), 8.0);
+}
+
+// ---------------------------------------------------------------- Sample --
+
+TEST(SampleQuantileSketchTest, ExactWhenSampleHoldsEverything) {
+  SampleQuantileSketch s(1000, 3);
+  for (int i = 1; i <= 100; ++i) s.Insert(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.RankFraction(25.0), 0.25);
+}
+
+TEST(SampleQuantileSketchTest, ApproximatesOnRandomStream) {
+  const double eps = 0.05, delta = 0.05;
+  SampleQuantileSketch s =
+      SampleQuantileSketch::ForAccuracy(eps, delta, 1 << 20, 7);
+  const auto stream = UniformDoubleStream(200000, 0.0, 1.0, 11);
+  ExactQuantiles exact;
+  for (double v : stream) {
+    s.Insert(v);
+    exact.Insert(v);
+  }
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_LE(exact.RankError(q, s.Quantile(q)), eps) << "q=" << q;
+  }
+}
+
+TEST(SampleQuantileSketchTest, SpaceMatchesCorollaryBound) {
+  const double eps = 0.1, delta = 0.05;
+  SampleQuantileSketch s =
+      SampleQuantileSketch::ForAccuracy(eps, delta, 1000000, 7);
+  for (int i = 0; i < 100000; ++i) s.Insert(static_cast<double>(i));
+  // k = ceil(2 (ln 1e6 + ln 40)/0.01) ~ 3,500; definitely sublinear here.
+  EXPECT_LT(s.SpaceItems(), 10000u);
+  EXPECT_EQ(s.StreamSize(), 100000u);
+}
+
+// -------------------------------------------------------------------- GK --
+
+TEST(GkSketchTest, ExactOnShortStreams) {
+  GkSketch g(0.1);
+  for (int i = 1; i <= 5; ++i) g.Insert(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(g.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(g.Quantile(1.0), 5.0);
+}
+
+TEST(GkSketchTest, RankErrorWithinEpsOnUniformStream) {
+  const double eps = 0.02;
+  GkSketch g(eps);
+  const auto stream = UniformDoubleStream(50000, 0.0, 1.0, 13);
+  ExactQuantiles exact;
+  for (double v : stream) {
+    g.Insert(v);
+    exact.Insert(v);
+  }
+  for (double q : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_LE(exact.RankError(q, g.Quantile(q)), eps + 1e-9) << "q=" << q;
+  }
+}
+
+TEST(GkSketchTest, RankErrorWithinEpsOnSortedStream) {
+  // Sorted input is the classic worst case for naive summaries.
+  const double eps = 0.02;
+  GkSketch g(eps);
+  ExactQuantiles exact;
+  for (int i = 0; i < 30000; ++i) {
+    g.Insert(static_cast<double>(i));
+    exact.Insert(static_cast<double>(i));
+  }
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_LE(exact.RankError(q, g.Quantile(q)), eps + 1e-9) << "q=" << q;
+  }
+}
+
+TEST(GkSketchTest, SpaceIsSublinear) {
+  GkSketch g(0.01);
+  for (int i = 0; i < 100000; ++i) {
+    g.Insert(static_cast<double>((i * 2654435761u) % 1000003));
+  }
+  EXPECT_LT(g.SpaceItems(), 10000u);  // << 100000 retained items
+}
+
+TEST(GkSketchTest, RankFractionMonotone) {
+  GkSketch g(0.05);
+  const auto stream = UniformDoubleStream(20000, 0.0, 1.0, 17);
+  for (double v : stream) g.Insert(v);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double r = g.RankFraction(x);
+    EXPECT_GE(r, prev - 1e-12);
+    prev = r;
+  }
+}
+
+TEST(GkSketchDeathTest, InvalidEpsAborts) {
+  EXPECT_DEATH(GkSketch(0.0), "eps");
+  EXPECT_DEATH(GkSketch(1.0), "eps");
+}
+
+// ------------------------------------------------------------------- KLL --
+
+TEST(KllSketchTest, ExactOnShortStreams) {
+  KllSketch k(200, 3);
+  for (int i = 1; i <= 100; ++i) k.Insert(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(k.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(k.RankFraction(25.0), 0.25);
+}
+
+TEST(KllSketchTest, WeightsAlwaysSumToStreamSize) {
+  KllSketch k(64, 5);
+  for (int i = 0; i < 10000; ++i) {
+    k.Insert(static_cast<double>(i % 97));
+    if (i % 1000 == 999) {
+      // RankFraction(max) must be exactly 1: total weight == n.
+      EXPECT_NEAR(k.RankFraction(1e18), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(KllSketchTest, RankErrorSmallOnUniformStream) {
+  KllSketch k(400, 7);
+  const auto stream = UniformDoubleStream(100000, 0.0, 1.0, 19);
+  ExactQuantiles exact;
+  for (double v : stream) {
+    k.Insert(v);
+    exact.Insert(v);
+  }
+  // eps ~ c/k; with k=400 expect errors well under 0.05.
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_LE(exact.RankError(q, k.Quantile(q)), 0.05) << "q=" << q;
+  }
+}
+
+TEST(KllSketchTest, SpaceIsSublinear) {
+  KllSketch k(256, 9);
+  for (int i = 0; i < 200000; ++i) k.Insert(static_cast<double>(i));
+  EXPECT_LT(k.SpaceItems(), 5000u);
+  EXPECT_GT(k.NumLevels(), 3u);
+}
+
+TEST(KllSketchTest, DeterministicGivenSeed) {
+  KllSketch a(64, 42), b(64, 42);
+  for (int i = 0; i < 5000; ++i) {
+    a.Insert(static_cast<double>(i % 321));
+    b.Insert(static_cast<double>(i % 321));
+  }
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), b.Quantile(q));
+  }
+}
+
+TEST(KllSketchDeathTest, TooSmallKAborts) { EXPECT_DEATH(KllSketch(2, 1), "k >= 4"); }
+
+// ----------------------------------------- Cross-sketch property sweeps --
+
+class AllSketchesTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<QuantileSketch> Make() const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<ExactQuantiles>();
+      case 1:
+        return std::make_unique<SampleQuantileSketch>(2000, 5);
+      case 2:
+        return std::make_unique<GkSketch>(0.02);
+      default:
+        return std::make_unique<KllSketch>(400, 5);
+    }
+  }
+};
+
+TEST_P(AllSketchesTest, QuantilesAreMonotoneInQ) {
+  auto sketch = Make();
+  const auto stream = UniformDoubleStream(30000, 0.0, 100.0, 23);
+  for (double v : stream) sketch->Insert(v);
+  double prev = -1e300;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = sketch->Quantile(q);
+    EXPECT_GE(v, prev - 1e-9) << sketch->Name() << " q=" << q;
+    prev = v;
+  }
+}
+
+TEST_P(AllSketchesTest, QuantileValuesComeFromStreamRange) {
+  auto sketch = Make();
+  const auto stream = UniformDoubleStream(10000, 5.0, 6.0, 29);
+  for (double v : stream) sketch->Insert(v);
+  for (double q : {0.0, 0.5, 1.0}) {
+    const double v = sketch->Quantile(q);
+    EXPECT_GE(v, 5.0) << sketch->Name();
+    EXPECT_LT(v, 6.0) << sketch->Name();
+  }
+}
+
+TEST_P(AllSketchesTest, MedianOfUniformIsNearHalf) {
+  auto sketch = Make();
+  const auto stream = UniformDoubleStream(50000, 0.0, 1.0, 31);
+  for (double v : stream) sketch->Insert(v);
+  EXPECT_NEAR(sketch->Quantile(0.5), 0.5, 0.05) << sketch->Name();
+}
+
+TEST_P(AllSketchesTest, StreamSizeTracked) {
+  auto sketch = Make();
+  for (int i = 0; i < 1234; ++i) sketch->Insert(static_cast<double>(i));
+  EXPECT_EQ(sketch->StreamSize(), 1234u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sketches, AllSketchesTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,172 @@
+#include "core/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace robust_sampling {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, KnownVector) {
+  // Reference value for seed 0 from the public-domain reference code.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.Next(), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(Xoshiro256ppTest, IsDeterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(Xoshiro256ppTest, DifferentSeedsProduceDifferentStreams) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += a.NextUint64() != b.NextUint64();
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Xoshiro256ppTest, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256ppTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Xoshiro256ppTest, NextBelowIsApproximatelyUniform) {
+  Rng rng(17);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5.0 * std::sqrt(expected))
+        << "bucket " << b;
+  }
+}
+
+TEST(Xoshiro256ppTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256ppTest, NextDoubleMeanIsHalf) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Xoshiro256ppTest, NextDoubleInRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDoubleIn(-3.0, 7.5);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 7.5);
+  }
+}
+
+TEST(Xoshiro256ppTest, BernoulliEdgeCases) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(Xoshiro256ppTest, BernoulliMatchesProbability) {
+  Rng rng(31);
+  constexpr int kDraws = 200000;
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    for (int i = 0; i < kDraws; ++i) hits += rng.NextBernoulli(p);
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(Xoshiro256ppTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(37);
+  constexpr int kDraws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Xoshiro256ppTest, JumpChangesState) {
+  Rng a(41), b(41);
+  b.Jump();
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(Xoshiro256ppTest, SplitProducesIndependentStreams) {
+  Rng base(43);
+  Rng s0 = base.Split(0);
+  Rng s1 = base.Split(1);
+  // Split must not advance the parent.
+  Rng base2(43);
+  EXPECT_EQ(base.NextUint64(), base2.NextUint64());
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += s0.NextUint64() != s1.NextUint64();
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Xoshiro256ppTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == UINT64_MAX);
+  Rng rng(47);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // compiles and runs
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(MixSeedTest, DistinctPairsGiveDistinctSeeds) {
+  std::set<uint64_t> seen;
+  for (uint64_t a = 0; a < 50; ++a) {
+    for (uint64_t b = 0; b < 50; ++b) {
+      seen.insert(MixSeed(a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 2500u);
+}
+
+TEST(MixSeedTest, Deterministic) {
+  EXPECT_EQ(MixSeed(123, 456), MixSeed(123, 456));
+  EXPECT_NE(MixSeed(123, 456), MixSeed(456, 123));
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,87 @@
+#include "core/robust_sample.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "adversary/bisection_adversary.h"
+#include "core/sample_bounds.h"
+#include "gtest/gtest.h"
+#include "setsystem/discrepancy.h"
+#include "stream/generators.h"
+
+namespace robust_sampling {
+namespace {
+
+TEST(RobustSampleTest, CapacityMatchesTheoremOneTwo) {
+  RobustSample<int64_t>::Options options;
+  options.eps = 0.1;
+  options.delta = 0.05;
+  options.log_cardinality = 12.0;
+  options.seed = 1;
+  const auto s = RobustSample<int64_t>::ForSetSystem(options);
+  EXPECT_EQ(s.capacity(), ReservoirRobustK(0.1, 0.05, 12.0));
+  EXPECT_DOUBLE_EQ(s.eps(), 0.1);
+  EXPECT_DOUBLE_EQ(s.delta(), 0.05);
+}
+
+TEST(RobustSampleTest, ForQuantilesUsesPrefixCardinality) {
+  const auto s =
+      RobustSample<int64_t>::ForQuantiles(0.1, 0.05, 1 << 20, 1);
+  EXPECT_EQ(s.capacity(), QuantileSketchK(0.1, 0.05, 1 << 20));
+}
+
+TEST(RobustSampleTest, ForFrequenciesBakesInEpsOverThree) {
+  const auto s =
+      RobustSample<int64_t>::ForFrequencies(0.09, 0.05, 1 << 20, 1);
+  EXPECT_EQ(s.capacity(), HeavyHitterK(0.09, 0.05, 1 << 20));
+}
+
+TEST(RobustSampleTest, DensityEstimatesAreAccurateOnStaticStream) {
+  auto s = RobustSample<int64_t>::ForQuantiles(0.05, 0.05, 1000, 3);
+  const auto stream = UniformIntStream(100000, 1000, 5);
+  size_t truth_hits = 0;
+  for (int64_t x : stream) {
+    s.Insert(x);
+    truth_hits += x <= 250;
+  }
+  const double truth =
+      static_cast<double>(truth_hits) / static_cast<double>(stream.size());
+  const double est =
+      s.EstimateDensity([](const int64_t& v) { return v <= 250; });
+  EXPECT_NEAR(est, truth, 0.05);
+  EXPECT_NEAR(s.EstimateCount([](const int64_t& v) { return v <= 250; }),
+              truth * 100000.0, 0.05 * 100000.0);
+}
+
+TEST(RobustSampleTest, EmptyStreamEstimatesZero) {
+  const auto s = RobustSample<int64_t>::ForQuantiles(0.1, 0.1, 100, 7);
+  EXPECT_DOUBLE_EQ(
+      s.EstimateDensity([](const int64_t&) { return true; }), 0.0);
+  EXPECT_EQ(s.stream_size(), 0u);
+}
+
+TEST(RobustSampleTest, SurvivesBisectionAttack) {
+  // The facade's whole reason to exist: adversarial robustness out of the
+  // box. Attack over the int64 universe it was configured for.
+  const double eps = 0.2;
+  auto s = RobustSample<int64_t>::ForQuantiles(eps, 0.1,
+                                               uint64_t{1} << 40, 9);
+  BisectionAdversaryInt64 adv(int64_t{1} << 40, 0.9);
+  std::vector<int64_t> stream;
+  for (size_t i = 1; i <= 5000; ++i) {
+    const int64_t x = adv.NextElement(s.sample(), i);
+    s.Insert(x);
+    stream.push_back(x);
+    adv.Observe(s.sample(), s.reservoir().last_kept(), i);
+  }
+  EXPECT_LE(PrefixDiscrepancy(stream, s.sample()), eps);
+}
+
+TEST(RobustSampleTest, SampleVisibleToAdversaryMatchesReservoir) {
+  auto s = RobustSample<int64_t>::ForQuantiles(0.2, 0.1, 1000, 11);
+  for (int64_t i = 0; i < 100; ++i) s.Insert(i);
+  EXPECT_EQ(s.sample(), s.reservoir().sample());
+}
+
+}  // namespace
+}  // namespace robust_sampling

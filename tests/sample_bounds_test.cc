@@ -1,0 +1,161 @@
+#include "core/sample_bounds.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace robust_sampling {
+namespace {
+
+constexpr double kEps = 0.1;
+constexpr double kDelta = 0.05;
+
+TEST(SampleBoundsTest, BernoulliRobustPMatchesFormula) {
+  const double log_r = std::log(1000.0);
+  const uint64_t n = 100000;
+  const double expected =
+      10.0 * (log_r + std::log(4.0 / kDelta)) / (kEps * kEps * n);
+  EXPECT_DOUBLE_EQ(BernoulliRobustP(kEps, kDelta, log_r, n), expected);
+}
+
+TEST(SampleBoundsTest, BernoulliRobustPCappedAtOne) {
+  // Tiny stream: the formula exceeds 1 and must clamp.
+  EXPECT_DOUBLE_EQ(BernoulliRobustP(kEps, kDelta, 20.0, 10), 1.0);
+}
+
+TEST(SampleBoundsTest, ReservoirRobustKMatchesFormula) {
+  const double log_r = std::log(1000.0);
+  const double raw = 2.0 * (log_r + std::log(2.0 / kDelta)) / (kEps * kEps);
+  EXPECT_EQ(ReservoirRobustK(kEps, kDelta, log_r),
+            static_cast<size_t>(std::ceil(raw)));
+}
+
+TEST(SampleBoundsTest, SingleRangeIsZeroLogCardinality) {
+  EXPECT_DOUBLE_EQ(BernoulliSingleRangeP(kEps, kDelta, 1000),
+                   BernoulliRobustP(kEps, kDelta, 0.0, 1000));
+  EXPECT_EQ(ReservoirSingleRangeK(kEps, kDelta),
+            ReservoirRobustK(kEps, kDelta, 0.0));
+}
+
+TEST(SampleBoundsTest, RobustKGrowsWithCardinality) {
+  EXPECT_LT(ReservoirRobustK(kEps, kDelta, std::log(10.0)),
+            ReservoirRobustK(kEps, kDelta, std::log(1e6)));
+}
+
+TEST(SampleBoundsTest, RobustKShrinksWithEps) {
+  EXPECT_GT(ReservoirRobustK(0.01, kDelta, 1.0),
+            ReservoirRobustK(0.2, kDelta, 1.0));
+}
+
+TEST(SampleBoundsTest, StaticBoundsUseVcDimension) {
+  // Static bound grows linearly in d.
+  const size_t k1 = ReservoirStaticK(kEps, kDelta, 1.0);
+  const size_t k10 = ReservoirStaticK(kEps, kDelta, 10.0);
+  EXPECT_LT(k1, k10);
+  const double p1 = BernoulliStaticP(kEps, kDelta, 1.0, 100000);
+  const double p10 = BernoulliStaticP(kEps, kDelta, 10.0, 100000);
+  EXPECT_LT(p1, p10);
+}
+
+TEST(SampleBoundsTest, StaticVsAdaptiveGapForPrefixSystem) {
+  // The paper's headline: for the prefix system over a huge universe
+  // (VC dim 1, ln|R| = ln N), the adaptive bound dwarfs the static bound.
+  const double ln_n_universe = 200.0;  // ln N for an exponential universe
+  const size_t static_k = ReservoirStaticK(kEps, kDelta, 1.0, 2.0);
+  const size_t robust_k = ReservoirRobustK(kEps, kDelta, ln_n_universe);
+  EXPECT_GT(robust_k, 10 * static_k);
+}
+
+TEST(SampleBoundsTest, ContinuousKExceedsPlainRobustK) {
+  const double log_r = std::log(1000.0);
+  EXPECT_GE(ReservoirContinuousK(kEps, kDelta, log_r, 1 << 20),
+            ReservoirRobustK(kEps, kDelta, log_r));
+}
+
+TEST(SampleBoundsTest, ContinuousKGrowsOnlyDoublyLogInN) {
+  const double log_r = 1.0;
+  const size_t k_small = ReservoirContinuousK(kEps, kDelta, log_r, 1 << 10);
+  const size_t k_large = ReservoirContinuousK(kEps, kDelta, log_r, 1 << 30);
+  // ln ln n grows from ln(10 ln 2) ~ 1.94 to ln(30 ln 2) ~ 3.03: the bound
+  // should grow, but by far less than the 2^20x growth of n.
+  EXPECT_GT(k_large, k_small);
+  EXPECT_LT(static_cast<double>(k_large),
+            1.5 * static_cast<double>(k_small));
+}
+
+TEST(SampleBoundsTest, AttackThresholdBernoulliMatchesFormula) {
+  const double log_r = 60.0;
+  const uint64_t n = 10000;
+  EXPECT_DOUBLE_EQ(AttackThresholdBernoulliP(log_r, n, 1.0),
+                   log_r / (n * std::log(static_cast<double>(n))));
+}
+
+TEST(SampleBoundsTest, AttackThresholdReservoirMatchesFormula) {
+  const double log_r = 60.0;
+  const uint64_t n = 10000;
+  EXPECT_EQ(AttackThresholdReservoirK(log_r, n, 1.0),
+            static_cast<size_t>(std::floor(
+                log_r / std::log(static_cast<double>(n)))));
+}
+
+TEST(SampleBoundsTest, AttackThresholdAtLeastOne) {
+  EXPECT_GE(AttackThresholdReservoirK(0.1, 1000000), 1u);
+}
+
+TEST(SampleBoundsTest, QuantileSketchKIsPrefixInstantiation) {
+  const uint64_t universe = 1 << 20;
+  EXPECT_EQ(QuantileSketchK(kEps, kDelta, universe),
+            ReservoirRobustK(kEps, kDelta,
+                             std::log(static_cast<double>(universe))));
+}
+
+TEST(SampleBoundsTest, HeavyHitterKUsesEpsOverThree) {
+  const uint64_t universe = 1 << 20;
+  EXPECT_EQ(HeavyHitterK(kEps, kDelta, universe),
+            ReservoirRobustK(kEps / 3.0, kDelta,
+                             std::log(static_cast<double>(universe))));
+}
+
+TEST(SampleBoundsTest, AttackMinUniverseSizeMatchesN6LnN) {
+  const uint64_t n = 100;
+  const double expected = std::ceil(std::pow(100.0, 6.0) * std::log(100.0));
+  EXPECT_DOUBLE_EQ(AttackMinUniverseSize(n), expected);
+}
+
+TEST(SampleBoundsDeathTest, InvalidParametersAbort) {
+  EXPECT_DEATH(ReservoirRobustK(0.0, kDelta, 1.0), "eps");
+  EXPECT_DEATH(ReservoirRobustK(1.0, kDelta, 1.0), "eps");
+  EXPECT_DEATH(ReservoirRobustK(kEps, 0.0, 1.0), "delta");
+  EXPECT_DEATH(ReservoirRobustK(kEps, kDelta, -1.0), "log_cardinality");
+  EXPECT_DEATH(BernoulliRobustP(kEps, kDelta, 1.0, 0), "n >= 1");
+}
+
+// Monotonicity sweep over (eps, delta) grids: all bounds are monotone in
+// the accuracy parameters.
+class BoundsMonotonicityTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(BoundsMonotonicityTest, TighterAccuracyNeedsLargerSample) {
+  const auto [eps, delta] = GetParam();
+  const double log_r = std::log(500.0);
+  // Halving eps increases k; halving delta increases k.
+  EXPECT_LE(ReservoirRobustK(eps, delta, log_r),
+            ReservoirRobustK(eps / 2.0, delta, log_r));
+  EXPECT_LE(ReservoirRobustK(eps, delta, log_r),
+            ReservoirRobustK(eps, delta / 2.0, log_r));
+  EXPECT_LE(BernoulliRobustP(eps, delta, log_r, 1000000),
+            BernoulliRobustP(eps / 2.0, delta, log_r, 1000000));
+  EXPECT_LE(ReservoirContinuousK(eps, delta, log_r, 100000),
+            ReservoirContinuousK(eps / 2.0, delta, log_r, 100000));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundsMonotonicityTest,
+    ::testing::Values(std::pair<double, double>{0.2, 0.1},
+                      std::pair<double, double>{0.1, 0.05},
+                      std::pair<double, double>{0.05, 0.01},
+                      std::pair<double, double>{0.3, 0.3},
+                      std::pair<double, double>{0.02, 0.001}));
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,216 @@
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "setsystem/explicit_family.h"
+#include "setsystem/halfspace_family.h"
+#include "setsystem/interval_family.h"
+#include "setsystem/prefix_family.h"
+#include "setsystem/rectangle_family.h"
+#include "setsystem/singleton_family.h"
+
+namespace robust_sampling {
+namespace {
+
+// ---------------------------------------------------------------- Prefix --
+
+TEST(PrefixFamilyTest, CardinalityEqualsUniverse) {
+  PrefixFamily f(100);
+  EXPECT_EQ(f.NumRanges(), 100u);
+  EXPECT_NEAR(f.LogCardinality(), std::log(100.0), 1e-12);
+}
+
+TEST(PrefixFamilyTest, MembershipIsPrefix) {
+  PrefixFamily f(10);
+  // Range index 4 is [1, 5].
+  EXPECT_EQ(f.RangeEnd(4), 5);
+  for (int64_t x = 1; x <= 5; ++x) EXPECT_TRUE(f.Contains(4, x));
+  for (int64_t x = 6; x <= 10; ++x) EXPECT_FALSE(f.Contains(4, x));
+  EXPECT_FALSE(f.Contains(4, 0));  // below the universe
+}
+
+TEST(PrefixFamilyTest, FullRangeContainsEverything) {
+  PrefixFamily f(50);
+  for (int64_t x = 1; x <= 50; ++x) EXPECT_TRUE(f.Contains(49, x));
+}
+
+TEST(PrefixFamilyTest, NameMentionsUniverse) {
+  EXPECT_NE(PrefixFamily(42).Name().find("42"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Interval --
+
+TEST(IntervalFamilyTest, CardinalityIsTriangular) {
+  IntervalFamily f(10);
+  EXPECT_EQ(f.NumRanges(), 55u);  // 10*11/2
+}
+
+TEST(IntervalFamilyTest, RangeBoundsRoundTripAllIndices) {
+  const int64_t n = 20;
+  IntervalFamily f(n);
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (uint64_t r = 0; r < f.NumRanges(); ++r) {
+    const auto [a, b] = f.RangeBounds(r);
+    EXPECT_GE(a, 1);
+    EXPECT_LE(a, b);
+    EXPECT_LE(b, n);
+    seen.insert({a, b});
+  }
+  // Every (a, b) pair appears exactly once.
+  EXPECT_EQ(seen.size(), f.NumRanges());
+}
+
+TEST(IntervalFamilyTest, LexicographicOrder) {
+  IntervalFamily f(4);
+  EXPECT_EQ(f.RangeBounds(0), (std::pair<int64_t, int64_t>{1, 1}));
+  EXPECT_EQ(f.RangeBounds(3), (std::pair<int64_t, int64_t>{1, 4}));
+  EXPECT_EQ(f.RangeBounds(4), (std::pair<int64_t, int64_t>{2, 2}));
+  EXPECT_EQ(f.RangeBounds(9), (std::pair<int64_t, int64_t>{4, 4}));
+}
+
+TEST(IntervalFamilyTest, MembershipMatchesBounds) {
+  IntervalFamily f(15);
+  for (uint64_t r = 0; r < f.NumRanges(); ++r) {
+    const auto [a, b] = f.RangeBounds(r);
+    for (int64_t x = 1; x <= 15; ++x) {
+      EXPECT_EQ(f.Contains(r, x), x >= a && x <= b);
+    }
+  }
+}
+
+// ------------------------------------------------------------- Singleton --
+
+TEST(SingletonFamilyTest, EachRangeHasExactlyOneElement) {
+  SingletonFamily f(12);
+  EXPECT_EQ(f.NumRanges(), 12u);
+  for (uint64_t r = 0; r < f.NumRanges(); ++r) {
+    int64_t members = 0;
+    for (int64_t x = 1; x <= 12; ++x) members += f.Contains(r, x);
+    EXPECT_EQ(members, 1);
+    EXPECT_TRUE(f.Contains(r, f.RangeElement(r)));
+  }
+}
+
+// ------------------------------------------------------------- Rectangle --
+
+TEST(RectangleFamilyTest, CardinalityOneDim) {
+  RectangleFamily f(10, 1);
+  EXPECT_EQ(f.NumRanges(), 55u);
+  EXPECT_NEAR(f.LogCardinality(), std::log(55.0), 1e-12);
+}
+
+TEST(RectangleFamilyTest, CardinalityTwoDims) {
+  RectangleFamily f(4, 2);
+  EXPECT_EQ(f.NumRanges(), 100u);  // (4*5/2)^2
+  EXPECT_NEAR(f.LogCardinality(), 2.0 * std::log(10.0), 1e-12);
+}
+
+TEST(RectangleFamilyTest, BoxDecodeRoundTripsAllIndices2D) {
+  RectangleFamily f(3, 2);
+  std::set<std::pair<std::pair<int64_t, int64_t>,
+                     std::pair<int64_t, int64_t>>>
+      seen;
+  for (uint64_t r = 0; r < f.NumRanges(); ++r) {
+    const auto box = f.RangeBox(r);
+    ASSERT_EQ(box.lo.size(), 2u);
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_GE(box.lo[j], 1);
+      EXPECT_LE(box.lo[j], box.hi[j]);
+      EXPECT_LE(box.hi[j], 3);
+    }
+    seen.insert({{box.lo[0], box.hi[0]}, {box.lo[1], box.hi[1]}});
+  }
+  EXPECT_EQ(seen.size(), f.NumRanges());
+}
+
+TEST(RectangleFamilyTest, ContainsChecksAllDims) {
+  RectangleFamily f(5, 2);
+  RectangleFamily::Box box;
+  box.lo = {2, 3};
+  box.hi = {4, 5};
+  EXPECT_TRUE(box.Contains(Point{3.0, 4.0}));
+  EXPECT_TRUE(box.Contains(Point{2.0, 3.0}));  // boundary inclusive
+  EXPECT_TRUE(box.Contains(Point{4.0, 5.0}));
+  EXPECT_FALSE(box.Contains(Point{1.0, 4.0}));
+  EXPECT_FALSE(box.Contains(Point{3.0, 2.0}));
+  EXPECT_FALSE(box.Contains(Point{5.0, 4.0}));
+}
+
+TEST(RectangleFamilyTest, FractionalPointsUseRealComparison) {
+  RectangleFamily::Box box;
+  box.lo = {1};
+  box.hi = {2};
+  EXPECT_TRUE(box.Contains(Point{1.5}));
+  EXPECT_FALSE(box.Contains(Point{2.5}));
+}
+
+TEST(RectangleFamilyDeathTest, OverflowingFamilyAborts) {
+  EXPECT_DEATH(RectangleFamily(100000, 4), "overflows");
+}
+
+// ------------------------------------------------------------- Halfspace --
+
+TEST(HalfspaceFamilyTest, CardinalityIsDirectionsTimesOffsets) {
+  HalfspaceFamily2D f(8, 11, -1.0, 1.0);
+  EXPECT_EQ(f.NumRanges(), 88u);
+}
+
+TEST(HalfspaceFamilyTest, DirectionsAreUnitVectors) {
+  HalfspaceFamily2D f(16, 5, -2.0, 2.0);
+  for (int j = 0; j < 16; ++j) {
+    double nx, ny;
+    f.Direction(j, &nx, &ny);
+    EXPECT_NEAR(nx * nx + ny * ny, 1.0, 1e-12);
+  }
+}
+
+TEST(HalfspaceFamilyTest, OffsetsSpanTheGrid) {
+  HalfspaceFamily2D f(1, 5, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.Range(0).offset, 0.0);
+  EXPECT_DOUBLE_EQ(f.Range(4).offset, 1.0);
+  EXPECT_DOUBLE_EQ(f.Range(2).offset, 0.5);
+}
+
+TEST(HalfspaceFamilyTest, MembershipMatchesInnerProduct) {
+  HalfspaceFamily2D f(4, 3, -1.0, 1.0);
+  // Direction 0 is (1, 0): halfspace x <= t.
+  const auto h = f.Range(2);  // direction 0, offset t = 1.0
+  EXPECT_DOUBLE_EQ(h.nx, 1.0);
+  EXPECT_NEAR(h.ny, 0.0, 1e-12);
+  EXPECT_TRUE(f.Contains(2, Point{0.5, 100.0}));
+  EXPECT_FALSE(f.Contains(2, Point{1.5, 0.0}));
+}
+
+TEST(HalfspaceFamilyTest, OppositeDirectionsGiveComplementaryHalfspaces) {
+  HalfspaceFamily2D f(4, 3, -10.0, 10.0);
+  // Directions 0 and 2 are (1,0) and (-1,0).
+  const Point p{3.0, 0.0};
+  // x <= 10 contains p; -x <= -10 (i.e. x >= 10) does not.
+  EXPECT_TRUE(f.Contains(2, p));
+  const uint64_t idx_opposite = 2 * 3 + 0;  // direction 2, offset -10
+  EXPECT_FALSE(f.Contains(idx_opposite, p));
+}
+
+// -------------------------------------------------------------- Explicit --
+
+TEST(ExplicitFamilyTest, PredicatesDefineMembership) {
+  ExplicitFamily<int64_t> f("parity", {[](const int64_t& x) {
+                              return x % 2 == 0;
+                            }});
+  EXPECT_EQ(f.NumRanges(), 1u);
+  EXPECT_TRUE(f.Contains(0, 4));
+  EXPECT_FALSE(f.Contains(0, 5));
+  f.AddRange([](const int64_t& x) { return x > 10; });
+  EXPECT_EQ(f.NumRanges(), 2u);
+  EXPECT_TRUE(f.Contains(1, 11));
+  EXPECT_EQ(f.Name(), "parity");
+}
+
+TEST(ExplicitFamilyDeathTest, EmptyFamilyAborts) {
+  EXPECT_DEATH(ExplicitFamily<int64_t>("empty", {}), "at least one range");
+}
+
+}  // namespace
+}  // namespace robust_sampling

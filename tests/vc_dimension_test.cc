@@ -1,0 +1,155 @@
+#include "setsystem/vc_dimension.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "setsystem/explicit_family.h"
+#include "setsystem/halfspace_family.h"
+#include "setsystem/interval_family.h"
+#include "setsystem/prefix_family.h"
+#include "setsystem/rectangle_family.h"
+#include "setsystem/singleton_family.h"
+
+namespace robust_sampling {
+namespace {
+
+std::vector<int64_t> Candidates(int64_t lo, int64_t hi, int64_t step = 1) {
+  std::vector<int64_t> out;
+  for (int64_t v = lo; v <= hi; v += step) out.push_back(v);
+  return out;
+}
+
+TEST(IsShatteredTest, EmptySetIsShattered) {
+  PrefixFamily f(10);
+  EXPECT_TRUE(IsShattered(f, std::vector<int64_t>{}));
+}
+
+TEST(IsShatteredTest, SinglePointShatteredByPrefixes) {
+  PrefixFamily f(10);
+  // Need both {} and {5}: [1,4] excludes 5, [1,5] includes it.
+  EXPECT_TRUE(IsShattered(f, std::vector<int64_t>{5}));
+}
+
+TEST(IsShatteredTest, TwoPointsNotShatteredByPrefixes) {
+  PrefixFamily f(10);
+  // No prefix contains 7 but not 3.
+  EXPECT_FALSE(IsShattered(f, std::vector<int64_t>{3, 7}));
+}
+
+TEST(IsShatteredTest, TwoPointsShatteredByIntervals) {
+  IntervalFamily f(10);
+  EXPECT_TRUE(IsShattered(f, std::vector<int64_t>{3, 7}));
+}
+
+TEST(IsShatteredTest, ThreePointsNotShatteredByIntervals) {
+  IntervalFamily f(10);
+  // No interval contains 2 and 8 but not 5.
+  EXPECT_FALSE(IsShattered(f, std::vector<int64_t>{2, 5, 8}));
+}
+
+TEST(VcDimensionTest, PrefixFamilyHasVcDimensionOne) {
+  // The Theorem 1.3 set system: VC-dimension exactly 1 despite |R| = N.
+  PrefixFamily f(30);
+  EXPECT_EQ(VcDimension(f, Candidates(1, 30)), 1);
+}
+
+TEST(VcDimensionTest, IntervalFamilyHasVcDimensionTwo) {
+  IntervalFamily f(20);
+  EXPECT_EQ(VcDimension(f, Candidates(1, 20)), 2);
+}
+
+TEST(VcDimensionTest, SingletonFamilyHasVcDimensionOne) {
+  SingletonFamily f(15);
+  EXPECT_EQ(VcDimension(f, Candidates(1, 15)), 1);
+}
+
+TEST(VcDimensionTest, Boxes1DHaveVcDimensionTwo) {
+  RectangleFamily f(8, 1);
+  std::vector<Point> candidates;
+  for (int64_t v = 1; v <= 8; ++v) {
+    candidates.push_back(Point{static_cast<double>(v)});
+  }
+  EXPECT_EQ(VcDimension(f, candidates), 2);
+}
+
+TEST(VcDimensionTest, Boxes2DHaveVcDimensionFour) {
+  // Axis-aligned rectangles in the plane have VC-dimension 4; witness: the
+  // four "compass" points of a diamond.
+  RectangleFamily f(7, 2);
+  const std::vector<Point> diamond{
+      {4.0, 1.0}, {7.0, 4.0}, {4.0, 7.0}, {1.0, 4.0}};
+  EXPECT_TRUE(IsShattered(f, diamond));
+  // Five points can never be shattered by boxes in 2-D.
+  std::vector<Point> five = diamond;
+  five.push_back(Point{4.0, 4.0});
+  EXPECT_FALSE(IsShattered(f, five));
+}
+
+TEST(VcDimensionTest, PowerSetShattersEverything) {
+  // Explicit family of all 2^4 subsets of {1,2,3,4}: VC-dim = 4.
+  std::vector<ExplicitFamily<int64_t>::Predicate> preds;
+  for (uint32_t mask = 0; mask < 16; ++mask) {
+    preds.push_back([mask](const int64_t& x) {
+      return x >= 1 && x <= 4 && ((mask >> (x - 1)) & 1u) != 0;
+    });
+  }
+  ExplicitFamily<int64_t> f("powerset", std::move(preds));
+  EXPECT_EQ(VcDimension(f, Candidates(1, 4)), 4);
+}
+
+TEST(VcDimensionTest, SingleRangeFamilyHasVcDimensionAtMostOne) {
+  ExplicitFamily<int64_t> f("half", {[](const int64_t& x) { return x > 5; }});
+  // Only two patterns ({}, {x}) ever arise; one point is shattered iff some
+  // range contains it and some range (none here besides) excludes it — with
+  // a single range no point achieves both patterns... except pattern {} is
+  // realized only if the range excludes the point.
+  // Point 3: range excludes it -> only pattern {} arises. Not shattered.
+  EXPECT_FALSE(IsShattered(f, std::vector<int64_t>{3}));
+  // Point 7 is included by the range but nothing excludes it.
+  EXPECT_FALSE(IsShattered(f, std::vector<int64_t>{7}));
+  EXPECT_EQ(VcDimension(f, Candidates(1, 10)), 0);
+}
+
+TEST(VcDimensionTest, MaxDimCapRespected) {
+  IntervalFamily f(20);
+  EXPECT_EQ(VcDimension(f, Candidates(1, 20), /*max_dim=*/1), 1);
+}
+
+TEST(VcDimensionTest, Halfspaces2DShatterThreePointsNotFour) {
+  // Halfspaces in the plane have VC-dimension 3. A finely discretized
+  // family shatters a triangle; no four points are shattered by any
+  // halfspace family (the XOR pattern on a convex quadrilateral, or the
+  // inside point of a triangle, is unrealizable).
+  HalfspaceFamily2D family(64, 64, -3.0, 3.0);
+  const std::vector<Point> triangle{{0.0, 1.0}, {-1.0, -1.0}, {1.0, -1.0}};
+  EXPECT_TRUE(IsShattered(family, triangle));
+  const std::vector<Point> square{
+      {1.0, 1.0}, {-1.0, 1.0}, {-1.0, -1.0}, {1.0, -1.0}};
+  EXPECT_FALSE(IsShattered(family, square));
+  std::vector<Point> with_center = triangle;
+  with_center.push_back(Point{0.0, 0.0});
+  EXPECT_FALSE(IsShattered(family, with_center));
+}
+
+TEST(VcDimensionTest, CoarseHalfspaceFamilyHasLowerEffectiveDimension) {
+  // With a single direction the family is a 1-D threshold family:
+  // VC-dimension 1 on collinear points.
+  HalfspaceFamily2D family(1, 64, -3.0, 3.0);
+  const std::vector<Point> pts{{-1.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_TRUE(IsShattered(family, {pts[1]}));
+  EXPECT_FALSE(IsShattered(family, {pts[0], pts[2]}));
+}
+
+TEST(VcDimensionTest, CardinalityVsVcContrast) {
+  // The paper's core contrast, verified concretely: growing the universe
+  // blows up ln|R| while the VC-dimension stays 1.
+  PrefixFamily small(10);
+  PrefixFamily large(100000);
+  EXPECT_EQ(VcDimension(small, Candidates(1, 10)), 1);
+  EXPECT_EQ(VcDimension(large, Candidates(1, 100000, 9973)), 1);
+  EXPECT_GT(large.LogCardinality(), 4.0 * small.LogCardinality());
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,122 @@
+#include "core/weighted_reservoir_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace robust_sampling {
+namespace {
+
+TEST(WeightedReservoirTest, FirstKElementsAlwaysKept) {
+  WeightedReservoirSampler<int64_t> s(5, 1);
+  for (int64_t i = 0; i < 5; ++i) {
+    s.Insert(i, 1.0 + i);
+    EXPECT_TRUE(s.last_kept());
+  }
+  EXPECT_EQ(s.entries().size(), 5u);
+}
+
+TEST(WeightedReservoirTest, SizeCappedAtK) {
+  WeightedReservoirSampler<int64_t> s(7, 2);
+  for (int64_t i = 0; i < 1000; ++i) s.Insert(i, 1.0);
+  EXPECT_EQ(s.entries().size(), 7u);
+  EXPECT_EQ(s.stream_size(), 1000u);
+}
+
+TEST(WeightedReservoirTest, SampleValuesMatchEntries) {
+  WeightedReservoirSampler<int64_t> s(4, 3);
+  for (int64_t i = 0; i < 100; ++i) s.Insert(i, 1.0);
+  const auto values = s.SampleValues();
+  ASSERT_EQ(values.size(), s.entries().size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], s.entries()[i].value);
+  }
+}
+
+TEST(WeightedReservoirTest, HeapKeepsLargestKeys) {
+  WeightedReservoirSampler<int64_t> s(8, 5);
+  for (int64_t i = 0; i < 500; ++i) s.Insert(i, 1.0);
+  // The heap front is the minimum key of the retained set; every retained
+  // key must be >= it.
+  const double min_key = s.entries().front().key;
+  for (const auto& e : s.entries()) EXPECT_GE(e.key, min_key);
+  // Keys are valid A-Res keys: u^{1/w} in (0, 1].
+  for (const auto& e : s.entries()) {
+    EXPECT_GT(e.key, 0.0);
+    EXPECT_LE(e.key, 1.0);
+  }
+}
+
+TEST(WeightedReservoirTest, UnitWeightsMatchUniformMarginal) {
+  // With all weights 1, inclusion probability is k/n per element.
+  constexpr size_t kK = 3, kN = 12, kRuns = 30000;
+  std::vector<int> counts(kN, 0);
+  for (size_t run = 0; run < kRuns; ++run) {
+    WeightedReservoirSampler<int64_t> s(kK, 10 + run);
+    for (size_t i = 0; i < kN; ++i) s.Insert(static_cast<int64_t>(i));
+    for (int64_t v : s.SampleValues()) ++counts[static_cast<size_t>(v)];
+  }
+  const double expected = static_cast<double>(kRuns) * kK / kN;
+  const double sd = std::sqrt(expected * (1.0 - static_cast<double>(kK) / kN));
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(counts[i], expected, 6.0 * sd) << "element " << i;
+  }
+}
+
+TEST(WeightedReservoirTest, HeavierElementsSampledMoreOften) {
+  // Element 0 has weight 10, elements 1..9 weight 1; with k = 1 the A-Res
+  // selection probability of element 0 is 10/19.
+  constexpr size_t kRuns = 20000;
+  size_t zero_count = 0;
+  for (size_t run = 0; run < kRuns; ++run) {
+    WeightedReservoirSampler<int64_t> s(1, 20 + run);
+    s.Insert(0, 10.0);
+    for (int64_t i = 1; i < 10; ++i) s.Insert(i, 1.0);
+    zero_count += s.SampleValues()[0] == 0;
+  }
+  const double p = 10.0 / 19.0;
+  const double sd = std::sqrt(kRuns * p * (1 - p));
+  EXPECT_NEAR(static_cast<double>(zero_count), kRuns * p, 6.0 * sd);
+}
+
+TEST(WeightedReservoirTest, FirstDrawMatchesWeightedDistribution) {
+  // For k = 1 and two elements with weights w0, w1 the winner is element 0
+  // with probability w0/(w0+w1) (Efraimidis–Spirakis Theorem 1).
+  constexpr size_t kRuns = 20000;
+  const double w0 = 3.0, w1 = 1.0;
+  size_t zero_wins = 0;
+  for (size_t run = 0; run < kRuns; ++run) {
+    WeightedReservoirSampler<int64_t> s(1, 30 + run);
+    s.Insert(0, w0);
+    s.Insert(1, w1);
+    zero_wins += s.SampleValues()[0] == 0;
+  }
+  const double p = w0 / (w0 + w1);
+  const double sd = std::sqrt(kRuns * p * (1 - p));
+  EXPECT_NEAR(static_cast<double>(zero_wins), kRuns * p, 6.0 * sd);
+}
+
+TEST(WeightedReservoirTest, DeterministicGivenSeed) {
+  WeightedReservoirSampler<int64_t> a(6, 99), b(6, 99);
+  for (int64_t i = 0; i < 500; ++i) {
+    a.Insert(i, 1.0 + (i % 5));
+    b.Insert(i, 1.0 + (i % 5));
+  }
+  EXPECT_EQ(a.SampleValues(), b.SampleValues());
+}
+
+TEST(WeightedReservoirDeathTest, NonPositiveWeightAborts) {
+  WeightedReservoirSampler<int64_t> s(2, 1);
+  EXPECT_DEATH(s.Insert(1, 0.0), "positive");
+  EXPECT_DEATH(s.Insert(1, -3.0), "positive");
+}
+
+TEST(WeightedReservoirDeathTest, ZeroCapacityAborts) {
+  EXPECT_DEATH(WeightedReservoirSampler<int64_t>(0, 1), "capacity");
+}
+
+}  // namespace
+}  // namespace robust_sampling
