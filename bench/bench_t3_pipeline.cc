@@ -1,0 +1,158 @@
+// T3: sharded-pipeline ingestion throughput. Compares the single-threaded
+// per-element RobustSample::Insert baseline against ShardedPipeline at
+// 1/2/4/8 shards (round-robin partitioning, batched ingestion through the
+// reservoir's geometric-skip InsertBatch hot path) on a 1e7-element
+// stream, and verifies that the merged N-shard snapshot still estimates
+// prefix densities within eps.
+//
+// Acceptance target: >= 2x the single-thread baseline at 4 shards. The
+// speedup comes from the batch hot path doing O(k log(n/k)) random draws
+// instead of O(n) — so it materializes even on a single hardware thread.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "core/robust_sample.h"
+#include "harness/table.h"
+#include "pipeline/sharded_pipeline.h"
+#include "pipeline/stream_sketch.h"
+#include "stream/generators.h"
+
+namespace robust_sampling {
+namespace {
+
+constexpr double kEps = 0.1;
+constexpr double kDelta = 0.05;
+constexpr uint64_t kUniverse = uint64_t{1} << 20;
+constexpr size_t kStreamLength = 10'000'000;
+constexpr size_t kBatchSize = 1 << 16;
+constexpr uint64_t kSeed = 2024;
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+struct PrefixRange {
+  int64_t threshold;
+  double true_density;
+};
+
+// Exact densities of the probe prefixes, computed once from the sorted
+// stream (rank of the last occurrence of each threshold).
+std::vector<PrefixRange> GroundTruthRanges(
+    const std::vector<int64_t>& sorted) {
+  std::vector<PrefixRange> out;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const int64_t threshold =
+        sorted[static_cast<size_t>(q * (sorted.size() - 1))];
+    const size_t truth = static_cast<size_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), threshold) -
+        sorted.begin());
+    out.push_back(PrefixRange{
+        threshold,
+        static_cast<double>(truth) / static_cast<double>(sorted.size())});
+  }
+  return out;
+}
+
+double MaxPrefixDensityError(const RobustSample<int64_t>& sample,
+                             const std::vector<PrefixRange>& ranges) {
+  double worst = 0.0;
+  for (const PrefixRange& range : ranges) {
+    const int64_t threshold = range.threshold;
+    const double est = sample.EstimateDensity(
+        [threshold](int64_t v) { return v <= threshold; });
+    worst = std::max(worst, std::abs(est - range.true_density));
+  }
+  return worst;
+}
+
+void Run() {
+  std::cout << "# T3: sharded pipeline ingestion throughput\n";
+  std::cout << "Stream: " << kStreamLength
+            << " uniform int64 elements, universe 2^20; sketch: "
+               "robust_sample(eps="
+            << kEps << ", delta=" << kDelta
+            << "); batch size: " << kBatchSize
+            << "; partition: round-robin.\n\n";
+
+  const auto stream = UniformIntStream(
+      kStreamLength, static_cast<int64_t>(kUniverse), kSeed);
+  std::vector<int64_t> sorted = stream;
+  std::sort(sorted.begin(), sorted.end());
+  const auto ranges = GroundTruthRanges(sorted);
+
+  // Baseline: single-threaded, one element at a time.
+  auto baseline = RobustSample<int64_t>::ForQuantiles(kEps, kDelta,
+                                                      kUniverse, kSeed);
+  const auto b0 = std::chrono::steady_clock::now();
+  for (int64_t v : stream) baseline.Insert(v);
+  const auto b1 = std::chrono::steady_clock::now();
+  const double baseline_secs = Seconds(b0, b1);
+  const double baseline_meps =
+      static_cast<double>(kStreamLength) / baseline_secs / 1e6;
+
+  MarkdownTable table({"config", "time (s)", "Melem/s", "speedup",
+                       "max prefix err", "err <= eps"});
+  table.AddRow({"single-thread Insert", FormatDouble(baseline_secs, 3),
+                FormatDouble(baseline_meps, 1), "1.00x",
+                FormatDouble(MaxPrefixDensityError(baseline, ranges)),
+                FormatBool(true)});
+
+  double speedup_at_4 = 0.0;
+  bool accuracy_at_4 = false;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    SketchConfig config;
+    config.kind = "robust_sample";
+    config.eps = kEps;
+    config.delta = kDelta;
+    config.universe_size = kUniverse;
+    config.seed = kSeed;
+    PipelineOptions options;
+    options.num_shards = shards;
+    options.partition = PartitionPolicy::kRoundRobin;
+    ShardedPipeline<int64_t> pipeline(config, options);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < stream.size(); i += kBatchSize) {
+      const size_t len = std::min(kBatchSize, stream.size() - i);
+      pipeline.Ingest(std::span<const int64_t>(stream.data() + i, len));
+    }
+    pipeline.Flush();
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto snapshot = pipeline.Snapshot();
+    const double secs = Seconds(t0, t1);
+    const double meps = static_cast<double>(kStreamLength) / secs / 1e6;
+    const double speedup = baseline_secs / secs;
+    const double err = MaxPrefixDensityError(
+        snapshot.As<RobustSampleAdapter<int64_t>>().sketch(), ranges);
+    if (shards == 4) {
+      speedup_at_4 = speedup;
+      accuracy_at_4 = err <= kEps;
+    }
+    table.AddRow({"pipeline x" + std::to_string(shards),
+                  FormatDouble(secs, 3), FormatDouble(meps, 1),
+                  FormatDouble(speedup, 2) + "x", FormatDouble(err),
+                  FormatBool(err <= kEps)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nacceptance: 4-shard speedup = "
+            << FormatDouble(speedup_at_4, 2)
+            << "x (target >= 2x), merged snapshot eps-accurate = "
+            << FormatBool(accuracy_at_4) << " -> "
+            << ((speedup_at_4 >= 2.0 && accuracy_at_4) ? "PASS" : "FAIL")
+            << "\n";
+}
+
+}  // namespace
+}  // namespace robust_sampling
+
+int main() {
+  robust_sampling::Run();
+  return 0;
+}

@@ -2,8 +2,9 @@
 #define ROBUST_SAMPLING_CORE_ROBUST_SAMPLE_H_
 
 #include <cmath>
+#include <concepts>
 #include <cstdint>
-#include <functional>
+#include <span>
 #include <vector>
 
 #include "core/check.h"
@@ -11,6 +12,13 @@
 #include "core/sample_bounds.h"
 
 namespace robust_sampling {
+
+/// A callable usable as a range-membership test over elements of type T.
+/// Constraining the query path on this concept (instead of taking a
+/// `std::function`) lets the predicate inline into the scan over the
+/// sample — no per-element indirect call.
+template <typename P, typename T>
+concept RangePredicate = std::predicate<P&, const T&>;
 
 /// High-level facade over the paper's main result: a reservoir sampler
 /// automatically sized by Theorem 1.2 so that, with probability >= 1-delta,
@@ -75,6 +83,24 @@ class RobustSample {
   /// Processes one stream element.
   void Insert(const T& x) { reservoir_.Insert(x); }
 
+  /// Processes a batch of stream elements via the reservoir's skip-sampling
+  /// hot path (see ReservoirSampler::InsertBatch for the adversarial-model
+  /// discussion: batching only coarsens adaptivity, so Theorem 1.2 holds).
+  void InsertBatch(std::span<const T> xs) { reservoir_.InsertBatch(xs); }
+
+  /// Folds another RobustSample over a disjoint stream into this one. The
+  /// merged reservoir is a uniform min(k, n1+n2)-subset of the union, so
+  /// the Theorem 1.2 guarantee carries over to the merged sample at the
+  /// same (eps, delta). Requires identical (eps, delta, log_cardinality).
+  void Merge(const RobustSample& other) {
+    RS_CHECK_MSG(options_.eps == other.options_.eps &&
+                     options_.delta == other.options_.delta &&
+                     options_.log_cardinality ==
+                         other.options_.log_cardinality,
+                 "cannot merge RobustSamples with different guarantees");
+    reservoir_.Merge(other.reservoir_);
+  }
+
   /// The current sample (also what an adversary would see).
   const std::vector<T>& sample() const { return reservoir_.sample(); }
 
@@ -90,18 +116,18 @@ class RobustSample {
   /// Estimated density of {x : predicate(x)} in the stream. If the
   /// predicate describes a range of the configured family, the estimate is
   /// within eps of the truth with probability 1 - delta (adversarially).
-  double EstimateDensity(const std::function<bool(const T&)>& predicate)
-      const {
+  template <RangePredicate<T> P>
+  double EstimateDensity(P&& predicate) const {
     const auto& s = reservoir_.sample();
     if (s.empty()) return 0.0;
     size_t hits = 0;
-    for (const T& x : s) hits += predicate(x);
+    for (const T& x : s) hits += static_cast<bool>(predicate(x));
     return static_cast<double>(hits) / static_cast<double>(s.size());
   }
 
   /// Estimated number of stream elements in the range (density * n).
-  double EstimateCount(const std::function<bool(const T&)>& predicate)
-      const {
+  template <RangePredicate<T> P>
+  double EstimateCount(P&& predicate) const {
     return EstimateDensity(predicate) *
            static_cast<double>(reservoir_.stream_size());
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/check.h"
 #include "core/random.h"
@@ -60,6 +62,42 @@ void CountMinSketch::Insert(int64_t x) {
     }
     candidates_.erase(min_it);
     candidates_.emplace(x, 1);
+  }
+}
+
+void CountMinSketch::InsertBatch(std::span<const int64_t> xs) {
+  // Devirtualized inner loop: one indirect call per batch, not per element.
+  for (int64_t x : xs) CountMinSketch::Insert(x);
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  RS_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_,
+               "cannot merge CountMin sketches with different geometry");
+  RS_CHECK_MSG(row_seeds_ == other.row_seeds_,
+               "cannot merge CountMin sketches with different hash rows");
+  for (size_t r = 0; r < depth_; ++r) {
+    for (size_t c = 0; c < width_; ++c) {
+      counters_[r][c] += other.counters_[r][c];
+    }
+  }
+  n_ += other.n_;
+  for (const auto& [elem, insertions] : other.candidates_) {
+    candidates_[elem] += insertions;
+  }
+  if (candidates_.size() > max_candidates_) {
+    // Keep the max_candidates_ most-inserted candidates in one pass
+    // (ties broken by element for determinism).
+    std::vector<std::pair<int64_t, uint64_t>> entries(candidates_.begin(),
+                                                      candidates_.end());
+    std::nth_element(entries.begin(),
+                     entries.begin() + (max_candidates_ - 1), entries.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second != b.second ? a.second > b.second
+                                                   : a.first < b.first;
+                     });
+    entries.resize(max_candidates_);
+    candidates_ = std::unordered_map<int64_t, uint64_t>(entries.begin(),
+                                                        entries.end());
   }
 }
 

@@ -35,6 +35,18 @@ class CountMinSketch : public FrequencyEstimator {
                  bool conservative_update = false);
 
   void Insert(int64_t x) override;
+  void InsertBatch(std::span<const int64_t> xs) override;
+
+  /// Merges another CountMin sketch into this one by adding counters
+  /// pointwise (linear-sketch mergeability). Requires identical geometry
+  /// *and* identical row hash functions, i.e. both sketches must have been
+  /// constructed from the same seed — which is how the pipeline registry
+  /// instantiates per-shard CountMin sketches. Estimates remain one-sided
+  /// overestimates; for conservative-update sketches the merged counters
+  /// are still valid upper bounds (the sum of two per-stream upper bounds),
+  /// though no longer as tight as single-stream conservative updating.
+  /// Candidate maps are merged and trimmed back to `max_candidates`.
+  void Merge(const CountMinSketch& other);
   double EstimateFrequency(int64_t x) const override;
   std::vector<HeavyHitter> HeavyHitters(double threshold) const override;
   size_t StreamSize() const override { return n_; }

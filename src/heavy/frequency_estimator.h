@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,13 @@ class FrequencyEstimator {
 
   /// Processes one stream element.
   virtual void Insert(int64_t x) = 0;
+
+  /// Processes a batch of stream elements. Semantically identical to
+  /// inserting each element in order; implementations override to pay the
+  /// virtual dispatch once per batch instead of once per element.
+  virtual void InsertBatch(std::span<const int64_t> xs) {
+    for (int64_t x : xs) Insert(x);
+  }
 
   /// Estimated relative frequency of x in the stream so far (0 if the
   /// stream is empty).

@@ -35,6 +35,11 @@ void MisraGries::Insert(int64_t x) {
   }
 }
 
+void MisraGries::InsertBatch(std::span<const int64_t> xs) {
+  // Devirtualized inner loop: one indirect call per batch, not per element.
+  for (int64_t x : xs) MisraGries::Insert(x);
+}
+
 void MisraGries::Merge(const MisraGries& other) {
   RS_CHECK_MSG(other.k_ == k_, "merging summaries of different sizes");
   for (const auto& [elem, count] : other.counters_) {

@@ -27,6 +27,7 @@ class MisraGries : public FrequencyEstimator {
   explicit MisraGries(size_t num_counters);
 
   void Insert(int64_t x) override;
+  void InsertBatch(std::span<const int64_t> xs) override;
 
   /// Merges another Misra-Gries summary into this one (Agarwal et al.
   /// mergeable-summaries construction): counters are added pointwise, then

@@ -1,5 +1,9 @@
 #include "heavy/space_saving.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "core/check.h"
 
 namespace robust_sampling {
@@ -41,6 +45,36 @@ void SpaceSaving::Insert(int64_t x) {
   counts_.erase(victim);
   counts_.emplace(x, min_count + 1);
   by_count_.emplace(min_count + 1, x);
+}
+
+void SpaceSaving::InsertBatch(std::span<const int64_t> xs) {
+  // Devirtualized inner loop: one indirect call per batch, not per element.
+  for (int64_t x : xs) SpaceSaving::Insert(x);
+}
+
+void SpaceSaving::Merge(const SpaceSaving& other) {
+  RS_CHECK_MSG(k_ == other.k_,
+               "cannot merge SpaceSaving summaries of different sizes");
+  std::unordered_map<int64_t, uint64_t> combined = counts_;
+  for (const auto& [elem, count] : other.counts_) combined[elem] += count;
+  std::vector<std::pair<int64_t, uint64_t>> entries(combined.begin(),
+                                                    combined.end());
+  if (entries.size() > k_) {
+    // Keep the k largest counts (ties broken by element for determinism).
+    std::nth_element(entries.begin(), entries.begin() + (k_ - 1),
+                     entries.end(), [](const auto& a, const auto& b) {
+                       return a.second != b.second ? a.second > b.second
+                                                   : a.first < b.first;
+                     });
+    entries.resize(k_);
+  }
+  counts_.clear();
+  by_count_.clear();
+  for (const auto& [elem, count] : entries) {
+    counts_.emplace(elem, count);
+    by_count_.emplace(count, elem);
+  }
+  n_ += other.n_;
 }
 
 double SpaceSaving::EstimateFrequency(int64_t x) const {

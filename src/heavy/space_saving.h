@@ -26,6 +26,15 @@ class SpaceSaving : public FrequencyEstimator {
   explicit SpaceSaving(size_t num_counters);
 
   void Insert(int64_t x) override;
+  void InsertBatch(std::span<const int64_t> xs) override;
+
+  /// Merges another SpaceSaving summary into this one (Agarwal et al.
+  /// mergeable-summaries semantics; SpaceSaving is isomorphic to
+  /// Misra-Gries): counts are added pointwise over the union of tracked
+  /// elements, then the k largest entries are retained. Estimates stay
+  /// one-sided overestimates with total error <= (n1 + n2)/k. Requires
+  /// equal counter budgets.
+  void Merge(const SpaceSaving& other);
   double EstimateFrequency(int64_t x) const override;
   std::vector<HeavyHitter> HeavyHitters(double threshold) const override;
   size_t StreamSize() const override { return n_; }

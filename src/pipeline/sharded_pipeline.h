@@ -1,0 +1,283 @@
+#ifndef ROBUST_SAMPLING_PIPELINE_SHARDED_PIPELINE_H_
+#define ROBUST_SAMPLING_PIPELINE_SHARDED_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+#include "core/random.h"
+#include "pipeline/sketch_config.h"
+#include "pipeline/sketch_registry.h"
+#include "pipeline/stream_sketch.h"
+
+namespace robust_sampling {
+
+/// How Ingest routes elements to shards.
+enum class PartitionPolicy {
+  /// Content-addressed: element x always lands on shard hash(x) % N.
+  /// Deterministic per element regardless of batch boundaries; the right
+  /// choice when per-shard sketches answer per-key questions (CountMin,
+  /// heavy hitters) or when replay determinism across different batch
+  /// sizes matters.
+  kHash,
+  /// Each batch is split into N contiguous chunks, one per shard — zero
+  /// per-element routing work, the throughput choice for samplers (a
+  /// uniform sample of a union does not care how the union was cut).
+  kRoundRobin,
+};
+
+/// Tuning for ShardedPipeline.
+struct PipelineOptions {
+  /// Number of worker shards (each owns one sketch instance and one
+  /// thread). Requires >= 1.
+  size_t num_shards = 4;
+  PartitionPolicy partition = PartitionPolicy::kRoundRobin;
+  /// Backpressure bound: Ingest blocks once a shard has this many batches
+  /// queued. Requires >= 1.
+  size_t mailbox_capacity = 64;
+};
+
+/// Sharded, batched stream-ingestion engine.
+///
+/// N worker shards each own an independently seeded sketch (instantiated
+/// from one SketchConfig via SketchRegistry<T>) and a mutex-guarded
+/// mailbox of pending batches. The producer thread calls
+/// `Ingest(batch)`, which partitions the batch across shards and
+/// enqueues; workers drain their mailboxes through the sketch's
+/// `InsertBatch` hot path. `Snapshot()` folds the per-shard states into
+/// one merged StreamSketch answering for the entire stream.
+///
+/// Adversarial-robustness note: sharding changes *when* an adversary can
+/// observe state (between batches rather than between elements) but not
+/// the distribution of any per-shard sample, and the merged snapshot of
+/// per-shard reservoirs is distributed exactly as one global reservoir
+/// over the union (ReservoirSampler::Merge). Theorem 1.2 sizing therefore
+/// applies to the merged sample unchanged.
+///
+/// Threading contract: Ingest/Flush/Snapshot/Stop must be called from one
+/// producer thread (or externally serialized); the shard workers are
+/// internal. Determinism: with fixed config.seed, fixed batch sizes, and
+/// kHash partitioning (or any partitioning with fixed batch sizes), the
+/// merged snapshot is bit-for-bit reproducible.
+template <typename T>
+class ShardedPipeline {
+ public:
+  ShardedPipeline(const SketchConfig& config, const PipelineOptions& options)
+      : config_(config), options_(options) {
+    RS_CHECK_MSG(options.num_shards >= 1, "need at least one shard");
+    RS_CHECK_MSG(options.mailbox_capacity >= 1,
+                 "mailbox capacity must be >= 1");
+    const auto& registry = SketchRegistry<T>::Global();
+    shards_.reserve(options.num_shards);
+    for (size_t s = 0; s < options.num_shards; ++s) {
+      auto shard = std::make_unique<Shard>();
+      shard->sketch =
+          registry.Create(config, MixSeed(config.seed, uint64_t{s}));
+      shards_.push_back(std::move(shard));
+    }
+    staging_.resize(options.num_shards);
+    for (size_t s = 0; s < options.num_shards; ++s) {
+      shards_[s]->worker = std::thread(&ShardedPipeline::WorkerLoop, this,
+                                       shards_[s].get());
+    }
+  }
+
+  ~ShardedPipeline() { Stop(); }
+
+  ShardedPipeline(const ShardedPipeline&) = delete;
+  ShardedPipeline& operator=(const ShardedPipeline&) = delete;
+
+  /// Partitions one batch across the shards and enqueues the pieces.
+  /// Blocks when a target mailbox is full (backpressure).
+  void Ingest(std::span<const T> batch) {
+    RS_CHECK_MSG(!stopped_, "Ingest after Stop");
+    if (batch.empty()) return;
+    total_ingested_ += batch.size();
+    if (options_.partition == PartitionPolicy::kRoundRobin) {
+      IngestRoundRobin(batch);
+    } else {
+      IngestHashed(batch);
+    }
+  }
+
+  /// Blocks until every queued batch has been folded into its shard's
+  /// sketch and all workers are idle.
+  void Flush() {
+    for (auto& shard : shards_) {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->cv.wait(lock, [&shard] {
+        return shard->mailbox.empty() && shard->idle;
+      });
+    }
+  }
+
+  /// Flushes, then folds the per-shard sketches (in shard order) into one
+  /// merged summary of the whole stream. Ingestion state is untouched —
+  /// snapshots can be taken mid-stream and repeatedly; each call returns
+  /// an independent deep copy.
+  StreamSketch<T> Snapshot() {
+    Flush();
+    StreamSketch<T> merged = CopyShardSketch(0);
+    for (size_t s = 1; s < shards_.size(); ++s) {
+      const StreamSketch<T> piece = CopyShardSketch(s);
+      merged.MergeFrom(piece);
+    }
+    return merged;
+  }
+
+  /// Flushes remaining work and joins the worker threads. Idempotent;
+  /// called by the destructor. Snapshot() remains valid afterwards.
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    for (auto& shard : shards_) {
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->stop = true;
+      }
+      shard->cv.notify_all();
+    }
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+  }
+
+  /// Elements handed to Ingest so far (including ones still queued).
+  size_t total_ingested() const { return total_ingested_; }
+
+  /// Per-shard stream sizes (flushes first).
+  std::vector<size_t> ShardStreamSizes() {
+    Flush();
+    std::vector<size_t> out;
+    out.reserve(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s]->mu);
+      out.push_back(shards_[s]->sketch.StreamSize());
+    }
+    return out;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  const SketchConfig& config() const { return config_; }
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<T>> mailbox;
+    bool stop = false;
+    bool idle = true;
+    StreamSketch<T> sketch;  // owned by the worker between Flush points
+    std::thread worker;
+  };
+
+  static uint64_t HashElement(const T& x) {
+    if constexpr (std::is_integral_v<T>) {
+      // std::hash of an integer is typically the identity; mix so that
+      // dense key ranges spread evenly across shards.
+      return MixSeed(static_cast<uint64_t>(x), 0x9e3779b97f4a7c15ULL);
+    } else {
+      return MixSeed(static_cast<uint64_t>(std::hash<T>{}(x)),
+                     0x9e3779b97f4a7c15ULL);
+    }
+  }
+
+  void IngestHashed(std::span<const T> batch) {
+    const size_t n = shards_.size();
+    if (n == 1) {
+      Enqueue(*shards_[0], std::vector<T>(batch.begin(), batch.end()));
+      return;
+    }
+    for (const T& x : batch) {
+      staging_[static_cast<size_t>(HashElement(x) % n)].push_back(x);
+    }
+    for (size_t s = 0; s < n; ++s) {
+      if (staging_[s].empty()) continue;
+      std::vector<T> piece;
+      piece.swap(staging_[s]);
+      Enqueue(*shards_[s], std::move(piece));
+    }
+  }
+
+  void IngestRoundRobin(std::span<const T> batch) {
+    const size_t n = shards_.size();
+    const size_t base = batch.size() / n;
+    const size_t rem = batch.size() % n;
+    size_t offset = 0;
+    for (size_t i = 0; i < n && offset < batch.size(); ++i) {
+      const size_t shard = (rr_start_ + i) % n;
+      const size_t len = base + (i < rem ? 1 : 0);
+      if (len == 0) continue;
+      Enqueue(*shards_[shard],
+              std::vector<T>(batch.begin() + offset,
+                             batch.begin() + offset + len));
+      offset += len;
+    }
+    // Rotate so that sub-chunk-size batches do not pile onto shard 0.
+    rr_start_ = (rr_start_ + 1) % n;
+  }
+
+  void Enqueue(Shard& shard, std::vector<T> piece) {
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [&] {
+        return shard.mailbox.size() < options_.mailbox_capacity;
+      });
+      shard.mailbox.push_back(std::move(piece));
+    }
+    shard.cv.notify_all();
+  }
+
+  StreamSketch<T> CopyShardSketch(size_t s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    return shards_[s]->sketch;  // deep copy via StreamSketch copy ctor
+  }
+
+  void WorkerLoop(Shard* shard) {
+    for (;;) {
+      std::vector<T> batch;
+      {
+        std::unique_lock<std::mutex> lock(shard->mu);
+        shard->cv.wait(lock, [shard] {
+          return shard->stop || !shard->mailbox.empty();
+        });
+        if (shard->mailbox.empty()) return;  // stop requested, fully drained
+        batch = std::move(shard->mailbox.front());
+        shard->mailbox.pop_front();
+        shard->idle = false;
+      }
+      // A mailbox slot freed: unblock a backpressured producer.
+      shard->cv.notify_all();
+      shard->sketch.InsertBatch(batch);
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->idle = true;
+      }
+      shard->cv.notify_all();
+    }
+  }
+
+  SketchConfig config_;
+  PipelineOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::vector<T>> staging_;  // per-shard scatter buffers (kHash)
+  size_t rr_start_ = 0;
+  size_t total_ingested_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_PIPELINE_SHARDED_PIPELINE_H_

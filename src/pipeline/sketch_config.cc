@@ -1,0 +1,30 @@
+#include "pipeline/sketch_config.h"
+
+#include <string>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+std::string DescribeSketchConfig(const SketchConfig& config) {
+  RS_CHECK_MSG(config.eps > 0.0 && config.eps < 1.0,
+               "eps must lie in (0, 1)");
+  RS_CHECK_MSG(config.delta > 0.0 && config.delta < 1.0,
+               "delta must lie in (0, 1)");
+  std::string out = config.kind + "(eps=" + std::to_string(config.eps) +
+                    ", delta=" + std::to_string(config.delta);
+  if (config.capacity > 0) {
+    out += ", k=" + std::to_string(config.capacity);
+  }
+  if (config.probability >= 0.0) {
+    out += ", p=" + std::to_string(config.probability);
+  }
+  if (config.kind == "count_min") {
+    out += ", " + std::to_string(config.width) + "x" +
+           std::to_string(config.depth);
+  }
+  out += ", seed=" + std::to_string(config.seed) + ")";
+  return out;
+}
+
+}  // namespace robust_sampling

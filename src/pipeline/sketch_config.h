@@ -1,0 +1,59 @@
+#ifndef ROBUST_SAMPLING_PIPELINE_SKETCH_CONFIG_H_
+#define ROBUST_SAMPLING_PIPELINE_SKETCH_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/random.h"
+
+namespace robust_sampling {
+
+/// Declarative description of one sketch/sampler instance, consumed by
+/// SketchRegistry<T>::Create. One struct covers every built-in kind; each
+/// factory reads the fields it needs and ignores the rest, deriving
+/// unset capacities from the paper's bounds (core/sample_bounds.h).
+struct SketchConfig {
+  /// Registry key. Built-ins: "robust_sample", "reservoir", "bernoulli",
+  /// "kll", "count_min", "misra_gries", "space_saving".
+  std::string kind = "robust_sample";
+
+  /// Accuracy / failure-probability targets, both in (0, 1). Used to derive
+  /// capacities that are left at 0 (Theorem 1.2 / Corollary 1.5 / 1.6
+  /// sizing for the samplers, eps-driven counter budgets for the
+  /// deterministic summaries).
+  double eps = 0.1;
+  double delta = 0.05;
+
+  /// Universe size |U| for set-system sizing (prefix/singleton families:
+  /// ln|R| = ln|U|).
+  uint64_t universe_size = uint64_t{1} << 20;
+
+  /// Explicit capacity: reservoir k / KLL k / Misra-Gries / SpaceSaving
+  /// counter budget. 0 means "derive from eps/delta/universe_size".
+  size_t capacity = 0;
+
+  /// Bernoulli sampling probability; negative means "derive from
+  /// eps/delta/universe_size/expected_stream_size via Theorem 1.2".
+  double probability = -1.0;
+
+  /// Anticipated stream length, needed only to derive a Bernoulli p.
+  uint64_t expected_stream_size = 10'000'000;
+
+  /// CountMin geometry.
+  size_t width = 2048;
+  size_t depth = 4;
+
+  /// Base seed. Per-shard instances are seeded with MixSeed(seed, shard);
+  /// sketches whose mergeability requires shared randomness (CountMin row
+  /// hashes) use `seed` directly so all shards agree.
+  uint64_t seed = Rng::kDefaultSeed;
+};
+
+/// Human-readable one-line description ("kind(param=..., ...)"), for bench
+/// and example output. Aborts on invalid eps/delta.
+std::string DescribeSketchConfig(const SketchConfig& config);
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_PIPELINE_SKETCH_CONFIG_H_

@@ -1,0 +1,172 @@
+#ifndef ROBUST_SAMPLING_PIPELINE_SKETCH_REGISTRY_H_
+#define ROBUST_SAMPLING_PIPELINE_SKETCH_REGISTRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+#include "core/sample_bounds.h"
+#include "pipeline/sketch_config.h"
+#include "pipeline/stream_sketch.h"
+
+namespace robust_sampling {
+
+/// String-keyed factory registry: instantiates any supported sketch kind
+/// from a SketchConfig, behind the type-erased StreamSketch<T> interface.
+/// This is how the pipeline (and any config-driven service layer above it)
+/// names algorithms without compile-time coupling to their types.
+///
+/// `Global()` returns the process-wide registry for element type T with
+/// the built-in kinds pre-registered; `Register` adds custom kinds (e.g.
+/// an application-specific sketch) at runtime. Creation is thread-safe;
+/// registration is serialized with creation by a mutex.
+///
+/// Seeding contract: `Create(config, instance_seed)` passes
+/// `instance_seed` to sketches whose randomness must be *independent*
+/// across instances (samplers, KLL compaction coins) and `config.seed` to
+/// randomness that must be *shared* for mergeability (CountMin row
+/// hashes). ShardedPipeline derives instance seeds as
+/// MixSeed(config.seed, shard).
+template <typename T>
+class SketchRegistry {
+ public:
+  using Factory =
+      std::function<StreamSketch<T>(const SketchConfig&, uint64_t)>;
+
+  /// The process-wide registry for element type T.
+  static SketchRegistry& Global() {
+    static SketchRegistry* registry = new SketchRegistry(BuiltinsTag{});
+    return *registry;
+  }
+
+  /// An empty registry (no built-ins); mainly for tests.
+  SketchRegistry() = default;
+
+  /// Registers a new kind. Aborts on duplicate keys or empty factories.
+  void Register(const std::string& kind, Factory factory) {
+    RS_CHECK_MSG(static_cast<bool>(factory), "null sketch factory");
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool inserted =
+        factories_.emplace(kind, std::move(factory)).second;
+    RS_CHECK_MSG(inserted, "duplicate sketch kind registration");
+  }
+
+  bool Contains(const std::string& kind) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return factories_.count(kind) > 0;
+  }
+
+  /// All registered kinds, sorted.
+  std::vector<std::string> Kinds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [kind, factory] : factories_) out.push_back(kind);
+    return out;
+  }
+
+  /// Instantiates `config.kind` with the given instance seed. Aborts on
+  /// unknown kinds.
+  StreamSketch<T> Create(const SketchConfig& config,
+                         uint64_t instance_seed) const {
+    Factory factory;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = factories_.find(config.kind);
+      RS_CHECK_MSG(it != factories_.end(), "unknown sketch kind");
+      factory = it->second;
+    }
+    return factory(config, instance_seed);
+  }
+
+  /// Instantiates `config.kind` seeded with config.seed.
+  StreamSketch<T> Create(const SketchConfig& config) const {
+    return Create(config, config.seed);
+  }
+
+ private:
+  struct BuiltinsTag {};
+
+  static double LogUniverse(const SketchConfig& c) {
+    RS_CHECK_MSG(c.universe_size >= 1, "universe_size must be >= 1");
+    return std::log(static_cast<double>(c.universe_size));
+  }
+
+  static size_t CounterBudget(const SketchConfig& c) {
+    if (c.capacity > 0) return c.capacity;
+    return static_cast<size_t>(std::ceil(1.0 / c.eps));
+  }
+
+  explicit SketchRegistry(BuiltinsTag) {
+    Register("robust_sample",
+             [](const SketchConfig& c, uint64_t seed) {
+               typename RobustSample<T>::Options options;
+               options.eps = c.eps;
+               options.delta = c.delta;
+               options.log_cardinality = LogUniverse(c);
+               options.seed = seed;
+               return StreamSketch<T>::Wrap(RobustSampleAdapter<T>(
+                   RobustSample<T>::ForSetSystem(options)));
+             });
+    Register("reservoir",
+             [](const SketchConfig& c, uint64_t seed) {
+               const size_t k =
+                   c.capacity > 0
+                       ? c.capacity
+                       : ReservoirRobustK(c.eps, c.delta, LogUniverse(c));
+               return StreamSketch<T>::Wrap(
+                   ReservoirAdapter<T>(ReservoirSampler<T>(k, seed)));
+             });
+    Register("bernoulli",
+             [](const SketchConfig& c, uint64_t seed) {
+               const double p =
+                   c.probability >= 0.0
+                       ? c.probability
+                       : BernoulliRobustP(c.eps, c.delta, LogUniverse(c),
+                                          c.expected_stream_size);
+               return StreamSketch<T>::Wrap(
+                   BernoulliAdapter<T>(BernoulliSampler<T>(p, seed)));
+             });
+    if constexpr (std::is_convertible_v<T, double>) {
+      Register("kll", [](const SketchConfig& c, uint64_t seed) {
+        const size_t k =
+            c.capacity > 0
+                ? c.capacity
+                : std::max<size_t>(
+                      8, static_cast<size_t>(std::ceil(2.0 / c.eps)));
+        return StreamSketch<T>::Wrap(KllAdapter<T>(KllSketch(k, seed)));
+      });
+    }
+    if constexpr (std::is_convertible_v<T, int64_t>) {
+      Register("count_min", [](const SketchConfig& c, uint64_t) {
+        // Row hashes come from config.seed (not the instance seed) so that
+        // per-shard instances agree and stay mergeable.
+        return StreamSketch<T>::Wrap(CountMinAdapter<T>(
+            CountMinSketch(c.width, c.depth, c.seed)));
+      });
+      Register("misra_gries", [](const SketchConfig& c, uint64_t) {
+        return StreamSketch<T>::Wrap(
+            MisraGriesAdapter<T>(MisraGries(CounterBudget(c))));
+      });
+      Register("space_saving", [](const SketchConfig& c, uint64_t) {
+        return StreamSketch<T>::Wrap(
+            SpaceSavingAdapter<T>(SpaceSaving(CounterBudget(c))));
+      });
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_PIPELINE_SKETCH_REGISTRY_H_

@@ -1,0 +1,308 @@
+#ifndef ROBUST_SAMPLING_PIPELINE_STREAM_SKETCH_H_
+#define ROBUST_SAMPLING_PIPELINE_STREAM_SKETCH_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bernoulli_sampler.h"
+#include "core/check.h"
+#include "core/reservoir_sampler.h"
+#include "core/robust_sample.h"
+#include "heavy/count_min.h"
+#include "heavy/misra_gries.h"
+#include "heavy/space_saving.h"
+#include "quantiles/kll_sketch.h"
+
+namespace robust_sampling {
+
+/// The uniform surface every pipeline-driveable sketch adapter must offer.
+/// Adapters (below) bridge concrete samplers/sketches — whatever their
+/// native element type and merge spelling — onto this shape.
+template <typename A, typename T>
+concept SketchAdapter = requires(A a, const A ca, const T& x,
+                                 std::span<const T> xs) {
+  { a.Insert(x) };
+  { a.InsertBatch(xs) };
+  { a.MergeFrom(ca) };
+  { ca.StreamSize() } -> std::convertible_to<size_t>;
+  { ca.SpaceItems() } -> std::convertible_to<size_t>;
+  { ca.Name() } -> std::convertible_to<std::string>;
+} && std::copy_constructible<A>;
+
+/// Type-erased handle to one streaming sketch/sampler instance.
+///
+/// The pipeline drives heterogeneous summaries (reservoir samples, KLL,
+/// CountMin, ...) through this one interface: batched insertion, merge of
+/// same-kind instances, and size introspection. Queries remain
+/// kind-specific — callers downcast with `TryAs<Adapter>()` and use the
+/// adapter's `sketch()` accessor, so the type-erasure tax is paid only on
+/// the ingest boundary (once per batch), never per element or per query.
+///
+/// Copying a StreamSketch deep-copies the underlying sketch (used by
+/// ShardedPipeline::Snapshot to fold per-shard states without disturbing
+/// ingestion).
+template <typename T>
+class StreamSketch {
+ public:
+  /// Empty handle; every operation except `valid()` aborts until assigned.
+  StreamSketch() = default;
+
+  /// Wraps an adapter instance.
+  template <SketchAdapter<T> A>
+  static StreamSketch Wrap(A adapter) {
+    StreamSketch s;
+    s.model_ = std::make_unique<Model<A>>(std::move(adapter));
+    return s;
+  }
+
+  StreamSketch(const StreamSketch& other)
+      : model_(other.model_ ? other.model_->Clone() : nullptr) {}
+  StreamSketch& operator=(const StreamSketch& other) {
+    if (this != &other) {
+      model_ = other.model_ ? other.model_->Clone() : nullptr;
+    }
+    return *this;
+  }
+  StreamSketch(StreamSketch&&) noexcept = default;
+  StreamSketch& operator=(StreamSketch&&) noexcept = default;
+
+  bool valid() const { return model_ != nullptr; }
+
+  /// Processes one stream element.
+  void Insert(const T& x) {
+    RS_CHECK_MSG(model_ != nullptr, "empty StreamSketch");
+    model_->Insert(x);
+  }
+
+  /// Processes a batch of stream elements (the pipeline hot path).
+  void InsertBatch(std::span<const T> xs) {
+    RS_CHECK_MSG(model_ != nullptr, "empty StreamSketch");
+    model_->InsertBatch(xs);
+  }
+
+  /// Folds `other` into this sketch. Both handles must wrap the same
+  /// adapter type (verified at runtime); the underlying Merge defines the
+  /// semantics (uniform subsample of the union, counter addition, ...).
+  void MergeFrom(const StreamSketch& other) {
+    RS_CHECK_MSG(model_ != nullptr && other.model_ != nullptr,
+                 "empty StreamSketch");
+    model_->MergeFrom(*other.model_);
+  }
+
+  /// Number of stream elements processed.
+  size_t StreamSize() const {
+    RS_CHECK_MSG(model_ != nullptr, "empty StreamSketch");
+    return model_->StreamSize();
+  }
+
+  /// Number of items/counters currently retained.
+  size_t SpaceItems() const {
+    RS_CHECK_MSG(model_ != nullptr, "empty StreamSketch");
+    return model_->SpaceItems();
+  }
+
+  /// Algorithm name for reports.
+  std::string Name() const {
+    RS_CHECK_MSG(model_ != nullptr, "empty StreamSketch");
+    return model_->Name();
+  }
+
+  /// Downcast to a concrete adapter for kind-specific queries; nullptr if
+  /// this handle wraps a different adapter type.
+  template <SketchAdapter<T> A>
+  A* TryAs() {
+    auto* m = dynamic_cast<Model<A>*>(model_.get());
+    return m ? &m->adapter() : nullptr;
+  }
+  template <SketchAdapter<T> A>
+  const A* TryAs() const {
+    const auto* m = dynamic_cast<const Model<A>*>(model_.get());
+    return m ? &m->adapter() : nullptr;
+  }
+
+  /// Downcast that aborts instead of returning nullptr.
+  template <SketchAdapter<T> A>
+  A& As() {
+    A* a = TryAs<A>();
+    RS_CHECK_MSG(a != nullptr, "StreamSketch wraps a different sketch type");
+    return *a;
+  }
+  template <SketchAdapter<T> A>
+  const A& As() const {
+    const A* a = TryAs<A>();
+    RS_CHECK_MSG(a != nullptr, "StreamSketch wraps a different sketch type");
+    return *a;
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void Insert(const T& x) = 0;
+    virtual void InsertBatch(std::span<const T> xs) = 0;
+    virtual void MergeFrom(const Concept& other) = 0;
+    virtual size_t StreamSize() const = 0;
+    virtual size_t SpaceItems() const = 0;
+    virtual std::string Name() const = 0;
+    virtual std::unique_ptr<Concept> Clone() const = 0;
+  };
+
+  template <SketchAdapter<T> A>
+  struct Model final : Concept {
+    explicit Model(A a) : adapter_(std::move(a)) {}
+    void Insert(const T& x) override { adapter_.Insert(x); }
+    void InsertBatch(std::span<const T> xs) override {
+      adapter_.InsertBatch(xs);
+    }
+    void MergeFrom(const Concept& other) override {
+      const auto* peer = dynamic_cast<const Model*>(&other);
+      RS_CHECK_MSG(peer != nullptr,
+                   "cannot merge StreamSketches of different kinds");
+      adapter_.MergeFrom(peer->adapter_);
+    }
+    size_t StreamSize() const override { return adapter_.StreamSize(); }
+    size_t SpaceItems() const override { return adapter_.SpaceItems(); }
+    std::string Name() const override { return adapter_.Name(); }
+    std::unique_ptr<Concept> Clone() const override {
+      return std::make_unique<Model>(adapter_);
+    }
+    A& adapter() { return adapter_; }
+    const A& adapter() const { return adapter_; }
+
+    A adapter_;
+  };
+
+  std::unique_ptr<Concept> model_;
+};
+
+// ---------------------------------------------------------------------------
+// Built-in adapters. Each wraps one concrete summary and exposes it through
+// `sketch()` for kind-specific queries (EstimateDensity, Quantile, ...).
+// ---------------------------------------------------------------------------
+
+/// RobustSample<T> behind the uniform surface (the paper's Theorem 1.2
+/// sampler; merge = uniform subsample of the union at unchanged eps/delta).
+template <typename T>
+class RobustSampleAdapter {
+ public:
+  explicit RobustSampleAdapter(RobustSample<T> s) : s_(std::move(s)) {}
+  void Insert(const T& x) { s_.Insert(x); }
+  void InsertBatch(std::span<const T> xs) { s_.InsertBatch(xs); }
+  void MergeFrom(const RobustSampleAdapter& other) { s_.Merge(other.s_); }
+  size_t StreamSize() const { return s_.stream_size(); }
+  size_t SpaceItems() const { return s_.sample().size(); }
+  std::string Name() const {
+    return "robust_sample(k=" + std::to_string(s_.capacity()) + ")";
+  }
+  RobustSample<T>& sketch() { return s_; }
+  const RobustSample<T>& sketch() const { return s_; }
+
+ private:
+  RobustSample<T> s_;
+};
+
+/// Plain ReservoirSampler<T> (Algorithm R) behind the uniform surface.
+template <typename T>
+class ReservoirAdapter {
+ public:
+  explicit ReservoirAdapter(ReservoirSampler<T> s) : s_(std::move(s)) {}
+  void Insert(const T& x) { s_.Insert(x); }
+  void InsertBatch(std::span<const T> xs) { s_.InsertBatch(xs); }
+  void MergeFrom(const ReservoirAdapter& other) { s_.Merge(other.s_); }
+  size_t StreamSize() const { return s_.stream_size(); }
+  size_t SpaceItems() const { return s_.sample().size(); }
+  std::string Name() const {
+    return "reservoir(k=" + std::to_string(s_.capacity()) + ")";
+  }
+  ReservoirSampler<T>& sketch() { return s_; }
+  const ReservoirSampler<T>& sketch() const { return s_; }
+
+ private:
+  ReservoirSampler<T> s_;
+};
+
+/// BernoulliSampler<T> behind the uniform surface.
+template <typename T>
+class BernoulliAdapter {
+ public:
+  explicit BernoulliAdapter(BernoulliSampler<T> s) : s_(std::move(s)) {}
+  void Insert(const T& x) { s_.Insert(x); }
+  void InsertBatch(std::span<const T> xs) { s_.InsertBatch(xs); }
+  void MergeFrom(const BernoulliAdapter& other) { s_.Merge(other.s_); }
+  size_t StreamSize() const { return s_.stream_size(); }
+  size_t SpaceItems() const { return s_.sample().size(); }
+  std::string Name() const {
+    return "bernoulli(p=" + std::to_string(s_.p()) + ")";
+  }
+  BernoulliSampler<T>& sketch() { return s_; }
+  const BernoulliSampler<T>& sketch() const { return s_; }
+
+ private:
+  BernoulliSampler<T> s_;
+};
+
+/// KllSketch behind the uniform surface; stream elements convert to double.
+template <typename T>
+  requires std::convertible_to<T, double>
+class KllAdapter {
+ public:
+  explicit KllAdapter(KllSketch s) : s_(std::move(s)) {}
+  void Insert(const T& x) { s_.Insert(static_cast<double>(x)); }
+  void InsertBatch(std::span<const T> xs) {
+    if constexpr (std::same_as<T, double>) {
+      s_.InsertBatch(xs);
+    } else {
+      for (const T& x : xs) s_.Insert(static_cast<double>(x));
+    }
+  }
+  void MergeFrom(const KllAdapter& other) { s_.Merge(other.s_); }
+  size_t StreamSize() const { return s_.StreamSize(); }
+  size_t SpaceItems() const { return s_.SpaceItems(); }
+  std::string Name() const { return s_.Name(); }
+  KllSketch& sketch() { return s_; }
+  const KllSketch& sketch() const { return s_; }
+
+ private:
+  KllSketch s_;
+};
+
+/// Shared shape for the three int64-keyed frequency summaries.
+template <typename T, typename S>
+  requires std::convertible_to<T, int64_t>
+class FrequencyAdapter {
+ public:
+  explicit FrequencyAdapter(S s) : s_(std::move(s)) {}
+  void Insert(const T& x) { s_.Insert(static_cast<int64_t>(x)); }
+  void InsertBatch(std::span<const T> xs) {
+    if constexpr (std::same_as<T, int64_t>) {
+      s_.InsertBatch(xs);
+    } else {
+      for (const T& x : xs) s_.Insert(static_cast<int64_t>(x));
+    }
+  }
+  void MergeFrom(const FrequencyAdapter& other) { s_.Merge(other.s_); }
+  size_t StreamSize() const { return s_.StreamSize(); }
+  size_t SpaceItems() const { return s_.SpaceItems(); }
+  std::string Name() const { return s_.Name(); }
+  S& sketch() { return s_; }
+  const S& sketch() const { return s_; }
+
+ private:
+  S s_;
+};
+
+template <typename T>
+using CountMinAdapter = FrequencyAdapter<T, CountMinSketch>;
+template <typename T>
+using MisraGriesAdapter = FrequencyAdapter<T, MisraGries>;
+template <typename T>
+using SpaceSavingAdapter = FrequencyAdapter<T, SpaceSaving>;
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_PIPELINE_STREAM_SKETCH_H_

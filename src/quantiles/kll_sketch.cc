@@ -35,6 +35,11 @@ void KllSketch::Insert(double x) {
   }
 }
 
+void KllSketch::InsertBatch(std::span<const double> xs) {
+  // Devirtualized inner loop: one indirect call per batch, not per element.
+  for (double x : xs) KllSketch::Insert(x);
+}
+
 void KllSketch::Merge(const KllSketch& other) {
   while (levels_.size() < other.levels_.size()) levels_.emplace_back();
   for (size_t h = 0; h < other.levels_.size(); ++h) {

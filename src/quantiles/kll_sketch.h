@@ -31,6 +31,7 @@ class KllSketch : public QuantileSketch {
   KllSketch(size_t k, uint64_t seed);
 
   void Insert(double x) override;
+  void InsertBatch(std::span<const double> xs) override;
 
   /// Merges another sketch into this one (mergeable-summaries semantics):
   /// after the call, *this summarizes the concatenation of both input

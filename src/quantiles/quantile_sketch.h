@@ -2,6 +2,7 @@
 #define ROBUST_SAMPLING_QUANTILES_QUANTILE_SKETCH_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 
 namespace robust_sampling {
@@ -18,6 +19,13 @@ class QuantileSketch {
 
   /// Processes one stream element.
   virtual void Insert(double x) = 0;
+
+  /// Processes a batch of stream elements. Semantically identical to
+  /// inserting each element in order; implementations override to pay the
+  /// virtual dispatch once per batch instead of once per element.
+  virtual void InsertBatch(std::span<const double> xs) {
+    for (double x : xs) Insert(x);
+  }
 
   /// Estimated q-quantile, q in [0, 1]. Requires a non-empty stream.
   virtual double Quantile(double q) const = 0;
