@@ -5,21 +5,18 @@
 // with ln N = 60 (|R| = N). Expected shape: discrepancy decreases
 // monotonically in p and the empirical success rate Pr[disc <= eps]
 // reaches >= 1 - delta at p >= p*.
+//
+// Driven by the AttackLab GameDriver: the sampler and adversary are looked
+// up by registry key and trials run in parallel (bit-identical to serial).
 
 #include <algorithm>
-#include <cmath>
 #include <cstdint>
 #include <iostream>
-#include <vector>
 
-#include "adversary/bisection_adversary.h"
-#include "core/adversarial_game.h"
-#include "core/bernoulli_sampler.h"
+#include "attacklab/game_driver.h"
 #include "core/big_uint.h"
 #include "core/sample_bounds.h"
 #include "harness/table.h"
-#include "harness/trial_runner.h"
-#include "setsystem/discrepancy.h"
 
 namespace robust_sampling {
 namespace {
@@ -30,22 +27,6 @@ constexpr double kLogUniverse = 60.0;
 constexpr size_t kN = 20000;
 constexpr size_t kTrials = 10;
 
-double AttackOnce(double p, uint64_t seed) {
-  const double p_prime =
-      std::max(p, std::log(static_cast<double>(kN)) / kN);
-  const double split =
-      std::clamp(1.0 - p_prime, 1e-9, 1.0 - 1e-9);
-  BisectionAdversaryBig adv(BigUint::ApproxExp(kLogUniverse), split);
-  BernoulliSampler<BigUint> sampler(p, seed);
-  const auto r = RunAdaptiveGame<BigUint>(
-      sampler, adv, kN,
-      [](const std::vector<BigUint>& x, const std::vector<BigUint>& s) {
-        return PrefixDiscrepancy(x, s);
-      },
-      kEps);
-  return r.discrepancy;
-}
-
 void Run() {
   const double p_star = BernoulliRobustP(kEps, kDelta, kLogUniverse, kN);
   std::cout << "# E1: Bernoulli robustness under the bisection attack "
@@ -54,18 +35,29 @@ void Run() {
             << ", eps = " << kEps << ", delta = " << kDelta
             << ", Thm 1.2 p* = " << FormatDouble(p_star, 4) << ", "
             << kTrials << " trials/row\n\n";
+
+  GameSpec spec;
+  spec.sketch.kind = "bernoulli";
+  spec.sketch.log_universe = kLogUniverse;
+  spec.adversary = "bisection";
+  spec.n = kN;
+  spec.eps = kEps;
+  spec.trials = kTrials;
+  spec.base_seed = 0xE1;
+
   MarkdownTable table({"p/p*", "p", "E[sample]", "mean disc", "max disc",
                        "Pr[disc<=eps]", "robust (>=1-delta)"});
   for (double mult :
        {0.0005, 0.002, 0.0078125, 0.03125, 0.125, 0.5, 1.0, 2.0}) {
     const double p = std::min(1.0, mult * p_star);
-    const auto stats = RunTrials(kTrials, 0xE1, [&](uint64_t seed) {
-      return AttackOnce(p, seed);
-    });
-    const double success = stats.FractionAtMost(kEps);
+    spec.sketch.probability = p;
+    const GameReport report = PlayGame<BigUint>(spec);
+    const double success = report.FractionRobust(kEps);
     table.AddRow({FormatDouble(mult, 4), FormatDouble(p, 4),
-                  FormatDouble(p * kN, 1), FormatDouble(stats.mean, 4),
-                  FormatDouble(stats.max, 4), FormatDouble(success, 2),
+                  FormatDouble(p * kN, 1),
+                  FormatDouble(report.discrepancy.mean, 4),
+                  FormatDouble(report.discrepancy.max, 4),
+                  FormatDouble(success, 2),
                   FormatBool(success >= 1.0 - kDelta)});
   }
   table.Print(std::cout);

@@ -5,87 +5,47 @@
 // the universe sized so the attack never exhausts, ln N = 2(ln n)^2 +
 // 4 ln n) and, as an ablation, the split parameter p' of Fig. 3.
 
-#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <iostream>
-#include <vector>
 
-#include "adversary/bisection_adversary.h"
-#include "core/adversarial_game.h"
-#include "core/bernoulli_sampler.h"
+#include "attacklab/game_driver.h"
 #include "core/big_uint.h"
 #include "core/sample_bounds.h"
 #include "harness/table.h"
-#include "harness/trial_runner.h"
-#include "setsystem/discrepancy.h"
 
 namespace robust_sampling {
 namespace {
-
-struct AttackOutcome {
-  double discrepancy;
-  bool sample_is_smallest;
-  bool exhausted;
-  size_t sample_size;
-};
-
-AttackOutcome AttackOnce(size_t n, double p, double p_prime,
-                         double log_universe, uint64_t seed) {
-  BisectionAdversaryBig adv(BigUint::ApproxExp(log_universe),
-                            1.0 - p_prime);
-  BernoulliSampler<BigUint> sampler(p, seed);
-  const auto r = RunAdaptiveGame<BigUint>(
-      sampler, adv, n,
-      [](const std::vector<BigUint>& x, const std::vector<BigUint>& s) {
-        return PrefixDiscrepancy(x, s);
-      },
-      0.25);
-  AttackOutcome out;
-  out.discrepancy = r.discrepancy;
-  out.exhausted = adv.exhausted();
-  out.sample_size = r.sample.size();
-  auto sorted_stream = r.stream;
-  std::sort(sorted_stream.begin(), sorted_stream.end());
-  auto sorted_sample = r.sample;
-  std::sort(sorted_sample.begin(), sorted_sample.end());
-  out.sample_is_smallest = true;
-  for (size_t i = 0; i < sorted_sample.size(); ++i) {
-    if (!(sorted_sample[i] == sorted_stream[i])) {
-      out.sample_is_smallest = false;
-      break;
-    }
-  }
-  return out;
-}
 
 void Run() {
   std::cout << "# E3: the Fig. 3 attack on BernoulliSample "
                "(Theorem 1.3, part 1)\n";
   std::cout << "p = p' = ln n / n; universe ln N = 2(ln n)^2 + 4 ln n "
                "(attack sustains all rounds); 5 trials/row\n\n";
+
+  GameSpec spec;
+  spec.sketch.kind = "bernoulli";
+  spec.adversary = "bisection";
+  spec.eps = 0.25;
+  spec.trials = 5;
+
   MarkdownTable table({"n", "p'", "ln N", "n^6ln n ln-size", "mean disc",
                        "frac sample=smallest", "frac exhausted"});
   for (size_t n : {size_t{1000}, size_t{2000}, size_t{4000}, size_t{8000}}) {
     const double ln_n = std::log(static_cast<double>(n));
     const double p_prime = ln_n / static_cast<double>(n);
-    const double log_universe = 2.0 * ln_n * ln_n + 4.0 * ln_n;
-    double disc_sum = 0.0;
-    int smallest = 0, exhausted = 0;
-    constexpr int kTrials = 5;
-    for (int t = 0; t < kTrials; ++t) {
-      const auto out = AttackOnce(n, p_prime, p_prime, log_universe,
-                                  MixSeed(0xE3, n * 10 + t));
-      disc_sum += out.discrepancy;
-      smallest += out.sample_is_smallest;
-      exhausted += out.exhausted;
-    }
+    spec.n = n;
+    spec.sketch.probability = p_prime;
+    spec.sketch.log_universe = 2.0 * ln_n * ln_n + 4.0 * ln_n;
+    spec.split = 1.0 - p_prime;
+    spec.base_seed = MixSeed(0xE3, n);
+    const GameReport report = PlayGame<BigUint>(spec);
     table.AddRow({std::to_string(n), FormatScientific(p_prime, 2),
-                  FormatDouble(log_universe, 1),
+                  FormatDouble(spec.sketch.log_universe, 1),
                   FormatDouble(std::log(AttackMinUniverseSize(n)), 1),
-                  FormatDouble(disc_sum / kTrials, 4),
-                  FormatDouble(static_cast<double>(smallest) / kTrials, 2),
-                  FormatDouble(static_cast<double>(exhausted) / kTrials, 2)});
+                  FormatDouble(report.discrepancy.mean, 4),
+                  FormatDouble(report.FractionSampleIsSmallest(), 2),
+                  FormatDouble(report.FractionExhausted(), 2)});
   }
   table.Print(std::cout);
 
@@ -95,21 +55,17 @@ void Run() {
                     "frac exhausted"});
   const size_t n = 4000;
   const double p = std::log(static_cast<double>(n)) / n;
+  spec.n = n;
+  spec.sketch.probability = p;
+  spec.sketch.log_universe = 120.0;
   for (double p_prime : {p, 4 * p, 16 * p, 64 * p, 0.5}) {
-    double disc_sum = 0.0;
-    int smallest = 0, exhausted = 0;
-    constexpr int kTrials = 5;
-    for (int t = 0; t < kTrials; ++t) {
-      const auto out =
-          AttackOnce(n, p, p_prime, 120.0, MixSeed(0xE3A, t));
-      disc_sum += out.discrepancy;
-      smallest += out.sample_is_smallest;
-      exhausted += out.exhausted;
-    }
+    spec.split = 1.0 - p_prime;
+    spec.base_seed = 0xE3A;
+    const GameReport report = PlayGame<BigUint>(spec);
     ab.AddRow({FormatScientific(p_prime, 2),
-               FormatDouble(disc_sum / kTrials, 4),
-               FormatDouble(static_cast<double>(smallest) / kTrials, 2),
-               FormatDouble(static_cast<double>(exhausted) / kTrials, 2)});
+               FormatDouble(report.discrepancy.mean, 4),
+               FormatDouble(report.FractionSampleIsSmallest(), 2),
+               FormatDouble(report.FractionExhausted(), 2)});
   }
   ab.Print(std::cout);
   std::cout << "\nShape check: main table should show disc ~ 1 - p'n/n ~ 1, "

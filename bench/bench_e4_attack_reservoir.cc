@@ -2,85 +2,50 @@
 // ReservoirSample(k). The paper proves that with probability >= 1/2 the
 // number of ever-accepted elements k' is at most 4 k ln n, all accepted
 // elements are the k' smallest in the stream, and the final sample (a
-// subset of them) has prefix discrepancy > 1/2. Sweeps k and n.
+// subset of them) has prefix discrepancy > 1/2. Sweeps k and n. The
+// ever-accepted count comes straight from the driver (the AnyAdversary
+// wrapper counts kept observations).
 
-#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <iostream>
-#include <vector>
 
-#include "adversary/bisection_adversary.h"
-#include "core/adversarial_game.h"
+#include "attacklab/game_driver.h"
 #include "core/big_uint.h"
-#include "core/reservoir_sampler.h"
 #include "harness/table.h"
-#include "harness/trial_runner.h"
-#include "setsystem/discrepancy.h"
 
 namespace robust_sampling {
 namespace {
-
-struct Outcome {
-  double discrepancy;
-  size_t ever_accepted;  // k'
-  bool exhausted;
-};
-
-Outcome AttackOnce(size_t k, size_t n, double log_universe, uint64_t seed) {
-  const double k_accepted_est =
-      static_cast<double>(k) *
-      (1.0 + std::log(static_cast<double>(n) / static_cast<double>(k)));
-  const double split =
-      std::min(1.0 - 1e-6, std::max(0.5, 1.0 - k_accepted_est / n));
-  BisectionAdversaryBig adv(BigUint::ApproxExp(log_universe), split);
-  ReservoirSampler<BigUint> sampler(k, seed);
-  Outcome out{};
-  size_t accepted = 0;
-  std::vector<BigUint> stream;
-  stream.reserve(n);
-  for (size_t i = 1; i <= n; ++i) {
-    BigUint x = adv.NextElement(sampler.sample(), i);
-    sampler.Insert(x);
-    stream.push_back(std::move(x));
-    accepted += sampler.last_kept();
-    adv.Observe(sampler.sample(), sampler.last_kept(), i);
-  }
-  out.ever_accepted = accepted;
-  out.exhausted = adv.exhausted();
-  out.discrepancy = PrefixDiscrepancy(stream, sampler.sample());
-  return out;
-}
 
 void Run() {
   std::cout << "# E4: the Fig. 3 attack on ReservoirSample "
                "(Theorem 1.3, part 2)\n";
   std::cout << "universe ln N = 600 (sustains all configurations); "
                "5 trials/row\n\n";
+
+  GameSpec spec;
+  spec.sketch.kind = "reservoir";
+  spec.sketch.log_universe = 600.0;
+  spec.adversary = "bisection";
+  spec.eps = 0.25;
+  spec.trials = 5;
+
   MarkdownTable table({"k", "n", "mean k'", "4k ln n", "mean disc",
                        "frac disc>1/2", "frac exhausted"});
   for (size_t k : {size_t{2}, size_t{4}, size_t{8}, size_t{16}}) {
     for (size_t n : {size_t{1000}, size_t{4000}}) {
-      constexpr int kTrials = 5;
-      double disc_sum = 0.0, kprime_sum = 0.0;
-      int wins = 0, exhausted = 0;
-      for (int t = 0; t < kTrials; ++t) {
-        const auto out =
-            AttackOnce(k, n, 600.0, MixSeed(0xE4, k * 100000 + n * 10 + t));
-        disc_sum += out.discrepancy;
-        kprime_sum += static_cast<double>(out.ever_accepted);
-        wins += out.discrepancy > 0.5;
-        exhausted += out.exhausted;
-      }
+      spec.sketch.capacity = k;
+      spec.n = n;
+      spec.base_seed = MixSeed(0xE4, k * 100000 + n);
+      const GameReport report = PlayGame<BigUint>(spec);
       const double bound =
           4.0 * static_cast<double>(k) * std::log(static_cast<double>(n));
       table.AddRow({std::to_string(k), std::to_string(n),
-                    FormatDouble(kprime_sum / kTrials, 1),
+                    FormatDouble(report.MeanAcceptedCount(), 1),
                     FormatDouble(bound, 1),
-                    FormatDouble(disc_sum / kTrials, 4),
-                    FormatDouble(static_cast<double>(wins) / kTrials, 2),
-                    FormatDouble(static_cast<double>(exhausted) / kTrials,
-                                 2)});
+                    FormatDouble(report.discrepancy.mean, 4),
+                    FormatDouble(report.discrepancy.FractionAtLeast(0.5), 2),
+                    FormatDouble(report.FractionExhausted(), 2)});
     }
   }
   table.Print(std::cout);

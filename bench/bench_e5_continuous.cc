@@ -9,18 +9,10 @@
 #include <cmath>
 #include <cstdint>
 #include <iostream>
-#include <vector>
 
-#include "adversary/basic_adversaries.h"
-#include "adversary/bisection_adversary.h"
-#include "core/adversarial_game.h"
-#include "core/bernoulli_sampler.h"
-#include "core/checkpoints.h"
-#include "core/reservoir_sampler.h"
+#include "attacklab/game_driver.h"
 #include "core/sample_bounds.h"
 #include "harness/table.h"
-#include "harness/trial_runner.h"
-#include "setsystem/discrepancy.h"
 
 namespace robust_sampling {
 namespace {
@@ -28,30 +20,8 @@ namespace {
 constexpr double kEps = 0.25;
 constexpr double kDelta = 0.1;
 constexpr size_t kN = 4000;
-constexpr int64_t kUniverse = 1 << 20;
+constexpr uint64_t kUniverse = 1 << 20;
 constexpr size_t kTrials = 6;
-
-DiscrepancyFn<int64_t> PrefixFn() {
-  return [](const std::vector<int64_t>& x, const std::vector<int64_t>& s) {
-    return PrefixDiscrepancy(x, s);
-  };
-}
-
-double MaxDiscOnce(size_t k, bool adaptive, uint64_t seed) {
-  ReservoirSampler<int64_t> sampler(k, seed);
-  const auto schedule =
-      CheckpointSchedule::Geometric(std::max<size_t>(k, 1), kN, kEps / 4.0);
-  if (adaptive) {
-    BisectionAdversaryInt64 adv(kUniverse, 0.9);
-    return RunContinuousAdaptiveGame(sampler, adv, kN, PrefixFn(), kEps,
-                                     schedule)
-        .max_discrepancy;
-  }
-  UniformAdversary adv(kUniverse, MixSeed(seed, 17));
-  return RunContinuousAdaptiveGame(sampler, adv, kN, PrefixFn(), kEps,
-                                   schedule)
-      .max_discrepancy;
-}
 
 void Run() {
   const double log_r = std::log(static_cast<double>(kUniverse));
@@ -65,34 +35,50 @@ void Run() {
             << ", Thm 1.4 k (c=4) = " << k_continuous
             << ", plain Thm 1.2 k = " << k_plain << ", " << kTrials
             << " trials/row\n\n";
+
+  GameSpec spec;
+  spec.sketch.kind = "reservoir";
+  spec.sketch.universe_size = kUniverse;
+  spec.n = kN;
+  spec.eps = kEps;
+  spec.schedule = ScheduleKind::kGeometric;  // Theorem 1.4 checkpoints
+  spec.trials = kTrials;
+  spec.base_seed = 0xE5;
+
   MarkdownTable table({"k", "adversary", "mean max-disc", "worst max-disc",
                        "Pr[max-disc<=eps]"});
   for (size_t k : {size_t{8}, size_t{64}, k_plain, k_continuous}) {
     for (bool adaptive : {false, true}) {
-      const auto stats = RunTrials(kTrials, 0xE5, [&](uint64_t seed) {
-        return MaxDiscOnce(k, adaptive, seed);
-      });
+      spec.sketch.capacity = k;
+      spec.adversary = adaptive ? "bisection" : "uniform";
+      spec.split = adaptive ? 0.9 : -1.0;
+      const GameReport report = PlayGame<int64_t>(spec);
       table.AddRow({std::to_string(k), adaptive ? "bisection" : "uniform",
-                    FormatDouble(stats.mean, 4), FormatDouble(stats.max, 4),
-                    FormatDouble(stats.FractionAtMost(kEps), 2)});
+                    FormatDouble(report.discrepancy.mean, 4),
+                    FormatDouble(report.discrepancy.max, 4),
+                    FormatDouble(report.FractionRobust(kEps), 2)});
     }
   }
   table.Print(std::cout);
 
-  // Bernoulli impossibility (footnote 4): round 1 is unsampled w.p. 1 - p.
-  size_t violations = 0;
-  constexpr size_t kBernoulliRuns = 400;
-  for (size_t run = 0; run < kBernoulliRuns; ++run) {
-    BernoulliSampler<int64_t> sampler(0.3, MixSeed(0xE5B, run));
-    StaticAdversary<int64_t> adv(std::vector<int64_t>(16, 1));
-    const auto r = RunContinuousAdaptiveGame(
-        sampler, adv, 16, PrefixFn(), 0.5, CheckpointSchedule::All(16));
-    violations += !r.continuously_approximating;
-  }
+  // Bernoulli impossibility (footnote 4): round 1 is unsampled w.p. 1 - p,
+  // so even a constant stream (static adversary over a one-element
+  // universe) violates the very first prefix.
+  GameSpec bern;
+  bern.sketch.kind = "bernoulli";
+  bern.sketch.probability = 0.3;
+  bern.sketch.universe_size = 1;
+  bern.adversary = "static";
+  bern.n = 16;
+  bern.eps = 0.5;
+  bern.schedule = ScheduleKind::kAll;
+  bern.trials = 400;
+  bern.base_seed = 0xE5B;
+  const GameReport bern_report = PlayGame<int64_t>(bern);
   std::cout << "\nBernoulliSample(p=0.3) continuous violation rate over "
-            << kBernoulliRuns << " runs: "
-            << FormatDouble(static_cast<double>(violations) / kBernoulliRuns,
-                            3)
+            << bern.trials << " runs: "
+            << FormatDouble(
+                   1.0 - bern_report.FractionContinuouslyApproximating(), 3)
             << " (theory: >= 1 - p = 0.7 -> not continuously robust for "
                "any useful p).\n";
 
@@ -100,27 +86,25 @@ void Run() {
   std::cout << "\n## Ablation: checkpoint schedule density (certification "
                "checks to cover all n rounds)\n\n";
   MarkdownTable ab({"schedule", "checks", "mean max-disc at checkpoints"});
-  const size_t k = k_continuous;
+  spec.sketch.capacity = k_continuous;
+  spec.adversary = "uniform";
+  spec.split = -1.0;
+  spec.trials = 4;
+  spec.base_seed = 0xE5C;
   struct Sched {
     const char* name;
-    CheckpointSchedule schedule;
+    ScheduleKind kind;
   };
   const Sched schedules[] = {
-      {"geometric(1+eps/4)",
-       CheckpointSchedule::Geometric(k, kN, kEps / 4.0)},
-      {"every n/20", CheckpointSchedule::Every(kN / 20, kN)},
-      {"all rounds (naive union bound)", CheckpointSchedule::All(kN)},
+      {"geometric(1+eps/4)", ScheduleKind::kGeometric},
+      {"every n/20", ScheduleKind::kEvery},
+      {"all rounds (naive union bound)", ScheduleKind::kAll},
   };
   for (const auto& s : schedules) {
-    const auto stats = RunTrials(4, 0xE5C, [&](uint64_t seed) {
-      UniformAdversary adv(kUniverse, MixSeed(seed, 19));
-      ReservoirSampler<int64_t> sampler(k, seed);
-      return RunContinuousAdaptiveGame(sampler, adv, kN, PrefixFn(), kEps,
-                                       s.schedule)
-          .max_discrepancy;
-    });
-    ab.AddRow({s.name, std::to_string(s.schedule.size()),
-               FormatDouble(stats.mean, 4)});
+    spec.schedule = s.kind;
+    const GameReport report = PlayGame<int64_t>(spec);
+    ab.AddRow({s.name, std::to_string(BuildSchedule(spec).size()),
+               FormatDouble(report.discrepancy.mean, 4)});
   }
   ab.Print(std::cout);
   std::cout << "\nShape check: k at the Thm 1.4 bound keeps max-disc <= eps "

@@ -8,17 +8,11 @@
 #include <cmath>
 #include <cstdint>
 #include <iostream>
-#include <vector>
 
-#include "adversary/basic_adversaries.h"
-#include "adversary/bisection_adversary.h"
-#include "core/adversarial_game.h"
+#include "attacklab/game_driver.h"
 #include "core/big_uint.h"
-#include "core/reservoir_sampler.h"
 #include "core/sample_bounds.h"
 #include "harness/table.h"
-#include "harness/trial_runner.h"
-#include "setsystem/discrepancy.h"
 
 namespace robust_sampling {
 namespace {
@@ -28,37 +22,6 @@ constexpr double kDelta = 0.1;
 constexpr size_t kN = 4000;
 constexpr double kLogUniverse = 3000.0;  // ln N: room for the attack at k~100
 constexpr size_t kTrials = 8;
-
-double StaticOnce(size_t k, uint64_t seed) {
-  UniformAdversary adv(1 << 30, MixSeed(seed, 23));
-  ReservoirSampler<int64_t> sampler(k, seed);
-  return RunAdaptiveGame<int64_t>(
-             sampler, adv, kN,
-             [](const std::vector<int64_t>& x,
-                const std::vector<int64_t>& s) {
-               return PrefixDiscrepancy(x, s);
-             },
-             kEps)
-      .discrepancy;
-}
-
-double AdaptiveOnce(size_t k, uint64_t seed) {
-  const double k_accepted =
-      static_cast<double>(k) *
-      (1.0 + std::log(static_cast<double>(kN) / static_cast<double>(k)));
-  const double split =
-      std::min(1.0 - 1e-6, std::max(0.5, 1.0 - k_accepted / kN));
-  BisectionAdversaryBig adv(BigUint::ApproxExp(kLogUniverse), split);
-  ReservoirSampler<BigUint> sampler(k, seed);
-  return RunAdaptiveGame<BigUint>(
-             sampler, adv, kN,
-             [](const std::vector<BigUint>& x,
-                const std::vector<BigUint>& s) {
-               return PrefixDiscrepancy(x, s);
-             },
-             kEps)
-      .discrepancy;
-}
 
 void Run() {
   const size_t k_static = ReservoirStaticK(kEps, kDelta, /*vc_dimension=*/1.0);
@@ -70,6 +33,23 @@ void Run() {
             << "\nstatic k (VC bound) = " << k_static
             << "; robust k (Thm 1.2) = " << k_robust << "; " << kTrials
             << " trials/cell\n\n";
+
+  // Oblivious baseline: an i.i.d. uniform stream over a 2^30 universe.
+  GameSpec oblivious;
+  oblivious.sketch.kind = "reservoir";
+  oblivious.sketch.universe_size = uint64_t{1} << 30;
+  oblivious.adversary = "uniform";
+  oblivious.n = kN;
+  oblivious.eps = kEps;
+  oblivious.trials = kTrials;
+  oblivious.base_seed = 0xE6;
+
+  // Adaptive attacker: Fig. 3 bisection over a ln N = 3000 universe.
+  GameSpec adaptive = oblivious;
+  adaptive.sketch.log_universe = kLogUniverse;
+  adaptive.adversary = "bisection";
+  adaptive.base_seed = 0xE6A;
+
   MarkdownTable table(
       {"k", "sized by", "adversary", "mean disc", "Pr[disc<=eps]"});
   struct Row {
@@ -79,22 +59,16 @@ void Run() {
   const Row rows[] = {{k_static, "static VC bound"},
                       {k_robust, "Thm 1.2 (ln N)"}};
   for (const auto& row : rows) {
-    {
-      const auto stats = RunTrials(kTrials, 0xE6, [&](uint64_t seed) {
-        return StaticOnce(row.k, seed);
-      });
-      table.AddRow({std::to_string(row.k), row.sized_by, "static uniform",
-                    FormatDouble(stats.mean, 4),
-                    FormatDouble(stats.FractionAtMost(kEps), 2)});
-    }
-    {
-      const auto stats = RunTrials(kTrials, 0xE6A, [&](uint64_t seed) {
-        return AdaptiveOnce(row.k, seed);
-      });
-      table.AddRow({std::to_string(row.k), row.sized_by,
-                    "adaptive bisection", FormatDouble(stats.mean, 4),
-                    FormatDouble(stats.FractionAtMost(kEps), 2)});
-    }
+    oblivious.sketch.capacity = row.k;
+    const GameReport s = PlayGame<int64_t>(oblivious);
+    table.AddRow({std::to_string(row.k), row.sized_by, "static uniform",
+                  FormatDouble(s.discrepancy.mean, 4),
+                  FormatDouble(s.FractionRobust(kEps), 2)});
+    adaptive.sketch.capacity = row.k;
+    const GameReport a = PlayGame<BigUint>(adaptive);
+    table.AddRow({std::to_string(row.k), row.sized_by, "adaptive bisection",
+                  FormatDouble(a.discrepancy.mean, 4),
+                  FormatDouble(a.FractionRobust(kEps), 2)});
   }
   table.Print(std::cout);
   std::cout << "\nShape check: the VC-sized sample succeeds on the static "

@@ -1,0 +1,75 @@
+// AttackLab quickstart: one command that plays the paper's two-player game
+// (Fig. 1) for two sampler configurations against the Fig. 3 bisection
+// attack and prints the robust / non-robust separation:
+//
+//   * an undersized plain reservoir (k = 4) is driven far past eps, while
+//   * a RobustSample sized by Theorem 1.2 for the same set system stays
+//     eps-accurate in every trial.
+//
+// Both samplers and the adversary are instantiated by string key from
+// SketchRegistry / AdversaryRegistry; trials run on all hardware threads
+// with results identical to a serial run (see RunTrialsParallel).
+//
+//   ./build/example_attacklab_demo
+
+#include <cstdint>
+#include <iostream>
+
+#include "attacklab/game_driver.h"
+#include "core/big_uint.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace robust_sampling;
+
+  GameSpec spec;
+  spec.adversary = "bisection";
+  spec.n = 2000;
+  spec.eps = 0.5;              // game verdict threshold
+  spec.trials = 8;
+  spec.base_seed = 0xDE30;
+  spec.sketch.log_universe = 200.0;  // ln N = 200: Theorem 1.3 scale
+
+  std::cout << "# AttackLab: bisection attack vs reservoir sampling\n"
+            << "prefix family with ln N = " << spec.sketch.log_universe
+            << ", n = " << spec.n << ", eps = " << spec.eps << ", "
+            << spec.trials << " trials per row\n\n";
+
+  MarkdownTable table({"sampler", "adversary", "mean disc", "min disc",
+                       "Pr[disc<=eps]", "robust"});
+  // Row 1: plain reservoir, far below the Theorem 1.2 size.
+  spec.sketch.kind = "reservoir";
+  spec.sketch.capacity = 4;
+  const GameReport attacked = PlayGame<BigUint>(spec);
+  table.AddRow({attacked.sketch_name, attacked.adversary_name,
+                FormatDouble(attacked.discrepancy.mean, 4),
+                FormatDouble(attacked.discrepancy.min, 4),
+                FormatDouble(attacked.FractionRobust(spec.eps), 2),
+                FormatBool(attacked.FractionRobust(spec.eps) >= 0.9)});
+
+  // Row 2: RobustSample, sized by Theorem 1.2 for ln|R| = 200.
+  spec.sketch.kind = "robust_sample";
+  spec.sketch.capacity = 0;
+  spec.sketch.eps = 0.5;
+  spec.sketch.delta = 0.2;
+  const GameReport robust = PlayGame<BigUint>(spec);
+  table.AddRow({robust.sketch_name, robust.adversary_name,
+                FormatDouble(robust.discrepancy.mean, 4),
+                FormatDouble(robust.discrepancy.min, 4),
+                FormatDouble(robust.FractionRobust(spec.eps), 2),
+                FormatBool(robust.FractionRobust(spec.eps) >= 0.9)});
+  table.Print(std::cout);
+
+  std::cout << "\nSeparation: the adaptive adversary defeats the "
+               "classically-sized sample and loses to the Theorem 1.2 "
+               "size — the paper's headline result, reproduced in one "
+               "command.\n";
+
+  const bool separated = attacked.FractionRobust(spec.eps) == 0.0 &&
+                         robust.FractionRobust(spec.eps) == 1.0;
+  if (!separated) {
+    std::cerr << "FAILED: expected a clean robust/non-robust separation\n";
+    return 1;
+  }
+  return 0;
+}

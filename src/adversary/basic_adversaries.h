@@ -12,10 +12,16 @@
 
 namespace robust_sampling {
 
+// Baseline (non-bisection) adversary strategies for the paper's two-player
+// game. All are also available by string key from
+// AdversaryRegistry<T>::Global() (attacklab/adversary_registry.h):
+// "static", "uniform", "greedy-gap"; see docs/registry.md.
+
 /// A static (oblivious) adversary: replays a stream fixed in advance,
 /// ignoring the sampler's state. This is exactly the classical non-adaptive
 /// setting; Theorem 1.2's contrast experiments (E6) pit it against the
-/// adaptive strategies.
+/// adaptive strategies. Aborts if the game runs past the end of the fixed
+/// stream (the stream must have length >= n).
 template <typename T>
 class StaticAdversary : public Adversary<T> {
  public:

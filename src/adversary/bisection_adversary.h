@@ -30,9 +30,15 @@ namespace robust_sampling {
 //    arbitrary-precision integer, faithfully realizing Theorem 1.3's
 //    exponentially large universes.
 //
-// Each tracks whether it ran out of room (`exhausted()`); once exhausted it
+// Each tracks whether it ran out of room (`exhausted()`, also surfaced
+// through the Adversary<T>::Exhausted() diagnostic); once exhausted it
 // keeps submitting the current lower endpoint, and the attack's guarantee
 // degrades gracefully.
+//
+// All three are available from AdversaryRegistry<T>::Global() under the
+// key "bisection" (the element type selects the domain), with the split
+// parameter derived near-optimally from the sampler under attack when not
+// given explicitly — see attacklab/game_spec.h:DeriveBisectionSplit.
 
 /// Continuous-domain bisection attack over [lo, hi].
 class BisectionAdversaryDouble : public Adversary<double> {
@@ -47,6 +53,7 @@ class BisectionAdversaryDouble : public Adversary<double> {
   void Observe(const std::vector<double>& sample_after, bool kept,
                size_t round) override;
   std::string Name() const override;
+  bool Exhausted() const override { return exhausted_; }
 
   bool exhausted() const { return exhausted_; }
   double a() const { return a_; }
@@ -69,6 +76,7 @@ class BisectionAdversaryInt64 : public Adversary<int64_t> {
   void Observe(const std::vector<int64_t>& sample_after, bool kept,
                size_t round) override;
   std::string Name() const override;
+  bool Exhausted() const override { return exhausted_; }
 
   bool exhausted() const { return exhausted_; }
   int64_t a() const { return a_; }
@@ -93,6 +101,7 @@ class BisectionAdversaryBig : public Adversary<BigUint> {
   void Observe(const std::vector<BigUint>& sample_after, bool kept,
                size_t round) override;
   std::string Name() const override;
+  bool Exhausted() const override { return exhausted_; }
 
   bool exhausted() const { return exhausted_; }
   const BigUint& a() const { return a_; }

@@ -1,0 +1,219 @@
+#ifndef ROBUST_SAMPLING_ATTACKLAB_ADVERSARY_REGISTRY_H_
+#define ROBUST_SAMPLING_ATTACKLAB_ADVERSARY_REGISTRY_H_
+
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "adversary/basic_adversaries.h"
+#include "adversary/bisection_adversary.h"
+#include "core/adversarial_game.h"
+#include "core/big_uint.h"
+#include "core/check.h"
+#include "core/random.h"
+#include "attacklab/game_spec.h"
+
+namespace robust_sampling {
+
+/// Type-erased, value-style handle to one adversary instance.
+///
+/// AnyAdversary *is* an Adversary<T> (it forwards every call to the wrapped
+/// strategy), so it plugs straight into RunAdaptiveGame /
+/// RunContinuousAdaptiveGame / RunBatchedAdaptiveGame. On top of
+/// forwarding it keeps the game-side bookkeeping every experiment wants:
+///
+///  * accepted_count() — the number of Observe calls with kept = true.
+///    In the per-element game this is exactly k', the ever-accepted count
+///    of Theorem 1.3's analysis; in the batched game it counts rounds
+///    whose final element was kept.
+///  * Exhausted() — forwarded from the strategy (bisection range drained).
+///
+/// Move-only; create via Wrap() or AdversaryRegistry::Create.
+template <typename T>
+class AnyAdversary final : public Adversary<T> {
+ public:
+  explicit AnyAdversary(std::unique_ptr<Adversary<T>> impl)
+      : impl_(std::move(impl)) {
+    RS_CHECK_MSG(impl_ != nullptr, "null adversary");
+  }
+
+  /// Moves a concrete strategy onto the heap and wraps it.
+  template <typename A>
+    requires std::derived_from<A, Adversary<T>>
+  static AnyAdversary Wrap(A adversary) {
+    return AnyAdversary(std::make_unique<A>(std::move(adversary)));
+  }
+
+  AnyAdversary(AnyAdversary&&) noexcept = default;
+  AnyAdversary& operator=(AnyAdversary&&) noexcept = default;
+
+  T NextElement(const std::vector<T>& sample_before, size_t round) override {
+    return impl_->NextElement(sample_before, round);
+  }
+
+  void Observe(const std::vector<T>& sample_after, bool kept,
+               size_t round) override {
+    accepted_count_ += kept;
+    impl_->Observe(sample_after, kept, round);
+  }
+
+  std::string Name() const override { return impl_->Name(); }
+  bool Exhausted() const override { return impl_->Exhausted(); }
+
+  /// Observe calls with kept = true so far (k' in the per-element game).
+  size_t accepted_count() const { return accepted_count_; }
+
+  /// The wrapped strategy (for strategy-specific inspection in tests).
+  Adversary<T>& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Adversary<T>> impl_;
+  size_t accepted_count_ = 0;
+};
+
+/// String-keyed factory registry for adversary strategies — the attack-side
+/// mirror of SketchRegistry. Factories receive the full GameSpec (so the
+/// bisection attack can derive its split from the sampler it is facing)
+/// plus a per-instance seed.
+///
+/// Built-in keys and the element types they support:
+///
+///   "bisection"   int64_t (universe {1..sketch.universe_size}),
+///                 double (universe [0, 1)),
+///                 BigUint (universe {1..floor(e^ln N)}, ln N =
+///                 EffectiveLogUniverse(spec.sketch) — Theorem 1.3 scale).
+///                 split: spec.split, or DeriveBisectionSplit(spec).
+///   "uniform"     int64_t: i.i.d. uniform over {1..universe_size} (the
+///                 benign oblivious baseline).
+///   "greedy-gap"  int64_t / double: single-range greedy state-feedback
+///                 strategy targeting the lower half of the universe.
+///   "static"      int64_t: a stream fixed before the game — i.i.d.
+///                 uniform draws materialized up front (universe_size = 1
+///                 gives the constant stream used by the Bernoulli
+///                 continuous-impossibility experiment). The classical
+///                 non-adaptive setting.
+///
+/// `Global()` returns the process-wide registry for element type T;
+/// `Register` adds custom strategies at runtime. Thread-safety matches
+/// SketchRegistry: creation is thread-safe, registration is serialized
+/// with creation by a mutex.
+template <typename T>
+class AdversaryRegistry {
+ public:
+  using Factory =
+      std::function<AnyAdversary<T>(const GameSpec&, uint64_t)>;
+
+  /// The process-wide registry for element type T.
+  static AdversaryRegistry& Global() {
+    static AdversaryRegistry* registry = new AdversaryRegistry(BuiltinsTag{});
+    return *registry;
+  }
+
+  /// An empty registry (no built-ins); mainly for tests.
+  AdversaryRegistry() = default;
+
+  /// Registers a new strategy. Aborts on duplicate keys / empty factories.
+  void Register(const std::string& kind, Factory factory) {
+    RS_CHECK_MSG(static_cast<bool>(factory), "null adversary factory");
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool inserted = factories_.emplace(kind, std::move(factory)).second;
+    RS_CHECK_MSG(inserted, "duplicate adversary kind registration");
+  }
+
+  bool Contains(const std::string& kind) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return factories_.count(kind) > 0;
+  }
+
+  /// All registered kinds, sorted.
+  std::vector<std::string> Kinds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [kind, factory] : factories_) out.push_back(kind);
+    return out;
+  }
+
+  /// Instantiates `spec.adversary` for this game, seeded with
+  /// `instance_seed` (fresh per trial). Aborts on unknown kinds.
+  AnyAdversary<T> Create(const GameSpec& spec, uint64_t instance_seed) const {
+    Factory factory;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = factories_.find(spec.adversary);
+      RS_CHECK_MSG(it != factories_.end(), "unknown adversary kind");
+      factory = it->second;
+    }
+    return factory(spec, instance_seed);
+  }
+
+ private:
+  struct BuiltinsTag {};
+
+  explicit AdversaryRegistry(BuiltinsTag) {
+    Register("bisection", [](const GameSpec& spec, uint64_t) {
+      const double split = DeriveBisectionSplit(spec);
+      if constexpr (std::is_same_v<T, int64_t>) {
+        return AnyAdversary<T>::Wrap(BisectionAdversaryInt64(
+            static_cast<int64_t>(spec.sketch.universe_size), split));
+      } else if constexpr (std::is_same_v<T, double>) {
+        return AnyAdversary<T>::Wrap(
+            BisectionAdversaryDouble(0.0, 1.0, split));
+      } else if constexpr (std::is_same_v<T, BigUint>) {
+        return AnyAdversary<T>::Wrap(BisectionAdversaryBig(
+            BigUint::ApproxExp(EffectiveLogUniverse(spec.sketch)), split));
+      } else {
+        static_assert(std::is_same_v<T, int64_t> ||
+                          std::is_same_v<T, double> ||
+                          std::is_same_v<T, BigUint>,
+                      "bisection supports int64_t, double, BigUint");
+      }
+    });
+    if constexpr (std::is_same_v<T, int64_t>) {
+      Register("uniform", [](const GameSpec& spec, uint64_t seed) {
+        return AnyAdversary<T>::Wrap(UniformAdversary(
+            static_cast<int64_t>(spec.sketch.universe_size), seed));
+      });
+      Register("greedy-gap", [](const GameSpec& spec, uint64_t) {
+        const int64_t universe =
+            static_cast<int64_t>(spec.sketch.universe_size);
+        const int64_t half = universe / 2;
+        return AnyAdversary<T>::Wrap(GreedyGapAdversary<int64_t>(
+            [half](const int64_t& x) { return x <= half; },
+            /*in_exemplar=*/1, /*out_exemplar=*/universe));
+      });
+      Register("static", [](const GameSpec& spec, uint64_t seed) {
+        Rng rng(seed);
+        std::vector<int64_t> stream(spec.n);
+        for (auto& x : stream) {
+          x = static_cast<int64_t>(
+                  rng.NextBelow(spec.sketch.universe_size)) +
+              1;
+        }
+        return AnyAdversary<T>::Wrap(
+            StaticAdversary<int64_t>(std::move(stream)));
+      });
+    }
+    if constexpr (std::is_same_v<T, double>) {
+      Register("greedy-gap", [](const GameSpec&, uint64_t) {
+        return AnyAdversary<T>::Wrap(GreedyGapAdversary<double>(
+            [](const double& x) { return x <= 0.5; },
+            /*in_exemplar=*/0.25, /*out_exemplar=*/0.75));
+      });
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_ATTACKLAB_ADVERSARY_REGISTRY_H_

@@ -1,0 +1,131 @@
+#ifndef ROBUST_SAMPLING_ATTACKLAB_ANY_SAMPLER_H_
+#define ROBUST_SAMPLING_ATTACKLAB_ANY_SAMPLER_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+#include "pipeline/sketch_config.h"
+#include "pipeline/sketch_registry.h"
+#include "pipeline/stream_sketch.h"
+
+namespace robust_sampling {
+
+/// A type-erased sampler that satisfies BatchStreamSampler<AnySampler<T>, T>
+/// — the glue between the string-keyed SketchRegistry and the adversarial
+/// game runners.
+///
+/// The adaptive game of Section 2 requires the adversary to observe the
+/// full sample after every insertion, so only sketch kinds that *have* an
+/// adversary-visible sample can play: the built-ins "robust_sample",
+/// "reservoir" and "bernoulli" (plus any custom registry kind that wraps
+/// one of those adapters). FromConfig instantiates through
+/// SketchRegistry<T>::Global() — the same code path the sharded pipeline
+/// uses — then binds typed views onto the wrapped adapter; it aborts with
+/// a clear message for sample-free kinds (kll, count_min, ...).
+///
+/// Copyable (deep-copies the underlying sketch) and movable; both rebind
+/// the views, so handles stay self-contained.
+template <typename T>
+class AnySampler {
+ public:
+  /// Creates `config.kind` from the global registry, seeded with
+  /// `instance_seed` (fresh per game trial).
+  static AnySampler FromConfig(const SketchConfig& config,
+                               uint64_t instance_seed) {
+    AnySampler s;
+    s.sketch_ = SketchRegistry<T>::Global().Create(config, instance_seed);
+    s.BindViews();
+    return s;
+  }
+
+  /// Wraps an already-created StreamSketch (e.g. a custom registry kind).
+  static AnySampler FromSketch(StreamSketch<T> sketch) {
+    AnySampler s;
+    s.sketch_ = std::move(sketch);
+    s.BindViews();
+    return s;
+  }
+
+  AnySampler(const AnySampler& other) : sketch_(other.sketch_) {
+    BindViews();
+  }
+  AnySampler& operator=(const AnySampler& other) {
+    if (this != &other) {
+      sketch_ = other.sketch_;
+      BindViews();
+    }
+    return *this;
+  }
+  // Moving a StreamSketch moves its heap-allocated model, so the adapter
+  // views stay valid across moves.
+  AnySampler(AnySampler&&) noexcept = default;
+  AnySampler& operator=(AnySampler&&) noexcept = default;
+
+  // --- StreamSampler surface (core/sampler.h) -----------------------------
+
+  void Insert(const T& x) { sketch_.Insert(x); }
+  void InsertBatch(std::span<const T> xs) { sketch_.InsertBatch(xs); }
+
+  const std::vector<T>& sample() const {
+    if (robust_) return robust_->sketch().sample();
+    if (reservoir_) return reservoir_->sketch().sample();
+    return bernoulli_->sketch().sample();
+  }
+
+  size_t stream_size() const { return sketch_.StreamSize(); }
+
+  bool last_kept() const {
+    if (robust_) return robust_->sketch().last_kept();
+    if (reservoir_) return reservoir_->sketch().last_kept();
+    return bernoulli_->sketch().last_kept();
+  }
+
+  // --- Introspection ------------------------------------------------------
+
+  /// Algorithm name with resolved parameters, e.g. "reservoir(k=130)".
+  std::string Name() const { return sketch_.Name(); }
+
+  /// Reservoir-style capacity; 0 for Bernoulli (unbounded sample).
+  size_t capacity() const {
+    if (robust_) return robust_->sketch().capacity();
+    if (reservoir_) return reservoir_->sketch().capacity();
+    return 0;
+  }
+
+  /// Bernoulli sampling probability; NaN for reservoir-style samplers.
+  double probability() const {
+    if (bernoulli_) return bernoulli_->sketch().p();
+    return std::nan("");
+  }
+
+  /// The underlying type-erased sketch (for pipeline interop).
+  StreamSketch<T>& sketch() { return sketch_; }
+  const StreamSketch<T>& sketch() const { return sketch_; }
+
+ private:
+  AnySampler() = default;
+
+  void BindViews() {
+    robust_ = sketch_.template TryAs<RobustSampleAdapter<T>>();
+    reservoir_ = sketch_.template TryAs<ReservoirAdapter<T>>();
+    bernoulli_ = sketch_.template TryAs<BernoulliAdapter<T>>();
+    RS_CHECK_MSG(robust_ || reservoir_ || bernoulli_,
+                 "sketch kind has no adversary-visible sample; games need "
+                 "robust_sample / reservoir / bernoulli");
+  }
+
+  StreamSketch<T> sketch_;
+  RobustSampleAdapter<T>* robust_ = nullptr;
+  ReservoirAdapter<T>* reservoir_ = nullptr;
+  BernoulliAdapter<T>* bernoulli_ = nullptr;
+};
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_ATTACKLAB_ANY_SAMPLER_H_

@@ -1,0 +1,41 @@
+#include "attacklab/game_driver.h"
+
+namespace robust_sampling {
+namespace {
+
+template <typename Pred>
+double Fraction(const std::vector<GameOutcome>& outcomes, Pred pred) {
+  if (outcomes.empty()) return 0.0;
+  size_t count = 0;
+  for (const GameOutcome& o : outcomes) count += pred(o);
+  return static_cast<double>(count) / static_cast<double>(outcomes.size());
+}
+
+}  // namespace
+
+double GameReport::MeanAcceptedCount() const {
+  if (outcomes.empty()) return 0.0;
+  double sum = 0.0;
+  for (const GameOutcome& o : outcomes) {
+    sum += static_cast<double>(o.accepted_count);
+  }
+  return sum / static_cast<double>(outcomes.size());
+}
+
+double GameReport::FractionExhausted() const {
+  return Fraction(outcomes,
+                  [](const GameOutcome& o) { return o.adversary_exhausted; });
+}
+
+double GameReport::FractionSampleIsSmallest() const {
+  return Fraction(outcomes,
+                  [](const GameOutcome& o) { return o.sample_is_smallest; });
+}
+
+double GameReport::FractionContinuouslyApproximating() const {
+  return Fraction(outcomes, [](const GameOutcome& o) {
+    return o.continuously_approximating;
+  });
+}
+
+}  // namespace robust_sampling

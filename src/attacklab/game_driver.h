@@ -1,0 +1,180 @@
+#ifndef ROBUST_SAMPLING_ATTACKLAB_GAME_DRIVER_H_
+#define ROBUST_SAMPLING_ATTACKLAB_GAME_DRIVER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attacklab/adversary_registry.h"
+#include "attacklab/any_sampler.h"
+#include "attacklab/game_spec.h"
+#include "core/adversarial_game.h"
+#include "core/check.h"
+#include "core/random.h"
+#include "harness/trial_runner.h"
+#include "setsystem/discrepancy.h"
+
+namespace robust_sampling {
+
+/// Everything one game trial produced, beyond the headline discrepancy.
+struct GameOutcome {
+  /// Discrepancy of the final sample vs the full stream (Fig. 1 verdict).
+  double final_discrepancy = 0.0;
+  /// Max discrepancy over the checkpoint schedule (== final_discrepancy
+  /// for ScheduleKind::kFinalOnly).
+  double max_discrepancy = 0.0;
+  /// Round attaining max_discrepancy (n for kFinalOnly).
+  size_t worst_round = 0;
+  /// First checked round that violated eps (0 = none; kFinalOnly: n or 0).
+  size_t first_violation_round = 0;
+  /// Fig. 2 verdict: every checked prefix was an eps-approximation.
+  bool continuously_approximating = false;
+  size_t sample_size = 0;
+  /// Ever-accepted element count k' (Observe calls with kept = true).
+  size_t accepted_count = 0;
+  /// Whether the adversary drained its move budget (bisection range).
+  bool adversary_exhausted = false;
+  /// Whether the final sample is exactly the |S| smallest stream elements
+  /// — the Claim 5.2 signature of a successful bisection attack.
+  bool sample_is_smallest = false;
+};
+
+/// Aggregated result of PlayGame: per-trial stats plus resolved names.
+struct GameReport {
+  std::string sketch_name;     ///< e.g. "reservoir(k=130)".
+  std::string adversary_name;  ///< e.g. "bisection-big(split=0.99)".
+  /// Primary metric per trial, trial order: max_discrepancy (== final
+  /// discrepancy for kFinalOnly games).
+  TrialStats discrepancy;
+  /// Full per-trial outcomes, trial order.
+  std::vector<GameOutcome> outcomes;
+
+  /// Empirical Pr[disc <= eps] — the (eps, delta)-robustness success rate.
+  double FractionRobust(double eps) const {
+    return discrepancy.FractionAtMost(eps);
+  }
+  double MeanAcceptedCount() const;
+  double FractionExhausted() const;
+  double FractionSampleIsSmallest() const;
+  double FractionContinuouslyApproximating() const;
+};
+
+/// The spec's discrepancy functional, instantiated for element type T.
+template <typename T>
+DiscrepancyFn<T> MakeDiscrepancyFn(DiscrepancyKind kind) {
+  switch (kind) {
+    case DiscrepancyKind::kPrefix:
+      return [](const std::vector<T>& x, const std::vector<T>& s) {
+        return PrefixDiscrepancy(x, s);
+      };
+    case DiscrepancyKind::kInterval:
+      return [](const std::vector<T>& x, const std::vector<T>& s) {
+        return IntervalDiscrepancy(x, s);
+      };
+    case DiscrepancyKind::kSingleton:
+      return [](const std::vector<T>& x, const std::vector<T>& s) {
+        return SingletonDiscrepancy(x, s);
+      };
+  }
+  RS_CHECK_MSG(false, "unknown discrepancy kind");
+  return nullptr;
+}
+
+namespace internal {
+
+/// True iff `sample` equals the multiset of the |sample| smallest stream
+/// elements (both arguments are consumed and sorted).
+template <typename T>
+bool SampleIsSmallest(std::vector<T> stream, std::vector<T> sample) {
+  if (sample.empty() || sample.size() > stream.size()) return false;
+  std::sort(stream.begin(), stream.end());
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    if (!(sample[i] == stream[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace internal
+
+/// Plays one trial of the spec'd game: a fresh sampler (from
+/// SketchRegistry, seeded with `seed`) against a fresh adversary (from
+/// AdversaryRegistry, seeded with MixSeed(seed, 1)). The outcome is a pure
+/// function of (spec, seed), so trials can run on any thread.
+template <typename T>
+GameOutcome PlayOne(const GameSpec& spec, uint64_t seed) {
+  AnySampler<T> sampler = AnySampler<T>::FromConfig(spec.sketch, seed);
+  AnyAdversary<T> adversary =
+      AdversaryRegistry<T>::Global().Create(spec, MixSeed(seed, 1));
+  const DiscrepancyFn<T> discrepancy =
+      MakeDiscrepancyFn<T>(spec.discrepancy);
+
+  GameOutcome out;
+  if (spec.schedule == ScheduleKind::kFinalOnly) {
+    AdaptiveGameResult<T> r =
+        spec.batch > 0
+            ? RunBatchedAdaptiveGame<T>(sampler, adversary, spec.n,
+                                        spec.batch, discrepancy, spec.eps)
+            : RunAdaptiveGame<T>(sampler, adversary, spec.n, discrepancy,
+                                 spec.eps);
+    out.final_discrepancy = r.discrepancy;
+    out.max_discrepancy = r.discrepancy;
+    out.worst_round = spec.n;
+    out.first_violation_round = r.is_approximation ? 0 : spec.n;
+    out.continuously_approximating = r.is_approximation;
+    out.sample_size = r.sample.size();
+    out.sample_is_smallest =
+        internal::SampleIsSmallest(std::move(r.stream), std::move(r.sample));
+  } else {
+    RS_CHECK_MSG(spec.batch == 0,
+                 "batched games support ScheduleKind::kFinalOnly only");
+    ContinuousGameResult<T> r = RunContinuousAdaptiveGame<T>(
+        sampler, adversary, spec.n, discrepancy, spec.eps,
+        BuildSchedule(spec));
+    out.final_discrepancy =
+        discrepancy(r.stream, r.final_sample);
+    out.max_discrepancy = r.max_discrepancy;
+    out.worst_round = r.worst_round;
+    out.first_violation_round = r.first_violation_round;
+    out.continuously_approximating = r.continuously_approximating;
+    out.sample_size = r.final_sample.size();
+    out.sample_is_smallest = internal::SampleIsSmallest(
+        std::move(r.stream), std::move(r.final_sample));
+  }
+  out.accepted_count = adversary.accepted_count();
+  out.adversary_exhausted = adversary.Exhausted();
+  return out;
+}
+
+/// Plays spec.trials independent games across spec.threads worker threads
+/// and aggregates. Trial t is seeded MixSeed(spec.base_seed, t) and lands
+/// at values[t] / outcomes[t] whatever thread ran it, so the report —
+/// including the raw TrialStats.values — is bit-for-bit identical at every
+/// thread count (the RunTrialsParallel determinism contract; asserted by
+/// attacklab_test.cc).
+template <typename T>
+GameReport PlayGame(const GameSpec& spec) {
+  RS_CHECK(spec.trials >= 1);
+  GameReport report;
+  report.outcomes.resize(spec.trials);
+  ParallelFor(spec.trials, spec.threads, [&](size_t t) {
+    report.outcomes[t] = PlayOne<T>(spec, MixSeed(spec.base_seed, t));
+  });
+  std::vector<double> values(spec.trials);
+  for (size_t t = 0; t < spec.trials; ++t) {
+    values[t] = report.outcomes[t].max_discrepancy;
+  }
+  report.discrepancy = AggregateTrialValues(std::move(values));
+  report.sketch_name =
+      AnySampler<T>::FromConfig(spec.sketch, spec.base_seed).Name();
+  report.adversary_name =
+      AdversaryRegistry<T>::Global().Create(spec, spec.base_seed).Name();
+  return report;
+}
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_ATTACKLAB_GAME_DRIVER_H_

@@ -1,0 +1,80 @@
+#include "attacklab/game_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/check.h"
+#include "core/sample_bounds.h"
+
+namespace robust_sampling {
+
+std::string DescribeGameSpec(const GameSpec& spec) {
+  std::string out = DescribeSketchConfig(spec.sketch) + " vs " +
+                    spec.adversary + ", n=" + std::to_string(spec.n) +
+                    ", eps=" + std::to_string(spec.eps) +
+                    ", trials=" + std::to_string(spec.trials);
+  if (spec.batch > 0) out += ", batch=" + std::to_string(spec.batch);
+  return out;
+}
+
+size_t ResolvedCapacity(const SketchConfig& sketch) {
+  if (sketch.capacity > 0) return sketch.capacity;
+  if (sketch.kind == "bernoulli") return 1;
+  return ReservoirRobustK(sketch.eps, sketch.delta,
+                          EffectiveLogUniverse(sketch));
+}
+
+double ResolvedProbability(const SketchConfig& sketch) {
+  RS_CHECK_MSG(sketch.kind == "bernoulli",
+               "ResolvedProbability is only defined for \"bernoulli\"");
+  if (sketch.probability >= 0.0) return sketch.probability;
+  return BernoulliRobustP(sketch.eps, sketch.delta,
+                          EffectiveLogUniverse(sketch),
+                          sketch.expected_stream_size);
+}
+
+double DeriveBisectionSplit(const GameSpec& spec) {
+  if (spec.split > 0.0) {
+    RS_CHECK_MSG(spec.split < 1.0, "split must lie in (0, 1)");
+    return spec.split;
+  }
+  const double n = static_cast<double>(spec.n);
+  if (spec.sketch.kind == "bernoulli") {
+    const double p = ResolvedProbability(spec.sketch);
+    const double p_prime = std::max(p, std::log(n) / n);
+    return std::clamp(1.0 - p_prime, 1e-9, 1.0 - 1e-9);
+  }
+  const double k = static_cast<double>(ResolvedCapacity(spec.sketch));
+  // Expected ever-accepted count for a k-reservoir is ~ k (1 + ln(n/k)).
+  const double k_accepted = k * (1.0 + std::log(std::max(1.0, n / k)));
+  return std::min(1.0 - 1e-6, std::max(0.5, 1.0 - k_accepted / n));
+}
+
+CheckpointSchedule BuildSchedule(const GameSpec& spec) {
+  switch (spec.schedule) {
+    case ScheduleKind::kGeometric: {
+      const double beta =
+          spec.schedule_beta > 0.0 ? spec.schedule_beta : spec.eps / 4.0;
+      size_t first = spec.schedule_first > 0
+                         ? spec.schedule_first
+                         : std::max<size_t>(1, ResolvedCapacity(spec.sketch));
+      first = std::min(first, spec.n);
+      return CheckpointSchedule::Geometric(first, spec.n, beta);
+    }
+    case ScheduleKind::kEvery: {
+      const size_t stride = spec.schedule_stride > 0
+                                ? spec.schedule_stride
+                                : std::max<size_t>(1, spec.n / 20);
+      return CheckpointSchedule::Every(stride, spec.n);
+    }
+    case ScheduleKind::kAll:
+      return CheckpointSchedule::All(spec.n);
+    case ScheduleKind::kFinalOnly:
+      break;
+  }
+  RS_CHECK_MSG(false, "kFinalOnly has no checkpoint schedule");
+  return CheckpointSchedule::All(1);  // unreachable
+}
+
+}  // namespace robust_sampling

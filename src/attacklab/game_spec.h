@@ -1,0 +1,116 @@
+#ifndef ROBUST_SAMPLING_ATTACKLAB_GAME_SPEC_H_
+#define ROBUST_SAMPLING_ATTACKLAB_GAME_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/checkpoints.h"
+#include "pipeline/sketch_config.h"
+
+namespace robust_sampling {
+
+/// Which discrepancy functional scores the game (Definition 1.1's
+/// sup_R |d_R(X) - d_R(S)| over the chosen set system; evaluators in
+/// setsystem/discrepancy.h).
+enum class DiscrepancyKind {
+  kPrefix,     ///< one-sided prefixes {x <= b} — the paper's attack target.
+  kInterval,   ///< closed intervals [a, b].
+  kSingleton,  ///< singletons {v} (heavy-hitter error).
+};
+
+/// When the game checks the sample against the stream prefix.
+enum class ScheduleKind {
+  kFinalOnly,  ///< Fig. 1: one check after round n (RunAdaptiveGame).
+  kGeometric,  ///< Fig. 2 with the Theorem 1.4 geometric checkpoints.
+  kEvery,      ///< Fig. 2 checked every `schedule_stride` rounds.
+  kAll,        ///< Fig. 2 checked after every round (the exact paper game).
+};
+
+/// One fully-specified adversarial evaluation: which sampler plays which
+/// adversary, at what scale, scored how, repeated how often. GameDriver
+/// (attacklab/game_driver.h) turns a GameSpec into a GameReport; both the
+/// sampler and the adversary are looked up by string key, so any
+/// registered pairing is one assignment away.
+struct GameSpec {
+  /// The sampler under attack, named and parameterized exactly as for the
+  /// ingestion pipeline. Games require an adversary-visible sample, so the
+  /// kind must be one of "robust_sample", "reservoir", "bernoulli" (or a
+  /// custom kind wrapping one of those adapters); see docs/registry.md.
+  SketchConfig sketch;
+
+  /// AdversaryRegistry key: built-ins are "bisection", "uniform",
+  /// "greedy-gap", "static" (availability depends on the element type; see
+  /// attacklab/adversary_registry.h and docs/registry.md).
+  std::string adversary = "bisection";
+
+  /// Bisection split parameter (Fig. 3's 1 - p'). <= 0 derives the
+  /// near-optimal value from the sampler's parameters via
+  /// DeriveBisectionSplit below.
+  double split = -1.0;
+
+  /// Stream length n (rounds of the game). Callers should also set
+  /// sketch.expected_stream_size = n when the Bernoulli p is derived.
+  size_t n = 10'000;
+
+  /// The eps of "is the sample an eps-approximation" — the game's verdict
+  /// threshold, independent of sketch.eps (which sizes the sampler).
+  double eps = 0.25;
+
+  DiscrepancyKind discrepancy = DiscrepancyKind::kPrefix;
+
+  ScheduleKind schedule = ScheduleKind::kFinalOnly;
+  /// Geometric schedule growth factor beta; <= 0 uses the paper's eps/4.
+  double schedule_beta = -1.0;
+  /// First checkpoint of the geometric schedule; 0 derives it from the
+  /// sampler capacity (the Theorem 1.4 proof starts certifying at round k).
+  size_t schedule_first = 0;
+  /// Stride for ScheduleKind::kEvery; 0 uses max(1, n / 20).
+  size_t schedule_stride = 0;
+
+  /// 0 plays the per-element Fig. 1 / Fig. 2 game. > 0 plays the
+  /// rate-limited batched game (RunBatchedAdaptiveGame): the adversary
+  /// commits `batch` elements per round against frozen state and the
+  /// sampler consumes them through its InsertBatch hot path. Batched games
+  /// support ScheduleKind::kFinalOnly only.
+  size_t batch = 0;
+
+  /// Independent repetitions; trial t re-creates sampler and adversary
+  /// from MixSeed(base_seed, t).
+  size_t trials = 8;
+  uint64_t base_seed = 0xA77AC1AB;
+
+  /// Worker threads for the trial loop (0 = all hardware threads). Results
+  /// are identical at every thread count — see RunTrialsParallel.
+  size_t threads = 0;
+};
+
+/// One-line human-readable description of the pairing, for report headers.
+std::string DescribeGameSpec(const GameSpec& spec);
+
+/// The reservoir capacity the spec's sketch resolves to (explicit
+/// `capacity`, else the Theorem 1.2 bound ReservoirRobustK at the sketch's
+/// eps/delta/ln|R|). Returns 1 for "bernoulli" (no fixed capacity). Used
+/// for checkpoint-schedule anchoring and split derivation; mirrors the
+/// SketchRegistry factory defaults.
+size_t ResolvedCapacity(const SketchConfig& sketch);
+
+/// The sampling probability a "bernoulli" sketch resolves to (explicit
+/// `probability`, else Theorem 1.2's BernoulliRobustP for
+/// expected_stream_size). Aborts for non-Bernoulli kinds.
+double ResolvedProbability(const SketchConfig& sketch);
+
+/// The near-optimal Fig. 3 split for the spec's sampler, spending the
+/// ln N range budget evenly over the expected accepted elements:
+///   bernoulli: 1 - max(p, ln n / n)            (p' = ln n / n floor),
+///   reservoir: 1 - k (1 + ln(n/k)) / n, clamped to [0.5, 1).
+/// Returns spec.split unchanged when it is already set (> 0).
+double DeriveBisectionSplit(const GameSpec& spec);
+
+/// Materializes the spec's checkpoint schedule. Aborts for kFinalOnly
+/// (which has no schedule — RunAdaptiveGame checks once at the end).
+CheckpointSchedule BuildSchedule(const GameSpec& spec);
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_ATTACKLAB_GAME_SPEC_H_

@@ -107,6 +107,12 @@ class RobustSample {
   /// Stream length so far.
   size_t stream_size() const { return reservoir_.stream_size(); }
 
+  /// Whether the most recently inserted element entered the sample —
+  /// together with sample()/stream_size() this makes RobustSample satisfy
+  /// the StreamSampler concept, so it can face adversaries in the game
+  /// runners (core/adversarial_game.h) directly.
+  bool last_kept() const { return reservoir_.last_kept(); }
+
   /// The Theorem 1.2 reservoir capacity this instance was sized to.
   size_t capacity() const { return reservoir_.capacity(); }
 

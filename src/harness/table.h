@@ -9,11 +9,15 @@ namespace robust_sampling {
 
 /// Column-aligned markdown table emitter used by every experiment binary in
 /// bench/ to print its results in a self-contained, paste-ready form.
+/// Cells are strings; use the formatters below to render numbers at a
+/// fixed precision so columns stay comparable across rows.
 class MarkdownTable {
  public:
+  /// One header cell per column; column count is fixed from here on.
   explicit MarkdownTable(std::vector<std::string> headers);
 
-  /// Appends one row; must have exactly as many cells as headers.
+  /// Appends one row; aborts unless it has exactly as many cells as
+  /// headers (mismatches are always bugs in the caller's row assembly).
   void AddRow(std::vector<std::string> cells);
 
   /// Renders the table with aligned columns.

@@ -1,7 +1,9 @@
 #include "harness/trial_runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "core/check.h"
 #include "core/random.h"
@@ -33,14 +35,10 @@ double TrialStats::Quantile(double q) const {
   return sorted[static_cast<size_t>(idx)];
 }
 
-TrialStats RunTrials(size_t num_trials, uint64_t base_seed,
-                     const std::function<double(uint64_t)>& trial) {
-  RS_CHECK(num_trials >= 1);
+TrialStats AggregateTrialValues(std::vector<double> values) {
+  RS_CHECK_MSG(!values.empty(), "need at least one trial value");
   TrialStats stats;
-  stats.values.reserve(num_trials);
-  for (size_t t = 0; t < num_trials; ++t) {
-    stats.values.push_back(trial(MixSeed(base_seed, t)));
-  }
+  stats.values = std::move(values);
   std::vector<double> sorted = stats.values;
   std::sort(sorted.begin(), sorted.end());
   stats.min = sorted.front();
@@ -50,6 +48,52 @@ TrialStats RunTrials(size_t num_trials, uint64_t base_seed,
   for (double v : sorted) sum += v;
   stats.mean = sum / static_cast<double>(sorted.size());
   return stats;
+}
+
+TrialStats RunTrials(size_t num_trials, uint64_t base_seed,
+                     const std::function<double(uint64_t)>& trial) {
+  RS_CHECK(num_trials >= 1);
+  std::vector<double> values;
+  values.reserve(num_trials);
+  for (size_t t = 0; t < num_trials; ++t) {
+    values.push_back(trial(MixSeed(base_seed, t)));
+  }
+  return AggregateTrialValues(std::move(values));
+}
+
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, count);
+  if (num_threads == 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      body(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+}
+
+TrialStats RunTrialsParallel(size_t num_trials, uint64_t base_seed,
+                             const std::function<double(uint64_t)>& trial,
+                             size_t num_threads) {
+  RS_CHECK(num_trials >= 1);
+  std::vector<double> values(num_trials, 0.0);
+  ParallelFor(num_trials, num_threads, [&](size_t t) {
+    values[t] = trial(MixSeed(base_seed, t));
+  });
+  return AggregateTrialValues(std::move(values));
 }
 
 }  // namespace robust_sampling

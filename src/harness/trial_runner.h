@@ -8,6 +8,11 @@
 namespace robust_sampling {
 
 /// Summary statistics over repeated experiment trials.
+///
+/// `values` preserves trial order (index t holds the metric of the trial
+/// seeded with MixSeed(base_seed, t)), so two runs — serial or parallel,
+/// any thread count — that agree on (num_trials, base_seed, trial) produce
+/// identical `values` vectors, bit for bit.
 struct TrialStats {
   std::vector<double> values;  ///< raw per-trial metric, trial order.
   double mean = 0.0;
@@ -26,11 +31,45 @@ struct TrialStats {
   double Quantile(double q) const;
 };
 
+/// Builds a TrialStats (mean/min/max/median) from raw per-trial values,
+/// which must be in trial order and non-empty. This is the single
+/// aggregation path shared by RunTrials and RunTrialsParallel, so both
+/// report identical statistics for identical values.
+TrialStats AggregateTrialValues(std::vector<double> values);
+
 /// Runs `trial` num_trials times with derived, independent seeds
 /// (MixSeed(base_seed, trial_index)) and aggregates the returned metric.
 /// Deterministic in (num_trials, base_seed).
 TrialStats RunTrials(size_t num_trials, uint64_t base_seed,
                      const std::function<double(uint64_t)>& trial);
+
+/// Invokes `body(i)` for every i in [0, count) across `num_threads` worker
+/// threads (0 = std::thread::hardware_concurrency()). Iterations are
+/// claimed from a shared atomic counter, so work is balanced but the
+/// *assignment* of iterations to threads is nondeterministic — `body` must
+/// derive all randomness from i alone and must be safe to call
+/// concurrently. Writes to distinct, pre-sized output slots indexed by i
+/// are the intended result channel. Blocks until all iterations finish.
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t)>& body);
+
+/// Multi-threaded RunTrials.
+///
+/// Determinism contract: trial t always receives seed
+/// MixSeed(base_seed, t) and its return value is stored at values[t],
+/// regardless of which worker thread ran it or in what order trials
+/// completed. Therefore, for a `trial` whose result is a pure function of
+/// its seed (every AttackLab game trial is: samplers, adversaries, and
+/// stream generators draw all randomness from the seed), the resulting
+/// TrialStats — including the raw `values` vector — is bit-for-bit
+/// identical to RunTrials(num_trials, base_seed, trial) at every
+/// num_threads, including 1. `trial` is invoked concurrently and must be
+/// thread-safe (share nothing mutable across calls).
+///
+/// num_threads = 0 uses std::thread::hardware_concurrency().
+TrialStats RunTrialsParallel(size_t num_trials, uint64_t base_seed,
+                             const std::function<double(uint64_t)>& trial,
+                             size_t num_threads = 0);
 
 }  // namespace robust_sampling
 

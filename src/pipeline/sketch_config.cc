@@ -1,5 +1,6 @@
 #include "pipeline/sketch_config.h"
 
+#include <cmath>
 #include <string>
 
 #include "core/check.h"
@@ -25,6 +26,12 @@ std::string DescribeSketchConfig(const SketchConfig& config) {
   }
   out += ", seed=" + std::to_string(config.seed) + ")";
   return out;
+}
+
+double EffectiveLogUniverse(const SketchConfig& config) {
+  if (config.log_universe > 0.0) return config.log_universe;
+  RS_CHECK_MSG(config.universe_size >= 1, "universe_size must be >= 1");
+  return std::log(static_cast<double>(config.universe_size));
 }
 
 }  // namespace robust_sampling

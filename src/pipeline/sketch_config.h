@@ -13,6 +13,9 @@ namespace robust_sampling {
 /// SketchRegistry<T>::Create. One struct covers every built-in kind; each
 /// factory reads the fields it needs and ignores the rest, deriving
 /// unset capacities from the paper's bounds (core/sample_bounds.h).
+///
+/// Every built-in kind, the knobs it reads, their defaults and valid
+/// ranges are documented in docs/registry.md.
 struct SketchConfig {
   /// Registry key. Built-ins: "robust_sample", "reservoir", "bernoulli",
   /// "kll", "count_min", "misra_gries", "space_saving".
@@ -28,6 +31,12 @@ struct SketchConfig {
   /// Universe size |U| for set-system sizing (prefix/singleton families:
   /// ln|R| = ln|U|).
   uint64_t universe_size = uint64_t{1} << 20;
+
+  /// Direct ln|R| override for set systems whose cardinality exceeds what
+  /// a uint64 universe_size can express (Theorem 1.3's universes have
+  /// ln N = Theta((ln n)^2), far past 2^64). When > 0 it takes precedence
+  /// over ln(universe_size) everywhere a factory needs ln|R|.
+  double log_universe = -1.0;
 
   /// Explicit capacity: reservoir k / KLL k / Misra-Gries / SpaceSaving
   /// counter budget. 0 means "derive from eps/delta/universe_size".
@@ -53,6 +62,10 @@ struct SketchConfig {
 /// Human-readable one-line description ("kind(param=..., ...)"), for bench
 /// and example output. Aborts on invalid eps/delta.
 std::string DescribeSketchConfig(const SketchConfig& config);
+
+/// The ln|R| this config resolves to: `log_universe` when set (> 0),
+/// otherwise ln(universe_size).
+double EffectiveLogUniverse(const SketchConfig& config);
 
 }  // namespace robust_sampling
 

@@ -96,8 +96,7 @@ class SketchRegistry {
   struct BuiltinsTag {};
 
   static double LogUniverse(const SketchConfig& c) {
-    RS_CHECK_MSG(c.universe_size >= 1, "universe_size must be >= 1");
-    return std::log(static_cast<double>(c.universe_size));
+    return EffectiveLogUniverse(c);
   }
 
   static size_t CounterBudget(const SketchConfig& c) {

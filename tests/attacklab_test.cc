@@ -1,0 +1,291 @@
+// AttackLab subsystem tests: the string-keyed adversary registry, the
+// type-erased game sampler, the GameDriver, and the RunTrialsParallel
+// determinism contract (parallel trials bit-match serial trials).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "attacklab/adversary_registry.h"
+#include "attacklab/any_sampler.h"
+#include "attacklab/game_driver.h"
+#include "attacklab/game_spec.h"
+#include "core/big_uint.h"
+#include "core/random.h"
+#include "core/sample_bounds.h"
+#include "gtest/gtest.h"
+#include "harness/trial_runner.h"
+
+namespace robust_sampling {
+namespace {
+
+// A 64-trial bisection-vs-reservoir game spec small enough for CI.
+GameSpec SmallBisectionSpec() {
+  GameSpec spec;
+  spec.sketch.kind = "reservoir";
+  spec.sketch.capacity = 8;
+  spec.sketch.universe_size = uint64_t{1} << 62;
+  spec.adversary = "bisection";
+  spec.n = 256;
+  spec.eps = 0.25;
+  spec.trials = 64;
+  spec.base_seed = 0xA77AC;
+  return spec;
+}
+
+TEST(RunTrialsParallelTest, BitMatchesSerialOnBisectionGame) {
+  GameSpec spec = SmallBisectionSpec();
+  auto trial = [&spec](uint64_t seed) {
+    return PlayOne<int64_t>(spec, seed).max_discrepancy;
+  };
+  const TrialStats serial = RunTrials(spec.trials, spec.base_seed, trial);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    const TrialStats parallel =
+        RunTrialsParallel(spec.trials, spec.base_seed, trial, threads);
+    EXPECT_EQ(serial.values, parallel.values) << threads << " threads";
+    EXPECT_DOUBLE_EQ(serial.mean, parallel.mean);
+    EXPECT_DOUBLE_EQ(serial.median, parallel.median);
+  }
+}
+
+TEST(GameDriverTest, PlayGameIsThreadCountInvariant) {
+  GameSpec spec = SmallBisectionSpec();
+  spec.threads = 1;
+  const GameReport serial = PlayGame<int64_t>(spec);
+  spec.threads = 4;
+  const GameReport parallel = PlayGame<int64_t>(spec);
+  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  EXPECT_EQ(serial.discrepancy.values, parallel.discrepancy.values);
+  for (size_t t = 0; t < serial.outcomes.size(); ++t) {
+    EXPECT_EQ(serial.outcomes[t].final_discrepancy,
+              parallel.outcomes[t].final_discrepancy);
+    EXPECT_EQ(serial.outcomes[t].accepted_count,
+              parallel.outcomes[t].accepted_count);
+    EXPECT_EQ(serial.outcomes[t].sample_is_smallest,
+              parallel.outcomes[t].sample_is_smallest);
+  }
+  EXPECT_EQ(serial.sketch_name, parallel.sketch_name);
+  EXPECT_EQ(serial.adversary_name, parallel.adversary_name);
+}
+
+// The paper's separation, end to end through both registries: the Fig. 3
+// bisection attack drives an undersized plain reservoir past eps while the
+// Theorem 1.2-sized RobustSample stays below.
+TEST(GameDriverTest, BisectionSeparatesPlainReservoirFromRobustSample) {
+  GameSpec spec;
+  spec.adversary = "bisection";
+  spec.n = 2000;
+  spec.eps = 0.5;
+  spec.trials = 4;
+  spec.base_seed = 0x5E9A;
+  spec.sketch.log_universe = 200.0;  // Theorem 1.3-scale universe.
+
+  spec.sketch.kind = "reservoir";
+  spec.sketch.capacity = 4;
+  const GameReport attacked = PlayGame<BigUint>(spec);
+  EXPECT_GT(attacked.discrepancy.min, spec.eps)
+      << "bisection should defeat an undersized plain reservoir";
+  EXPECT_EQ(attacked.FractionRobust(spec.eps), 0.0);
+
+  spec.sketch.kind = "robust_sample";
+  spec.sketch.capacity = 0;
+  spec.sketch.eps = 0.5;
+  spec.sketch.delta = 0.2;
+  const GameReport robust = PlayGame<BigUint>(spec);
+  EXPECT_LE(robust.discrepancy.max, spec.eps)
+      << "Theorem 1.2 sizing must survive the same attack";
+  EXPECT_EQ(robust.FractionRobust(spec.eps), 1.0);
+
+  // Against a Bernoulli sampler (no eviction) the attack leaves the Claim
+  // 5.2 signature: the final sample is exactly the smallest elements.
+  spec.sketch.kind = "bernoulli";
+  spec.sketch.probability = std::log(2000.0) / 2000.0;
+  const GameReport bern = PlayGame<BigUint>(spec);
+  EXPECT_EQ(bern.FractionSampleIsSmallest(), 1.0);
+  EXPECT_GT(bern.discrepancy.min, spec.eps);
+}
+
+TEST(GameDriverTest, AcceptedCountStaysNearTheoremBound) {
+  GameSpec spec = SmallBisectionSpec();
+  spec.trials = 16;
+  const GameReport report = PlayGame<int64_t>(spec);
+  // Theorem 1.3's analysis: k' <= 4 k ln n with probability >= 1/2; the
+  // mean should sit well under the bound.
+  const double bound = 4.0 * 8 * std::log(256.0);
+  EXPECT_LT(report.MeanAcceptedCount(), bound);
+  EXPECT_GT(report.MeanAcceptedCount(), 8.0);
+}
+
+TEST(GameDriverTest, BatchedGameIsDeterministicAndRateLimitsAdversary) {
+  GameSpec spec = SmallBisectionSpec();
+  spec.batch = 16;
+  spec.trials = 8;
+  const GameReport a = PlayGame<int64_t>(spec);
+  const GameReport b = PlayGame<int64_t>(spec);
+  EXPECT_EQ(a.discrepancy.values, b.discrepancy.values);
+  for (const GameOutcome& o : a.outcomes) {
+    EXPECT_GE(o.final_discrepancy, 0.0);
+    EXPECT_LE(o.final_discrepancy, 1.0);
+  }
+  // One observation per stream: the adversary learns nothing and plays a
+  // fixed stream — strictly weaker than the per-element game.
+  GameSpec blind = spec;
+  blind.batch = blind.n;
+  const GameReport rate_limited = PlayGame<int64_t>(blind);
+  GameSpec per_element = spec;
+  per_element.batch = 0;
+  const GameReport adaptive = PlayGame<int64_t>(per_element);
+  EXPECT_LT(rate_limited.discrepancy.mean, adaptive.discrepancy.mean);
+}
+
+TEST(GameDriverTest, ContinuousGameWithGeometricSchedule) {
+  GameSpec spec;
+  spec.sketch.kind = "reservoir";
+  spec.sketch.capacity = ReservoirContinuousK(0.25, 0.1, std::log(1 << 20),
+                                              1000, /*c=*/4.0);
+  spec.sketch.universe_size = 1 << 20;
+  spec.adversary = "uniform";
+  spec.n = 1000;
+  spec.eps = 0.25;
+  spec.schedule = ScheduleKind::kGeometric;
+  spec.trials = 4;
+  const GameReport report = PlayGame<int64_t>(spec);
+  EXPECT_EQ(report.FractionContinuouslyApproximating(), 1.0);
+  // The geometric schedule is exponentially sparser than checking all n.
+  EXPECT_LT(BuildSchedule(spec).size(), spec.n / 4);
+}
+
+// Footnote 4: Bernoulli sampling is not continuously robust — a constant
+// stream (static adversary over a one-element universe) violates the very
+// first prefix with probability 1 - p.
+TEST(GameDriverTest, BernoulliIsNotContinuouslyRobust) {
+  GameSpec spec;
+  spec.sketch.kind = "bernoulli";
+  spec.sketch.probability = 0.3;
+  spec.sketch.universe_size = 1;
+  spec.adversary = "static";
+  spec.n = 16;
+  spec.eps = 0.5;
+  spec.schedule = ScheduleKind::kAll;
+  spec.trials = 100;
+  const GameReport report = PlayGame<int64_t>(spec);
+  EXPECT_LT(report.FractionContinuouslyApproximating(), 0.6);
+}
+
+TEST(AdversaryRegistryTest, BuiltinsPerElementType) {
+  const auto int_kinds = AdversaryRegistry<int64_t>::Global().Kinds();
+  EXPECT_EQ(int_kinds, (std::vector<std::string>{"bisection", "greedy-gap",
+                                                 "static", "uniform"}));
+  EXPECT_TRUE(AdversaryRegistry<BigUint>::Global().Contains("bisection"));
+  EXPECT_TRUE(AdversaryRegistry<double>::Global().Contains("greedy-gap"));
+  EXPECT_FALSE(AdversaryRegistry<BigUint>::Global().Contains("uniform"));
+}
+
+TEST(AdversaryRegistryTest, CustomRegistrationAndCountingWrapper) {
+  AdversaryRegistry<int64_t> registry;
+  registry.Register("always-one", [](const GameSpec&, uint64_t) {
+    return AnyAdversary<int64_t>::Wrap(
+        StaticAdversary<int64_t>(std::vector<int64_t>(64, 1)));
+  });
+  GameSpec spec;
+  spec.adversary = "always-one";
+  spec.n = 64;
+  AnyAdversary<int64_t> adv = registry.Create(spec, 1);
+  AnySampler<int64_t> sampler =
+      AnySampler<int64_t>::FromConfig(spec.sketch, 1);
+  const auto r = RunAdaptiveGame<int64_t>(
+      sampler, adv, spec.n, MakeDiscrepancyFn<int64_t>(spec.discrepancy),
+      spec.eps);
+  EXPECT_EQ(r.stream, std::vector<int64_t>(64, 1));
+  EXPECT_EQ(adv.accepted_count(), sampler.sample().size());
+}
+
+TEST(AnySamplerTest, ResolvedParametersMatchRegistryDefaults) {
+  SketchConfig config;
+  config.kind = "reservoir";
+  config.eps = 0.2;
+  config.delta = 0.1;
+  config.universe_size = 1 << 20;
+  const auto sampler = AnySampler<int64_t>::FromConfig(config, 7);
+  EXPECT_EQ(sampler.capacity(), ResolvedCapacity(config));
+  EXPECT_EQ(sampler.capacity(),
+            ReservoirRobustK(0.2, 0.1, std::log(1 << 20)));
+
+  SketchConfig bern;
+  bern.kind = "bernoulli";
+  bern.expected_stream_size = 10'000;
+  const auto bsampler = AnySampler<int64_t>::FromConfig(bern, 7);
+  EXPECT_DOUBLE_EQ(bsampler.probability(), ResolvedProbability(bern));
+}
+
+TEST(AnySamplerTest, LogUniverseOverrideSizesBeyondUint64) {
+  SketchConfig config;
+  config.kind = "robust_sample";
+  config.eps = 0.5;
+  config.delta = 0.2;
+  config.log_universe = 200.0;  // |R| = e^200 >> 2^64.
+  const auto sampler = AnySampler<BigUint>::FromConfig(config, 7);
+  EXPECT_EQ(sampler.capacity(), ReservoirRobustK(0.5, 0.2, 200.0));
+}
+
+TEST(AnySamplerDeathTest, RejectsSampleFreeKinds) {
+  SketchConfig config;
+  config.kind = "kll";
+  EXPECT_DEATH(AnySampler<double>::FromConfig(config, 1),
+               "adversary-visible");
+}
+
+TEST(GameSpecTest, DeriveBisectionSplitMatchesHandDerivation) {
+  GameSpec spec;
+  spec.n = 8000;
+  spec.sketch.kind = "reservoir";
+  spec.sketch.capacity = 16;
+  const double k_accepted = 16.0 * (1.0 + std::log(8000.0 / 16.0));
+  EXPECT_DOUBLE_EQ(DeriveBisectionSplit(spec),
+                   std::min(1.0 - 1e-6, std::max(0.5, 1.0 - k_accepted / 8000.0)));
+
+  GameSpec bern;
+  bern.n = 20000;
+  bern.sketch.kind = "bernoulli";
+  bern.sketch.probability = 1e-5;  // below the ln n / n floor
+  EXPECT_DOUBLE_EQ(DeriveBisectionSplit(bern),
+                   1.0 - std::log(20000.0) / 20000.0);
+
+  GameSpec fixed;
+  fixed.split = 0.75;
+  EXPECT_DOUBLE_EQ(DeriveBisectionSplit(fixed), 0.75);
+}
+
+TEST(GameSpecTest, BuildScheduleVariants) {
+  GameSpec spec;
+  spec.sketch.kind = "reservoir";
+  spec.sketch.capacity = 10;
+  spec.n = 1000;
+  spec.eps = 0.25;
+  spec.schedule = ScheduleKind::kGeometric;
+  const auto geo = BuildSchedule(spec);
+  EXPECT_EQ(geo.points().front(), 10u);
+  EXPECT_EQ(geo.points().back(), 1000u);
+  spec.schedule = ScheduleKind::kEvery;
+  EXPECT_EQ(BuildSchedule(spec).points().front(), 50u);
+  spec.schedule = ScheduleKind::kAll;
+  EXPECT_EQ(BuildSchedule(spec).size(), 1000u);
+}
+
+TEST(GameDriverTest, GreedyGapPlaysThroughRegistry) {
+  GameSpec spec;
+  spec.sketch.kind = "reservoir";
+  spec.sketch.capacity = 32;
+  spec.sketch.universe_size = 1 << 16;
+  spec.adversary = "greedy-gap";
+  spec.n = 512;
+  spec.trials = 4;
+  const GameReport report = PlayGame<int64_t>(spec);
+  EXPECT_GE(report.discrepancy.min, 0.0);
+  EXPECT_LE(report.discrepancy.max, 1.0);
+  EXPECT_EQ(report.adversary_name, "greedy-gap");
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fails (exit 1) if any relative markdown link in the given files/dirs
+points at a path that does not exist.
+
+Usage: tools/check_md_links.py README.md docs
+
+Only relative links are checked (http(s):, mailto: and #anchors are
+skipped); an optional #fragment is stripped before the existence test.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def collect(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    for md in collect(argv[1:]):
+        base = os.path.dirname(md)
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                line = text.count("\n", 0, match.start()) + 1
+                broken.append(f"{md}:{line}: broken link -> {match.group(1)}")
+    for item in broken:
+        print(item, file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print("all relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
