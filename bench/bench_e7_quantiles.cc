@@ -1,28 +1,36 @@
 // Experiment E7 (Corollary 1.5): robust quantile sketching. An adaptive
-// adversary watches the reservoir and plays the continuous bisection
-// attack on [0, 1]; we report the worst rank error over a grid of
-// quantiles for (a) the reservoir sample sized by Corollary 1.5, (b) an
+// adversary watches the reservoir (through the erased SampleView hook —
+// exactly what any registry kind exposes) and plays the continuous
+// bisection attack on [0, 1]; we report the worst rank error over a grid
+// of quantiles for (a) the reservoir sample sized by Corollary 1.5, (b) an
 // undersized reservoir, (c) the deterministic GK summary, and (d) the
 // randomized KLL sketch. GK is robust by determinism; the properly sized
 // sample matches it (Cor. 1.5); the undersized sample is the weak link.
+//
+// Every sketch is driven and queried through the type-erased
+// StreamSketch<double> surface (SketchRegistry + Quantile()): GK is not a
+// built-in registry kind, so this file registers it as the custom kind
+// "gk" — demonstrating that a bench-local adapter rides the same rails as
+// the built-ins, capability hooks included.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <iostream>
-#include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "adversary/bisection_adversary.h"
 #include "core/adversarial_game.h"
-#include "core/reservoir_sampler.h"
+#include "core/check.h"
 #include "core/sample_bounds.h"
 #include "harness/table.h"
 #include "harness/trial_runner.h"
+#include "pipeline/sketch_registry.h"
+#include "pipeline/stream_sketch.h"
 #include "quantiles/exact_quantiles.h"
 #include "quantiles/gk_sketch.h"
-#include "quantiles/kll_sketch.h"
-#include "quantiles/sample_quantile_sketch.h"
 
 namespace robust_sampling {
 namespace {
@@ -37,6 +45,35 @@ constexpr double kLogUniverse = 40.0;
 
 const double kQuantiles[] = {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99};
 
+// The deterministic GK summary behind the adapter surface; quantile
+// queries flow through the Quantile/Rank capability hooks. GK summaries
+// have no merge operation, so MergeFrom aborts — the capability system
+// does not require it to be meaningful, only present.
+class GkAdapter {
+ public:
+  explicit GkAdapter(GkSketch s) : s_(std::move(s)) {}
+  void Insert(const double& x) { s_.Insert(x); }
+  void InsertBatch(std::span<const double> xs) { s_.InsertBatch(xs); }
+  void MergeFrom(const GkAdapter&) {
+    RS_CHECK_MSG(false, "GK summaries do not merge");
+  }
+  size_t StreamSize() const { return s_.StreamSize(); }
+  size_t SpaceItems() const { return s_.SpaceItems(); }
+  std::string Name() const { return s_.Name(); }
+  double Quantile(double q) const { return s_.Quantile(q); }
+  double Rank(double x) const { return s_.RankFraction(x); }
+
+ private:
+  GkSketch s_;
+};
+
+void RegisterGk() {
+  SketchRegistry<double>::Global().Register(
+      "gk", [](const SketchConfig& c, uint64_t) {
+        return StreamSketch<double>::Wrap(GkAdapter(GkSketch(c.eps)));
+      });
+}
+
 // The continuous bisection attack, falling back to uniform filler once
 // double precision is exhausted (so the stream stays statistically hard
 // for the whole n rounds instead of degenerating to a constant).
@@ -45,14 +82,14 @@ class BisectionWithUniformFallback : public Adversary<double> {
   explicit BisectionWithUniformFallback(uint64_t seed)
       : bisection_(0.0, 1.0, 0.9), rng_(seed) {}
 
-  double NextElement(const std::vector<double>& sample, size_t round)
+  double NextElement(std::span<const double> sample, size_t round)
       override {
     const double x = bisection_.NextElement(sample, round);
     if (bisection_.exhausted()) return rng_.NextDouble();
     return x;
   }
 
-  void Observe(const std::vector<double>& sample, bool kept,
+  void Observe(std::span<const double> sample, bool kept,
                size_t round) override {
     bisection_.Observe(sample, kept, round);
   }
@@ -65,75 +102,81 @@ class BisectionWithUniformFallback : public Adversary<double> {
 };
 
 // Runs the adversarial stream against all sketches simultaneously: the
-// adversary adapts to the *reservoir under test*; the other sketches see
-// the same stream (they are passengers, as in a real pipeline).
-double WorstRankErrorOnce(size_t reservoir_k, QuantileSketch* passenger,
-                          uint64_t seed) {
+// adversary adapts to the *reservoir under test* (observed via the erased
+// SampleView); the passenger sketch sees the same stream (it is a
+// passenger, as in a real pipeline). Returns (worst rank error, space) of
+// the queried sketch — the passenger when present, else the reservoir.
+std::pair<double, size_t> WorstRankErrorOnce(size_t reservoir_k,
+                                             const SketchConfig* passenger_config,
+                                             uint64_t seed) {
   BisectionWithUniformFallback adv(MixSeed(seed, 101));
-  ReservoirSampler<double> reservoir(reservoir_k, seed);
+  SketchConfig victim_config;
+  victim_config.kind = "reservoir";
+  victim_config.capacity = reservoir_k;
+  StreamSketch<double> victim =
+      SketchRegistry<double>::Global().Create(victim_config, seed);
+  StreamSketch<double> passenger;
+  if (passenger_config != nullptr) {
+    passenger = SketchRegistry<double>::Global().Create(*passenger_config,
+                                                        MixSeed(seed, 3));
+  }
   ExactQuantiles exact;
   for (size_t i = 1; i <= kN; ++i) {
-    const double x = adv.NextElement(reservoir.sample(), i);
-    reservoir.Insert(x);
-    if (passenger != nullptr) passenger->Insert(x);
+    const double x = adv.NextElement(victim.SampleView().elements, i);
+    victim.Insert(x);
+    if (passenger.valid()) passenger.Insert(x);
     exact.Insert(x);
-    adv.Observe(reservoir.sample(), reservoir.last_kept(), i);
+    const SketchSampleView<double> view = victim.SampleView();
+    adv.Observe(view.elements, view.last_kept, i);
   }
+  const StreamSketch<double>& queried =
+      passenger.valid() ? passenger : victim;
   double worst = 0.0;
-  if (passenger != nullptr) {
-    for (double q : kQuantiles) {
-      worst = std::max(worst, exact.RankError(q, passenger->Quantile(q)));
-    }
-    return worst;
-  }
-  std::vector<double> sample = reservoir.sample();
-  std::sort(sample.begin(), sample.end());
   for (double q : kQuantiles) {
-    const double m = static_cast<double>(sample.size());
-    int64_t idx = static_cast<int64_t>(std::ceil(q * m)) - 1;
-    idx = std::clamp(idx, int64_t{0},
-                     static_cast<int64_t>(sample.size()) - 1);
-    worst = std::max(
-        worst, exact.RankError(q, sample[static_cast<size_t>(idx)]));
+    worst = std::max(worst, exact.RankError(q, queried.Quantile(q)));
   }
-  return worst;
+  return {worst, queried.SpaceItems()};
 }
 
 void Run() {
+  RegisterGk();
   const size_t k_robust = ReservoirRobustK(kEps, kDelta, kLogUniverse);
   const size_t k_small = 10;
   std::cout << "# E7: robust quantile sketches under an adaptive adversary "
                "(Corollary 1.5)\n";
   std::cout << "n = " << kN << ", eps = " << kEps
             << ", Cor. 1.5 reservoir k = " << k_robust
-            << "; adversary = continuous bisection watching the reservoir; "
+            << "; adversary = continuous bisection watching the reservoir "
+               "via SampleView(); all queries through the erased "
+               "StreamSketch surface; "
             << kTrials << " trials/row\n\n";
   MarkdownTable table({"sketch", "space (items)", "mean worst rank err",
                        "max worst rank err", "meets eps"});
 
+  SketchConfig gk_config;
+  gk_config.kind = "gk";
+  gk_config.eps = kEps / 2;
+  SketchConfig kll_config;
+  kll_config.kind = "kll";
+  kll_config.capacity = 512;
+
   struct RowDef {
     const char* name;
-    size_t reservoir_k;  // 0 = use passenger sketch
-    int passenger;       // 0 none, 1 gk, 2 kll
+    size_t reservoir_k;              // the victim the adversary watches
+    const SketchConfig* passenger;   // nullptr = query the victim itself
   };
   const RowDef defs[] = {
-      {"reservoir (Cor 1.5 k)", k_robust, 0},
-      {"reservoir (undersized k=10)", k_small, 0},
-      {"GK (deterministic, eps/2)", k_robust, 1},
-      {"KLL (k=512)", k_robust, 2},
+      {"reservoir (Cor 1.5 k)", k_robust, nullptr},
+      {"reservoir (undersized k=10)", k_small, nullptr},
+      {"GK (deterministic, eps/2)", k_robust, &gk_config},
+      {"KLL (k=512)", k_robust, &kll_config},
   };
   for (const auto& def : defs) {
     size_t space = 0;
     const auto stats = RunTrials(kTrials, 0xE7, [&](uint64_t seed) {
-      std::unique_ptr<QuantileSketch> passenger;
-      if (def.passenger == 1) passenger = std::make_unique<GkSketch>(kEps / 2);
-      if (def.passenger == 2) {
-        passenger = std::make_unique<KllSketch>(512, MixSeed(seed, 3));
-      }
-      const double err =
-          WorstRankErrorOnce(def.reservoir_k, passenger.get(), seed);
-      space = passenger != nullptr ? passenger->SpaceItems()
-                                   : def.reservoir_k;
+      const auto [err, space_items] =
+          WorstRankErrorOnce(def.reservoir_k, def.passenger, seed);
+      space = space_items;
       return err;
     });
     const bool meets = stats.FractionAtMost(kEps) >= 1.0 - 2 * kDelta;

@@ -5,24 +5,29 @@
 // deterministic Misra-Gries and SpaceSaving baselines, and CountMin.
 // CountMin is additionally subjected to the Hardt–Woodruff-style adaptive
 // collision-stuffing attack, which manufactures a false positive.
+//
+// All four contract rows are created from SketchRegistry<int64_t> and
+// driven purely through the erased StreamSketch query surface
+// (EstimateFrequency / HeavyHitters) — the sampled estimator is simply the
+// "reservoir" kind, whose sample answers frequency queries by Cor. 1.6.
+// The collision-stuffing section stays on the concrete CountMinSketch: the
+// attack exploits sketch *internals* (row/bucket structure), which is
+// exactly what the erased surface does not expose.
 
 #include <cmath>
 #include <cstdint>
 #include <iostream>
-#include <memory>
 #include <set>
 #include <vector>
 
-#include "adversary/basic_adversaries.h"
 #include "core/random.h"
 #include "core/sample_bounds.h"
 #include "harness/table.h"
 #include "harness/trial_runner.h"
 #include "heavy/count_min.h"
 #include "heavy/exact_counter.h"
-#include "heavy/misra_gries.h"
-#include "heavy/sample_heavy_hitters.h"
-#include "heavy/space_saving.h"
+#include "pipeline/sketch_registry.h"
+#include "pipeline/stream_sketch.h"
 #include "stream/zipf.h"
 
 namespace robust_sampling {
@@ -43,7 +48,7 @@ struct ContractResult {
 // Adaptive stream: Zipf background, but every 4th element is chosen by a
 // greedy gap strategy that watches the estimator's current estimate of a
 // target element and pads the stream to widen |est - truth|.
-ContractResult RunContract(FrequencyEstimator* est, uint64_t seed) {
+ContractResult RunContract(StreamSketch<int64_t>& est, uint64_t seed) {
   ZipfDistribution zipf(kUniverse, 1.1);
   Rng rng(seed);
   ExactCounter exact;
@@ -52,18 +57,18 @@ ContractResult RunContract(FrequencyEstimator* est, uint64_t seed) {
     int64_t x;
     if (i % 4 == 3) {
       const double gap =
-          est->EstimateFrequency(target) - exact.EstimateFrequency(target);
+          est.EstimateFrequency(target) - exact.EstimateFrequency(target);
       // Over-estimated -> starve the target; under-estimated -> feed it.
       x = gap >= 0 ? static_cast<int64_t>(rng.NextBelow(kUniverse)) + 1
                    : target;
     } else {
       x = zipf.Sample(rng);
     }
-    est->Insert(x);
+    est.Insert(x);
     exact.Insert(x);
   }
   // Evaluate the (alpha, eps) contract against exact frequencies.
-  const auto reported = est->HeavyHitters(kAlpha - kEps / 3.0);
+  const auto reported = est.HeavyHitters(kAlpha - kEps / 3.0);
   std::set<int64_t> reported_set;
   for (const auto& h : reported) reported_set.insert(h.element);
   ContractResult result{true, true};
@@ -85,41 +90,41 @@ void Run() {
   std::cout << "n = " << kN << ", |U| = " << kUniverse
             << ", alpha = " << kAlpha << ", eps = " << kEps
             << ", Cor. 1.6 reservoir k = " << k_sample << ", " << kTrials
-            << " trials/row\n\n";
+            << " trials/row; all estimators driven through the erased "
+               "registry surface\n\n";
   MarkdownTable table(
       {"algorithm", "space", "recall ok", "precision ok"});
   struct Def {
     const char* name;
-    int kind;  // 0 sample, 1 mg, 2 ss, 3 cm
+    SketchConfig config;
   };
-  const Def defs[] = {{"reservoir sample (Cor 1.6)", 0},
-                      {"misra-gries (k=100)", 1},
-                      {"space-saving (k=100)", 2},
-                      {"count-min (2048x4)", 3}};
-  for (const auto& def : defs) {
+  std::vector<Def> defs(4);
+  defs[0].name = "reservoir sample (Cor 1.6)";
+  defs[0].config.kind = "reservoir";
+  defs[0].config.capacity = k_sample;
+  defs[1].name = "misra-gries (k=100)";
+  defs[1].config.kind = "misra_gries";
+  defs[1].config.capacity = 100;
+  defs[2].name = "space-saving (k=100)";
+  defs[2].config.kind = "space_saving";
+  defs[2].config.capacity = 100;
+  defs[3].name = "count-min (2048x4)";
+  defs[3].config.kind = "count_min";
+  defs[3].config.width = 2048;
+  defs[3].config.depth = 4;
+  for (auto& def : defs) {
     size_t space = 0;
     double recall = 0.0, precision = 0.0;
     for (size_t t = 0; t < kTrials; ++t) {
-      std::unique_ptr<FrequencyEstimator> est;
       const uint64_t seed = MixSeed(0xE8, t);
-      switch (def.kind) {
-        case 0:
-          est = std::make_unique<SampleHeavyHitters>(k_sample,
-                                                     MixSeed(seed, 1));
-          break;
-        case 1:
-          est = std::make_unique<MisraGries>(100);
-          break;
-        case 2:
-          est = std::make_unique<SpaceSaving>(100);
-          break;
-        default:
-          est = std::make_unique<CountMinSketch>(2048, 4, MixSeed(seed, 2));
-      }
-      const auto r = RunContract(est.get(), seed);
+      def.config.seed = MixSeed(seed, 2);  // CountMin row hashes per trial
+      StreamSketch<int64_t> est =
+          SketchRegistry<int64_t>::Global().Create(def.config,
+                                                   MixSeed(seed, 1));
+      const auto r = RunContract(est, seed);
       recall += r.recall_ok;
       precision += r.precision_ok;
-      space = est->SpaceItems();
+      space = est.SpaceItems();
     }
     table.AddRow({def.name, std::to_string(space),
                   FormatDouble(recall / kTrials, 2),

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "benchmark/benchmark.h"
+#include "benchmark_json_main.h"
 #include "core/bernoulli_sampler.h"
 #include "core/reservoir_sampler.h"
 #include "core/weighted_reservoir_sampler.h"
@@ -92,4 +93,7 @@ BENCHMARK(BM_IntervalDiscrepancy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 }  // namespace
 }  // namespace robust_sampling
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return robust_sampling::RunBenchmarksWithJsonDefault("BENCH_t1.json",
+                                                       argc, argv);
+}

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "benchmark/benchmark.h"
+#include "benchmark_json_main.h"
 #include "heavy/count_min.h"
 #include "heavy/misra_gries.h"
 #include "heavy/sample_heavy_hitters.h"
@@ -137,4 +138,7 @@ BENCHMARK(BM_KllSketchQuery);
 }  // namespace
 }  // namespace robust_sampling
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return robust_sampling::RunBenchmarksWithJsonDefault("BENCH_t2.json",
+                                                       argc, argv);
+}

@@ -72,6 +72,19 @@ double MaxPrefixDensityError(const RobustSample<int64_t>& sample,
   return worst;
 }
 
+// Same probe through the erased query surface: Rank(x) on the merged
+// snapshot is the sample's prefix-density estimate — no TryAs<> downcast.
+double MaxPrefixDensityError(const StreamSketch<int64_t>& snapshot,
+                             const std::vector<PrefixRange>& ranges) {
+  double worst = 0.0;
+  for (const PrefixRange& range : ranges) {
+    const double est =
+        snapshot.Rank(static_cast<double>(range.threshold));
+    worst = std::max(worst, std::abs(est - range.true_density));
+  }
+  return worst;
+}
+
 void Run() {
   std::cout << "# T3: sharded pipeline ingestion throughput\n";
   std::cout << "Stream: " << kStreamLength
@@ -128,8 +141,7 @@ void Run() {
     const double secs = Seconds(t0, t1);
     const double meps = static_cast<double>(kStreamLength) / secs / 1e6;
     const double speedup = baseline_secs / secs;
-    const double err = MaxPrefixDensityError(
-        snapshot.As<RobustSampleAdapter<int64_t>>().sketch(), ranges);
+    const double err = MaxPrefixDensityError(snapshot, ranges);
     if (shards == 4) {
       speedup_at_4 = speedup;
       accuracy_at_4 = err <= kEps;
@@ -140,6 +152,9 @@ void Run() {
                   FormatBool(err <= kEps)});
   }
   table.Print(std::cout);
+  if (WriteBenchJson("t3", table)) {
+    std::cout << "\n(wrote BENCH_t3.json)\n";
+  }
 
   std::cout << "\nacceptance: 4-shard speedup = "
             << FormatDouble(speedup_at_4, 2)

@@ -1,0 +1,38 @@
+#ifndef ROBUST_SAMPLING_BENCH_BENCHMARK_JSON_MAIN_H_
+#define ROBUST_SAMPLING_BENCH_BENCHMARK_JSON_MAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+
+namespace robust_sampling {
+
+// Shared main() body for the google-benchmark T-series binaries: like
+// BENCHMARK_MAIN(), but defaults --benchmark_out to `json_path` (JSON
+// format) so every run leaves a machine-readable result file for
+// cross-PR perf tracking. The defaults are injected *before* the real
+// command line, and google-benchmark's flag parsing is last-wins, so
+// explicit flags still override.
+inline int RunBenchmarksWithJsonDefault(const char* json_path, int argc,
+                                        char** argv) {
+  std::string out_flag = std::string("--benchmark_out=") + json_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_BENCH_BENCHMARK_JSON_MAIN_H_

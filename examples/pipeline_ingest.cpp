@@ -9,7 +9,9 @@
 //    samplers' skip-sampling InsertBatch hot path.
 // 3. Take a Snapshot() at any point: per-shard states merge into one
 //    summary of the entire stream (for reservoirs, an exactly uniform
-//    sample of the union — Theorem 1.2 sizing applies unchanged).
+//    sample of the union — Theorem 1.2 sizing applies unchanged), and
+//    query it through the type-erased surface (Rank / Quantile /
+//    HeavyHitters, gated by Capabilities()) — no downcasts.
 //
 // Build & run:  ./build/example_pipeline_ingest
 
@@ -55,12 +57,11 @@ int main() {
             << pipeline.num_shards() << " shards; merged sample holds "
             << snapshot.SpaceItems() << " of them\n";
 
-  const auto& sample =
-      snapshot.As<rs::RobustSampleAdapter<int64_t>>().sketch();
+  // Rank(x) is the merged sample's prefix-density estimate; the same
+  // handle would answer Quantile / EstimateFrequency / HeavyHitters.
   for (int64_t shift : {18, 19}) {
     const int64_t threshold = int64_t{1} << shift;
-    const double density = sample.EstimateDensity(
-        [threshold](int64_t v) { return v <= threshold; });
+    const double density = snapshot.Rank(static_cast<double>(threshold));
     std::cout << "estimated density of [1, 2^" << shift << "]: " << density
               << "  (truth for uniform data: "
               << static_cast<double>(threshold) /
@@ -77,12 +78,10 @@ int main() {
   const auto skewed = rs::ZipfIntStream(500'000, 100'000, 1.3, /*seed=*/13);
   hh_pipeline.Ingest(skewed);
   const auto hh_snapshot = hh_pipeline.Snapshot();
-  const auto& hh =
-      hh_snapshot.As<rs::SpaceSavingAdapter<int64_t>>().sketch();
   std::cout << "\ntop heavy hitters of a Zipf(1.3) stream ("
             << hh_snapshot.Name() << "):\n";
   int shown = 0;
-  for (const auto& hit : hh.HeavyHitters(0.02)) {
+  for (const auto& hit : hh_snapshot.HeavyHitters(0.02)) {
     std::cout << "  element " << hit.element << "  freq ~ " << hit.frequency
               << "\n";
     if (++shown == 5) break;

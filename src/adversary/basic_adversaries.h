@@ -2,6 +2,7 @@
 #define ROBUST_SAMPLING_ADVERSARY_BASIC_ADVERSARIES_H_
 
 #include <functional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,7 +31,7 @@ class StaticAdversary : public Adversary<T> {
     RS_CHECK_MSG(!stream_.empty(), "static stream must be non-empty");
   }
 
-  T NextElement(const std::vector<T>& /*sample_before*/,
+  T NextElement(std::span<const T> /*sample_before*/,
                 size_t round) override {
     RS_CHECK_MSG(round <= stream_.size(), "static stream exhausted");
     return stream_[round - 1];
@@ -51,7 +52,7 @@ class UniformAdversary : public Adversary<int64_t> {
     RS_CHECK(universe_size >= 1);
   }
 
-  int64_t NextElement(const std::vector<int64_t>& /*sample_before*/,
+  int64_t NextElement(std::span<const int64_t> /*sample_before*/,
                       size_t /*round*/) override {
     return static_cast<int64_t>(
                rng_.NextBelow(static_cast<uint64_t>(universe_size_))) +
@@ -91,7 +92,7 @@ class GreedyGapAdversary : public Adversary<T> {
                  "out_exemplar must lie outside the range");
   }
 
-  T NextElement(const std::vector<T>& sample_before, size_t round) override {
+  T NextElement(std::span<const T> sample_before, size_t round) override {
     const double n = static_cast<double>(round - 1);
     const double m = static_cast<double>(sample_before.size());
     double d_sample = 0.0;

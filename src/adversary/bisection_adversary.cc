@@ -16,7 +16,7 @@ BisectionAdversaryDouble::BisectionAdversaryDouble(double lo, double hi,
 }
 
 double BisectionAdversaryDouble::NextElement(
-    const std::vector<double>& /*sample_before*/, size_t /*round*/) {
+    std::span<const double> /*sample_before*/, size_t /*round*/) {
   double x = a_ + split_ * (b_ - a_);
   if (x <= a_ || x >= b_) {
     // Double precision exhausted: the working range no longer contains a
@@ -29,7 +29,7 @@ double BisectionAdversaryDouble::NextElement(
 }
 
 void BisectionAdversaryDouble::Observe(
-    const std::vector<double>& /*sample_after*/, bool kept,
+    std::span<const double> /*sample_after*/, bool kept,
     size_t /*round*/) {
   if (exhausted_) return;
   if (kept) {
@@ -54,7 +54,7 @@ BisectionAdversaryInt64::BisectionAdversaryInt64(int64_t universe_size,
 }
 
 int64_t BisectionAdversaryInt64::NextElement(
-    const std::vector<int64_t>& /*sample_before*/, size_t /*round*/) {
+    std::span<const int64_t> /*sample_before*/, size_t /*round*/) {
   if (b_ - a_ <= 1) {
     // Fig. 3 with floor() would now repeat a boundary element; the working
     // range is out of interior points and the attack stalls.
@@ -76,7 +76,7 @@ int64_t BisectionAdversaryInt64::NextElement(
 }
 
 void BisectionAdversaryInt64::Observe(
-    const std::vector<int64_t>& /*sample_after*/, bool kept,
+    std::span<const int64_t> /*sample_after*/, bool kept,
     size_t /*round*/) {
   if (exhausted_) return;
   if (kept) {
@@ -102,7 +102,7 @@ BisectionAdversaryBig::BisectionAdversaryBig(BigUint universe_size,
 }
 
 BigUint BisectionAdversaryBig::NextElement(
-    const std::vector<BigUint>& /*sample_before*/, size_t /*round*/) {
+    std::span<const BigUint> /*sample_before*/, size_t /*round*/) {
   const BigUint one(1);
   if (b_ - a_ <= one) {
     exhausted_ = true;
@@ -121,7 +121,7 @@ BigUint BisectionAdversaryBig::NextElement(
 }
 
 void BisectionAdversaryBig::Observe(
-    const std::vector<BigUint>& /*sample_after*/, bool kept,
+    std::span<const BigUint> /*sample_after*/, bool kept,
     size_t /*round*/) {
   if (exhausted_) return;
   if (kept) {

@@ -2,8 +2,8 @@
 #define ROBUST_SAMPLING_ADVERSARY_BISECTION_ADVERSARY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "core/adversarial_game.h"
 #include "core/big_uint.h"
@@ -48,9 +48,9 @@ class BisectionAdversaryDouble : public Adversary<double> {
   /// midpoint attack is split = 0.5. Requires 0 < split < 1, lo < hi.
   BisectionAdversaryDouble(double lo, double hi, double split);
 
-  double NextElement(const std::vector<double>& sample_before,
+  double NextElement(std::span<const double> sample_before,
                      size_t round) override;
-  void Observe(const std::vector<double>& sample_after, bool kept,
+  void Observe(std::span<const double> sample_after, bool kept,
                size_t round) override;
   std::string Name() const override;
   bool Exhausted() const override { return exhausted_; }
@@ -71,9 +71,9 @@ class BisectionAdversaryInt64 : public Adversary<int64_t> {
   /// Universe {1..universe_size}; split as above (Fig. 3: 1 - p').
   BisectionAdversaryInt64(int64_t universe_size, double split);
 
-  int64_t NextElement(const std::vector<int64_t>& sample_before,
+  int64_t NextElement(std::span<const int64_t> sample_before,
                       size_t round) override;
-  void Observe(const std::vector<int64_t>& sample_after, bool kept,
+  void Observe(std::span<const int64_t> sample_after, bool kept,
                size_t round) override;
   std::string Name() const override;
   bool Exhausted() const override { return exhausted_; }
@@ -96,9 +96,9 @@ class BisectionAdversaryBig : public Adversary<BigUint> {
  public:
   BisectionAdversaryBig(BigUint universe_size, double split);
 
-  BigUint NextElement(const std::vector<BigUint>& sample_before,
+  BigUint NextElement(std::span<const BigUint> sample_before,
                       size_t round) override;
-  void Observe(const std::vector<BigUint>& sample_after, bool kept,
+  void Observe(std::span<const BigUint> sample_after, bool kept,
                size_t round) override;
   std::string Name() const override;
   bool Exhausted() const override { return exhausted_; }

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -54,11 +55,11 @@ class AnyAdversary final : public Adversary<T> {
   AnyAdversary(AnyAdversary&&) noexcept = default;
   AnyAdversary& operator=(AnyAdversary&&) noexcept = default;
 
-  T NextElement(const std::vector<T>& sample_before, size_t round) override {
+  T NextElement(std::span<const T> sample_before, size_t round) override {
     return impl_->NextElement(sample_before, round);
   }
 
-  void Observe(const std::vector<T>& sample_after, bool kept,
+  void Observe(std::span<const T> sample_after, bool kept,
                size_t round) override {
     accepted_count_ += kept;
     impl_->Observe(sample_after, kept, round);
@@ -158,24 +159,28 @@ class AdversaryRegistry {
   struct BuiltinsTag {};
 
   explicit AdversaryRegistry(BuiltinsTag) {
-    Register("bisection", [](const GameSpec& spec, uint64_t) {
-      const double split = DeriveBisectionSplit(spec);
-      if constexpr (std::is_same_v<T, int64_t>) {
-        return AnyAdversary<T>::Wrap(BisectionAdversaryInt64(
-            static_cast<int64_t>(spec.sketch.universe_size), split));
-      } else if constexpr (std::is_same_v<T, double>) {
-        return AnyAdversary<T>::Wrap(
-            BisectionAdversaryDouble(0.0, 1.0, split));
-      } else if constexpr (std::is_same_v<T, BigUint>) {
-        return AnyAdversary<T>::Wrap(BisectionAdversaryBig(
-            BigUint::ApproxExp(EffectiveLogUniverse(spec.sketch)), split));
-      } else {
-        static_assert(std::is_same_v<T, int64_t> ||
-                          std::is_same_v<T, double> ||
-                          std::is_same_v<T, BigUint>,
-                      "bisection supports int64_t, double, BigUint");
-      }
-    });
+    // "bisection" exists only for the element types with a bisection
+    // domain; other element types (e.g. custom structs playing through
+    // custom adversaries) still get a working registry with whatever the
+    // application registers — a Global() instantiation must never fail to
+    // compile just because a built-in does not generalize.
+    if constexpr (std::is_same_v<T, int64_t> || std::is_same_v<T, double> ||
+                  std::is_same_v<T, BigUint>) {
+      Register("bisection", [](const GameSpec& spec, uint64_t) {
+        const double split = DeriveBisectionSplit(spec);
+        if constexpr (std::is_same_v<T, int64_t>) {
+          return AnyAdversary<T>::Wrap(BisectionAdversaryInt64(
+              static_cast<int64_t>(spec.sketch.universe_size), split));
+        } else if constexpr (std::is_same_v<T, double>) {
+          return AnyAdversary<T>::Wrap(
+              BisectionAdversaryDouble(0.0, 1.0, split));
+        } else {
+          return AnyAdversary<T>::Wrap(BisectionAdversaryBig(
+              BigUint::ApproxExp(EffectiveLogUniverse(spec.sketch)),
+              split));
+        }
+      });
+    }
     if constexpr (std::is_same_v<T, int64_t>) {
       Register("uniform", [](const GameSpec& spec, uint64_t seed) {
         return AnyAdversary<T>::Wrap(UniformAdversary(

@@ -7,8 +7,8 @@
 #include <span>
 #include <string>
 #include <utility>
-#include <vector>
 
+#include "attacklab/game_spec.h"
 #include "core/check.h"
 #include "pipeline/sketch_config.h"
 #include "pipeline/sketch_registry.h"
@@ -21,16 +21,15 @@ namespace robust_sampling {
 /// game runners.
 ///
 /// The adaptive game of Section 2 requires the adversary to observe the
-/// full sample after every insertion, so only sketch kinds that *have* an
-/// adversary-visible sample can play: the built-ins "robust_sample",
-/// "reservoir" and "bernoulli" (plus any custom registry kind that wraps
-/// one of those adapters). FromConfig instantiates through
-/// SketchRegistry<T>::Global() — the same code path the sharded pipeline
-/// uses — then binds typed views onto the wrapped adapter; it aborts with
-/// a clear message for sample-free kinds (kll, count_min, ...).
-///
-/// Copyable (deep-copies the underlying sketch) and movable; both rebind
-/// the views, so handles stay self-contained.
+/// full sample after every insertion, so a sketch kind can play iff it
+/// exposes the kCapSampleView capability (StreamSketch<T>::SampleView()).
+/// Every call on the StreamSampler surface routes through that erased hook
+/// — no downcasts, no per-kind view binding — so *any* registered kind
+/// with a sample-view hook on its adapter plays games, including custom
+/// registry kinds with their own adapter types. FromConfig instantiates
+/// through SketchRegistry<T>::Global() — the same code path the sharded
+/// pipeline uses — and aborts with a clear message for sample-free kinds
+/// (kll, count_min, ...).
 template <typename T>
 class AnySampler {
  public:
@@ -38,92 +37,64 @@ class AnySampler {
   /// `instance_seed` (fresh per game trial).
   static AnySampler FromConfig(const SketchConfig& config,
                                uint64_t instance_seed) {
-    AnySampler s;
-    s.sketch_ = SketchRegistry<T>::Global().Create(config, instance_seed);
-    s.BindViews();
+    AnySampler s(SketchRegistry<T>::Global().Create(config, instance_seed));
+    // Mirror the built-in factories' sizing so introspection reports the
+    // resolved parameters without reaching into concrete types. Custom
+    // kinds size themselves however their factory likes, so their
+    // capacity/probability read as unknown (0 / NaN), like FromSketch.
+    if (config.kind == "bernoulli") {
+      s.probability_ = ResolvedProbability(config);
+    } else if (config.kind == "robust_sample" || config.kind == "reservoir") {
+      s.capacity_ = ResolvedCapacity(config);
+    }
     return s;
   }
 
   /// Wraps an already-created StreamSketch (e.g. a custom registry kind).
+  /// capacity()/probability() read as unknown (0 / NaN) on this path.
   static AnySampler FromSketch(StreamSketch<T> sketch) {
-    AnySampler s;
-    s.sketch_ = std::move(sketch);
-    s.BindViews();
-    return s;
+    return AnySampler(std::move(sketch));
   }
-
-  AnySampler(const AnySampler& other) : sketch_(other.sketch_) {
-    BindViews();
-  }
-  AnySampler& operator=(const AnySampler& other) {
-    if (this != &other) {
-      sketch_ = other.sketch_;
-      BindViews();
-    }
-    return *this;
-  }
-  // Moving a StreamSketch moves its heap-allocated model, so the adapter
-  // views stay valid across moves.
-  AnySampler(AnySampler&&) noexcept = default;
-  AnySampler& operator=(AnySampler&&) noexcept = default;
 
   // --- StreamSampler surface (core/sampler.h) -----------------------------
 
   void Insert(const T& x) { sketch_.Insert(x); }
   void InsertBatch(std::span<const T> xs) { sketch_.InsertBatch(xs); }
 
-  const std::vector<T>& sample() const {
-    if (robust_) return robust_->sketch().sample();
-    if (reservoir_) return reservoir_->sketch().sample();
-    return bernoulli_->sketch().sample();
-  }
+  std::span<const T> sample() const { return sketch_.SampleView().elements; }
 
   size_t stream_size() const { return sketch_.StreamSize(); }
 
-  bool last_kept() const {
-    if (robust_) return robust_->sketch().last_kept();
-    if (reservoir_) return reservoir_->sketch().last_kept();
-    return bernoulli_->sketch().last_kept();
-  }
+  bool last_kept() const { return sketch_.SampleView().last_kept; }
 
   // --- Introspection ------------------------------------------------------
 
   /// Algorithm name with resolved parameters, e.g. "reservoir(k=130)".
   std::string Name() const { return sketch_.Name(); }
 
-  /// Reservoir-style capacity; 0 for Bernoulli (unbounded sample).
-  size_t capacity() const {
-    if (robust_) return robust_->sketch().capacity();
-    if (reservoir_) return reservoir_->sketch().capacity();
-    return 0;
-  }
+  /// Reservoir-style capacity the config resolved to; 0 for Bernoulli
+  /// (unbounded sample), for custom kinds, and for FromSketch handles.
+  size_t capacity() const { return capacity_; }
 
   /// Bernoulli sampling probability; NaN for reservoir-style samplers.
-  double probability() const {
-    if (bernoulli_) return bernoulli_->sketch().p();
-    return std::nan("");
-  }
+  double probability() const { return probability_; }
 
-  /// The underlying type-erased sketch (for pipeline interop).
+  /// The underlying type-erased sketch (for pipeline interop and queries
+  /// beyond the sampler surface: Quantile, HeavyHitters, ...).
   StreamSketch<T>& sketch() { return sketch_; }
   const StreamSketch<T>& sketch() const { return sketch_; }
 
  private:
-  AnySampler() = default;
-
-  void BindViews() {
-    robust_ = sketch_.template TryAs<RobustSampleAdapter<T>>();
-    reservoir_ = sketch_.template TryAs<ReservoirAdapter<T>>();
-    bernoulli_ = sketch_.template TryAs<BernoulliAdapter<T>>();
-    RS_CHECK_MSG(robust_ || reservoir_ || bernoulli_,
-                 "sketch kind has no adversary-visible sample; games need "
-                 "robust_sample / reservoir / bernoulli");
+  explicit AnySampler(StreamSketch<T> sketch) : sketch_(std::move(sketch)) {
+    RS_CHECK_MSG(sketch_.Supports(kCapSampleView),
+                 "sketch kind has no adversary-visible sample view; games "
+                 "need the kCapSampleView capability (built-ins: "
+                 "robust_sample / reservoir / bernoulli)");
   }
 
   StreamSketch<T> sketch_;
-  RobustSampleAdapter<T>* robust_ = nullptr;
-  ReservoirAdapter<T>* reservoir_ = nullptr;
-  BernoulliAdapter<T>* bernoulli_ = nullptr;
+  size_t capacity_ = 0;
+  double probability_ = std::nan("");
 };
 
 }  // namespace robust_sampling

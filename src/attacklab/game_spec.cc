@@ -19,7 +19,13 @@ std::string DescribeGameSpec(const GameSpec& spec) {
 }
 
 size_t ResolvedCapacity(const SketchConfig& sketch) {
-  if (sketch.capacity > 0) return sketch.capacity;
+  // "robust_sample" always sizes by Theorem 1.2 — its registry factory
+  // ignores `capacity` — so an explicit capacity must be ignored here too
+  // or split derivation / schedule anchoring / AnySampler introspection
+  // would describe a different sampler than the one actually playing.
+  if (sketch.kind != "robust_sample" && sketch.capacity > 0) {
+    return sketch.capacity;
+  }
   if (sketch.kind == "bernoulli") return 1;
   return ReservoirRobustK(sketch.eps, sketch.delta,
                           EffectiveLogUniverse(sketch));

@@ -35,8 +35,9 @@ enum class ScheduleKind {
 struct GameSpec {
   /// The sampler under attack, named and parameterized exactly as for the
   /// ingestion pipeline. Games require an adversary-visible sample, so the
-  /// kind must be one of "robust_sample", "reservoir", "bernoulli" (or a
-  /// custom kind wrapping one of those adapters); see docs/registry.md.
+  /// kind's adapter must expose the SampleView capability hook — true of
+  /// the built-ins "robust_sample", "reservoir", "bernoulli" and of any
+  /// custom kind that implements the hook; see docs/registry.md.
   SketchConfig sketch;
 
   /// AdversaryRegistry key: built-ins are "bisection", "uniform",

@@ -21,17 +21,23 @@ namespace robust_sampling {
 /// sampler updates, the adversary additionally observes sigma_i before the
 /// next round. Implementations may be randomized and keep arbitrary
 /// internal history.
+///
+/// Observations arrive as read-only spans — the same representation
+/// StreamSketch<T>::SampleView() serves — so adversaries work against
+/// concrete samplers and type-erased registry kinds alike, with no copy on
+/// the observation path. The span is valid only for the duration of the
+/// call.
 template <typename T>
 class Adversary {
  public:
   virtual ~Adversary() = default;
 
   /// Chooses x_i given sigma_{i-1}. `round` is 1-based.
-  virtual T NextElement(const std::vector<T>& sample_before, size_t round) = 0;
+  virtual T NextElement(std::span<const T> sample_before, size_t round) = 0;
 
   /// Observes the updated state sigma_i. `kept` is whether x_i entered the
   /// sample (fully determined by sigma_i, exposed as a convenience).
-  virtual void Observe(const std::vector<T>& sample_after, bool kept,
+  virtual void Observe(std::span<const T> sample_after, bool kept,
                        size_t round) {
     (void)sample_after;
     (void)kept;
@@ -80,12 +86,14 @@ AdaptiveGameResult<T> RunAdaptiveGame(SamplerT& sampler,
   AdaptiveGameResult<T> result;
   result.stream.reserve(n);
   for (size_t i = 1; i <= n; ++i) {
-    T x = adversary.NextElement(sampler.sample(), i);
+    T x = adversary.NextElement(std::span<const T>(sampler.sample()), i);
     sampler.Insert(x);
     result.stream.push_back(std::move(x));
-    adversary.Observe(sampler.sample(), sampler.last_kept(), i);
+    adversary.Observe(std::span<const T>(sampler.sample()),
+                      sampler.last_kept(), i);
   }
-  result.sample = sampler.sample();
+  const std::span<const T> final_sample(sampler.sample());
+  result.sample.assign(final_sample.begin(), final_sample.end());
   result.discrepancy = discrepancy(result.stream, result.sample);
   result.is_approximation = result.discrepancy <= eps;
   return result;
@@ -130,8 +138,8 @@ AdaptiveGameResult<T> RunBatchedAdaptiveGame(
   for (size_t i = 1; i <= n;) {
     const size_t b = std::min(batch_size, n - i + 1);
     // sigma visible to the adversary this round; nothing mutates the
-    // sampler until InsertBatch, so a reference is safe (no copy).
-    const std::vector<T>& frozen = sampler.sample();
+    // sampler until InsertBatch, so a view is safe (no copy).
+    const std::span<const T> frozen(sampler.sample());
     batch.clear();
     for (size_t j = 0; j < b; ++j) {
       batch.push_back(adversary.NextElement(frozen, i + j));
@@ -139,9 +147,11 @@ AdaptiveGameResult<T> RunBatchedAdaptiveGame(
     sampler.InsertBatch(std::span<const T>(batch));
     for (T& x : batch) result.stream.push_back(std::move(x));
     i += b;
-    adversary.Observe(sampler.sample(), sampler.last_kept(), i - 1);
+    adversary.Observe(std::span<const T>(sampler.sample()),
+                      sampler.last_kept(), i - 1);
   }
-  result.sample = sampler.sample();
+  const std::span<const T> final_sample(sampler.sample());
+  result.sample.assign(final_sample.begin(), final_sample.end());
   result.discrepancy = discrepancy(result.stream, result.sample);
   result.is_approximation = result.discrepancy <= eps;
   return result;
@@ -186,14 +196,22 @@ ContinuousGameResult<T> RunContinuousAdaptiveGame(
   result.stream.reserve(n);
   size_t next_check_idx = 0;
   const auto& checks = schedule.points();
+  // The DiscrepancyFn interface takes materialized vectors; samples are
+  // copied out of the view only at checkpoints (where a discrepancy
+  // evaluation dwarfs the copy anyway), never on ordinary rounds.
+  const auto sample_copy = [&sampler] {
+    const std::span<const T> view(sampler.sample());
+    return std::vector<T>(view.begin(), view.end());
+  };
   for (size_t i = 1; i <= n; ++i) {
-    T x = adversary.NextElement(sampler.sample(), i);
+    T x = adversary.NextElement(std::span<const T>(sampler.sample()), i);
     sampler.Insert(x);
     result.stream.push_back(std::move(x));
-    adversary.Observe(sampler.sample(), sampler.last_kept(), i);
+    adversary.Observe(std::span<const T>(sampler.sample()),
+                      sampler.last_kept(), i);
     if (next_check_idx < checks.size() && checks[next_check_idx] == i) {
       ++next_check_idx;
-      const double d = discrepancy(result.stream, sampler.sample());
+      const double d = discrepancy(result.stream, sample_copy());
       if (d > result.max_discrepancy) {
         result.max_discrepancy = d;
         result.worst_round = i;
@@ -203,7 +221,7 @@ ContinuousGameResult<T> RunContinuousAdaptiveGame(
       }
     }
   }
-  result.final_sample = sampler.sample();
+  result.final_sample = sample_copy();
   result.continuously_approximating = result.first_violation_round == 0;
   return result;
 }

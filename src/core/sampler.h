@@ -3,7 +3,7 @@
 
 #include <concepts>
 #include <cstddef>
-#include <vector>
+#include <span>
 
 namespace robust_sampling {
 
@@ -17,16 +17,23 @@ namespace robust_sampling {
 ///
 ///  * `Insert(x)`        — process stream element x_i (sigma_{i-1} -> sigma_i);
 ///  * `sample()`         — the current sampled subsequence S_i (the full
-///                         adversary-visible state);
+///                         adversary-visible state), as anything viewable as
+///                         a span over stable storage: concrete samplers
+///                         return their sample vector by reference,
+///                         type-erased handles (AnySampler) return the
+///                         SketchSampleView span directly;
 ///  * `stream_size()`    — i, the number of elements processed so far;
 ///  * `last_kept()`      — whether the most recently inserted element was
 ///                         added to the sample (observable by the adversary
 ///                         since it sees sigma_i; exposed directly as a
 ///                         convenience for attack implementations).
+///
+/// The span must remain valid until the sampler's next mutating call — the
+/// game runners hold it across adversary turns without copying.
 template <typename S, typename T>
 concept StreamSampler = requires(S s, const S cs, const T& x) {
   { s.Insert(x) };
-  { cs.sample() } -> std::convertible_to<const std::vector<T>&>;
+  { cs.sample() } -> std::convertible_to<std::span<const T>>;
   { cs.stream_size() } -> std::convertible_to<size_t>;
   { cs.last_kept() } -> std::convertible_to<bool>;
 };

@@ -26,12 +26,25 @@ class MarkdownTable {
   /// Prints ToString() to `os`.
   void Print(std::ostream& os) const;
 
+  /// Renders the table as a JSON array of row objects keyed by header.
+  /// Cells that are plain decimal numbers ("3.14", "-2", "1.23e+18") are
+  /// emitted unquoted so downstream tooling can compare them numerically;
+  /// everything else becomes an escaped JSON string.
+  std::string ToJson() const;
+
   size_t NumRows() const { return rows_.size(); }
 
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Writes `{"bench": "<name>", "rows": <table rows>}` to
+/// `BENCH_<name>.json` in the current working directory — the
+/// machine-readable perf-trajectory record the bench_t* binaries leave
+/// behind. Returns false (after warning on stderr) if the file cannot be
+/// written.
+bool WriteBenchJson(const std::string& name, const MarkdownTable& table);
 
 /// Fixed-precision double formatting ("0.0123").
 std::string FormatDouble(double v, int precision = 4);

@@ -125,7 +125,10 @@ class ShardedPipeline {
   /// Flushes, then folds the per-shard sketches (in shard order) into one
   /// merged summary of the whole stream. Ingestion state is untouched —
   /// snapshots can be taken mid-stream and repeatedly; each call returns
-  /// an independent deep copy.
+  /// an independent deep copy. The returned handle carries the full erased
+  /// query surface (Quantile / Rank / EstimateFrequency / HeavyHitters /
+  /// SampleView, per Capabilities()) — merged snapshots are directly
+  /// servable, no downcasting.
   StreamSketch<T> Snapshot() {
     Flush();
     StreamSketch<T> merged = CopyShardSketch(0);
@@ -134,6 +137,38 @@ class ShardedPipeline {
       merged.MergeFrom(piece);
     }
     return merged;
+  }
+
+  /// Serving path: flushes, merges, and evaluates `query` against the
+  /// merged snapshot, e.g.
+  ///
+  ///     double median = pipeline.Query(
+  ///         [](const StreamSketch<int64_t>& s) { return s.Quantile(0.5); });
+  ///
+  /// Each call pays one flush + merge; batch related reads into one lambda
+  /// (or hold a Snapshot()) rather than issuing many point queries. The
+  /// snapshot dies when Query returns, so the lambda must return owning
+  /// values — returning SampleView / span is rejected at compile time;
+  /// copy the elements out or hold a Snapshot() instead.
+  template <typename Fn>
+  auto Query(Fn&& query) {
+    using Result =
+        std::remove_cvref_t<std::invoke_result_t<Fn&&,
+                                                 const StreamSketch<T>&>>;
+    static_assert(!std::is_same_v<Result, SketchSampleView<T>> &&
+                      !std::is_same_v<Result, std::span<const T>>,
+                  "Query() destroys the merged snapshot on return; a view "
+                  "result would dangle. Copy the sample into a vector, or "
+                  "hold pipeline.Snapshot() yourself.");
+    const StreamSketch<T> snapshot = Snapshot();
+    return std::forward<Fn>(query)(snapshot);
+  }
+
+  /// The query capabilities of the configured sketch kind (identical on
+  /// every shard and on merged snapshots).
+  uint32_t Capabilities() {
+    std::lock_guard<std::mutex> lock(shards_[0]->mu);
+    return shards_[0]->sketch.Capabilities();
   }
 
   /// Flushes remaining work and joins the worker threads. Idempotent;

@@ -29,6 +29,13 @@ namespace robust_sampling {
 /// an application-specific sketch) at runtime. Creation is thread-safe;
 /// registration is serialized with creation by a mutex.
 ///
+/// Custom kinds get queryability for free: whatever optional capability
+/// hooks their adapter implements (SampleView / Quantile / Rank /
+/// EstimateFrequency / HeavyHitters — see pipeline/stream_sketch.h) are
+/// discovered at Wrap time and served through the erased handle, which
+/// also qualifies sample-view-capable kinds for AttackLab games via
+/// AnySampler<T>::FromConfig. No registry-side declaration is needed.
+///
 /// Seeding contract: `Create(config, instance_seed)` passes
 /// `instance_seed` to sketches whose randomness must be *independent*
 /// across instances (samplers, KLL compaction coins) and `config.seed` to

@@ -1,12 +1,15 @@
 #ifndef ROBUST_SAMPLING_PIPELINE_STREAM_SKETCH_H_
 #define ROBUST_SAMPLING_PIPELINE_STREAM_SKETCH_H_
 
+#include <algorithm>
+#include <cmath>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "core/reservoir_sampler.h"
 #include "core/robust_sample.h"
 #include "heavy/count_min.h"
+#include "heavy/frequency_estimator.h"
 #include "heavy/misra_gries.h"
 #include "heavy/space_saving.h"
 #include "quantiles/kll_sketch.h"
@@ -35,14 +39,193 @@ concept SketchAdapter = requires(A a, const A ca, const T& x,
   { ca.Name() } -> std::convertible_to<std::string>;
 } && std::copy_constructible<A>;
 
+// ---------------------------------------------------------------------------
+// Optional query capabilities.
+//
+// Beyond the mandatory ingest surface above, an adapter may implement any of
+// four query hooks. StreamSketch<T>::Wrap discovers them per adapter type
+// with `if constexpr` / requires-clauses — no inheritance, no registration —
+// and exposes them through the type-erased handle, so callers probe
+// `Capabilities()` instead of downcasting. This is the sanctioned extension
+// point for custom sketch kinds (see docs/registry.md for the built-in
+// capability matrix).
+// ---------------------------------------------------------------------------
+
+/// Bitmask of the optional query capabilities a sketch supports.
+enum SketchCapability : uint32_t {
+  /// `SampleView()`: the retained elements + whether the last insert was
+  /// kept — the full adversary-visible state of the paper's Section 2 game.
+  kCapSampleView = 1u << 0,
+  /// `Quantile(q)` / `Rank(x)` over a double-ordered domain.
+  kCapQuantiles = 1u << 1,
+  /// `EstimateFrequency(x)`: relative frequency of one element.
+  kCapFrequencies = 1u << 2,
+  /// `HeavyHitters(phi)`: all elements at estimated frequency >= phi.
+  kCapHeavyHitters = 1u << 3,
+};
+
+/// The adversary-visible state of a sampling sketch (paper Section 2: the
+/// state sigma_i *is* the current sample, observed in full after every
+/// insertion). `elements` views the adapter's own storage and is valid until
+/// the next non-const operation on the sketch.
+template <typename T>
+struct SketchSampleView {
+  std::span<const T> elements;
+  /// Whether the most recently inserted element entered the sample (for a
+  /// batch: whether the batch's final element did).
+  bool last_kept = false;
+};
+
+/// Adapter hook: expose the retained sample (samplers only).
+template <typename A, typename T>
+concept SampleViewableAdapter = requires(const A ca) {
+  { ca.SampleView() } -> std::convertible_to<SketchSampleView<T>>;
+};
+
+/// Adapter hook: rank/quantile queries over a double-ordered domain.
+template <typename A>
+concept QuantileQueryableAdapter = requires(const A ca, double q) {
+  { ca.Quantile(q) } -> std::convertible_to<double>;
+  { ca.Rank(q) } -> std::convertible_to<double>;
+};
+
+/// Adapter hook: per-element relative-frequency estimates.
+template <typename A, typename T>
+concept FrequencyQueryableAdapter = requires(const A ca, const T& x) {
+  { ca.EstimateFrequency(x) } -> std::convertible_to<double>;
+};
+
+/// Adapter hook: heavy-hitter reports.
+template <typename A>
+concept HeavyHitterQueryableAdapter = requires(const A ca, double phi) {
+  { ca.HeavyHitters(phi) } -> std::convertible_to<std::vector<HeavyHitter>>;
+};
+
+namespace sample_query {
+
+// Shared sample-based query implementations: the paper's whole point is
+// that a (robust) uniform sample answers quantile, frequency and
+// heavy-hitter queries for the stream (Corollaries 1.5 / 1.6), so the three
+// sampler adapters route their query hooks through these helpers.
+
+/// Empirical q-quantile of the sample, with the QuantileSketch convention
+/// (smallest value whose rank fraction is >= q).
+template <typename T>
+  requires std::convertible_to<T, double>
+double Quantile(std::span<const T> sample, double q) {
+  RS_CHECK_MSG(!sample.empty(), "quantile query on an empty sample");
+  std::vector<double> sorted;
+  sorted.reserve(sample.size());
+  for (const T& v : sample) sorted.push_back(static_cast<double>(v));
+  std::sort(sorted.begin(), sorted.end());
+  const double m = static_cast<double>(sorted.size());
+  int64_t idx = static_cast<int64_t>(std::ceil(q * m)) - 1;
+  idx = std::clamp(idx, int64_t{0},
+                   static_cast<int64_t>(sorted.size()) - 1);
+  return sorted[static_cast<size_t>(idx)];
+}
+
+/// Fraction of sample elements <= x (the sample's estimate of the stream's
+/// prefix density d_{(-inf, x]}).
+template <typename T>
+  requires std::convertible_to<T, double>
+double Rank(std::span<const T> sample, double x) {
+  if (sample.empty()) return 0.0;
+  size_t hits = 0;
+  for (const T& v : sample) hits += static_cast<double>(v) <= x;
+  return static_cast<double>(hits) / static_cast<double>(sample.size());
+}
+
+/// Relative frequency of x within the sample (the Corollary 1.6 estimator
+/// for the stream frequency of x).
+template <typename T>
+  requires std::equality_comparable<T>
+double Frequency(std::span<const T> sample, const T& x) {
+  if (sample.empty()) return 0.0;
+  size_t hits = 0;
+  for (const T& v : sample) hits += v == x;
+  return static_cast<double>(hits) / static_cast<double>(sample.size());
+}
+
+/// All elements whose sample frequency is >= phi, in canonical report
+/// order. For the (alpha, eps) contract, query at phi = alpha - eps/3
+/// (Corollary 1.6's slack).
+template <typename T>
+  requires std::convertible_to<T, int64_t>
+std::vector<HeavyHitter> HeavyHitters(std::span<const T> sample,
+                                      double phi) {
+  std::vector<HeavyHitter> out;
+  if (sample.empty()) return out;
+  std::unordered_map<int64_t, size_t> counts;
+  for (const T& v : sample) ++counts[static_cast<int64_t>(v)];
+  const double m = static_cast<double>(sample.size());
+  for (const auto& [element, count] : counts) {
+    const double freq = static_cast<double>(count) / m;
+    if (freq >= phi) out.push_back(HeavyHitter{element, freq});
+  }
+  SortHeavyHitters(&out);
+  return out;
+}
+
+}  // namespace sample_query
+
+/// CRTP mixin supplying the full sample-backed query hook set to sampler
+/// adapters. `Derived::sketch()` must expose `sample()` (a vector of
+/// retained elements) and `last_kept()`; each hook is enabled exactly when
+/// T supports it, so the capability concepts above see the right subset.
+/// Keeping the three sampler adapters on one implementation guarantees
+/// they answer queries identically (the Corollary 1.5 / 1.6 estimators).
+template <typename Derived, typename T>
+class SampleQueryHooks {
+ public:
+  SketchSampleView<T> SampleView() const {
+    return {std::span<const T>(self().sketch().sample()),
+            self().sketch().last_kept()};
+  }
+  /// Requires a non-empty sample (the QuantileSketch convention: a
+  /// quantile of nothing has no value; Rank/Frequency degrade to 0.0).
+  double Quantile(double q) const
+    requires std::convertible_to<T, double>
+  {
+    return sample_query::Quantile<T>(self().sketch().sample(), q);
+  }
+  double Rank(double x) const
+    requires std::convertible_to<T, double>
+  {
+    return sample_query::Rank<T>(self().sketch().sample(), x);
+  }
+  double EstimateFrequency(const T& x) const
+    requires std::equality_comparable<T>
+  {
+    return sample_query::Frequency<T>(self().sketch().sample(), x);
+  }
+  std::vector<HeavyHitter> HeavyHitters(double phi) const
+    requires std::convertible_to<T, int64_t>
+  {
+    return sample_query::HeavyHitters<T>(self().sketch().sample(), phi);
+  }
+
+ private:
+  const Derived& self() const {
+    return static_cast<const Derived&>(*this);
+  }
+};
+
 /// Type-erased handle to one streaming sketch/sampler instance.
 ///
 /// The pipeline drives heterogeneous summaries (reservoir samples, KLL,
 /// CountMin, ...) through this one interface: batched insertion, merge of
-/// same-kind instances, and size introspection. Queries remain
-/// kind-specific — callers downcast with `TryAs<Adapter>()` and use the
-/// adapter's `sketch()` accessor, so the type-erasure tax is paid only on
-/// the ingest boundary (once per batch), never per element or per query.
+/// same-kind instances, size introspection — and *queries*. Every optional
+/// query hook the wrapped adapter implements (SampleView / Quantile / Rank /
+/// EstimateFrequency / HeavyHitters) is surfaced here; `Capabilities()`
+/// reports which ones, so callers probe support without downcasting. This
+/// makes a merged ShardedPipeline snapshot directly servable and lets any
+/// registered kind — including custom ones — face AttackLab adversaries.
+/// The type-erasure tax is paid per batch and per query, never per element.
+///
+/// `TryAs<Adapter>()` remains as an interop escape hatch for
+/// adapter-specific state that is not a query (none of the in-tree callers
+/// need it on the query path anymore).
 ///
 /// Copying a StreamSketch deep-copies the underlying sketch (used by
 /// ShardedPipeline::Snapshot to fold per-shard states without disturbing
@@ -53,7 +236,7 @@ class StreamSketch {
   /// Empty handle; every operation except `valid()` aborts until assigned.
   StreamSketch() = default;
 
-  /// Wraps an adapter instance.
+  /// Wraps an adapter instance, discovering its query capabilities.
   template <SketchAdapter<T> A>
   static StreamSketch Wrap(A adapter) {
     StreamSketch s;
@@ -113,8 +296,65 @@ class StreamSketch {
     return model_->Name();
   }
 
-  /// Downcast to a concrete adapter for kind-specific queries; nullptr if
-  /// this handle wraps a different adapter type.
+  // --- query surface ------------------------------------------------------
+
+  /// Bitmask of the SketchCapability hooks the wrapped adapter implements.
+  uint32_t Capabilities() const {
+    RS_CHECK_MSG(model_ != nullptr, "empty StreamSketch");
+    return model_->Capabilities();
+  }
+
+  /// Whether the wrapped adapter implements `capability`.
+  bool Supports(SketchCapability capability) const {
+    return (Capabilities() & capability) != 0;
+  }
+
+  /// The adversary-visible sample (Section 2 observation contract).
+  /// Requires kCapSampleView; the view stays valid until the next non-const
+  /// operation on this sketch.
+  SketchSampleView<T> SampleView() const {
+    RS_CHECK_MSG(Supports(kCapSampleView),
+                 ("sketch has no sample view: " + Name()).c_str());
+    return model_->SampleView();
+  }
+
+  /// Estimated q-quantile of the stream. Requires kCapQuantiles.
+  double Quantile(double q) const {
+    RS_CHECK_MSG(Supports(kCapQuantiles),
+                 ("sketch does not support quantile queries: " + Name())
+                     .c_str());
+    return model_->Quantile(q);
+  }
+
+  /// Estimated fraction of stream elements <= x. Requires kCapQuantiles.
+  double Rank(double x) const {
+    RS_CHECK_MSG(Supports(kCapQuantiles),
+                 ("sketch does not support quantile queries: " + Name())
+                     .c_str());
+    return model_->Rank(x);
+  }
+
+  /// Estimated relative frequency of x. Requires kCapFrequencies.
+  double EstimateFrequency(const T& x) const {
+    RS_CHECK_MSG(Supports(kCapFrequencies),
+                 ("sketch does not support frequency queries: " + Name())
+                     .c_str());
+    return model_->EstimateFrequency(x);
+  }
+
+  /// Elements at estimated frequency >= phi, in canonical report order.
+  /// Requires kCapHeavyHitters.
+  std::vector<HeavyHitter> HeavyHitters(double phi) const {
+    RS_CHECK_MSG(Supports(kCapHeavyHitters),
+                 ("sketch does not support heavy-hitter queries: " + Name())
+                     .c_str());
+    return model_->HeavyHitters(phi);
+  }
+
+  // --- interop escape hatch ----------------------------------------------
+
+  /// Downcast to a concrete adapter for adapter-specific state beyond the
+  /// query surface; nullptr if this handle wraps a different adapter type.
   template <SketchAdapter<T> A>
   A* TryAs() {
     auto* m = dynamic_cast<Model<A>*>(model_.get());
@@ -149,6 +389,12 @@ class StreamSketch {
     virtual size_t StreamSize() const = 0;
     virtual size_t SpaceItems() const = 0;
     virtual std::string Name() const = 0;
+    virtual uint32_t Capabilities() const = 0;
+    virtual SketchSampleView<T> SampleView() const = 0;
+    virtual double Quantile(double q) const = 0;
+    virtual double Rank(double x) const = 0;
+    virtual double EstimateFrequency(const T& x) const = 0;
+    virtual std::vector<HeavyHitter> HeavyHitters(double phi) const = 0;
     virtual std::unique_ptr<Concept> Clone() const = 0;
   };
 
@@ -168,6 +414,56 @@ class StreamSketch {
     size_t StreamSize() const override { return adapter_.StreamSize(); }
     size_t SpaceItems() const override { return adapter_.SpaceItems(); }
     std::string Name() const override { return adapter_.Name(); }
+
+    uint32_t Capabilities() const override {
+      uint32_t caps = 0;
+      if constexpr (SampleViewableAdapter<A, T>) caps |= kCapSampleView;
+      if constexpr (QuantileQueryableAdapter<A>) caps |= kCapQuantiles;
+      if constexpr (FrequencyQueryableAdapter<A, T>) caps |= kCapFrequencies;
+      if constexpr (HeavyHitterQueryableAdapter<A>) caps |= kCapHeavyHitters;
+      return caps;
+    }
+    SketchSampleView<T> SampleView() const override {
+      if constexpr (SampleViewableAdapter<A, T>) {
+        return adapter_.SampleView();
+      } else {
+        RS_CHECK_MSG(false, "sketch has no sample view");
+        return {};
+      }
+    }
+    double Quantile(double q) const override {
+      if constexpr (QuantileQueryableAdapter<A>) {
+        return adapter_.Quantile(q);
+      } else {
+        RS_CHECK_MSG(false, "sketch does not support quantile queries");
+        return 0.0;
+      }
+    }
+    double Rank(double x) const override {
+      if constexpr (QuantileQueryableAdapter<A>) {
+        return adapter_.Rank(x);
+      } else {
+        RS_CHECK_MSG(false, "sketch does not support quantile queries");
+        return 0.0;
+      }
+    }
+    double EstimateFrequency(const T& x) const override {
+      if constexpr (FrequencyQueryableAdapter<A, T>) {
+        return adapter_.EstimateFrequency(x);
+      } else {
+        RS_CHECK_MSG(false, "sketch does not support frequency queries");
+        return 0.0;
+      }
+    }
+    std::vector<HeavyHitter> HeavyHitters(double phi) const override {
+      if constexpr (HeavyHitterQueryableAdapter<A>) {
+        return adapter_.HeavyHitters(phi);
+      } else {
+        RS_CHECK_MSG(false, "sketch does not support heavy-hitter queries");
+        return {};
+      }
+    }
+
     std::unique_ptr<Concept> Clone() const override {
       return std::make_unique<Model>(adapter_);
     }
@@ -181,14 +477,18 @@ class StreamSketch {
 };
 
 // ---------------------------------------------------------------------------
-// Built-in adapters. Each wraps one concrete summary and exposes it through
-// `sketch()` for kind-specific queries (EstimateDensity, Quantile, ...).
+// Built-in adapters. Each wraps one concrete summary; queries flow through
+// the capability hooks (the `sketch()` accessor remains for interop with
+// code that needs the concrete type).
 // ---------------------------------------------------------------------------
 
 /// RobustSample<T> behind the uniform surface (the paper's Theorem 1.2
 /// sampler; merge = uniform subsample of the union at unchanged eps/delta).
+/// Full query capability set: the robust sample *is* the answer store for
+/// quantile / frequency / heavy-hitter queries (Corollaries 1.5, 1.6).
 template <typename T>
-class RobustSampleAdapter {
+class RobustSampleAdapter
+    : public SampleQueryHooks<RobustSampleAdapter<T>, T> {
  public:
   explicit RobustSampleAdapter(RobustSample<T> s) : s_(std::move(s)) {}
   void Insert(const T& x) { s_.Insert(x); }
@@ -199,6 +499,7 @@ class RobustSampleAdapter {
   std::string Name() const {
     return "robust_sample(k=" + std::to_string(s_.capacity()) + ")";
   }
+
   RobustSample<T>& sketch() { return s_; }
   const RobustSample<T>& sketch() const { return s_; }
 
@@ -207,8 +508,11 @@ class RobustSampleAdapter {
 };
 
 /// Plain ReservoirSampler<T> (Algorithm R) behind the uniform surface.
+/// Same query capability set as RobustSampleAdapter (whether the answers
+/// are adversarially trustworthy depends on how k was sized).
 template <typename T>
-class ReservoirAdapter {
+class ReservoirAdapter
+    : public SampleQueryHooks<ReservoirAdapter<T>, T> {
  public:
   explicit ReservoirAdapter(ReservoirSampler<T> s) : s_(std::move(s)) {}
   void Insert(const T& x) { s_.Insert(x); }
@@ -219,6 +523,7 @@ class ReservoirAdapter {
   std::string Name() const {
     return "reservoir(k=" + std::to_string(s_.capacity()) + ")";
   }
+
   ReservoirSampler<T>& sketch() { return s_; }
   const ReservoirSampler<T>& sketch() const { return s_; }
 
@@ -228,7 +533,8 @@ class ReservoirAdapter {
 
 /// BernoulliSampler<T> behind the uniform surface.
 template <typename T>
-class BernoulliAdapter {
+class BernoulliAdapter
+    : public SampleQueryHooks<BernoulliAdapter<T>, T> {
  public:
   explicit BernoulliAdapter(BernoulliSampler<T> s) : s_(std::move(s)) {}
   void Insert(const T& x) { s_.Insert(x); }
@@ -239,6 +545,7 @@ class BernoulliAdapter {
   std::string Name() const {
     return "bernoulli(p=" + std::to_string(s_.p()) + ")";
   }
+
   BernoulliSampler<T>& sketch() { return s_; }
   const BernoulliSampler<T>& sketch() const { return s_; }
 
@@ -247,6 +554,7 @@ class BernoulliAdapter {
 };
 
 /// KllSketch behind the uniform surface; stream elements convert to double.
+/// Quantile-capable only: KLL retains no adversary-visible sample.
 template <typename T>
   requires std::convertible_to<T, double>
 class KllAdapter {
@@ -264,6 +572,10 @@ class KllAdapter {
   size_t StreamSize() const { return s_.StreamSize(); }
   size_t SpaceItems() const { return s_.SpaceItems(); }
   std::string Name() const { return s_.Name(); }
+
+  double Quantile(double q) const { return s_.Quantile(q); }
+  double Rank(double x) const { return s_.RankFraction(x); }
+
   KllSketch& sketch() { return s_; }
   const KllSketch& sketch() const { return s_; }
 
@@ -272,6 +584,7 @@ class KllAdapter {
 };
 
 /// Shared shape for the three int64-keyed frequency summaries.
+/// Frequency/heavy-hitter capable; no sample view, no quantiles.
 template <typename T, typename S>
   requires std::convertible_to<T, int64_t>
 class FrequencyAdapter {
@@ -289,6 +602,14 @@ class FrequencyAdapter {
   size_t StreamSize() const { return s_.StreamSize(); }
   size_t SpaceItems() const { return s_.SpaceItems(); }
   std::string Name() const { return s_.Name(); }
+
+  double EstimateFrequency(const T& x) const {
+    return s_.EstimateFrequency(static_cast<int64_t>(x));
+  }
+  std::vector<HeavyHitter> HeavyHitters(double phi) const {
+    return s_.HeavyHitters(phi);
+  }
+
   S& sketch() { return s_; }
   const S& sketch() const { return s_; }
 

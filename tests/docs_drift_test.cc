@@ -1,0 +1,74 @@
+// Registry-vs-docs drift guard: every sketch kind and adversary kind
+// registered in the global registries must be documented (as an inline
+// `key` code span) in docs/registry.md. Runs as an ordinary unit test so
+// CI fails the moment a new kind lands without documentation.
+//
+// The docs path is injected by CMake as RS_SOURCE_DIR (the repository
+// root), so the test works from any build directory.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attacklab/adversary_registry.h"
+#include "core/big_uint.h"
+#include "gtest/gtest.h"
+#include "pipeline/sketch_registry.h"
+
+namespace robust_sampling {
+namespace {
+
+std::string ReadRegistryDoc() {
+  const std::string path = std::string(RS_SOURCE_DIR) + "/docs/registry.md";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// `key` must appear as an inline code span — the convention every
+// registry table in docs/registry.md uses.
+bool DocumentsKey(const std::string& doc, const std::string& key) {
+  return doc.find("`" + key + "`") != std::string::npos;
+}
+
+TEST(DocsDriftTest, EverySketchKindIsDocumented) {
+  const std::string doc = ReadRegistryDoc();
+  ASSERT_FALSE(doc.empty());
+  // int64_t registers the full built-in set (samplers + kll + the three
+  // frequency summaries); double and BigUint register subsets of it.
+  for (const auto& kind : SketchRegistry<int64_t>::Global().Kinds()) {
+    EXPECT_TRUE(DocumentsKey(doc, kind))
+        << "sketch kind '" << kind
+        << "' is registered but not documented in docs/registry.md";
+  }
+}
+
+TEST(DocsDriftTest, EveryAdversaryKindIsDocumented) {
+  const std::string doc = ReadRegistryDoc();
+  ASSERT_FALSE(doc.empty());
+  for (const auto& kind : AdversaryRegistry<int64_t>::Global().Kinds()) {
+    EXPECT_TRUE(DocumentsKey(doc, kind))
+        << "adversary kind '" << kind
+        << "' is registered but not documented in docs/registry.md";
+  }
+  for (const auto& kind : AdversaryRegistry<BigUint>::Global().Kinds()) {
+    EXPECT_TRUE(DocumentsKey(doc, kind)) << kind;
+  }
+}
+
+// The capability matrix must stay in step with the capability enum: each
+// capability column keyword appears in the doc.
+TEST(DocsDriftTest, CapabilityMatrixCoversTheCapabilityEnum) {
+  const std::string doc = ReadRegistryDoc();
+  for (const char* name :
+       {"SampleView", "Quantile", "EstimateFrequency", "HeavyHitters"}) {
+    EXPECT_TRUE(doc.find(name) != std::string::npos)
+        << "capability '" << name << "' missing from docs/registry.md";
+  }
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -11,6 +11,7 @@
 
 #include "adversary/basic_adversaries.h"
 #include "adversary/bisection_adversary.h"
+#include "attacklab/any_sampler.h"
 #include "core/adversarial_game.h"
 #include "core/bernoulli_sampler.h"
 #include "core/big_uint.h"
@@ -37,18 +38,32 @@ DiscrepancyFn<BigUint> PrefixFnBig() {
 }
 
 // Bisection attack against ReservoirSample(k) over a universe with
-// ln N = log_universe; returns the final prefix discrepancy.
+// ln N = log_universe; returns the final prefix discrepancy. The sampler
+// is created from the registry and played through the type-erased
+// AnySampler surface — the same path the AttackLab driver and the sharded
+// pipeline use (registry factories match the direct constructors, so the
+// games are seed-for-seed identical to concrete-type play).
 double AttackReservoirOnce(size_t k, size_t n, double split,
                            double log_universe, uint64_t seed) {
   BisectionAdversaryBig adv(BigUint::ApproxExp(log_universe), split);
-  ReservoirSampler<BigUint> sampler(k, seed);
+  SketchConfig config;
+  config.kind = "reservoir";
+  config.capacity = k;
+  config.log_universe = log_universe;
+  AnySampler<BigUint> sampler =
+      AnySampler<BigUint>::FromConfig(config, seed);
   return RunAdaptiveGame(sampler, adv, n, PrefixFnBig(), 0.25).discrepancy;
 }
 
 double AttackBernoulliOnce(double p, size_t n, double split,
                            double log_universe, uint64_t seed) {
   BisectionAdversaryBig adv(BigUint::ApproxExp(log_universe), split);
-  BernoulliSampler<BigUint> sampler(p, seed);
+  SketchConfig config;
+  config.kind = "bernoulli";
+  config.probability = p;
+  config.log_universe = log_universe;
+  AnySampler<BigUint> sampler =
+      AnySampler<BigUint>::FromConfig(config, seed);
   return RunAdaptiveGame(sampler, adv, n, PrefixFnBig(), 0.25).discrepancy;
 }
 
