@@ -1,6 +1,7 @@
 #ifndef ROBUST_SAMPLING_BENCH_BENCHMARK_JSON_MAIN_H_
 #define ROBUST_SAMPLING_BENCH_BENCHMARK_JSON_MAIN_H_
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -14,14 +15,24 @@ namespace robust_sampling {
 // cross-PR perf tracking. The defaults are injected *before* the real
 // command line, and google-benchmark's flag parsing is last-wins, so
 // explicit flags still override.
+//
+// RS_BENCH_SMOKE: when set (non-empty), caps --benchmark_min_time at
+// 0.01s so CI can run the full T-series as a seconds-long smoke suite
+// that still produces BENCH_*.json artifacts. An explicit
+// --benchmark_min_time on the command line wins over the env var.
 inline int RunBenchmarksWithJsonDefault(const char* json_path, int argc,
                                         char** argv) {
   std::string out_flag = std::string("--benchmark_out=") + json_path;
   std::string fmt_flag = "--benchmark_out_format=json";
+  std::string min_time_flag = "--benchmark_min_time=0.01";
   std::vector<char*> args;
   args.push_back(argv[0]);
   args.push_back(out_flag.data());
   args.push_back(fmt_flag.data());
+  const char* smoke = std::getenv("RS_BENCH_SMOKE");
+  if (smoke != nullptr && *smoke != '\0') {
+    args.push_back(min_time_flag.data());
+  }
   for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());

@@ -1,0 +1,204 @@
+#ifndef ROBUST_SAMPLING_PIPELINE_BATCH_POOL_H_
+#define ROBUST_SAMPLING_PIPELINE_BATCH_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+
+namespace robust_sampling {
+
+template <typename T>
+class BatchPool;
+
+/// One pooled, reusable batch buffer. `data` keeps its capacity across
+/// recycles, so after warm-up a fill is a plain memcpy into already-mapped
+/// pages — no allocation, no page faults. Recycled back to its pool when
+/// the reference count (producer ref + one per outstanding BatchSlice)
+/// drops to zero.
+template <typename T>
+struct BatchBuffer {
+  std::vector<T> data;
+  std::atomic<size_t> refs{0};
+  BatchPool<T>* pool = nullptr;
+};
+
+/// Move-only shared view of a contiguous segment of a pooled buffer.
+///
+/// This is what travels through the shard rings: under round-robin
+/// partitioning every shard's slice aliases the *same* BatchBuffer (the
+/// batch is materialized once, not once per shard), and the buffer returns
+/// to the pool when the last shard releases its slice. Thread-safe in the
+/// shared_ptr sense: distinct slices of one buffer may be released from
+/// distinct threads concurrently.
+template <typename T>
+class BatchSlice {
+ public:
+  BatchSlice() = default;
+
+  /// A slice that borrows caller-owned memory instead of a pooled buffer:
+  /// no refcount, Release() is a no-op, and the caller must keep the
+  /// memory valid until the consumer is done with it (the pipeline's
+  /// IngestBorrowed contract: until the next Flush / Snapshot / Stop).
+  static BatchSlice Borrowed(const T* data, size_t size) {
+    return BatchSlice(nullptr, data, size);
+  }
+
+  BatchSlice(BatchSlice&& other) noexcept
+      : buffer_(std::exchange(other.buffer_, nullptr)),
+        data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  BatchSlice& operator=(BatchSlice&& other) noexcept {
+    if (this != &other) {
+      Release();
+      buffer_ = std::exchange(other.buffer_, nullptr);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  BatchSlice(const BatchSlice&) = delete;
+  BatchSlice& operator=(const BatchSlice&) = delete;
+
+  ~BatchSlice() { Release(); }
+
+  /// The viewed elements; valid until Release() / destruction.
+  std::span<const T> span() const { return {data_, size_}; }
+
+  bool empty() const { return size_ == 0; }
+
+  /// Drops this slice's reference; the buffer recycles when the count hits
+  /// zero. Idempotent; the slice views nothing afterwards.
+  void Release();
+
+ private:
+  friend class BatchPool<T>;
+  BatchSlice(BatchBuffer<T>* buffer, const T* data, size_t size)
+      : buffer_(buffer), data_(data), size_(size) {}
+
+  BatchBuffer<T>* buffer_ = nullptr;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Freelist of refcounted batch buffers.
+///
+/// Steady-state protocol (per producer batch):
+///   1. `Acquire()` — pop a warm buffer (refcount starts at 1, the
+///      producer's own reference),
+///   2. fill `buffer->data` (capacity is retained, so no allocation),
+///   3. `MakeSlice(buffer, offset, len)` once per consumer — each slice
+///      holds one reference,
+///   4. `Release(buffer)` — drop the producer reference; from here the
+///      buffer lives exactly as long as its slices.
+///
+/// Acquire/recycle take a mutex (once per batch, not per element); the
+/// refcount itself is lock-free so consumers on different threads release
+/// concurrently. The freelist grows on demand: allocation happens only
+/// while the pool is colder than the pipeline's high-water mark of
+/// in-flight batches, after which every Acquire is a freelist pop.
+template <typename T>
+class BatchPool {
+ public:
+  BatchPool() = default;
+
+  BatchPool(const BatchPool&) = delete;
+  BatchPool& operator=(const BatchPool&) = delete;
+
+  /// All buffers must be released (no outstanding slices) at destruction.
+  ~BatchPool() = default;
+
+  /// Pre-warms the pool: ensures at least `count` buffers exist, each with
+  /// room for `element_capacity` elements. Optional — the pool grows on
+  /// demand — but lets latency-sensitive callers move every allocation to
+  /// setup time.
+  void Reserve(size_t count, size_t element_capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (all_.size() < count) {
+      auto owned = std::make_unique<BatchBuffer<T>>();
+      owned->pool = this;
+      free_.push_back(owned.get());
+      all_.push_back(std::move(owned));
+    }
+    for (const auto& buffer : all_) {
+      if (buffer->data.capacity() < element_capacity) {
+        buffer->data.reserve(element_capacity);
+      }
+    }
+  }
+
+  /// Producer: returns a buffer with refcount 1 (the producer reference).
+  /// Contents of `data` are unspecified; fill with assign/clear+push_back.
+  BatchBuffer<T>* Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        BatchBuffer<T>* buffer = free_.back();
+        free_.pop_back();
+        buffer->refs.store(1, std::memory_order_relaxed);
+        return buffer;
+      }
+    }
+    // Cold path: the pool is below the in-flight high-water mark.
+    auto owned = std::make_unique<BatchBuffer<T>>();
+    owned->pool = this;
+    owned->refs.store(1, std::memory_order_relaxed);
+    BatchBuffer<T>* buffer = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    all_.push_back(std::move(owned));
+    return buffer;
+  }
+
+  /// Producer: a new shared view of buffer->data[offset, offset + len).
+  /// The buffer must still hold the producer reference.
+  BatchSlice<T> MakeSlice(BatchBuffer<T>* buffer, size_t offset,
+                          size_t len) {
+    RS_CHECK_MSG(offset + len <= buffer->data.size(),
+                 "batch slice out of range");
+    buffer->refs.fetch_add(1, std::memory_order_relaxed);
+    return BatchSlice<T>(buffer, buffer->data.data() + offset, len);
+  }
+
+  /// Drops one reference; recycles the buffer onto the freelist when the
+  /// count reaches zero. Called from any thread.
+  void Release(BatchBuffer<T>* buffer) {
+    if (buffer->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      free_.push_back(buffer);
+    }
+  }
+
+  /// Buffers ever created (monotone; == freelist size when idle). A flat
+  /// value across steady-state batches is the allocation-free evidence the
+  /// tests assert on.
+  size_t AllocatedBuffers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return all_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<BatchBuffer<T>>> all_;
+  std::vector<BatchBuffer<T>*> free_;
+};
+
+template <typename T>
+void BatchSlice<T>::Release() {
+  if (buffer_ != nullptr) {
+    BatchBuffer<T>* buffer = std::exchange(buffer_, nullptr);
+    data_ = nullptr;
+    size_ = 0;
+    buffer->pool->Release(buffer);
+  }
+}
+
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_PIPELINE_BATCH_POOL_H_

@@ -1,10 +1,10 @@
 #ifndef ROBUST_SAMPLING_PIPELINE_SHARDED_PIPELINE_H_
 #define ROBUST_SAMPLING_PIPELINE_SHARDED_PIPELINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -17,8 +17,10 @@
 
 #include "core/check.h"
 #include "core/random.h"
+#include "pipeline/batch_pool.h"
 #include "pipeline/sketch_config.h"
 #include "pipeline/sketch_registry.h"
+#include "pipeline/spsc_ring.h"
 #include "pipeline/stream_sketch.h"
 
 namespace robust_sampling {
@@ -32,7 +34,8 @@ enum class PartitionPolicy {
   /// sizes matters.
   kHash,
   /// Each batch is split into N contiguous chunks, one per shard — zero
-  /// per-element routing work, the throughput choice for samplers (a
+  /// per-element routing work and zero-copy fan-out (the chunks are span
+  /// slices of one shared buffer), the throughput choice for samplers (a
   /// uniform sample of a union does not care how the union was cut).
   kRoundRobin,
 };
@@ -43,50 +46,75 @@ struct PipelineOptions {
   /// thread). Requires >= 1.
   size_t num_shards = 4;
   PartitionPolicy partition = PartitionPolicy::kRoundRobin;
-  /// Backpressure bound: Ingest blocks once a shard has this many batches
-  /// queued. Requires >= 1.
-  size_t mailbox_capacity = 64;
+  /// Backpressure bound, expressed as ring capacity: each shard's SPSC
+  /// ring holds at most this many outstanding batch slices (rounded up to
+  /// a power of two); Ingest blocks while the target ring is full.
+  /// Requires >= 1.
+  size_t ring_capacity = 64;
+  /// Pool pre-warm hint: when > 0, the constructor preallocates enough
+  /// pooled batch buffers (each with room for this many elements) to cover
+  /// the pipeline's worst-case in-flight load, so steady-state Ingest
+  /// performs zero heap allocations from the first batch onward. When 0,
+  /// the pool warms up on demand instead (allocation-free only after the
+  /// in-flight high-water mark has been seen).
+  size_t prewarm_batch_elements = 0;
 };
 
 /// Sharded, batched stream-ingestion engine.
 ///
 /// N worker shards each own an independently seeded sketch (instantiated
-/// from one SketchConfig via SketchRegistry<T>) and a mutex-guarded
-/// mailbox of pending batches. The producer thread calls
-/// `Ingest(batch)`, which partitions the batch across shards and
-/// enqueues; workers drain their mailboxes through the sketch's
-/// `InsertBatch` hot path. `Snapshot()` folds the per-shard states into
-/// one merged StreamSketch answering for the entire stream.
+/// from one SketchConfig via SketchRegistry<T>) and a fixed-capacity
+/// single-producer/single-consumer ring (spsc_ring.h) of batch slices.
+/// The producer thread calls `Ingest(batch)`, which materializes the batch
+/// once into a refcounted pooled buffer (batch_pool.h) and hands each
+/// shard a span slice of it; workers drain their rings through the
+/// sketch's `InsertBatch` hot path and the buffer recycles when its last
+/// slice is released. Steady state performs no heap allocation and no
+/// per-element or per-shard locking — the ring hand-off is futex-free
+/// atomics; the only locks on the copying path are the once-per-batch
+/// pool acquire/release handoffs (IngestBorrowed under kRoundRobin skips
+/// even those). `Snapshot()` folds the per-shard states into one merged
+/// StreamSketch answering for the entire stream.
 ///
 /// Adversarial-robustness note: sharding changes *when* an adversary can
 /// observe state (between batches rather than between elements) but not
 /// the distribution of any per-shard sample, and the merged snapshot of
 /// per-shard reservoirs is distributed exactly as one global reservoir
 /// over the union (ReservoirSampler::Merge). Theorem 1.2 sizing therefore
-/// applies to the merged sample unchanged.
+/// applies to the merged sample unchanged (see docs/pipeline.md).
 ///
 /// Threading contract: Ingest/Flush/Snapshot/Stop must be called from one
 /// producer thread (or externally serialized); the shard workers are
-/// internal. Determinism: with fixed config.seed, fixed batch sizes, and
-/// kHash partitioning (or any partitioning with fixed batch sizes), the
-/// merged snapshot is bit-for-bit reproducible.
+/// internal. Determinism: with fixed config.seed and fixed batch sizes,
+/// the merged snapshot is bit-for-bit reproducible under either
+/// partitioning policy (kHash is additionally batch-size-invariant).
 template <typename T>
 class ShardedPipeline {
  public:
   ShardedPipeline(const SketchConfig& config, const PipelineOptions& options)
       : config_(config), options_(options) {
     RS_CHECK_MSG(options.num_shards >= 1, "need at least one shard");
-    RS_CHECK_MSG(options.mailbox_capacity >= 1,
-                 "mailbox capacity must be >= 1");
+    RS_CHECK_MSG(options.ring_capacity >= 1, "ring capacity must be >= 1");
     const auto& registry = SketchRegistry<T>::Global();
     shards_.reserve(options.num_shards);
     for (size_t s = 0; s < options.num_shards; ++s) {
-      auto shard = std::make_unique<Shard>();
+      auto shard = std::make_unique<Shard>(options.ring_capacity);
       shard->sketch =
           registry.Create(config, MixSeed(config.seed, uint64_t{s}));
       shards_.push_back(std::move(shard));
     }
-    staging_.resize(options.num_shards);
+    // Cached once, before any worker can touch a sketch: Capabilities()
+    // must not read a live sketch concurrently with InsertBatch.
+    capabilities_ = shards_[0]->sketch.Capabilities();
+    staging_.resize(options.num_shards, nullptr);
+    if (options.prewarm_batch_elements > 0) {
+      // Worst-case in-flight buffers: every ring slot plus one batch in
+      // each worker's hands plus the one being filled (kHash pins one
+      // buffer per shard per batch; kRoundRobin strictly fewer).
+      const size_t ring_cap = shards_[0]->ring.capacity();
+      pool_.Reserve(options.num_shards * (ring_cap + 2) + 2,
+                    options.prewarm_batch_elements);
+    }
     for (size_t s = 0; s < options.num_shards; ++s) {
       shards_[s]->worker = std::thread(&ShardedPipeline::WorkerLoop, this,
                                        shards_[s].get());
@@ -98,27 +126,66 @@ class ShardedPipeline {
   ShardedPipeline(const ShardedPipeline&) = delete;
   ShardedPipeline& operator=(const ShardedPipeline&) = delete;
 
-  /// Partitions one batch across the shards and enqueues the pieces.
-  /// Blocks when a target mailbox is full (backpressure).
+  /// Partitions one batch across the shards: one copy into a pooled
+  /// buffer, then per-shard span slices (no per-shard copies, no
+  /// allocation in steady state). Blocks when a target ring is full
+  /// (backpressure).
   void Ingest(std::span<const T> batch) {
     RS_CHECK_MSG(!stopped_, "Ingest after Stop");
     if (batch.empty()) return;
     total_ingested_ += batch.size();
-    if (options_.partition == PartitionPolicy::kRoundRobin) {
-      IngestRoundRobin(batch);
+    if (options_.partition == PartitionPolicy::kRoundRobin ||
+        shards_.size() == 1) {
+      IngestShared(batch);
     } else {
       IngestHashed(batch);
     }
+  }
+
+  /// True zero-copy ingestion for callers that own stable batch memory
+  /// (replaying an in-memory stream, arena-backed network buffers, ...):
+  /// shards receive span slices of the *caller's* memory — nothing is
+  /// materialized, pooled, or copied, and the skip-sampling InsertBatch
+  /// hot paths then touch only the O(k log n) elements they actually
+  /// sample instead of paying O(n) memory traffic.
+  ///
+  /// Lifetime contract: `batch` must stay valid until the next Flush()
+  /// (or Snapshot()/Query()/Stop(), which flush). Routing, determinism,
+  /// and backpressure are identical to Ingest — the two can be mixed
+  /// freely and produce bit-identical snapshots. Under kHash the scatter
+  /// is content-addressed, so per-shard staging copies are still made
+  /// (into pooled buffers); the borrowed fast path applies to kRoundRobin
+  /// and single-shard topologies.
+  void IngestBorrowed(std::span<const T> batch) {
+    RS_CHECK_MSG(!stopped_, "Ingest after Stop");
+    if (batch.empty()) return;
+    if (options_.partition != PartitionPolicy::kRoundRobin &&
+        shards_.size() > 1) {
+      total_ingested_ += batch.size();
+      IngestHashed(batch);
+      return;
+    }
+    total_ingested_ += batch.size();
+    ScatterRoundRobin(batch.size(), [&](size_t offset, size_t len) {
+      return BatchSlice<T>::Borrowed(batch.data() + offset, len);
+    });
   }
 
   /// Blocks until every queued batch has been folded into its shard's
   /// sketch and all workers are idle.
   void Flush() {
     for (auto& shard : shards_) {
-      std::unique_lock<std::mutex> lock(shard->mu);
-      shard->cv.wait(lock, [&shard] {
-        return shard->mailbox.empty() && shard->idle;
+      if (shard->completed.load(std::memory_order_acquire) == shard->pushed) {
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(shard->done_mu);
+      shard->flush_waiting.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      shard->done_cv.wait(lock, [&shard] {
+        return shard->completed.load(std::memory_order_acquire) ==
+               shard->pushed;
       });
+      shard->flush_waiting.store(false, std::memory_order_relaxed);
     }
   }
 
@@ -131,10 +198,12 @@ class ShardedPipeline {
   /// servable, no downcasting.
   StreamSketch<T> Snapshot() {
     Flush();
-    StreamSketch<T> merged = CopyShardSketch(0);
+    // Post-flush the workers are quiescent (completed == pushed, with
+    // acquire/release ordering on `completed` making their sketch writes
+    // visible), so the copies need no locks.
+    StreamSketch<T> merged = shards_[0]->sketch;
     for (size_t s = 1; s < shards_.size(); ++s) {
-      const StreamSketch<T> piece = CopyShardSketch(s);
-      merged.MergeFrom(piece);
+      merged.MergeFrom(shards_[s]->sketch);
     }
     return merged;
   }
@@ -165,24 +234,17 @@ class ShardedPipeline {
   }
 
   /// The query capabilities of the configured sketch kind (identical on
-  /// every shard and on merged snapshots).
-  uint32_t Capabilities() {
-    std::lock_guard<std::mutex> lock(shards_[0]->mu);
-    return shards_[0]->sketch.Capabilities();
-  }
+  /// every shard and on merged snapshots). Cached at construction — never
+  /// touches a live sketch, so it is safe to call concurrently with
+  /// ingestion.
+  uint32_t Capabilities() const { return capabilities_; }
 
   /// Flushes remaining work and joins the worker threads. Idempotent;
   /// called by the destructor. Snapshot() remains valid afterwards.
   void Stop() {
     if (stopped_) return;
     stopped_ = true;
-    for (auto& shard : shards_) {
-      {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        shard->stop = true;
-      }
-      shard->cv.notify_all();
-    }
+    for (auto& shard : shards_) shard->ring.Close();
     for (auto& shard : shards_) {
       if (shard->worker.joinable()) shard->worker.join();
     }
@@ -196,12 +258,15 @@ class ShardedPipeline {
     Flush();
     std::vector<size_t> out;
     out.reserve(shards_.size());
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> lock(shards_[s]->mu);
-      out.push_back(shards_[s]->sketch.StreamSize());
+    for (auto& shard : shards_) {
+      out.push_back(shard->sketch.StreamSize());
     }
     return out;
   }
+
+  /// Pooled batch buffers created so far. Flat across steady-state batches
+  /// — the pipeline's allocation-free evidence (asserted in tests).
+  size_t PooledBuffers() const { return pool_.AllocatedBuffers(); }
 
   size_t num_shards() const { return shards_.size(); }
   const SketchConfig& config() const { return config_; }
@@ -209,13 +274,20 @@ class ShardedPipeline {
 
  private:
   struct Shard {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::vector<T>> mailbox;
-    bool stop = false;
-    bool idle = true;
-    StreamSketch<T> sketch;  // owned by the worker between Flush points
+    explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
+
+    SpscRing<BatchSlice<T>> ring;
+    StreamSketch<T> sketch;  // worker-owned between quiesce points
     std::thread worker;
+
+    // Flush protocol: the producer counts pushes (single-threaded, plain),
+    // the worker publishes completions; completed == pushed means the
+    // worker is idle and its sketch writes are visible (release/acquire).
+    uint64_t pushed = 0;
+    alignas(64) std::atomic<uint64_t> completed{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::atomic<bool> flush_waiting{false};
   };
 
   static uint64_t HashElement(const T& x) {
@@ -229,88 +301,90 @@ class ShardedPipeline {
     }
   }
 
-  void IngestHashed(std::span<const T> batch) {
+  /// The round-robin routing arithmetic, shared by the pooled and
+  /// borrowed paths so their shard assignment stays bit-identical (the
+  /// Ingest/IngestBorrowed snapshot-equality contract). `make_slice`
+  /// builds the slice for one contiguous chunk [offset, offset + len).
+  template <typename SliceFactory>
+  void ScatterRoundRobin(size_t batch_size, SliceFactory&& make_slice) {
     const size_t n = shards_.size();
-    if (n == 1) {
-      Enqueue(*shards_[0], std::vector<T>(batch.begin(), batch.end()));
-      return;
-    }
-    for (const T& x : batch) {
-      staging_[static_cast<size_t>(HashElement(x) % n)].push_back(x);
-    }
-    for (size_t s = 0; s < n; ++s) {
-      if (staging_[s].empty()) continue;
-      std::vector<T> piece;
-      piece.swap(staging_[s]);
-      Enqueue(*shards_[s], std::move(piece));
-    }
-  }
-
-  void IngestRoundRobin(std::span<const T> batch) {
-    const size_t n = shards_.size();
-    const size_t base = batch.size() / n;
-    const size_t rem = batch.size() % n;
+    const size_t base = batch_size / n;
+    const size_t rem = batch_size % n;
     size_t offset = 0;
-    for (size_t i = 0; i < n && offset < batch.size(); ++i) {
+    for (size_t i = 0; i < n && offset < batch_size; ++i) {
       const size_t shard = (rr_start_ + i) % n;
       const size_t len = base + (i < rem ? 1 : 0);
       if (len == 0) continue;
-      Enqueue(*shards_[shard],
-              std::vector<T>(batch.begin() + offset,
-                             batch.begin() + offset + len));
+      PushSlice(*shards_[shard], make_slice(offset, len));
       offset += len;
     }
     // Rotate so that sub-chunk-size batches do not pile onto shard 0.
     rr_start_ = (rr_start_ + 1) % n;
   }
 
-  void Enqueue(Shard& shard, std::vector<T> piece) {
-    {
-      std::unique_lock<std::mutex> lock(shard.mu);
-      shard.cv.wait(lock, [&] {
-        return shard.mailbox.size() < options_.mailbox_capacity;
-      });
-      shard.mailbox.push_back(std::move(piece));
-    }
-    shard.cv.notify_all();
+  /// Round-robin (and the single-shard fast path of either policy): the
+  /// batch is materialized once into one pooled buffer and every shard
+  /// receives a span slice of it.
+  void IngestShared(std::span<const T> batch) {
+    BatchBuffer<T>* buffer = pool_.Acquire();
+    buffer->data.assign(batch.begin(), batch.end());
+    ScatterRoundRobin(batch.size(), [&](size_t offset, size_t len) {
+      return pool_.MakeSlice(buffer, offset, len);
+    });
+    pool_.Release(buffer);  // drop the producer ref; slices keep it alive
   }
 
-  StreamSketch<T> CopyShardSketch(size_t s) {
-    std::lock_guard<std::mutex> lock(shards_[s]->mu);
-    return shards_[s]->sketch;  // deep copy via StreamSketch copy ctor
+  /// Hash scatter: per-shard pooled staging buffers, refilled in place
+  /// (capacity is retained across batches, so no allocation after warmup).
+  void IngestHashed(std::span<const T> batch) {
+    const size_t n = shards_.size();
+    for (size_t s = 0; s < n; ++s) {
+      staging_[s] = pool_.Acquire();
+      staging_[s]->data.clear();
+    }
+    for (const T& x : batch) {
+      staging_[static_cast<size_t>(HashElement(x) % n)]->data.push_back(x);
+    }
+    for (size_t s = 0; s < n; ++s) {
+      BatchBuffer<T>* buffer = std::exchange(staging_[s], nullptr);
+      if (!buffer->data.empty()) {
+        PushSlice(*shards_[s],
+                  pool_.MakeSlice(buffer, 0, buffer->data.size()));
+      }
+      pool_.Release(buffer);
+    }
+  }
+
+  void PushSlice(Shard& shard, BatchSlice<T> slice) {
+    shard.ring.Push(std::move(slice));
+    ++shard.pushed;
   }
 
   void WorkerLoop(Shard* shard) {
-    for (;;) {
-      std::vector<T> batch;
-      {
-        std::unique_lock<std::mutex> lock(shard->mu);
-        shard->cv.wait(lock, [shard] {
-          return shard->stop || !shard->mailbox.empty();
-        });
-        if (shard->mailbox.empty()) return;  // stop requested, fully drained
-        batch = std::move(shard->mailbox.front());
-        shard->mailbox.pop_front();
-        shard->idle = false;
+    BatchSlice<T> slice;
+    while (shard->ring.Pop(slice)) {
+      shard->sketch.InsertBatch(slice.span());
+      slice.Release();  // recycle the buffer before signaling completion
+      shard->completed.fetch_add(1, std::memory_order_release);
+      // Wake a Flush() waiter, if any (same declare/recheck protocol as
+      // the ring's blocked edge).
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (shard->flush_waiting.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(shard->done_mu);
+        shard->done_cv.notify_all();
       }
-      // A mailbox slot freed: unblock a backpressured producer.
-      shard->cv.notify_all();
-      shard->sketch.InsertBatch(batch);
-      {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        shard->idle = true;
-      }
-      shard->cv.notify_all();
     }
   }
 
   SketchConfig config_;
   PipelineOptions options_;
+  BatchPool<T> pool_;  // declared before shards_: outlives the slices
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::vector<T>> staging_;  // per-shard scatter buffers (kHash)
+  std::vector<BatchBuffer<T>*> staging_;  // per-shard scatter targets (kHash)
   size_t rr_start_ = 0;
   size_t total_ingested_ = 0;
   bool stopped_ = false;
+  uint32_t capabilities_ = 0;
 };
 
 }  // namespace robust_sampling

@@ -272,7 +272,7 @@ TEST(ShardedPipelineTest, StopDrainsOutstandingBatchesAndIsIdempotent) {
   config.capacity = 64;
   PipelineOptions options;
   options.num_shards = 4;
-  options.mailbox_capacity = 2;  // force backpressure
+  options.ring_capacity = 2;  // force backpressure
   ShardedPipeline<int64_t> pipeline(config, options);
   const auto stream = UniformIntStream(100000, 1 << 20, 109);
   IngestInBatches(pipeline, stream, 256);
