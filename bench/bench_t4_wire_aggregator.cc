@@ -1,0 +1,223 @@
+// T4: cross-process snapshot aggregation over the wire subsystem.
+//
+// N forked worker processes each run a ShardedPipeline over a disjoint
+// slice of one stream, serialize their merged snapshot (wire/snapshot.h)
+// and ship it to the parent over a pipe; the parent revives and merges the
+// N snapshots into one summary of the whole stream. The run *asserts* the
+// distributed answers match a single-process pipeline over the same
+// stream — within 2*eps for the robust sampler (each side is an
+// eps-approximation of the identical union, Theorem 1.2 + mergeability),
+// bit-exactly for CountMin (counter addition is associative and the row
+// hashes are shared via config.seed) — and reports snapshot sizes and
+// ship throughput (serialize + pipe + revive) per row.
+//
+// Writes BENCH_t4_wire.json; RS_BENCH_SMOKE=1 shrinks the stream for CI.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "core/random.h"
+#include "harness/table.h"
+#include "pipeline/sharded_pipeline.h"
+#include "pipeline/sketch_config.h"
+#include "pipeline/stream_sketch.h"
+#include "wire/codec.h"
+#include "wire/snapshot.h"
+
+namespace robust_sampling {
+namespace {
+
+constexpr double kEps = 0.05;
+constexpr double kDelta = 0.05;
+constexpr uint64_t kUniverse = 4096;
+constexpr uint64_t kBaseSeed = 0x7A11;
+
+std::vector<int64_t> MakeStream(size_t n) {
+  Rng rng(kBaseSeed);
+  std::vector<int64_t> stream;
+  stream.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    stream.push_back(static_cast<int64_t>(rng.NextBelow(kUniverse)) + 1);
+  }
+  return stream;
+}
+
+SketchConfig ConfigFor(const std::string& kind, uint64_t seed) {
+  SketchConfig config;
+  config.kind = kind;
+  config.eps = kEps;
+  config.delta = kDelta;
+  config.universe_size = kUniverse;
+  config.width = 2048;
+  config.depth = 4;
+  config.seed = seed;
+  return config;
+}
+
+StreamSketch<int64_t> RunPipeline(const SketchConfig& config,
+                                  std::span<const int64_t> slice,
+                                  size_t batch_size) {
+  PipelineOptions options;
+  options.num_shards = 2;
+  ShardedPipeline<int64_t> pipeline(config, options);
+  for (size_t off = 0; off < slice.size(); off += batch_size) {
+    const size_t len = std::min(batch_size, slice.size() - off);
+    pipeline.Ingest(slice.subspan(off, len));
+  }
+  return pipeline.Snapshot();
+}
+
+struct AggregateResult {
+  StreamSketch<int64_t> merged;
+  size_t snapshot_bytes = 0;
+  double ship_seconds = 0.0;  // parent-side: read + revive + merge
+};
+
+// Forks `workers` children; child w pipelines slice w and ships its
+// snapshot through a pipe. CountMin keeps config.seed shared across
+// workers (hash mergeability); the samplers get an independent seed per
+// worker, exactly like ShardedPipeline derives per-shard instance seeds.
+AggregateResult ForkAndAggregate(const std::string& kind,
+                                 std::span<const int64_t> stream,
+                                 size_t workers, size_t batch_size) {
+  std::vector<std::array<int, 2>> pipes(workers);
+  std::vector<pid_t> children(workers);
+  const size_t slice_len = stream.size() / workers;
+  for (size_t w = 0; w < workers; ++w) {
+    RS_CHECK(pipe(pipes[w].data()) == 0);
+    const pid_t pid = fork();
+    RS_CHECK_MSG(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Child: pipeline the slice, ship one snapshot, exit. A non-zero
+      // exit status is the child's only error channel; the parent checks.
+      close(pipes[w][0]);
+      const SketchConfig config =
+          kind == "count_min"
+              ? ConfigFor(kind, kBaseSeed)
+              : ConfigFor(kind, MixSeed(kBaseSeed, 1000 + w));
+      const size_t off = w * slice_len;
+      const size_t len =
+          w + 1 == workers ? stream.size() - off : slice_len;
+      auto snapshot = RunPipeline(config, stream.subspan(off, len),
+                                  batch_size);
+      wire::FdSink sink(pipes[w][1]);
+      const bool sent = wire::WriteSnapshot(snapshot, config, sink);
+      close(pipes[w][1]);
+      _exit(sent ? 0 : 1);
+    }
+    children[w] = pid;
+    close(pipes[w][1]);
+  }
+
+  AggregateResult result;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t w = 0; w < workers; ++w) {
+    // Decode straight off the pipe: FdSource has no size knowledge, so
+    // this exercises the codec's hard-cap validation path end to end.
+    wire::FdSource source(pipes[w][0]);
+    std::string error;
+    auto revived = wire::ReadSnapshot<int64_t>(source, &error);
+    RS_CHECK_MSG(revived.valid(), error.c_str());
+    result.snapshot_bytes += source.bytes_read();
+    close(pipes[w][0]);
+    if (!result.merged.valid()) {
+      result.merged = std::move(revived);
+    } else {
+      result.merged.MergeFrom(revived);
+    }
+  }
+  result.ship_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (pid_t pid : children) {
+    int status = 0;
+    RS_CHECK(waitpid(pid, &status, 0) == pid);
+    RS_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                 "worker process failed");
+  }
+  return result;
+}
+
+// Merged-vs-single acceptance: both summaries cover the identical stream.
+double AssertAccuracy(const std::string& kind,
+                      const StreamSketch<int64_t>& merged,
+                      const StreamSketch<int64_t>& single, size_t n) {
+  RS_CHECK(merged.StreamSize() == n);
+  RS_CHECK(single.StreamSize() == n);
+  double worst = 0.0;
+  if (kind == "count_min") {
+    // Counter addition is exact: estimates must agree bit for bit.
+    for (uint64_t x = 1; x <= kUniverse; ++x) {
+      const double diff =
+          std::abs(merged.EstimateFrequency(static_cast<int64_t>(x)) -
+                   single.EstimateFrequency(static_cast<int64_t>(x)));
+      worst = std::max(worst, diff);
+    }
+    RS_CHECK_MSG(worst == 0.0, "merged CountMin diverged from single-process");
+  } else {
+    // Robust sampler: each side is an eps-approximation of the same
+    // stream w.r.t. the prefix system, so ranks differ by at most 2*eps.
+    for (double x = 0.0; x <= static_cast<double>(kUniverse); x += 64.0) {
+      worst = std::max(worst, std::abs(merged.Rank(x) - single.Rank(x)));
+    }
+    RS_CHECK_MSG(worst <= 2.0 * kEps,
+                 "merged sample violates the 2*eps rank bound");
+  }
+  return worst;
+}
+
+void Run() {
+  const bool smoke = []() {
+    const char* env = std::getenv("RS_BENCH_SMOKE");
+    return env != nullptr && *env != '\0';
+  }();
+  const size_t n = smoke ? 200'000 : 4'000'000;
+  constexpr size_t kBatchSize = 4096;
+  const auto stream = MakeStream(n);
+
+  std::cout << "# T4: cross-process snapshot aggregation (src/wire/)\n";
+  std::cout << "N forked workers pipeline disjoint stream slices and ship "
+               "snapshots over pipes; the parent revives and merges them. "
+               "Asserts merged-vs-single accuracy (2*eps ranks for the "
+               "sampler, exact for CountMin). n = "
+            << n << ", eps = " << kEps << ".\n\n";
+
+  MarkdownTable table({"kind", "workers", "n", "snapshot KiB", "ship ms",
+                       "ship MiB/s", "worst |merged - single|", "bound"});
+  for (const std::string kind : {"robust_sample", "count_min"}) {
+    const SketchConfig single_config = ConfigFor(kind, kBaseSeed);
+    auto single = RunPipeline(single_config, stream, kBatchSize);
+    for (size_t workers : {2, 4, 8}) {
+      auto result = ForkAndAggregate(kind, stream, workers, kBatchSize);
+      const double worst = AssertAccuracy(kind, result.merged, single, n);
+      const double mib = static_cast<double>(result.snapshot_bytes) /
+                         (1024.0 * 1024.0);
+      table.AddRow({kind, std::to_string(workers), std::to_string(n),
+                    FormatDouble(mib * 1024.0, 1),
+                    FormatDouble(result.ship_seconds * 1e3, 2),
+                    FormatDouble(mib / result.ship_seconds, 1),
+                    FormatDouble(worst, 4),
+                    kind == "count_min" ? "exact" : FormatDouble(2 * kEps, 2)});
+    }
+  }
+  table.Print(std::cout);
+  WriteBenchJson("t4_wire", table);
+  std::cout << "\nOK: merged-vs-single accuracy asserted for every row.\n";
+}
+
+}  // namespace
+}  // namespace robust_sampling
+
+int main() {
+  robust_sampling::Run();
+  return 0;
+}

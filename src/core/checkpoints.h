@@ -8,6 +8,12 @@ namespace robust_sampling {
 
 /// The geometric checkpoint schedule from the proof of Theorem 1.4.
 ///
+/// Naming note: despite the name, this module has nothing to do with
+/// durability. A `CheckpointSchedule` is the sparse set of *analysis
+/// rounds* at which the continuous-robustness proof inspects the sample;
+/// persisting pipeline state to disk is `ShardedPipeline::Checkpoint()` /
+/// `Restore()` built on the wire subsystem (src/wire/, docs/wire.md).
+///
 /// Continuous robustness is certified by checking the sample at a sparse set
 /// of rounds k = i_1 < i_2 < ... < i_t = n with i_{j+1} <= (1 + beta) i_j
 /// (beta = eps/4 in the paper): if S_{i_j} is an (eps/4)-approximation at

@@ -115,6 +115,18 @@ void Xoshiro256pp::Jump() {
   state_[3] = s3;
 }
 
+std::array<uint64_t, 4> Xoshiro256pp::state() const {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Xoshiro256pp::set_state(const std::array<uint64_t, 4>& words) {
+  for (int i = 0; i < 4; ++i) state_[i] = words[static_cast<size_t>(i)];
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = kDefaultSeed;
+  }
+  has_cached_gaussian_ = false;
+}
+
 Xoshiro256pp Xoshiro256pp::Split(uint64_t index) const {
   Xoshiro256pp child = *this;
   child.has_cached_gaussian_ = false;

@@ -1,6 +1,7 @@
 #ifndef ROBUST_SAMPLING_CORE_RANDOM_H_
 #define ROBUST_SAMPLING_CORE_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -73,6 +74,16 @@ class Xoshiro256pp {
   /// Derives an independent generator: the result of jumping a copy of this
   /// generator `index + 1` times. Does not advance *this.
   Xoshiro256pp Split(uint64_t index) const;
+
+  /// The four raw state words, for checkpoint/restore (wire/). Restoring
+  /// them with set_state reproduces the exact future output stream, so a
+  /// revived sampler keeps the adversarial guarantees of the original.
+  std::array<uint64_t, 4> state() const;
+
+  /// Replaces the state words; the (single, invalid) all-zero state is
+  /// remapped to the seeded default. Drops any cached Gaussian variate —
+  /// the polar-method cache is deliberately not part of the wire state.
+  void set_state(const std::array<uint64_t, 4>& words);
 
  private:
   uint64_t state_[4];

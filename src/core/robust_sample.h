@@ -10,6 +10,7 @@
 #include "core/check.h"
 #include "core/reservoir_sampler.h"
 #include "core/sample_bounds.h"
+#include "wire/codec.h"
 
 namespace robust_sampling {
 
@@ -140,6 +141,42 @@ class RobustSample {
 
   /// Read access to the underlying reservoir.
   const ReservoirSampler<T>& reservoir() const { return reservoir_; }
+
+  /// Wire format (docs/wire.md): the (eps, delta, ln|R|) contract this
+  /// sample was sized to, followed by the full reservoir state (RNG words
+  /// included) — reviving reproduces both the guarantee and the exact
+  /// sampling trajectory.
+  void SerializeTo(wire::ByteSink& sink) const
+    requires wire::WireValue<T>
+  {
+    wire::PutDouble(sink, options_.eps);
+    wire::PutDouble(sink, options_.delta);
+    wire::PutDouble(sink, options_.log_cardinality);
+    wire::PutFixed64(sink, options_.seed);
+    reservoir_.SerializeTo(sink);
+  }
+
+  /// Replaces this sample's state from the wire; false on malformed
+  /// input, never aborts.
+  bool DeserializeFrom(wire::ByteSource& source)
+    requires wire::WireValue<T>
+  {
+    Options options;
+    if (!wire::GetDouble(source, &options.eps) ||
+        !wire::GetDouble(source, &options.delta) ||
+        !wire::GetDouble(source, &options.log_cardinality) ||
+        !wire::GetFixed64(source, &options.seed)) {
+      return false;
+    }
+    if (!(options.eps > 0.0 && options.eps < 1.0) ||
+        !(options.delta > 0.0 && options.delta < 1.0) ||
+        !(options.log_cardinality >= 0.0)) {
+      return source.Fail();
+    }
+    if (!reservoir_.DeserializeFrom(source)) return false;
+    options_ = options;
+    return true;
+  }
 
  private:
   explicit RobustSample(const Options& options)

@@ -29,6 +29,13 @@ namespace robust_sampling {
 ///
 /// This simulation counts site->coordinator messages and coordinator
 /// broadcasts so experiments/tests can verify the communication bound.
+///
+/// Relationship to src/wire/: this class studies the *communication
+/// complexity* of continuous distributed sampling inside one process;
+/// actually shipping sketch state across process boundaries (periodic
+/// snapshot aggregation, checkpoint/restore) is the wire subsystem's job
+/// — see wire/snapshot.h and the fork-based aggregator in
+/// bench/bench_t4_wire_aggregator.cc for the mergeable-summaries route.
 class DistributedReservoir {
  public:
   /// Requires num_sites >= 1 and k >= 1.

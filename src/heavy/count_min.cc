@@ -126,6 +126,60 @@ std::vector<HeavyHitter> CountMinSketch::HeavyHitters(
   return out;
 }
 
+void CountMinSketch::SerializeTo(wire::ByteSink& sink) const {
+  wire::PutVarint(sink, width_);
+  wire::PutVarint(sink, depth_);
+  wire::PutVarint(sink, max_candidates_);
+  wire::PutVarint(sink, conservative_update_ ? 1 : 0);
+  wire::PutVarint(sink, n_);
+  for (uint64_t s : row_seeds_) wire::PutFixed64(sink, s);
+  for (const auto& row : counters_) {
+    for (uint64_t c : row) wire::PutVarint(sink, c);
+  }
+  wire::PutCountMap(sink, candidates_);
+}
+
+bool CountMinSketch::DeserializeFrom(wire::ByteSource& source) {
+  uint64_t width = 0, depth = 0, max_candidates = 0, conservative = 0, n = 0;
+  if (!wire::GetVarint(source, &width) || !wire::GetVarint(source, &depth) ||
+      !wire::GetVarint(source, &max_candidates) ||
+      !wire::GetVarint(source, &conservative) ||
+      !wire::GetVarint(source, &n)) {
+    return false;
+  }
+  if (width < 2 || depth < 1 || conservative > 1 || max_candidates < 1 ||
+      max_candidates > wire::kMaxVectorElements ||
+      depth > wire::kMaxVectorElements / width) {  // overflow-safe w*d cap
+    return source.Fail();
+  }
+  std::vector<uint64_t> row_seeds(static_cast<size_t>(depth));
+  for (uint64_t& s : row_seeds) {
+    if (!wire::GetFixed64(source, &s)) return false;
+  }
+  std::vector<std::vector<uint64_t>> counters(
+      static_cast<size_t>(depth),
+      std::vector<uint64_t>(static_cast<size_t>(width), 0));
+  for (auto& row : counters) {
+    for (uint64_t& c : row) {
+      if (!wire::GetVarint(source, &c)) return false;
+      // Every counter is a sum of insertion increments, so none can
+      // exceed the stream length.
+      if (c > n) return source.Fail();
+    }
+  }
+  std::unordered_map<int64_t, uint64_t> candidates;
+  if (!wire::GetCountMap(source, &candidates, max_candidates)) return false;
+  width_ = static_cast<size_t>(width);
+  depth_ = static_cast<size_t>(depth);
+  max_candidates_ = static_cast<size_t>(max_candidates);
+  conservative_update_ = conservative == 1;
+  n_ = static_cast<size_t>(n);
+  row_seeds_ = std::move(row_seeds);
+  counters_ = std::move(counters);
+  candidates_ = std::move(candidates);
+  return true;
+}
+
 std::string CountMinSketch::Name() const {
   return std::string(conservative_update_ ? "count-min-cu(" : "count-min(") +
          std::to_string(width_) + "x" + std::to_string(depth_) + ")";

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "heavy/frequency_estimator.h"
+#include "wire/codec.h"
 
 namespace robust_sampling {
 
@@ -63,6 +64,15 @@ class CountMinSketch : public FrequencyEstimator {
   /// The row-r bucket index of x (exposed so tests and the E8 adversary can
   /// reason about collisions).
   size_t Bucket(size_t row, int64_t x) const;
+
+  /// Wire format (docs/wire.md): geometry, row seeds (so merged revivals
+  /// keep hash compatibility), counters, candidate map (sorted by element
+  /// for deterministic bytes) and n.
+  void SerializeTo(wire::ByteSink& sink) const;
+
+  /// Replaces this sketch's state from the wire; false on malformed
+  /// input, never aborts.
+  bool DeserializeFrom(wire::ByteSource& source);
 
  private:
   size_t width_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "core/check.h"
@@ -81,6 +82,20 @@ std::vector<HeavyHitter> MisraGries::HeavyHitters(double threshold) const {
   }
   SortHeavyHitters(&out);
   return out;
+}
+
+void MisraGries::SerializeTo(wire::ByteSink& sink) const {
+  wire::PutCounterSummary(sink, k_, n_, counters_);
+}
+
+bool MisraGries::DeserializeFrom(wire::ByteSource& source) {
+  uint64_t k = 0, n = 0;
+  std::unordered_map<int64_t, uint64_t> counters;
+  if (!wire::GetCounterSummary(source, &k, &n, &counters)) return false;
+  k_ = static_cast<size_t>(k);
+  n_ = static_cast<size_t>(n);
+  counters_ = std::move(counters);
+  return true;
 }
 
 std::string MisraGries::Name() const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "heavy/frequency_estimator.h"
+#include "wire/codec.h"
 
 namespace robust_sampling {
 
@@ -41,6 +42,13 @@ class MisraGries : public FrequencyEstimator {
   std::string Name() const override;
 
   size_t num_counters() const { return k_; }
+
+  /// Wire format (docs/wire.md): k, n, counters sorted by element.
+  void SerializeTo(wire::ByteSink& sink) const;
+
+  /// Replaces this summary's state from the wire; false on malformed
+  /// input, never aborts.
+  bool DeserializeFrom(wire::ByteSource& source);
 
  private:
   size_t k_;

@@ -95,6 +95,24 @@ std::vector<HeavyHitter> SpaceSaving::HeavyHitters(double threshold) const {
   return out;
 }
 
+void SpaceSaving::SerializeTo(wire::ByteSink& sink) const {
+  wire::PutCounterSummary(sink, k_, n_, counts_);
+}
+
+bool SpaceSaving::DeserializeFrom(wire::ByteSource& source) {
+  uint64_t k = 0, n = 0;
+  std::unordered_map<int64_t, uint64_t> counts;
+  if (!wire::GetCounterSummary(source, &k, &n, &counts)) return false;
+  k_ = static_cast<size_t>(k);
+  n_ = static_cast<size_t>(n);
+  counts_ = std::move(counts);
+  by_count_.clear();
+  for (const auto& [element, count] : counts_) {
+    by_count_.emplace(count, element);
+  }
+  return true;
+}
+
 std::string SpaceSaving::Name() const {
   return "space-saving(k=" + std::to_string(k_) + ")";
 }

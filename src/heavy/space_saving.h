@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "heavy/frequency_estimator.h"
+#include "wire/codec.h"
 
 namespace robust_sampling {
 
@@ -42,6 +43,14 @@ class SpaceSaving : public FrequencyEstimator {
   std::string Name() const override;
 
   size_t num_counters() const { return k_; }
+
+  /// Wire format (docs/wire.md): k, n, counts sorted by element; the
+  /// count-ordered eviction index is rebuilt on restore.
+  void SerializeTo(wire::ByteSink& sink) const;
+
+  /// Replaces this summary's state from the wire; false on malformed
+  /// input, never aborts.
+  bool DeserializeFrom(wire::ByteSource& source);
 
  private:
   void Bump(int64_t x, uint64_t old_count, uint64_t new_count);

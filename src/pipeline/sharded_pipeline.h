@@ -1,10 +1,14 @@
 #ifndef ROBUST_SAMPLING_PIPELINE_SHARDED_PIPELINE_H_
 #define ROBUST_SAMPLING_PIPELINE_SHARDED_PIPELINE_H_
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -22,6 +26,8 @@
 #include "pipeline/sketch_registry.h"
 #include "pipeline/spsc_ring.h"
 #include "pipeline/stream_sketch.h"
+#include "wire/codec.h"
+#include "wire/snapshot.h"
 
 namespace robust_sampling {
 
@@ -250,6 +256,135 @@ class ShardedPipeline {
     }
   }
 
+  // --- durability (wire/) -------------------------------------------------
+
+  /// Atomically persists the pipeline's complete ingestion state to
+  /// `path`: the SketchConfig, shard topology (round-robin cursor
+  /// included) and every shard sketch's full wire state — RNG words and
+  /// all, so a restored robust sampler continues the exact sampling
+  /// trajectory and keeps its Theorem 1.2 adversarial guarantee.
+  ///
+  /// Crash safety: bytes go to `path + ".tmp"` first, are fsync'd, and the
+  /// file is renamed over `path` (with a directory fsync), so a crash
+  /// mid-checkpoint leaves the previous checkpoint intact; a torn or
+  /// corrupted file is rejected by Restore via the envelope checksum.
+  ///
+  /// Flushes first (same producer-thread contract as Snapshot). Returns
+  /// false with a reason in `error` if the configured kind is not
+  /// serializable or on I/O failure. Not to be confused with the
+  /// Theorem 1.4 *analysis* CheckpointSchedule in core/checkpoints.h —
+  /// see docs/wire.md.
+  bool Checkpoint(const std::string& path, std::string* error = nullptr) {
+    if ((capabilities_ & kCapSerialize) == 0) {
+      return Fail(error, "sketch kind is not serializable: " + config_.kind);
+    }
+    // Same validation Restore applies: a config outside the wire limits
+    // must fail *now*, not produce a checkpoint that can never revive.
+    if (!wire::ValidateWireConfig(config_, error)) return false;
+    Flush();
+    wire::BufferSink body;
+    wire::PutString(body, wire::ElementTypeTag<T>());
+    wire::WriteSketchConfig(body, config_);
+    wire::PutVarint(body, shards_.size());
+    wire::PutVarint(body, rr_start_);
+    wire::PutVarint(body, total_ingested_);
+    for (auto& shard : shards_) {
+      wire::BufferSink payload;
+      shard->sketch.SerializeTo(payload);
+      wire::PutBytes(body, payload.bytes());
+    }
+    const std::string tmp = path + ".tmp";
+    {
+      wire::FileSink file(tmp);
+      // An over-limit body must fail *here*, leaving the previous good
+      // checkpoint in place — never produce a file Restore would reject.
+      if (!wire::WriteFramedBody(file, kCheckpointMagic,
+                                 kCheckpointFormatVersion, body.bytes()) ||
+          !file.SyncAndClose()) {
+        std::remove(tmp.c_str());
+        return Fail(error, "cannot write checkpoint: " + tmp);
+      }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return Fail(error, "cannot rename checkpoint into place: " + path);
+    }
+    SyncParentDirectory(path);
+    return true;
+  }
+
+  /// Rebuilds a pipeline from a Checkpoint() file: revives the stored
+  /// config, reconstructs the shard sketches through SketchRegistry<T>,
+  /// and resumes exactly where the checkpointed pipeline stopped —
+  /// continuing ingestion yields bit-identical snapshots to a run that
+  /// never stopped (asserted in tests/wire_test.cc). `options.num_shards`
+  /// must match the checkpoint's shard count (state is per-shard);
+  /// the remaining options are free to differ. Returns nullptr with a
+  /// reason in `error` on any malformed, truncated or incompatible file.
+  static std::unique_ptr<ShardedPipeline> Restore(
+      const std::string& path, const PipelineOptions& options,
+      std::string* error = nullptr) {
+    wire::FileSource file(path);
+    if (!file.open()) {
+      Fail(error, "cannot open checkpoint: " + path);
+      return nullptr;
+    }
+    std::vector<uint8_t> body;
+    if (!wire::ReadFramedBody(file, kCheckpointMagic,
+                              kCheckpointFormatVersion, &body, error)) {
+      return nullptr;
+    }
+    wire::BufferSource source(body);
+    SketchConfig config;
+    if (!wire::ReadRevivalPrologue(source, &config, error,
+                                   SketchRegistry<T>::Global())) {
+      return nullptr;
+    }
+    uint64_t num_shards = 0, rr_start = 0, total_ingested = 0;
+    if (!wire::GetVarint(source, &num_shards) ||
+        !wire::GetVarint(source, &rr_start) ||
+        !wire::GetVarint(source, &total_ingested) || num_shards < 1 ||
+        rr_start >= num_shards) {
+      Fail(error, "malformed checkpoint topology");
+      return nullptr;
+    }
+    if (num_shards != options.num_shards) {
+      Fail(error, "checkpoint has " + std::to_string(num_shards) +
+                      " shards, options request " +
+                      std::to_string(options.num_shards));
+      return nullptr;
+    }
+    auto pipeline = std::make_unique<ShardedPipeline>(config, options);
+    if ((pipeline->capabilities_ & kCapSerialize) == 0) {
+      Fail(error, "kind is not serializable for this element type: " +
+                      config.kind);
+      return nullptr;
+    }
+    // Workers are parked in Pop and only touch a sketch after a push, so
+    // replacing shard states here is race-free; the ring's release/acquire
+    // hand-off publishes these writes to the workers.
+    for (auto& shard : pipeline->shards_) {
+      std::vector<uint8_t> payload;
+      if (!wire::GetBytes(source, &payload, wire::kMaxBodyBytes)) {
+        Fail(error, "malformed shard payload");
+        return nullptr;
+      }
+      wire::BufferSource payload_source(payload);
+      if (!shard->sketch.DeserializeFrom(payload_source) ||
+          payload_source.remaining() != uint64_t{0}) {
+        Fail(error, "malformed shard sketch state");
+        return nullptr;
+      }
+    }
+    if (source.remaining() != uint64_t{0}) {
+      Fail(error, "trailing bytes after checkpoint body");
+      return nullptr;
+    }
+    pipeline->rr_start_ = static_cast<size_t>(rr_start);
+    pipeline->total_ingested_ = static_cast<size_t>(total_ingested);
+    return pipeline;
+  }
+
   /// Elements handed to Ingest so far (including ones still queued).
   size_t total_ingested() const { return total_ingested_; }
 
@@ -273,6 +408,27 @@ class ShardedPipeline {
   const PipelineOptions& options() const { return options_; }
 
  private:
+  static constexpr char kCheckpointMagic[4] = {'R', 'S', 'C', 'K'};
+  static constexpr uint64_t kCheckpointFormatVersion = 1;
+
+  static bool Fail(std::string* error, std::string reason) {
+    if (error != nullptr) *error = std::move(reason);
+    return false;
+  }
+
+  /// Makes the rename itself durable: fsync the containing directory so
+  /// the new directory entry survives a crash.
+  static void SyncParentDirectory(const std::string& path) {
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+      fsync(fd);
+      close(fd);
+    }
+  }
+
   struct Shard {
     explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
 

@@ -31,10 +31,14 @@ namespace robust_sampling {
 ///
 /// Custom kinds get queryability for free: whatever optional capability
 /// hooks their adapter implements (SampleView / Quantile / Rank /
-/// EstimateFrequency / HeavyHitters — see pipeline/stream_sketch.h) are
-/// discovered at Wrap time and served through the erased handle, which
-/// also qualifies sample-view-capable kinds for AttackLab games via
-/// AnySampler<T>::FromConfig. No registry-side declaration is needed.
+/// EstimateFrequency / HeavyHitters / SerializeTo+DeserializeFrom — see
+/// pipeline/stream_sketch.h) are discovered at Wrap time and served
+/// through the erased handle, which also qualifies sample-view-capable
+/// kinds for AttackLab games via AnySampler<T>::FromConfig and
+/// serialize-capable kinds for cross-process revival via
+/// wire::ReadSnapshot (a snapshot blob names its kind key, and this
+/// registry reconstructs the instance before its state is loaded). No
+/// registry-side declaration is needed.
 ///
 /// Seeding contract: `Create(config, instance_seed)` passes
 /// `instance_seed` to sketches whose randomness must be *independent*

@@ -22,6 +22,7 @@
 #include "heavy/misra_gries.h"
 #include "heavy/space_saving.h"
 #include "quantiles/kll_sketch.h"
+#include "wire/codec.h"
 
 namespace robust_sampling {
 
@@ -62,6 +63,10 @@ enum SketchCapability : uint32_t {
   kCapFrequencies = 1u << 2,
   /// `HeavyHitters(phi)`: all elements at estimated frequency >= phi.
   kCapHeavyHitters = 1u << 3,
+  /// `SerializeTo(sink)` / `DeserializeFrom(source)`: full state (RNG
+  /// included) crosses process boundaries via the wire codec; the basis of
+  /// snapshot shipping and pipeline checkpoint/restore (src/wire/).
+  kCapSerialize = 1u << 4,
 };
 
 /// The adversary-visible state of a sampling sketch (paper Section 2: the
@@ -99,6 +104,18 @@ concept FrequencyQueryableAdapter = requires(const A ca, const T& x) {
 template <typename A>
 concept HeavyHitterQueryableAdapter = requires(const A ca, double phi) {
   { ca.HeavyHitters(phi) } -> std::convertible_to<std::vector<HeavyHitter>>;
+};
+
+/// Adapter hook: wire serialization. SerializeTo writes the adapter's full
+/// state (sink tracks media errors); DeserializeFrom replaces it, returning
+/// false — never aborting — on malformed bytes. Implementations must
+/// round-trip exactly: a revived sketch answers every query identically
+/// and, where randomized, continues with the same RNG trajectory.
+template <typename A>
+concept SerializableAdapter = requires(const A ca, A a, wire::ByteSink& sink,
+                                       wire::ByteSource& source) {
+  { ca.SerializeTo(sink) };
+  { a.DeserializeFrom(source) } -> std::convertible_to<bool>;
 };
 
 namespace sample_query {
@@ -351,6 +368,27 @@ class StreamSketch {
     return model_->HeavyHitters(phi);
   }
 
+  // --- wire surface -------------------------------------------------------
+
+  /// Writes the wrapped adapter's full state to `sink` (payload bytes
+  /// only — wire/snapshot.h adds the self-describing envelope). Requires
+  /// kCapSerialize; check `sink.ok()` afterwards for media errors.
+  void SerializeTo(wire::ByteSink& sink) const {
+    RS_CHECK_MSG(Supports(kCapSerialize),
+                 ("sketch is not serializable: " + Name()).c_str());
+    model_->SerializeTo(sink);
+  }
+
+  /// Replaces the wrapped adapter's state from payload bytes previously
+  /// written by `SerializeTo` on the same kind. Returns false on malformed
+  /// input (the handle stays valid, contents unspecified); never aborts on
+  /// bad bytes. Requires kCapSerialize.
+  bool DeserializeFrom(wire::ByteSource& source) {
+    RS_CHECK_MSG(Supports(kCapSerialize),
+                 ("sketch is not serializable: " + Name()).c_str());
+    return model_->DeserializeFrom(source);
+  }
+
   // --- interop escape hatch ----------------------------------------------
 
   /// Downcast to a concrete adapter for adapter-specific state beyond the
@@ -395,6 +433,8 @@ class StreamSketch {
     virtual double Rank(double x) const = 0;
     virtual double EstimateFrequency(const T& x) const = 0;
     virtual std::vector<HeavyHitter> HeavyHitters(double phi) const = 0;
+    virtual void SerializeTo(wire::ByteSink& sink) const = 0;
+    virtual bool DeserializeFrom(wire::ByteSource& source) = 0;
     virtual std::unique_ptr<Concept> Clone() const = 0;
   };
 
@@ -421,6 +461,7 @@ class StreamSketch {
       if constexpr (QuantileQueryableAdapter<A>) caps |= kCapQuantiles;
       if constexpr (FrequencyQueryableAdapter<A, T>) caps |= kCapFrequencies;
       if constexpr (HeavyHitterQueryableAdapter<A>) caps |= kCapHeavyHitters;
+      if constexpr (SerializableAdapter<A>) caps |= kCapSerialize;
       return caps;
     }
     SketchSampleView<T> SampleView() const override {
@@ -463,6 +504,21 @@ class StreamSketch {
         return {};
       }
     }
+    void SerializeTo(wire::ByteSink& sink) const override {
+      if constexpr (SerializableAdapter<A>) {
+        adapter_.SerializeTo(sink);
+      } else {
+        RS_CHECK_MSG(false, "sketch is not serializable");
+      }
+    }
+    bool DeserializeFrom(wire::ByteSource& source) override {
+      if constexpr (SerializableAdapter<A>) {
+        return adapter_.DeserializeFrom(source);
+      } else {
+        RS_CHECK_MSG(false, "sketch is not serializable");
+        return false;
+      }
+    }
 
     std::unique_ptr<Concept> Clone() const override {
       return std::make_unique<Model>(adapter_);
@@ -500,6 +556,17 @@ class RobustSampleAdapter
     return "robust_sample(k=" + std::to_string(s_.capacity()) + ")";
   }
 
+  void SerializeTo(wire::ByteSink& sink) const
+    requires wire::WireValue<T>
+  {
+    s_.SerializeTo(sink);
+  }
+  bool DeserializeFrom(wire::ByteSource& source)
+    requires wire::WireValue<T>
+  {
+    return s_.DeserializeFrom(source);
+  }
+
   RobustSample<T>& sketch() { return s_; }
   const RobustSample<T>& sketch() const { return s_; }
 
@@ -524,6 +591,17 @@ class ReservoirAdapter
     return "reservoir(k=" + std::to_string(s_.capacity()) + ")";
   }
 
+  void SerializeTo(wire::ByteSink& sink) const
+    requires wire::WireValue<T>
+  {
+    s_.SerializeTo(sink);
+  }
+  bool DeserializeFrom(wire::ByteSource& source)
+    requires wire::WireValue<T>
+  {
+    return s_.DeserializeFrom(source);
+  }
+
   ReservoirSampler<T>& sketch() { return s_; }
   const ReservoirSampler<T>& sketch() const { return s_; }
 
@@ -544,6 +622,17 @@ class BernoulliAdapter
   size_t SpaceItems() const { return s_.sample().size(); }
   std::string Name() const {
     return "bernoulli(p=" + std::to_string(s_.p()) + ")";
+  }
+
+  void SerializeTo(wire::ByteSink& sink) const
+    requires wire::WireValue<T>
+  {
+    s_.SerializeTo(sink);
+  }
+  bool DeserializeFrom(wire::ByteSource& source)
+    requires wire::WireValue<T>
+  {
+    return s_.DeserializeFrom(source);
   }
 
   BernoulliSampler<T>& sketch() { return s_; }
@@ -575,6 +664,11 @@ class KllAdapter {
 
   double Quantile(double q) const { return s_.Quantile(q); }
   double Rank(double x) const { return s_.RankFraction(x); }
+
+  void SerializeTo(wire::ByteSink& sink) const { s_.SerializeTo(sink); }
+  bool DeserializeFrom(wire::ByteSource& source) {
+    return s_.DeserializeFrom(source);
+  }
 
   KllSketch& sketch() { return s_; }
   const KllSketch& sketch() const { return s_; }
@@ -608,6 +702,11 @@ class FrequencyAdapter {
   }
   std::vector<HeavyHitter> HeavyHitters(double phi) const {
     return s_.HeavyHitters(phi);
+  }
+
+  void SerializeTo(wire::ByteSink& sink) const { s_.SerializeTo(sink); }
+  bool DeserializeFrom(wire::ByteSource& source) {
+    return s_.DeserializeFrom(source);
   }
 
   S& sketch() { return s_; }

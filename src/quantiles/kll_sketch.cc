@@ -114,6 +114,52 @@ double KllSketch::Quantile(double q) const {
   return weighted.back().first;
 }
 
+void KllSketch::SerializeTo(wire::ByteSink& sink) const {
+  wire::PutVarint(sink, k_);
+  wire::PutStateWords(sink, rng_.state());
+  wire::PutVarint(sink, n_);
+  wire::PutVarint(sink, levels_.size());
+  for (const auto& level : levels_) {
+    wire::PutValueVector<double>(sink, level);
+  }
+}
+
+bool KllSketch::DeserializeFrom(wire::ByteSource& source) {
+  uint64_t k = 0, n = 0, num_levels = 0;
+  std::array<uint64_t, 4> rng_words{};
+  if (!wire::GetVarint(source, &k) ||
+      !wire::GetStateWords(source, &rng_words) ||
+      !wire::GetVarint(source, &n) ||
+      !wire::GetVarint(source, &num_levels)) {
+    return false;
+  }
+  // 64 levels would summarize a 2^64-element stream; more is corruption.
+  if (k < 4 || num_levels < 1 || num_levels > 64 || n >= (uint64_t{1} << 62)) {
+    return source.Fail();
+  }
+  std::vector<std::vector<double>> levels(static_cast<size_t>(num_levels));
+  uint64_t weight = 0;
+  for (size_t h = 0; h < levels.size(); ++h) {
+    if (!wire::GetValueVector(source, &levels[h])) return false;
+    const uint64_t level_weight = uint64_t{1} << h;
+    if (levels[h].size() > (uint64_t{1} << 62) / level_weight) {
+      return source.Fail();
+    }
+    weight += levels[h].size() * level_weight;
+    // Early reject also keeps the running sum from overflowing: each term
+    // is < 2^62 and the sum never exceeds n + one term.
+    if (weight > n) return source.Fail();
+  }
+  // Compaction conserves total weight exactly (see CompactLevel); a blob
+  // violating it cannot be a real KLL state.
+  if (weight != n) return source.Fail();
+  k_ = static_cast<size_t>(k);
+  rng_.set_state(rng_words);
+  n_ = n;
+  levels_ = std::move(levels);
+  return true;
+}
+
 std::string KllSketch::Name() const {
   return "kll(k=" + std::to_string(k_) + ")";
 }

@@ -7,6 +7,7 @@
 
 #include "core/random.h"
 #include "quantiles/quantile_sketch.h"
+#include "wire/codec.h"
 
 namespace robust_sampling {
 
@@ -46,6 +47,16 @@ class KllSketch : public QuantileSketch {
 
   /// Number of compactor levels currently allocated.
   size_t NumLevels() const { return levels_.size(); }
+
+  /// Wire format (docs/wire.md): k, compaction-RNG words, n and the level
+  /// buffers. Restore validates exact weight conservation
+  /// (sum_h |level_h| * 2^h == n), so a corrupted blob that still parses
+  /// is rejected on this invariant.
+  void SerializeTo(wire::ByteSink& sink) const;
+
+  /// Replaces this sketch's state from the wire; false on malformed
+  /// input, never aborts.
+  bool DeserializeFrom(wire::ByteSource& source);
 
  private:
   size_t LevelCapacity(size_t level) const;

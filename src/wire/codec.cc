@@ -1,0 +1,408 @@
+#include "wire/codec.h"
+
+#include <errno.h>
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace robust_sampling {
+namespace wire {
+
+// ----------------------------------------------------------------- sinks ---
+
+void BufferSink::Append(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + n);
+}
+
+FileSink::FileSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) ok_ = false;
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::Append(const void* data, size_t n) {
+  if (!ok_ || n == 0) return;
+  if (std::fwrite(data, 1, n, file_) != n) ok_ = false;
+}
+
+bool FileSink::SyncAndClose() {
+  if (file_ == nullptr) return ok_;
+  if (std::fflush(file_) != 0) ok_ = false;
+  if (ok_ && fsync(fileno(file_)) != 0) ok_ = false;
+  if (std::fclose(file_) != 0) ok_ = false;
+  file_ = nullptr;
+  return ok_;
+}
+
+void FdSink::Append(const void* data, size_t n) {
+  if (!ok_ || n == 0) return;
+  // Block SIGPIPE around the write so a hung-up reader surfaces as EPIPE
+  // -> ok_ == false (the documented clean-failure contract) instead of
+  // the default signal disposition killing the process.
+  sigset_t pipe_mask, old_mask;
+  sigemptyset(&pipe_mask);
+  sigaddset(&pipe_mask, SIGPIPE);
+  pthread_sigmask(SIG_BLOCK, &pipe_mask, &old_mask);
+  bool raised_epipe = false;
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (ok_ && n > 0) {
+    const ssize_t written = write(fd_, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      raised_epipe = errno == EPIPE;
+      ok_ = false;
+      break;
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+  // Consume the SIGPIPE our own write generated (it is pending while
+  // blocked) before restoring the caller's mask — unless the caller had
+  // it blocked already, in which case any pending instance is theirs.
+  if (raised_epipe && sigismember(&old_mask, SIGPIPE) == 0) {
+    const struct timespec zero = {0, 0};
+    sigtimedwait(&pipe_mask, nullptr, &zero);
+  }
+  pthread_sigmask(SIG_SETMASK, &old_mask, nullptr);
+}
+
+// --------------------------------------------------------------- sources ---
+
+bool BufferSource::ReadImpl(void* out, size_t n) {
+  if (n > bytes_.size() - pos_) return false;
+  std::memcpy(out, bytes_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+FileSource::FileSource(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return;
+  if (std::fseek(file_, 0, SEEK_END) == 0) {
+    const long end = std::ftell(file_);
+    if (end >= 0) size_ = static_cast<uint64_t>(end);
+  }
+  std::rewind(file_);
+}
+
+FileSource::~FileSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::optional<uint64_t> FileSource::remaining() const {
+  if (file_ == nullptr) return 0;
+  return pos_ <= size_ ? size_ - pos_ : 0;
+}
+
+bool FileSource::ReadImpl(void* out, size_t n) {
+  if (file_ == nullptr) return false;
+  if (std::fread(out, 1, n, file_) != n) return false;
+  pos_ += n;
+  return true;
+}
+
+bool FdSource::ReadImpl(void* out, size_t n) {
+  auto* p = static_cast<uint8_t*>(out);
+  while (n > 0) {
+    const ssize_t got = read(fd_, p, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF mid-read: truncated stream
+    p += got;
+    n -= static_cast<size_t>(got);
+    bytes_read_ += static_cast<uint64_t>(got);
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ primitives ---
+
+void PutVarint(ByteSink& sink, uint64_t v) {
+  uint8_t buf[10];
+  size_t n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<uint8_t>(v | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<uint8_t>(v);
+  sink.Append(buf, n);
+}
+
+bool GetVarint(ByteSource& source, uint64_t* out) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    uint8_t byte = 0;
+    if (!source.Read(&byte, 1)) return false;
+    // The 10th byte may carry only the final bit of a 64-bit value.
+    if (shift == 63 && (byte & 0xFE) != 0) return source.Fail();
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return true;
+    }
+  }
+  return source.Fail();  // continuation bit set on the 10th byte
+}
+
+void PutFixed32(ByteSink& sink, uint32_t v) {
+  uint8_t buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<uint8_t>(v >> (8 * i));
+  sink.Append(buf, 4);
+}
+
+void PutFixed64(ByteSink& sink, uint64_t v) {
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>(v >> (8 * i));
+  sink.Append(buf, 8);
+}
+
+bool GetFixed32(ByteSource& source, uint32_t* out) {
+  uint8_t buf[4];
+  if (!source.Read(buf, 4)) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  *out = v;
+  return true;
+}
+
+bool GetFixed64(ByteSource& source, uint64_t* out) {
+  uint8_t buf[8];
+  if (!source.Read(buf, 8)) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  *out = v;
+  return true;
+}
+
+void PutDouble(ByteSink& sink, double v) {
+  PutFixed64(sink, std::bit_cast<uint64_t>(v));
+}
+
+bool GetDouble(ByteSource& source, double* out) {
+  uint64_t bits = 0;
+  if (!GetFixed64(source, &bits)) return false;
+  *out = std::bit_cast<double>(bits);
+  return true;
+}
+
+void PutString(ByteSink& sink, const std::string& s) {
+  PutVarint(sink, s.size());
+  sink.Append(s.data(), s.size());
+}
+
+namespace {
+
+// Reads `len` bytes in bounded chunks so a corrupt length prefix on a
+// size-blind source (pipe) fails at EOF after at most one chunk of
+// over-allocation — never a len-sized allocation up front.
+template <typename Container>
+bool ReadChunked(ByteSource& source, Container* out, uint64_t len) {
+  constexpr size_t kChunk = 1 << 16;
+  out->clear();
+  while (len > 0) {
+    const size_t take = static_cast<size_t>(std::min<uint64_t>(len, kChunk));
+    const size_t old_size = out->size();
+    out->resize(old_size + take);
+    if (!source.Read(out->data() + old_size, take)) return false;
+    len -= take;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool GetString(ByteSource& source, std::string* out, uint64_t max_bytes) {
+  uint64_t len = 0;
+  if (!GetVarint(source, &len)) return false;
+  if (len > max_bytes) return source.Fail();
+  if (const auto rem = source.remaining(); rem && len > *rem) {
+    return source.Fail();
+  }
+  return ReadChunked(source, out, len);
+}
+
+void PutBytes(ByteSink& sink, std::span<const uint8_t> bytes) {
+  PutVarint(sink, bytes.size());
+  sink.Append(bytes.data(), bytes.size());
+}
+
+bool GetBytes(ByteSource& source, std::vector<uint8_t>* out,
+              uint64_t max_bytes) {
+  uint64_t len = 0;
+  if (!GetVarint(source, &len)) return false;
+  if (len > max_bytes) return source.Fail();
+  if (const auto rem = source.remaining(); rem && len > *rem) {
+    return source.Fail();
+  }
+  return ReadChunked(source, out, len);
+}
+
+void PutStateWords(ByteSink& sink, const std::array<uint64_t, 4>& words) {
+  for (uint64_t w : words) PutFixed64(sink, w);
+}
+
+bool GetStateWords(ByteSource& source, std::array<uint64_t, 4>* words) {
+  for (uint64_t& w : *words) {
+    if (!GetFixed64(source, &w)) return false;
+  }
+  return true;
+}
+
+void PutCountMap(ByteSink& sink,
+                 const std::unordered_map<int64_t, uint64_t>& map) {
+  std::vector<std::pair<int64_t, uint64_t>> entries(map.begin(), map.end());
+  std::sort(entries.begin(), entries.end());
+  PutVarint(sink, entries.size());
+  for (const auto& [element, count] : entries) {
+    PutVarint(sink, ZigzagEncode(element));
+    PutVarint(sink, count);
+  }
+}
+
+bool GetCountMap(ByteSource& source,
+                 std::unordered_map<int64_t, uint64_t>* out,
+                 uint64_t max_entries) {
+  uint64_t count = 0;
+  if (!GetVarint(source, &count)) return false;
+  if (count > max_entries) return source.Fail();
+  // Every entry costs >= 2 bytes on the wire.
+  if (const auto rem = source.remaining(); rem && count > *rem / 2) {
+    return source.Fail();
+  }
+  out->clear();
+  // Bounded up-front reserve: on a size-blind source the count is only
+  // cap-checked, so trust it incrementally (growth stays amortized O(1)).
+  out->reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t element_raw = 0, c = 0;
+    if (!GetVarint(source, &element_raw) || !GetVarint(source, &c)) {
+      return false;
+    }
+    if (c == 0) return source.Fail();
+    if (!out->emplace(ZigzagDecode(element_raw), c).second) {
+      return source.Fail();  // duplicate element
+    }
+  }
+  return true;
+}
+
+void PutCounterSummary(ByteSink& sink, uint64_t k, uint64_t n,
+                       const std::unordered_map<int64_t, uint64_t>& map) {
+  PutVarint(sink, k);
+  PutVarint(sink, n);
+  PutCountMap(sink, map);
+}
+
+bool GetCounterSummary(ByteSource& source, uint64_t* k, uint64_t* n,
+                       std::unordered_map<int64_t, uint64_t>* map) {
+  if (!GetVarint(source, k) || !GetVarint(source, n)) return false;
+  if (*k < 1 || *k > kMaxVectorElements) return source.Fail();
+  if (!GetCountMap(source, map, *k)) return false;
+  uint64_t total = 0;
+  for (const auto& [element, count] : *map) {
+    // count > n - total also keeps the running sum from overflowing.
+    if (count > *n - total) return source.Fail();
+    total += count;
+  }
+  return true;
+}
+
+void Fnv1a64::Update(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = state_;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  state_ = h;
+}
+
+uint64_t Checksum(std::span<const uint8_t> bytes) {
+  Fnv1a64 fnv;
+  fnv.Update(bytes.data(), bytes.size());
+  return fnv.digest();
+}
+
+// ----------------------------------------------------------- body framing ---
+
+bool WriteFramedBody(ByteSink& sink, const char magic[4],
+                     uint64_t format_version,
+                     std::span<const uint8_t> body) {
+  if (body.size() > kMaxBodyBytes) return false;
+  sink.Append(magic, 4);
+  PutVarint(sink, format_version);
+  PutVarint(sink, body.size());
+  sink.Append(body.data(), body.size());
+  PutFixed64(sink, Checksum(body));
+  return sink.ok();
+}
+
+namespace {
+
+bool FramedError(std::string* error, const char* reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+}  // namespace
+
+bool ReadFramedBody(ByteSource& source, const char magic[4],
+                    uint64_t expected_version, std::vector<uint8_t>* body,
+                    std::string* error) {
+  char got_magic[4];
+  if (!source.Read(got_magic, 4)) {
+    return FramedError(error, "truncated header");
+  }
+  if (std::memcmp(got_magic, magic, 4) != 0) {
+    source.Fail();
+    return FramedError(error, "bad magic");
+  }
+  uint64_t version = 0;
+  if (!GetVarint(source, &version)) {
+    return FramedError(error, "truncated version");
+  }
+  if (version != expected_version) {
+    source.Fail();
+    return FramedError(error, "unsupported format version");
+  }
+  uint64_t body_len = 0;
+  if (!GetVarint(source, &body_len)) {
+    return FramedError(error, "truncated body length");
+  }
+  if (body_len > kMaxBodyBytes) {
+    source.Fail();
+    return FramedError(error, "body length exceeds limit");
+  }
+  // The trailing checksum costs 8 more bytes, so a known-size source must
+  // still hold body_len + 8.
+  if (const auto rem = source.remaining(); rem && body_len + 8 > *rem) {
+    source.Fail();
+    return FramedError(error, "body length exceeds available bytes");
+  }
+  if (!ReadChunked(source, body, body_len)) {
+    return FramedError(error, "truncated body");
+  }
+  uint64_t expected_checksum = 0;
+  if (!GetFixed64(source, &expected_checksum)) {
+    return FramedError(error, "truncated checksum");
+  }
+  if (Checksum(*body) != expected_checksum) {
+    source.Fail();
+    return FramedError(error, "checksum mismatch");
+  }
+  return true;
+}
+
+}  // namespace wire
+}  // namespace robust_sampling

@@ -1,0 +1,382 @@
+#ifndef ROBUST_SAMPLING_WIRE_CODEC_H_
+#define ROBUST_SAMPLING_WIRE_CODEC_H_
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace robust_sampling {
+namespace wire {
+
+// ---------------------------------------------------------------------------
+// Versioned, length-prefixed binary codec — the bottom layer of the wire
+// subsystem (see docs/wire.md for the format rules and layering).
+//
+// Design constraints, in order:
+//  * A corrupted or truncated blob must fail *cleanly*: every Get* returns
+//    false and poisons the source, no RS_CHECK aborts, no unbounded
+//    allocations driven by attacker-controlled length prefixes, no UB.
+//  * No exceptions (library style) and no dependencies above core/, so the
+//    sketch headers in core/, quantiles/ and heavy/ can implement their
+//    SerializeTo/DeserializeFrom hooks against this header alone.
+//  * Byte order is fixed little-endian regardless of host.
+// ---------------------------------------------------------------------------
+
+/// Abstract byte output. Append never aborts; media errors (disk full,
+/// closed pipe) latch `ok() == false` and later Appends become no-ops, so
+/// callers may write a whole message and check once at the end.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual void Append(const void* data, size_t n) = 0;
+  virtual bool ok() const = 0;
+};
+
+/// Grows an in-memory byte buffer (snapshot staging, tests).
+class BufferSink final : public ByteSink {
+ public:
+  void Append(const void* data, size_t n) override;
+  bool ok() const override { return true; }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Buffered writes to a file opened at construction ("wb"). `ok()` is false
+/// if the open or any write failed. SyncAndClose() flushes user and kernel
+/// buffers (fflush + fsync) before closing — the durability half of the
+/// checkpoint write-then-rename protocol.
+class FileSink final : public ByteSink {
+ public:
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void Append(const void* data, size_t n) override;
+  bool ok() const override { return ok_; }
+
+  /// fflush + fsync + fclose; returns the final ok(). Idempotent.
+  bool SyncAndClose();
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool ok_ = true;
+};
+
+/// Unbuffered writes to a caller-owned file descriptor (pipe shipping in
+/// the cross-process aggregator). Retries short writes and EINTR; does not
+/// close the fd. SIGPIPE-safe: the signal is blocked around each write,
+/// so a hung-up reader latches ok() == false (EPIPE) instead of killing
+/// the process.
+class FdSink final : public ByteSink {
+ public:
+  explicit FdSink(int fd) : fd_(fd) {}
+
+  void Append(const void* data, size_t n) override;
+  bool ok() const override { return ok_; }
+
+ private:
+  int fd_;
+  bool ok_ = true;
+};
+
+/// Abstract byte input. `Read` pulls exactly n bytes or returns false and
+/// poisons the source; once failed, every subsequent Read fails. Decoders
+/// may also call `Fail()` when bytes arrive but do not parse (bad varint,
+/// out-of-range value), so `failed()` reports any malformation.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  bool Read(void* out, size_t n) {
+    if (failed_) return false;
+    if (!ReadImpl(out, n)) failed_ = true;
+    return !failed_;
+  }
+
+  /// Marks the source malformed; returns false for `return src.Fail();`.
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  bool failed() const { return failed_; }
+
+  /// Bytes left before EOF when the medium knows (buffers, regular files);
+  /// nullopt on pipes/sockets. Used to reject length prefixes that exceed
+  /// the data that could possibly back them.
+  virtual std::optional<uint64_t> remaining() const = 0;
+
+ protected:
+  virtual bool ReadImpl(void* out, size_t n) = 0;
+
+ private:
+  bool failed_ = false;
+};
+
+/// Reads from a caller-owned span of bytes.
+class BufferSource final : public ByteSource {
+ public:
+  explicit BufferSource(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  std::optional<uint64_t> remaining() const override {
+    return bytes_.size() - pos_;
+  }
+
+ protected:
+  bool ReadImpl(void* out, size_t n) override;
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+/// Buffered reads from a file opened at construction ("rb").
+class FileSource final : public ByteSource {
+ public:
+  explicit FileSource(const std::string& path);
+  ~FileSource() override;
+  FileSource(const FileSource&) = delete;
+  FileSource& operator=(const FileSource&) = delete;
+
+  /// False if the file could not be opened (every Read will fail).
+  bool open() const { return file_ != nullptr; }
+
+  std::optional<uint64_t> remaining() const override;
+
+ protected:
+  bool ReadImpl(void* out, size_t n) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  uint64_t size_ = 0;
+  uint64_t pos_ = 0;
+};
+
+/// Reads from a caller-owned file descriptor (pipe). Length is unknowable,
+/// so `remaining()` is nullopt and decoders fall back to hard caps.
+class FdSource final : public ByteSource {
+ public:
+  explicit FdSource(int fd) : fd_(fd) {}
+
+  std::optional<uint64_t> remaining() const override { return std::nullopt; }
+
+  /// Total bytes successfully consumed (transfer accounting — e.g. the
+  /// aggregator bench's snapshot-bytes metric).
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ protected:
+  bool ReadImpl(void* out, size_t n) override;
+
+ private:
+  int fd_;
+  uint64_t bytes_read_ = 0;
+};
+
+// --------------------------------------------------------- primitives ---
+
+/// Hard caps applied when a length prefix cannot be validated against
+/// `remaining()` (pipe sources). Generous for every in-tree sketch state,
+/// tight enough that a corrupt prefix cannot drive an OOM.
+inline constexpr uint64_t kMaxStringBytes = uint64_t{1} << 16;
+inline constexpr uint64_t kMaxVectorElements = uint64_t{1} << 26;
+
+/// LEB128 unsigned varint, at most 10 bytes for 64 bits.
+void PutVarint(ByteSink& sink, uint64_t v);
+bool GetVarint(ByteSource& source, uint64_t* out);
+
+/// Little-endian fixed-width integers.
+void PutFixed32(ByteSink& sink, uint32_t v);
+void PutFixed64(ByteSink& sink, uint64_t v);
+bool GetFixed32(ByteSource& source, uint32_t* out);
+bool GetFixed64(ByteSource& source, uint64_t* out);
+
+/// IEEE doubles/floats as little-endian bit patterns (exact round trip,
+/// NaN payloads included).
+void PutDouble(ByteSink& sink, double v);
+bool GetDouble(ByteSource& source, double* out);
+
+/// Length-prefixed byte strings. Get rejects lengths above
+/// min(max_bytes, remaining()).
+void PutString(ByteSink& sink, const std::string& s);
+bool GetString(ByteSource& source, std::string* out,
+               uint64_t max_bytes = kMaxStringBytes);
+
+/// Length-prefixed raw byte blocks (nested payloads inside a framed body).
+void PutBytes(ByteSink& sink, std::span<const uint8_t> bytes);
+bool GetBytes(ByteSource& source, std::vector<uint8_t>* out,
+              uint64_t max_bytes);
+
+/// Xoshiro256pp state words, encoded as four fixed64 values — one helper
+/// so every sketch puts RNG state on the wire identically.
+void PutStateWords(ByteSink& sink, const std::array<uint64_t, 4>& words);
+bool GetStateWords(ByteSource& source, std::array<uint64_t, 4>* words);
+
+/// FNV-1a 64-bit — the integrity checksum appended to every framed body.
+class Fnv1a64 {
+ public:
+  void Update(const void* data, size_t n);
+  uint64_t digest() const { return state_; }
+
+ private:
+  uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+/// Checksum of a whole buffer in one call.
+uint64_t Checksum(std::span<const uint8_t> bytes);
+
+// -------------------------------------------------------- value codec ---
+
+/// Element types the generic samplers can put on the wire. Signed integers
+/// use zigzag varints, unsigned use plain varints, floating point uses
+/// fixed-width bit patterns. Types outside this concept simply leave the
+/// serialize hooks undiscovered (the capability bit stays off).
+template <typename T>
+concept WireValue = (std::integral<T> || std::floating_point<T>) &&
+                    !std::is_same_v<T, bool>;
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+template <WireValue T>
+void PutValue(ByteSink& sink, const T& v) {
+  if constexpr (std::floating_point<T>) {
+    PutDouble(sink, static_cast<double>(v));
+  } else if constexpr (std::is_signed_v<T>) {
+    PutVarint(sink, ZigzagEncode(static_cast<int64_t>(v)));
+  } else {
+    PutVarint(sink, static_cast<uint64_t>(v));
+  }
+}
+
+template <WireValue T>
+bool GetValue(ByteSource& source, T* out) {
+  if constexpr (std::floating_point<T>) {
+    double d = 0.0;
+    if (!GetDouble(source, &d)) return false;
+    *out = static_cast<T>(d);
+    return true;
+  } else if constexpr (std::is_signed_v<T>) {
+    uint64_t raw = 0;
+    if (!GetVarint(source, &raw)) return false;
+    const int64_t v = ZigzagDecode(raw);
+    if (v < static_cast<int64_t>(std::numeric_limits<T>::min()) ||
+        v > static_cast<int64_t>(std::numeric_limits<T>::max())) {
+      return source.Fail();
+    }
+    *out = static_cast<T>(v);
+    return true;
+  } else {
+    uint64_t v = 0;
+    if (!GetVarint(source, &v)) return false;
+    if (v > static_cast<uint64_t>(std::numeric_limits<T>::max())) {
+      return source.Fail();
+    }
+    *out = static_cast<T>(v);
+    return true;
+  }
+}
+
+/// Count-prefixed element vectors. The count is validated against
+/// `remaining()` when known (every element costs >= 1 byte) and against
+/// `max_elements` always, so a corrupt prefix fails before allocating.
+template <WireValue T>
+void PutValueVector(ByteSink& sink, std::span<const T> values) {
+  PutVarint(sink, values.size());
+  for (const T& v : values) PutValue(sink, v);
+}
+
+template <WireValue T>
+bool GetValueVector(ByteSource& source, std::vector<T>* out,
+                    uint64_t max_elements = kMaxVectorElements) {
+  uint64_t count = 0;
+  if (!GetVarint(source, &count)) return false;
+  if (count > max_elements) return source.Fail();
+  if (const auto rem = source.remaining(); rem && count > *rem) {
+    return source.Fail();
+  }
+  out->clear();
+  // Bounded up-front reserve: on a size-blind source (pipe) the count is
+  // only cap-checked, so trust it incrementally instead of allocating
+  // count elements before the first byte arrives (growth stays amortized).
+  out->reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
+  for (uint64_t i = 0; i < count; ++i) {
+    T v{};
+    if (!GetValue(source, &v)) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+/// element -> count maps, the common state shape of the frequency
+/// summaries (CountMin candidates, Misra-Gries counters, SpaceSaving
+/// counts). Entries go on the wire sorted by element so identical states
+/// serialize to identical bytes regardless of hash-table history. Get
+/// rejects duplicate elements and counts of zero (no real summary stores
+/// either) on top of the usual length validation.
+void PutCountMap(ByteSink& sink,
+                 const std::unordered_map<int64_t, uint64_t>& map);
+bool GetCountMap(ByteSource& source,
+                 std::unordered_map<int64_t, uint64_t>* out,
+                 uint64_t max_entries = kMaxVectorElements);
+
+/// The full wire shape shared by the counter-based summaries
+/// (Misra-Gries, SpaceSaving): `k | n | count map`. Get additionally
+/// validates k's range, map size <= k, and sum(counts) <= n — both
+/// summaries' stored totals never exceed the stream length (MG
+/// undercounts; SpaceSaving adds exactly one per insert and merging only
+/// discards entries) — with an overflow-safe running sum.
+void PutCounterSummary(ByteSink& sink, uint64_t k, uint64_t n,
+                       const std::unordered_map<int64_t, uint64_t>& map);
+bool GetCounterSummary(ByteSource& source, uint64_t* k, uint64_t* n,
+                       std::unordered_map<int64_t, uint64_t>* map);
+
+// ------------------------------------------------------ body framing ---
+
+/// Framed-body helpers shared by snapshots and checkpoints: a message is
+/// `magic (4 bytes) | format version varint | body length varint | body |
+/// FNV-1a64(body) fixed64`. Integrity first: the checksum is verified
+/// before any body byte is interpreted, so random corruption anywhere in
+/// the body is caught up front rather than deep inside a sketch decoder.
+inline constexpr uint64_t kMaxBodyBytes = uint64_t{1} << 30;
+
+/// Returns false — writing nothing — if `body` exceeds kMaxBodyBytes: a
+/// frame the reader would reject must never be produced (a "successful"
+/// but unrestorable checkpoint would be worse than a failed one).
+bool WriteFramedBody(ByteSink& sink, const char magic[4],
+                     uint64_t format_version,
+                     std::span<const uint8_t> body);
+
+/// Reads and verifies one framed message. On failure returns false and, if
+/// `error` is non-null, stores a one-line reason. `expected_version` must
+/// match exactly (the format versioning rule: readers reject unknown
+/// versions rather than guess — see docs/wire.md).
+bool ReadFramedBody(ByteSource& source, const char magic[4],
+                    uint64_t expected_version, std::vector<uint8_t>* body,
+                    std::string* error);
+
+}  // namespace wire
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_WIRE_CODEC_H_

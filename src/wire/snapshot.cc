@@ -1,0 +1,118 @@
+#include "wire/snapshot.h"
+
+#include <cmath>
+
+namespace robust_sampling {
+namespace wire {
+
+void WriteSketchConfig(ByteSink& sink, const SketchConfig& config) {
+  PutString(sink, config.kind);
+  PutDouble(sink, config.eps);
+  PutDouble(sink, config.delta);
+  PutVarint(sink, config.universe_size);
+  PutDouble(sink, config.log_universe);
+  PutVarint(sink, config.capacity);
+  PutDouble(sink, config.probability);
+  PutVarint(sink, config.expected_stream_size);
+  PutVarint(sink, config.width);
+  PutVarint(sink, config.depth);
+  PutFixed64(sink, config.seed);
+}
+
+bool ReadSketchConfig(ByteSource& source, SketchConfig* config) {
+  uint64_t universe_size = 0, capacity = 0, expected_stream_size = 0;
+  uint64_t width = 0, depth = 0;
+  if (!GetString(source, &config->kind, /*max_bytes=*/256) ||
+      !GetDouble(source, &config->eps) ||
+      !GetDouble(source, &config->delta) ||
+      !GetVarint(source, &universe_size) ||
+      !GetDouble(source, &config->log_universe) ||
+      !GetVarint(source, &capacity) ||
+      !GetDouble(source, &config->probability) ||
+      !GetVarint(source, &expected_stream_size) ||
+      !GetVarint(source, &width) || !GetVarint(source, &depth) ||
+      !GetFixed64(source, &config->seed)) {
+    return false;
+  }
+  config->universe_size = universe_size;
+  config->capacity = static_cast<size_t>(capacity);
+  config->expected_stream_size = expected_stream_size;
+  config->width = static_cast<size_t>(width);
+  config->depth = static_cast<size_t>(depth);
+  return true;
+}
+
+bool ValidateWireConfig(const SketchConfig& config, std::string* error) {
+  const auto reject = [error](const char* reason) {
+    return internal::SnapshotError(error, reason);
+  };
+  if (config.kind.empty()) return reject("config: empty kind");
+  if (!(config.eps > 0.0 && config.eps < 1.0)) {
+    return reject("config: eps outside (0, 1)");
+  }
+  if (!(config.delta > 0.0 && config.delta < 1.0)) {
+    return reject("config: delta outside (0, 1)");
+  }
+  if (config.universe_size < 1) return reject("config: universe_size < 1");
+  if (!(config.log_universe <= 0.0) &&
+      !(config.log_universe > 0.0 && config.log_universe < 1e12)) {
+    return reject("config: log_universe not finite");  // rejects NaN too
+  }
+  // Mirrors the codec's element cap: no sketch state larger than this can
+  // cross the wire anyway, so no config may ask a factory to allocate it.
+  constexpr uint64_t kMaxCapacity = uint64_t{1} << 26;
+  if (config.capacity > kMaxCapacity) {
+    return reject("config: capacity exceeds limit");
+  }
+  if (config.probability >= 0.0 && !(config.probability <= 1.0)) {
+    return reject("config: probability outside [0, 1]");
+  }
+  // probability < 0 means "derive"; any negative works, but NaN must not
+  // slip through as "derive" silently — NaN fails both comparisons above
+  // only if we check explicitly.
+  if (!(config.probability >= 0.0) && !(config.probability < 0.0)) {
+    return reject("config: probability is NaN");
+  }
+  if (config.expected_stream_size < 1) {
+    return reject("config: expected_stream_size < 1");
+  }
+  // Built-in kinds: enforce the constructor preconditions their factories
+  // would otherwise RS_CHECK on (wire data must fail cleanly, not abort).
+  if (config.kind == "kll" && config.capacity > 0 && config.capacity < 4) {
+    return reject("config: kll capacity must be 0 or >= 4");
+  }
+  if (config.kind == "count_min") {
+    if (config.width < 2 || config.depth < 1 ||
+        config.depth > (uint64_t{1} << 26) / config.width) {
+      return reject("config: count_min geometry out of range");
+    }
+  }
+  // Derived-size guard: the built-in factories size unset capacities from
+  // eps/delta/ln|R| (core/sample_bounds.h); mirror those derivations in
+  // doubles and reject anything the cap above would not admit directly —
+  // otherwise a parseable config (e.g. eps = 1e-300) could still drive a
+  // factory into a CeilToSize abort or an out-of-range double->size_t
+  // cast. Custom kinds own their factories' robustness.
+  const double max_capacity = static_cast<double>(kMaxCapacity);
+  const double log_r = config.log_universe > 0.0
+                           ? config.log_universe
+                           : std::log(static_cast<double>(
+                                 config.universe_size));
+  if (config.kind == "robust_sample" ||
+      (config.kind == "reservoir" && config.capacity == 0)) {
+    const double k = 2.0 * (log_r + std::log(2.0 / config.delta)) /
+                     (config.eps * config.eps);
+    if (!(k < max_capacity)) {
+      return reject("config: derived reservoir capacity exceeds limit");
+    }
+  }
+  if ((config.kind == "kll" || config.kind == "misra_gries" ||
+       config.kind == "space_saving") &&
+      config.capacity == 0 && !(2.0 / config.eps < max_capacity)) {
+    return reject("config: derived counter budget exceeds limit");
+  }
+  return true;
+}
+
+}  // namespace wire
+}  // namespace robust_sampling

@@ -1,0 +1,176 @@
+#ifndef ROBUST_SAMPLING_WIRE_SNAPSHOT_H_
+#define ROBUST_SAMPLING_WIRE_SNAPSHOT_H_
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "pipeline/sketch_config.h"
+#include "pipeline/sketch_registry.h"
+#include "pipeline/stream_sketch.h"
+#include "wire/codec.h"
+
+namespace robust_sampling {
+namespace wire {
+
+// ---------------------------------------------------------------------------
+// Self-describing sketch snapshots: registry-driven revival.
+//
+// A snapshot carries the sketch's registry kind key and full SketchConfig
+// ahead of the state payload, so the receiving process reconstructs the
+// instance with SketchRegistry<T> and then loads the exact state — no
+// compile-time coupling to the concrete sketch type, and any *custom*
+// registered kind whose adapter implements the serialize hooks ships the
+// same way as the built-ins. Layout (after the framed-body envelope of
+// codec.h, magic "RSNP"):
+//
+//   config block (ReadSketchConfig) | payload length varint | payload
+//
+// The payload is exactly what StreamSketch<T>::SerializeTo wrote. Format
+// rules and the versioning policy are documented in docs/wire.md.
+// ---------------------------------------------------------------------------
+
+inline constexpr char kSnapshotMagic[4] = {'R', 'S', 'N', 'P'};
+inline constexpr uint64_t kSnapshotFormatVersion = 1;
+
+/// Canonical wire tag of a sketch's element type, written into every
+/// snapshot/checkpoint and checked at revival — the config block alone is
+/// type-blind, and an int64 payload must not revive as a double sketch
+/// just because the bytes happen to parse. Arithmetic types get stable
+/// cross-build tags ("i64", "u32", "f64", ...); anything else falls back
+/// to the implementation's typeid name, so custom element types revive
+/// only between builds that agree on it.
+template <typename T>
+std::string ElementTypeTag() {
+  if constexpr (std::floating_point<T>) {
+    return "f" + std::to_string(sizeof(T) * 8);
+  } else if constexpr (std::integral<T> && std::is_signed_v<T>) {
+    return "i" + std::to_string(sizeof(T) * 8);
+  } else if constexpr (std::integral<T>) {
+    return "u" + std::to_string(sizeof(T) * 8);
+  } else {
+    return typeid(T).name();
+  }
+}
+
+/// SketchConfig <-> bytes (every field, fixed order; see docs/wire.md).
+void WriteSketchConfig(ByteSink& sink, const SketchConfig& config);
+bool ReadSketchConfig(ByteSource& source, SketchConfig* config);
+
+/// Pre-revival validation: a config parsed off the wire must not be able
+/// to abort the registry factories (RS_CHECK is for programming errors,
+/// not wire data). Checks the generic ranges plus the built-in kinds'
+/// constructor preconditions; unknown (custom) kinds get the generic
+/// checks only. Returns false and fills `error` on rejection.
+bool ValidateWireConfig(const SketchConfig& config, std::string* error);
+
+namespace internal {
+
+inline bool SnapshotError(std::string* error, const std::string& reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+}  // namespace internal
+
+/// Shared revival prologue of snapshots and checkpoints: element-type tag
+/// check, config parse, wire validation, registry membership. One
+/// implementation so the two read paths (ReadSnapshot,
+/// ShardedPipeline::Restore) cannot drift as the envelope evolves.
+template <typename T>
+bool ReadRevivalPrologue(ByteSource& source, SketchConfig* config,
+                         std::string* error,
+                         const SketchRegistry<T>& registry) {
+  std::string element_tag;
+  if (!GetString(source, &element_tag, /*max_bytes=*/256)) {
+    return internal::SnapshotError(error, "malformed element type tag");
+  }
+  if (element_tag != ElementTypeTag<T>()) {
+    return internal::SnapshotError(error, "element type mismatch: blob has " +
+                                              element_tag +
+                                              ", reader expects " +
+                                              ElementTypeTag<T>());
+  }
+  if (!ReadSketchConfig(source, config)) {
+    return internal::SnapshotError(error, "malformed config block");
+  }
+  if (!ValidateWireConfig(*config, error)) return false;
+  if (!registry.Contains(config->kind)) {
+    return internal::SnapshotError(error,
+                                   "unknown sketch kind: " + config->kind);
+  }
+  return true;
+}
+
+/// Writes one self-describing snapshot of `sketch` to `sink`. `config`
+/// must be the configuration the sketch was created from (its `kind` is
+/// the revival key). Returns false — without writing a partial prefix —
+/// if the sketch does not support kCapSerialize or the config falls
+/// outside the wire limits ReadSnapshot enforces (write and read validate
+/// with the same ValidateWireConfig, so a snapshot that writes
+/// successfully always revives); otherwise returns sink.ok() after the
+/// write.
+template <typename T>
+bool WriteSnapshot(const StreamSketch<T>& sketch, const SketchConfig& config,
+                   ByteSink& sink) {
+  if (!sketch.valid() || !sketch.Supports(kCapSerialize)) return false;
+  if (!ValidateWireConfig(config, nullptr)) return false;
+  BufferSink payload;
+  sketch.SerializeTo(payload);
+  BufferSink body;
+  PutString(body, ElementTypeTag<T>());
+  WriteSketchConfig(body, config);
+  PutBytes(body, payload.bytes());
+  return WriteFramedBody(sink, kSnapshotMagic, kSnapshotFormatVersion,
+                         body.bytes());
+}
+
+/// Reads one snapshot and revives it through `registry`: parse + verify
+/// the envelope checksum, validate the config, Create(config, config.seed)
+/// the named kind, then replace its state from the payload. On any
+/// malformation returns an invalid handle (`!result.valid()`) with a
+/// one-line reason in `error` — corrupted and truncated input never
+/// aborts. On success the returned sketch answers every query exactly as
+/// the serialized instance did.
+template <typename T>
+StreamSketch<T> ReadSnapshot(
+    ByteSource& source, std::string* error = nullptr,
+    const SketchRegistry<T>& registry = SketchRegistry<T>::Global()) {
+  std::vector<uint8_t> body;
+  if (!ReadFramedBody(source, kSnapshotMagic, kSnapshotFormatVersion, &body,
+                      error)) {
+    return {};
+  }
+  BufferSource body_source(body);
+  SketchConfig config;
+  if (!ReadRevivalPrologue(body_source, &config, error, registry)) {
+    return {};
+  }
+  std::vector<uint8_t> payload;
+  if (!GetBytes(body_source, &payload, kMaxBodyBytes) ||
+      body_source.remaining() != uint64_t{0}) {
+    internal::SnapshotError(error, "malformed snapshot payload");
+    return {};
+  }
+  StreamSketch<T> sketch = registry.Create(config, config.seed);
+  if (!sketch.Supports(kCapSerialize)) {
+    internal::SnapshotError(
+        error, "kind is not serializable for this element type: " +
+                   config.kind);
+    return {};
+  }
+  BufferSource payload_source(payload);
+  if (!sketch.DeserializeFrom(payload_source) ||
+      payload_source.remaining() != uint64_t{0}) {
+    internal::SnapshotError(error, "malformed sketch state");
+    return {};
+  }
+  return sketch;
+}
+
+}  // namespace wire
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_WIRE_SNAPSHOT_H_

@@ -63,8 +63,8 @@ TEST(DocsDriftTest, EveryAdversaryKindIsDocumented) {
 // capability column keyword appears in the doc.
 TEST(DocsDriftTest, CapabilityMatrixCoversTheCapabilityEnum) {
   const std::string doc = ReadRegistryDoc();
-  for (const char* name :
-       {"SampleView", "Quantile", "EstimateFrequency", "HeavyHitters"}) {
+  for (const char* name : {"SampleView", "Quantile", "EstimateFrequency",
+                           "HeavyHitters", "SerializeTo", "DeserializeFrom"}) {
     EXPECT_TRUE(doc.find(name) != std::string::npos)
         << "capability '" << name << "' missing from docs/registry.md";
   }

@@ -37,20 +37,21 @@ SketchConfig ConfigFor(const std::string& kind) {
 }
 
 // The expected capability sets of the seven built-ins for int64_t
-// elements. A kind missing from this map fails the test — keeping the
-// matrix in sync with the registry is the point.
+// elements (all serializable — int64_t is a wire value). A kind missing
+// from this map fails the test — keeping the matrix in sync with the
+// registry is the point.
 const std::map<std::string, uint32_t>& ExpectedCaps() {
   static const std::map<std::string, uint32_t> caps = {
       {"robust_sample", kCapSampleView | kCapQuantiles | kCapFrequencies |
-                            kCapHeavyHitters},
+                            kCapHeavyHitters | kCapSerialize},
       {"reservoir", kCapSampleView | kCapQuantiles | kCapFrequencies |
-                        kCapHeavyHitters},
+                        kCapHeavyHitters | kCapSerialize},
       {"bernoulli", kCapSampleView | kCapQuantiles | kCapFrequencies |
-                        kCapHeavyHitters},
-      {"kll", kCapQuantiles},
-      {"count_min", kCapFrequencies | kCapHeavyHitters},
-      {"misra_gries", kCapFrequencies | kCapHeavyHitters},
-      {"space_saving", kCapFrequencies | kCapHeavyHitters},
+                        kCapHeavyHitters | kCapSerialize},
+      {"kll", kCapQuantiles | kCapSerialize},
+      {"count_min", kCapFrequencies | kCapHeavyHitters | kCapSerialize},
+      {"misra_gries", kCapFrequencies | kCapHeavyHitters | kCapSerialize},
+      {"space_saving", kCapFrequencies | kCapHeavyHitters | kCapSerialize},
   };
   return caps;
 }

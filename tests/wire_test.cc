@@ -1,0 +1,584 @@
+// Wire subsystem suite: codec primitives, registry-driven snapshot
+// round-trips for every registered kind, corruption/truncation rejection
+// (clean errors, never UB or aborts), and the pipeline
+// Checkpoint -> kill -> Restore -> continue contract (bit-identical to an
+// uninterrupted run).
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "pipeline/sharded_pipeline.h"
+#include "pipeline/sketch_config.h"
+#include "pipeline/sketch_registry.h"
+#include "pipeline/stream_sketch.h"
+#include "wire/codec.h"
+#include "wire/snapshot.h"
+
+namespace robust_sampling {
+namespace {
+
+// --------------------------------------------------------------- codec ----
+
+TEST(WireCodecTest, VarintRoundTripsBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             uint64_t{1} << 32,
+                             std::numeric_limits<uint64_t>::max() - 1,
+                             std::numeric_limits<uint64_t>::max()};
+  wire::BufferSink sink;
+  for (uint64_t v : values) wire::PutVarint(sink, v);
+  wire::BufferSource source(sink.bytes());
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(wire::GetVarint(source, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(source.remaining(), uint64_t{0});
+}
+
+TEST(WireCodecTest, ZigzagRoundTripsSignedExtremes) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(wire::ZigzagDecode(wire::ZigzagEncode(v)), v);
+  }
+}
+
+TEST(WireCodecTest, DoubleRoundTripsExactBits) {
+  wire::BufferSink sink;
+  const double values[] = {0.0, -0.0, 1.5, -3.25e300,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min()};
+  for (double v : values) wire::PutDouble(sink, v);
+  wire::BufferSource source(sink.bytes());
+  for (double v : values) {
+    double got = 0.0;
+    ASSERT_TRUE(wire::GetDouble(source, &got));
+    EXPECT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(v));
+  }
+}
+
+TEST(WireCodecTest, TruncatedReadsFailCleanlyAndPoisonTheSource) {
+  wire::BufferSink sink;
+  wire::PutVarint(sink, uint64_t{1} << 40);
+  std::vector<uint8_t> bytes = sink.bytes();
+  bytes.pop_back();
+  wire::BufferSource source(bytes);
+  uint64_t v = 0;
+  EXPECT_FALSE(wire::GetVarint(source, &v));
+  EXPECT_TRUE(source.failed());
+  // Poisoned: even a read that would fit now fails.
+  uint8_t byte = 0;
+  EXPECT_FALSE(source.Read(&byte, 0));
+}
+
+TEST(WireCodecTest, LengthPrefixesAreValidatedAgainstRemainingBytes) {
+  wire::BufferSink sink;
+  wire::PutVarint(sink, 1000);  // claims 1000 elements...
+  sink.Append("xy", 2);         // ...backed by 2 bytes
+  wire::BufferSource source(sink.bytes());
+  std::vector<int64_t> out;
+  EXPECT_FALSE(wire::GetValueVector(source, &out));
+  EXPECT_TRUE(source.failed());
+}
+
+TEST(WireCodecTest, CountMapRejectsDuplicatesAndZeroCounts) {
+  {
+    wire::BufferSink sink;
+    wire::PutVarint(sink, 2);
+    wire::PutVarint(sink, wire::ZigzagEncode(7));
+    wire::PutVarint(sink, 3);
+    wire::PutVarint(sink, wire::ZigzagEncode(7));  // duplicate element
+    wire::PutVarint(sink, 5);
+    wire::BufferSource source(sink.bytes());
+    std::unordered_map<int64_t, uint64_t> map;
+    EXPECT_FALSE(wire::GetCountMap(source, &map));
+  }
+  {
+    wire::BufferSink sink;
+    wire::PutVarint(sink, 1);
+    wire::PutVarint(sink, wire::ZigzagEncode(7));
+    wire::PutVarint(sink, 0);  // zero count
+    wire::BufferSource source(sink.bytes());
+    std::unordered_map<int64_t, uint64_t> map;
+    EXPECT_FALSE(wire::GetCountMap(source, &map));
+  }
+}
+
+TEST(WireCodecTest, FramedBodyDetectsFlippedBitsAnywhere) {
+  std::vector<uint8_t> body = {1, 2, 3, 4, 5, 6, 7, 8};
+  wire::BufferSink sink;
+  wire::WriteFramedBody(sink, "TEST", 1, body);
+  const std::vector<uint8_t> good = sink.bytes();
+  {
+    std::vector<uint8_t> ok_copy = good;
+    wire::BufferSource source(ok_copy);
+    std::vector<uint8_t> out;
+    EXPECT_TRUE(wire::ReadFramedBody(source, "TEST", 1, &out, nullptr));
+    EXPECT_EQ(out, body);
+  }
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::vector<uint8_t> corrupt = good;
+    corrupt[i] ^= 0x40;
+    wire::BufferSource source(corrupt);
+    std::vector<uint8_t> out;
+    std::string error;
+    EXPECT_FALSE(wire::ReadFramedBody(source, "TEST", 1, &out, &error))
+        << "flip at byte " << i << " was accepted";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+// ------------------------------------------------- snapshot round trips ----
+
+SketchConfig SmallConfig(const std::string& kind) {
+  SketchConfig config;
+  config.kind = kind;
+  config.eps = 0.1;
+  config.delta = 0.05;
+  config.universe_size = 512;
+  config.capacity = 64;
+  config.probability = 0.25;  // read by "bernoulli" only
+  config.width = 128;
+  config.depth = 3;
+  config.seed = 0xC0FFEE;
+  return config;
+}
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+std::vector<int64_t> TestStream(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int64_t>(rng.NextBelow(512)) + 1);
+  }
+  return out;
+}
+
+// Asserts that two same-kind sketches answer every supported query
+// bit-identically (the round-trip contract).
+void ExpectIdenticalAnswers(const StreamSketch<int64_t>& a,
+                            const StreamSketch<int64_t>& b,
+                            const std::string& context) {
+  ASSERT_EQ(a.Capabilities(), b.Capabilities()) << context;
+  EXPECT_EQ(a.Name(), b.Name()) << context;
+  EXPECT_EQ(a.StreamSize(), b.StreamSize()) << context;
+  EXPECT_EQ(a.SpaceItems(), b.SpaceItems()) << context;
+  if (a.Supports(kCapSampleView)) {
+    const auto va = a.SampleView();
+    const auto vb = b.SampleView();
+    EXPECT_EQ(va.last_kept, vb.last_kept) << context;
+    ASSERT_EQ(va.elements.size(), vb.elements.size()) << context;
+    for (size_t i = 0; i < va.elements.size(); ++i) {
+      EXPECT_EQ(va.elements[i], vb.elements[i]) << context << " sample[" << i
+                                                << "]";
+    }
+  }
+  // Guard on SpaceItems too: a sampler's Quantile requires a non-empty
+  // retained sample.
+  if (a.Supports(kCapQuantiles) && a.StreamSize() > 0 && a.SpaceItems() > 0) {
+    for (double q = 0.05; q < 1.0; q += 0.05) {
+      EXPECT_EQ(a.Quantile(q), b.Quantile(q)) << context << " q=" << q;
+    }
+    for (double x : {0.0, 100.0, 256.0, 511.0}) {
+      EXPECT_EQ(a.Rank(x), b.Rank(x)) << context << " rank(" << x << ")";
+    }
+  }
+  if (a.Supports(kCapFrequencies)) {
+    for (int64_t x = 1; x <= 512; x += 7) {
+      EXPECT_EQ(a.EstimateFrequency(x), b.EstimateFrequency(x))
+          << context << " freq(" << x << ")";
+    }
+  }
+  if (a.Supports(kCapHeavyHitters)) {
+    const auto ha = a.HeavyHitters(0.001);
+    const auto hb = b.HeavyHitters(0.001);
+    ASSERT_EQ(ha.size(), hb.size()) << context;
+    for (size_t i = 0; i < ha.size(); ++i) {
+      EXPECT_EQ(ha[i].element, hb[i].element) << context;
+      EXPECT_EQ(ha[i].frequency, hb[i].frequency) << context;
+    }
+  }
+}
+
+TEST(WireSnapshotTest, EveryRegisteredKindRoundTripsBitIdentically) {
+  const auto stream = TestStream(20000, 0x5EED);
+  for (const auto& kind : SketchRegistry<int64_t>::Global().Kinds()) {
+    const SketchConfig config = SmallConfig(kind);
+    auto original = SketchRegistry<int64_t>::Global().Create(config);
+    ASSERT_TRUE(original.Supports(kCapSerialize)) << kind;
+    original.InsertBatch(stream);
+
+    wire::BufferSink sink;
+    ASSERT_TRUE(wire::WriteSnapshot(original, config, sink)) << kind;
+
+    wire::BufferSource source(sink.bytes());
+    std::string error;
+    auto revived = wire::ReadSnapshot<int64_t>(source, &error);
+    ASSERT_TRUE(revived.valid()) << kind << ": " << error;
+    ExpectIdenticalAnswers(original, revived, kind);
+  }
+}
+
+// RNG state survives the wire: a revived randomized sketch continues with
+// the exact same trajectory as the original, so feeding both the same
+// suffix keeps them bit-identical — the property that lets a restored
+// robust sampler keep its Theorem 1.2 guarantee.
+TEST(WireSnapshotTest, RevivedSketchesContinueTheExactRngTrajectory) {
+  const auto prefix = TestStream(8000, 0xAB);
+  const auto suffix = TestStream(8000, 0xCD);
+  for (const auto& kind : SketchRegistry<int64_t>::Global().Kinds()) {
+    const SketchConfig config = SmallConfig(kind);
+    auto original = SketchRegistry<int64_t>::Global().Create(config);
+    original.InsertBatch(prefix);
+
+    wire::BufferSink sink;
+    ASSERT_TRUE(wire::WriteSnapshot(original, config, sink)) << kind;
+    wire::BufferSource source(sink.bytes());
+    std::string error;
+    auto revived = wire::ReadSnapshot<int64_t>(source, &error);
+    ASSERT_TRUE(revived.valid()) << kind << ": " << error;
+
+    original.InsertBatch(suffix);
+    revived.InsertBatch(suffix);
+    ExpectIdenticalAnswers(original, revived, kind + " after suffix");
+  }
+}
+
+TEST(WireSnapshotTest, EmptySketchesRoundTrip) {
+  for (const auto& kind : SketchRegistry<int64_t>::Global().Kinds()) {
+    const SketchConfig config = SmallConfig(kind);
+    auto original = SketchRegistry<int64_t>::Global().Create(config);
+    wire::BufferSink sink;
+    ASSERT_TRUE(wire::WriteSnapshot(original, config, sink)) << kind;
+    wire::BufferSource source(sink.bytes());
+    std::string error;
+    auto revived = wire::ReadSnapshot<int64_t>(source, &error);
+    ASSERT_TRUE(revived.valid()) << kind << ": " << error;
+    EXPECT_EQ(revived.StreamSize(), 0u) << kind;
+  }
+}
+
+TEST(WireSnapshotTest, DoubleElementKindsRoundTrip) {
+  SketchConfig config = SmallConfig("kll");
+  auto original = SketchRegistry<double>::Global().Create(config);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) original.Insert(rng.NextDouble());
+  wire::BufferSink sink;
+  ASSERT_TRUE(wire::WriteSnapshot(original, config, sink));
+  wire::BufferSource source(sink.bytes());
+  std::string error;
+  auto revived = wire::ReadSnapshot<double>(source, &error);
+  ASSERT_TRUE(revived.valid()) << error;
+  for (double q = 0.1; q < 1.0; q += 0.1) {
+    EXPECT_EQ(original.Quantile(q), revived.Quantile(q)) << q;
+  }
+}
+
+// --------------------------------------------- corruption / truncation ----
+
+TEST(WireSnapshotTest, TruncationAtEveryPrefixFailsCleanly) {
+  for (const auto& kind : SketchRegistry<int64_t>::Global().Kinds()) {
+    const SketchConfig config = SmallConfig(kind);
+    auto original = SketchRegistry<int64_t>::Global().Create(config);
+    original.InsertBatch(TestStream(2000, 0x77));
+    wire::BufferSink sink;
+    ASSERT_TRUE(wire::WriteSnapshot(original, config, sink));
+    const std::vector<uint8_t>& good = sink.bytes();
+    for (size_t len = 0; len < good.size(); ++len) {
+      std::vector<uint8_t> truncated(good.begin(),
+                                     good.begin() + static_cast<long>(len));
+      wire::BufferSource source(truncated);
+      std::string error;
+      auto revived = wire::ReadSnapshot<int64_t>(source, &error);
+      EXPECT_FALSE(revived.valid())
+          << kind << ": truncation to " << len << " bytes was accepted";
+      EXPECT_FALSE(error.empty()) << kind << " len=" << len;
+    }
+  }
+}
+
+TEST(WireSnapshotTest, RandomByteFlipsAreAlwaysRejected) {
+  Rng rng(0xBADC0DE);
+  for (const auto& kind : SketchRegistry<int64_t>::Global().Kinds()) {
+    const SketchConfig config = SmallConfig(kind);
+    auto original = SketchRegistry<int64_t>::Global().Create(config);
+    original.InsertBatch(TestStream(2000, 0x99));
+    wire::BufferSink sink;
+    ASSERT_TRUE(wire::WriteSnapshot(original, config, sink));
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<uint8_t> corrupt = sink.bytes();
+      const size_t pos = static_cast<size_t>(rng.NextBelow(corrupt.size()));
+      const uint8_t mask =
+          static_cast<uint8_t>(1u << rng.NextBelow(8));
+      corrupt[pos] ^= mask;
+      wire::BufferSource source(corrupt);
+      std::string error;
+      auto revived = wire::ReadSnapshot<int64_t>(source, &error);
+      EXPECT_FALSE(revived.valid())
+          << kind << ": flip of bit " << static_cast<int>(mask) << " at byte "
+          << pos << " was accepted";
+    }
+  }
+}
+
+TEST(WireSnapshotTest, UnknownKindAndBadVersionAreRejected) {
+  SketchConfig config = SmallConfig("reservoir");
+  auto sketch = SketchRegistry<int64_t>::Global().Create(config);
+  {
+    // A config naming an unregistered kind: build the snapshot by hand.
+    wire::BufferSink payload;
+    sketch.SerializeTo(payload);
+    SketchConfig alien = config;
+    alien.kind = "no_such_kind";
+    wire::BufferSink body;
+    wire::PutString(body, wire::ElementTypeTag<int64_t>());
+    wire::WriteSketchConfig(body, alien);
+    wire::PutBytes(body, payload.bytes());
+    wire::BufferSink sink;
+    wire::WriteFramedBody(sink, wire::kSnapshotMagic,
+                          wire::kSnapshotFormatVersion, body.bytes());
+    wire::BufferSource source(sink.bytes());
+    std::string error;
+    EXPECT_FALSE(wire::ReadSnapshot<int64_t>(source, &error).valid());
+    EXPECT_NE(error.find("unknown sketch kind"), std::string::npos) << error;
+  }
+  {
+    // A newer format version must be rejected, not guessed at.
+    wire::BufferSink sink;
+    ASSERT_TRUE(wire::WriteSnapshot(sketch, config, sink));
+    std::vector<uint8_t> bytes = sink.bytes();
+    bytes[4] = 2;  // the version varint sits right after the 4-byte magic
+    wire::BufferSource source(bytes);
+    std::string error;
+    EXPECT_FALSE(wire::ReadSnapshot<int64_t>(source, &error).valid());
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+  }
+}
+
+// A snapshot written with one element type must not revive as another:
+// the envelope carries an element-type tag checked before the config.
+TEST(WireSnapshotTest, ElementTypeMismatchIsRejected) {
+  SketchConfig config = SmallConfig("reservoir");
+  auto sketch = SketchRegistry<int64_t>::Global().Create(config);
+  wire::BufferSink sink;
+  ASSERT_TRUE(wire::WriteSnapshot(sketch, config, sink));
+  wire::BufferSource source(sink.bytes());
+  std::string error;
+  EXPECT_FALSE(wire::ReadSnapshot<double>(source, &error).valid());
+  EXPECT_NE(error.find("element type mismatch"), std::string::npos) << error;
+}
+
+// Write/read symmetry: a config outside the wire limits must fail at
+// *write* time (nothing emitted), never produce bytes Read would reject.
+TEST(WireSnapshotTest, OutOfWireLimitConfigsFailAtWriteTime) {
+  SketchConfig config = SmallConfig("space_saving");
+  config.capacity = (uint64_t{1} << 26) + 1;  // above the wire capacity cap
+  auto sketch = SketchRegistry<int64_t>::Global().Create(config);
+  wire::BufferSink sink;
+  EXPECT_FALSE(wire::WriteSnapshot(sketch, config, sink));
+  EXPECT_TRUE(sink.bytes().empty());
+
+  PipelineOptions options;
+  options.num_shards = 2;
+  ShardedPipeline<int64_t> pipeline(config, options);
+  std::string error;
+  const std::string path = TempPath("wire_overlimit.ck");
+  EXPECT_FALSE(pipeline.Checkpoint(path, &error));
+  EXPECT_NE(error.find("capacity"), std::string::npos) << error;
+}
+
+// --------------------------------------------------- fd (pipe) shipping ----
+
+// FdSource knows nothing about its length (remaining() is nullopt), so
+// decoding straight off a pipe exercises the codec's hard-cap validation
+// branches — the cross-process shipping path of bench_t4.
+TEST(WireFdTest, SnapshotShipsThroughAPipe) {
+  SketchConfig config = SmallConfig("robust_sample");
+  auto original = SketchRegistry<int64_t>::Global().Create(config);
+  original.InsertBatch(TestStream(4000, 0xF1D0));
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  {
+    // Snapshot is a few KiB — far below the pipe buffer, so a same-thread
+    // write-then-read cannot block.
+    wire::FdSink sink(fds[1]);
+    ASSERT_TRUE(wire::WriteSnapshot(original, config, sink));
+    close(fds[1]);
+  }
+  wire::FdSource source(fds[0]);
+  std::string error;
+  auto revived = wire::ReadSnapshot<int64_t>(source, &error);
+  close(fds[0]);
+  ASSERT_TRUE(revived.valid()) << error;
+  EXPECT_GT(source.bytes_read(), 0u);
+  ExpectIdenticalAnswers(original, revived, "pipe round trip");
+}
+
+// A hung-up reader must latch ok() == false via EPIPE — the default
+// SIGPIPE disposition would kill this process, so merely surviving the
+// Append is the regression assertion.
+TEST(WireFdTest, HungUpReaderLatchesErrorInsteadOfSigpipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  close(fds[0]);  // the reader goes away
+  wire::FdSink sink(fds[1]);
+  const uint8_t byte = 0x5A;
+  sink.Append(&byte, 1);
+  EXPECT_FALSE(sink.ok());
+  close(fds[1]);
+}
+
+TEST(WireFdTest, TruncatedPipeStreamFailsCleanly) {
+  SketchConfig config = SmallConfig("reservoir");
+  auto original = SketchRegistry<int64_t>::Global().Create(config);
+  original.InsertBatch(TestStream(2000, 0xF1D1));
+  wire::BufferSink buffered;
+  ASSERT_TRUE(wire::WriteSnapshot(original, config, buffered));
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  {
+    wire::FdSink sink(fds[1]);
+    // Ship only half the message, then hang up.
+    sink.Append(buffered.bytes().data(), buffered.bytes().size() / 2);
+    close(fds[1]);
+  }
+  wire::FdSource source(fds[0]);
+  std::string error;
+  EXPECT_FALSE(wire::ReadSnapshot<int64_t>(source, &error).valid());
+  EXPECT_FALSE(error.empty());
+  close(fds[0]);
+}
+
+// ------------------------------------------------- checkpoint / restore ----
+
+// Checkpoint -> kill -> Restore -> continue must equal a run that never
+// stopped, bit for bit, for every registered kind (everything is
+// deterministic given the seed, and the checkpoint carries the RNG state).
+TEST(WireCheckpointTest, RestoredPipelineContinuesBitIdentically) {
+  constexpr size_t kBatches = 40;
+  constexpr size_t kBatchSize = 500;
+  for (const auto& kind : SketchRegistry<int64_t>::Global().Kinds()) {
+    const SketchConfig config = SmallConfig(kind);
+    PipelineOptions options;
+    options.num_shards = 3;
+    options.ring_capacity = 8;
+
+    std::vector<std::vector<int64_t>> batches;
+    for (size_t b = 0; b < kBatches; ++b) {
+      batches.push_back(TestStream(kBatchSize, 0xF00D + b));
+    }
+
+    // Reference: uninterrupted run.
+    ShardedPipeline<int64_t> uninterrupted(config, options);
+    for (const auto& batch : batches) uninterrupted.Ingest(batch);
+    auto expected = uninterrupted.Snapshot();
+
+    // Interrupted run: first half, checkpoint, "crash" (destroy), restore,
+    // second half.
+    const std::string path = TempPath("wire_checkpoint_" + kind + ".ck");
+    {
+      ShardedPipeline<int64_t> first(config, options);
+      for (size_t b = 0; b < kBatches / 2; ++b) first.Ingest(batches[b]);
+      std::string error;
+      ASSERT_TRUE(first.Checkpoint(path, &error)) << kind << ": " << error;
+    }
+    std::string error;
+    auto restored =
+        ShardedPipeline<int64_t>::Restore(path, options, &error);
+    ASSERT_NE(restored, nullptr) << kind << ": " << error;
+    EXPECT_EQ(restored->total_ingested(), kBatches / 2 * kBatchSize) << kind;
+    for (size_t b = kBatches / 2; b < kBatches; ++b) {
+      restored->Ingest(batches[b]);
+    }
+    auto actual = restored->Snapshot();
+    ExpectIdenticalAnswers(expected, actual, kind + " checkpoint/restore");
+    std::remove(path.c_str());
+  }
+}
+
+TEST(WireCheckpointTest, CheckpointIsRepeatableAndRestorableMidStream) {
+  const SketchConfig config = SmallConfig("robust_sample");
+  PipelineOptions options;
+  options.num_shards = 2;
+  const std::string path = TempPath("wire_checkpoint_repeat.ck");
+  ShardedPipeline<int64_t> pipeline(config, options);
+  std::string error;
+  for (int round = 0; round < 3; ++round) {
+    pipeline.Ingest(TestStream(1000, 0x1000 + round));
+    ASSERT_TRUE(pipeline.Checkpoint(path, &error)) << error;
+  }
+  auto restored = ShardedPipeline<int64_t>::Restore(path, options, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  ExpectIdenticalAnswers(pipeline.Snapshot(), restored->Snapshot(),
+                         "repeated checkpoint");
+  std::remove(path.c_str());
+}
+
+TEST(WireCheckpointTest, RestoreRejectsBadInputs) {
+  const SketchConfig config = SmallConfig("reservoir");
+  PipelineOptions options;
+  options.num_shards = 2;
+  std::string error;
+
+  // Missing file.
+  EXPECT_EQ(ShardedPipeline<int64_t>::Restore(TempPath("wire_missing.ck"),
+                                              options, &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+
+  const std::string path = TempPath("wire_checkpoint_bad.ck");
+  {
+    ShardedPipeline<int64_t> pipeline(config, options);
+    pipeline.Ingest(TestStream(2000, 0x31));
+    ASSERT_TRUE(pipeline.Checkpoint(path, &error)) << error;
+  }
+  // Shard-count mismatch.
+  PipelineOptions wrong = options;
+  wrong.num_shards = 4;
+  EXPECT_EQ(ShardedPipeline<int64_t>::Restore(path, wrong, &error), nullptr);
+  EXPECT_NE(error.find("shards"), std::string::npos) << error;
+
+  // Element-type mismatch: an int64 checkpoint must not revive as double.
+  EXPECT_EQ(ShardedPipeline<double>::Restore(path, options, &error), nullptr);
+  EXPECT_NE(error.find("element type mismatch"), std::string::npos) << error;
+
+  // Corrupted file: flip one byte in the middle.
+  {
+    wire::FileSource file(path);
+    ASSERT_TRUE(file.open());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 40, SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, 40, SEEK_SET);
+  std::fputc(c ^ 0x10, f);
+  std::fclose(f);
+  EXPECT_EQ(ShardedPipeline<int64_t>::Restore(path, options, &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and print per-row deltas.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json
+
+Understands both JSON shapes the repo produces:
+  * google-benchmark output (bench_t1..t3): {"benchmarks": [{"name": ...,
+    "real_time": ..., "items_per_second"?: ...}, ...]} — rows are keyed by
+    benchmark name; throughput (items_per_second) is compared when present,
+    else real_time (lower is better).
+  * harness WriteBenchJson output (bench_t4_wire): {"bench": ..., "rows":
+    [{col: value, ...}, ...]} — rows are keyed by their non-numeric
+    columns; every numeric column is compared.
+
+Exit code is always 0: the diff is a visibility tool for the CI job log
+(perf regressions across PRs), not a gate — machine noise on shared
+runners would make a hard threshold flaky.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def google_benchmark_rows(doc):
+    """name -> {metric: value} for aggregate-free google-benchmark output."""
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        metrics = {}
+        if is_number(b.get("items_per_second")):
+            metrics["items_per_second"] = b["items_per_second"]
+        elif is_number(b.get("real_time")):
+            metrics["real_time"] = b["real_time"]
+        if metrics:
+            rows[b.get("name", "?")] = metrics
+    return rows
+
+
+def harness_rows(doc):
+    """row-key -> {column: value} for WriteBenchJson output."""
+    rows = {}
+    for row in doc.get("rows", []):
+        key = " ".join(str(v) for v in row.values() if not is_number(v))
+        key = key or "?"
+        # Same textual key on several rows (e.g. a sweep over a numeric
+        # knob): disambiguate by order so pairing stays stable.
+        if key in rows:
+            suffix = 2
+            while f"{key} #{suffix}" in rows:
+                suffix += 1
+            key = f"{key} #{suffix}"
+        metrics = {c: v for c, v in row.items() if is_number(v)}
+        if metrics:
+            rows[key] = metrics
+    return rows
+
+
+def parse(doc):
+    if "benchmarks" in doc:
+        return google_benchmark_rows(doc)
+    return harness_rows(doc)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline_path, current_path = sys.argv[1], sys.argv[2]
+    baseline = parse(load(baseline_path))
+    current = parse(load(current_path))
+
+    print(f"# bench diff: {baseline_path} -> {current_path}")
+    width = max([len(k) for k in current] + [len("row")])
+    print(f"{'row':<{width}}  {'metric':<18} {'baseline':>14} "
+          f"{'current':>14} {'delta':>8}")
+    for key in current:
+        if key not in baseline:
+            print(f"{key:<{width}}  (new row)")
+            continue
+        for metric, now in current[key].items():
+            was = baseline[key].get(metric)
+            if was is None:
+                continue
+            delta = "   n/a" if was == 0 else f"{100.0 * (now - was) / was:+7.1f}%"
+            print(f"{key:<{width}}  {metric:<18} {was:>14.4g} "
+                  f"{now:>14.4g} {delta:>8}")
+    for key in baseline:
+        if key not in current:
+            print(f"{key:<{width}}  (row disappeared)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
