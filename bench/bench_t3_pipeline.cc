@@ -34,6 +34,7 @@
 #include "core/random.h"
 #include "core/robust_sample.h"
 #include "harness/table.h"
+#include "obs/metrics.h"
 #include "pipeline/sharded_pipeline.h"
 #include "pipeline/sketch_registry.h"
 #include "pipeline/stream_sketch.h"
@@ -308,7 +309,7 @@ const char* PartitionName(PartitionPolicy policy) {
   return policy == PartitionPolicy::kRoundRobin ? "round-robin" : "hash";
 }
 
-void Run() {
+void Run(bool with_metrics) {
   const bool smoke = [] {
     const char* env = std::getenv("RS_BENCH_SMOKE");
     return env != nullptr && *env != '\0';
@@ -416,13 +417,73 @@ void Run() {
       }
     }
   }
+  // Observability overhead check: the same zero-copy run at 4 shards
+  // (round-robin), instrumented vs with metrics disabled at runtime (in
+  // an RS_METRICS=OFF build the toggle is itself a no-op and the two rows
+  // measure the compiled-out configuration twice). Alternating best-of-2
+  // on each side filters scheduler noise on small CI machines.
+  double obs_on_secs = 0.0, obs_off_secs = 0.0;
+  double obs_off_err = 0.0;
+  {
+    const SketchConfig config = MakeConfig();
+    PipelineOptions options;
+    options.num_shards = 4;
+    options.partition = PartitionPolicy::kRoundRobin;
+    options.prewarm_batch_elements = kBatchSize;
+    for (int rep = 0; rep < 2; ++rep) {
+      {
+        ShardedPipeline<int64_t> ring(config, options);
+        const RunResult run = TimeIngestion(ring, stream, ranges,
+                                            /*borrowed=*/true);
+        ring.Stop();
+        obs_on_secs = rep == 0 ? run.secs : std::min(obs_on_secs, run.secs);
+      }
+      obs::SetRuntimeEnabled(false);
+      {
+        ShardedPipeline<int64_t> ring(config, options);
+        const RunResult run = TimeIngestion(ring, stream, ranges,
+                                            /*borrowed=*/true);
+        ring.Stop();
+        obs_off_secs =
+            rep == 0 ? run.secs : std::min(obs_off_secs, run.secs);
+        obs_off_err = run.err;
+      }
+      obs::SetRuntimeEnabled(true);
+    }
+    all_accurate &= obs_off_err <= kEps;
+    table.AddRow({"ring-zc-obs-off", "round-robin", "4",
+                  FormatDouble(obs_off_secs, 3),
+                  FormatDouble(meps(obs_off_secs), 1),
+                  FormatDouble(baseline_secs / obs_off_secs, 2) + "x",
+                  FormatDouble(mailbox_secs_at_4rr / obs_off_secs, 2) + "x",
+                  FormatDouble(obs_off_err), FormatBool(obs_off_err <= kEps)});
+    table.AddRow({"ring-zc-obs-on", "round-robin", "4",
+                  FormatDouble(obs_on_secs, 3),
+                  FormatDouble(meps(obs_on_secs), 1),
+                  FormatDouble(baseline_secs / obs_on_secs, 2) + "x",
+                  FormatDouble(mailbox_secs_at_4rr / obs_on_secs, 2) + "x",
+                  "-", "-"});
+  }
+
   table.Print(std::cout);
-  if (WriteBenchJson("t3", table)) {
-    std::cout << "\n(wrote BENCH_t3.json)\n";
+  const std::vector<std::pair<std::string, std::string>> extra_meta = {
+      {"stream_length", std::to_string(stream_length)},
+      {"batch_size", std::to_string(kBatchSize)},
+      {"smoke", smoke ? "true" : "false"},
+  };
+  std::string metrics_json;
+  if (with_metrics) {
+    metrics_json = obs::MetricRegistry::Global().ToJson();
+  }
+  if (WriteBenchJson("t3", table, extra_meta,
+                     with_metrics ? &metrics_json : nullptr)) {
+    std::cout << "\n(wrote BENCH_t3.json"
+              << (with_metrics ? " with metrics snapshot" : "") << ")\n";
   }
 
   const double ring_vs_mailbox = mailbox_secs_at_4rr / ring_secs_at_4rr;
   const double scaling_1_to_4 = ring_secs_at_1rr / ring_secs_at_4rr;
+  const double obs_overhead = obs_on_secs / obs_off_secs - 1.0;
   std::cout << "\nacceptance: zero-copy ring vs mailbox at 4 shards (round-robin) = "
             << FormatDouble(ring_vs_mailbox, 2)
             << "x (target >= 1.5x); ring 1->4 shard scaling = "
@@ -432,12 +493,20 @@ void Run() {
             << " -> "
             << ((ring_vs_mailbox >= 1.5 && all_accurate) ? "PASS" : "FAIL")
             << "\n";
+  std::cout << "acceptance: metrics overhead on ring-zc at 4 shards = "
+            << FormatDouble(obs_overhead * 100.0, 1)
+            << "% (target <= 3%) -> "
+            << (obs_overhead <= 0.03 ? "PASS" : "FAIL") << "\n";
 }
 
 }  // namespace
 }  // namespace robust_sampling
 
-int main() {
-  robust_sampling::Run();
+int main(int argc, char** argv) {
+  bool with_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics") with_metrics = true;
+  }
+  robust_sampling::Run(with_metrics);
   return 0;
 }

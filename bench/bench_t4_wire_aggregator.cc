@@ -27,6 +27,7 @@
 #include "core/check.h"
 #include "core/random.h"
 #include "harness/table.h"
+#include "obs/metrics.h"
 #include "pipeline/sharded_pipeline.h"
 #include "pipeline/sketch_config.h"
 #include "pipeline/stream_sketch.h"
@@ -175,7 +176,7 @@ double AssertAccuracy(const std::string& kind,
   return worst;
 }
 
-void Run() {
+void Run(bool with_metrics) {
   const bool smoke = []() {
     const char* env = std::getenv("RS_BENCH_SMOKE");
     return env != nullptr && *env != '\0';
@@ -210,14 +211,31 @@ void Run() {
     }
   }
   table.Print(std::cout);
-  WriteBenchJson("t4_wire", table);
+  // Metrics note: the forked workers' counters die with the children; the
+  // snapshot embedded here is the parent's view (bytes in, deserialize
+  // latency per kind, pipeline counters for the single-process runs).
+  const std::vector<std::pair<std::string, std::string>> extra_meta = {
+      {"stream_length", std::to_string(n)},
+      {"batch_size", std::to_string(kBatchSize)},
+      {"smoke", smoke ? "true" : "false"},
+  };
+  std::string metrics_json;
+  if (with_metrics) {
+    metrics_json = obs::MetricRegistry::Global().ToJson();
+  }
+  WriteBenchJson("t4_wire", table, extra_meta,
+                 with_metrics ? &metrics_json : nullptr);
   std::cout << "\nOK: merged-vs-single accuracy asserted for every row.\n";
 }
 
 }  // namespace
 }  // namespace robust_sampling
 
-int main() {
-  robust_sampling::Run();
+int main(int argc, char** argv) {
+  bool with_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics") with_metrics = true;
+  }
+  robust_sampling::Run(with_metrics);
   return 0;
 }

@@ -15,6 +15,8 @@
 #include "core/check.h"
 #include "core/random.h"
 #include "harness/trial_runner.h"
+#include "obs/catalog.h"
+#include "obs/metrics.h"
 #include "setsystem/discrepancy.h"
 
 namespace robust_sampling {
@@ -161,7 +163,12 @@ GameReport PlayGame(const GameSpec& spec) {
   GameReport report;
   report.outcomes.resize(spec.trials);
   ParallelFor(spec.trials, spec.threads, [&](size_t t) {
+    const uint64_t start_ns = obs::NowNanos();
     report.outcomes[t] = PlayOne<T>(spec, MixSeed(spec.base_seed, t));
+    obs::AttacklabTrialNs().Observe(obs::NowNanos() - start_ns);
+    obs::AttacklabTrials().Increment();
+    obs::AttacklabAdversaryAccepted().Increment(
+        report.outcomes[t].accepted_count);
   });
   std::vector<double> values(spec.trials);
   for (size_t t = 0; t < spec.trials; ++t) {

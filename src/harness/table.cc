@@ -3,10 +3,21 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "core/check.h"
+
+// Baked in by CMake (PRIVATE defines on the library target); the
+// fallbacks keep non-CMake compiles (e.g. IDE single-file checks) working.
+#ifndef RS_GIT_SHA
+#define RS_GIT_SHA "unknown"
+#endif
+#ifndef RS_BUILD_TYPE
+#define RS_BUILD_TYPE "unknown"
+#endif
 
 namespace robust_sampling {
 
@@ -147,7 +158,42 @@ std::string MarkdownTable::ToJson() const {
   return out;
 }
 
-bool WriteBenchJson(const std::string& name, const MarkdownTable& table) {
+namespace {
+
+std::string BuildMetaJson(
+    const std::vector<std::pair<std::string, std::string>>& extra_meta) {
+  std::vector<std::pair<std::string, std::string>> meta = {
+      {"git_sha", RS_GIT_SHA},
+      {"build_type", RS_BUILD_TYPE},
+      {"hardware_threads",
+       std::to_string(std::thread::hardware_concurrency())},
+  };
+  char stamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  meta.emplace_back("timestamp_utc", stamp);
+  meta.insert(meta.end(), extra_meta.begin(), extra_meta.end());
+
+  std::string out = "{";
+  for (size_t i = 0; i < meta.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendJsonString(meta[i].first, &out);
+    out += ": ";
+    AppendJsonCell(meta[i].second, &out);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+bool WriteBenchJson(
+    const std::string& name, const MarkdownTable& table,
+    const std::vector<std::pair<std::string, std::string>>& extra_meta,
+    const std::string* metrics_json) {
   const std::string path = "BENCH_" + name + ".json";
   std::ofstream out(path);
   if (!out) {
@@ -157,7 +203,12 @@ bool WriteBenchJson(const std::string& name, const MarkdownTable& table) {
   out << "{\"bench\": ";
   std::string tag;
   AppendJsonString(name, &tag);
-  out << tag << ", \"rows\": " << table.ToJson() << "}\n";
+  out << tag << ", \"meta\": " << BuildMetaJson(extra_meta)
+      << ", \"rows\": " << table.ToJson();
+  if (metrics_json != nullptr) {
+    out << ", \"metrics\": " << *metrics_json;
+  }
+  out << "}\n";
   out.flush();
   if (!out) {
     std::cerr << "warning: failed writing " << path << "\n";

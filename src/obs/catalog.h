@@ -1,0 +1,80 @@
+#ifndef ROBUST_SAMPLING_OBS_CATALOG_H_
+#define ROBUST_SAMPLING_OBS_CATALOG_H_
+
+// ---------------------------------------------------------------------------
+// The standard metric catalog: every metric the instrumented layers emit,
+// declared in one place so (a) hot call sites get a cached reference via a
+// function-local static instead of a registry lookup, and (b) the full set
+// of names is enumerable without having exercised the code paths that
+// register them — tests/docs_drift_test.cc walks AllMetricDescriptors()
+// and fails if any name is missing from docs/observability.md.
+//
+// Naming convention: rs_<layer>_<what>[_<unit>], with `_total` for
+// counters, `_ns` for nanosecond histograms, `_bytes` for size histograms
+// and `_hwm` for high-water-mark gauges. Per-instance dimensions (sketch
+// kind, shard index) are labels on a documented base name, never new
+// names.
+// ---------------------------------------------------------------------------
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace robust_sampling {
+namespace obs {
+
+struct MetricDescriptor {
+  const char* name;
+  const char* type;  // "counter" | "gauge" | "histogram"
+  const char* label_key;  // "" when unlabeled
+  const char* help;
+};
+
+/// Every standard metric, in catalog order. Available (and identical)
+/// under RS_METRICS=OFF — it is static data, not registry state.
+const std::vector<MetricDescriptor>& AllMetricDescriptors();
+
+// --- pipeline (src/pipeline/) --------------------------------------------
+
+Counter& PipelineIngestBatches();
+Counter& PipelineIngestElements();
+/// Batches refused by Ingest/IngestBorrowed (oversized vs
+/// max_batch_elements) — distinct from backpressure, which delays but
+/// never drops.
+Counter& PipelineRejectedBatches();
+/// Publishes that found a shard ring full and blocked (backpressure).
+Counter& PipelineBackpressureStalls();
+/// Elements folded into shard `shard`'s sketch (label: shard index).
+Counter& PipelineShardElements(size_t shard);
+Gauge& PipelineRingOccupancyHwm();
+Histogram& PipelineFlushNs();
+Histogram& PipelineCheckpointNs();
+Histogram& PipelineCheckpointBytes();
+Histogram& PipelineRestoreNs();
+
+// --- wire (src/wire/) ----------------------------------------------------
+
+Counter& WireBytesOut();
+Counter& WireBytesIn();
+/// Framed-body reads rejected (bad magic/version/length, truncation,
+/// checksum mismatch). Each rejection also leaves a flight-recorder
+/// error event.
+Counter& WireFrameFailures();
+Histogram& WireFsyncNs();
+Histogram& WireSerializeNs(const std::string& kind);
+Histogram& WireDeserializeNs(const std::string& kind);
+Histogram& WireSnapshotBytes(const std::string& kind);
+
+// --- attacklab (src/attacklab/) ------------------------------------------
+
+Counter& AttacklabTrials();
+Histogram& AttacklabTrialNs();
+/// Adversary move budget consumed: stream elements the sampler ever
+/// accepted across trials (the adversary's observation currency).
+Counter& AttacklabAdversaryAccepted();
+
+}  // namespace obs
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_OBS_CATALOG_H_

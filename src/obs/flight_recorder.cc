@@ -1,0 +1,173 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace robust_sampling {
+namespace obs {
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+#if RS_METRICS_ENABLED
+
+namespace {
+
+struct ThreadRing {
+  std::mutex mu;
+  TraceEvent events[kFlightRecorderRingEvents];
+  uint64_t recorded = 0;  // total ever; live slots = min(recorded, ring)
+};
+
+const char* KindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSpanBegin:
+      return "begin";
+    case TraceEventKind::kSpanEnd:
+      return "end";
+    case TraceEventKind::kMark:
+      return "mark";
+    case TraceEventKind::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+struct FlightRecorder::Impl {
+  std::atomic<uint64_t> next_seq{0};
+
+  // Rings are created on a thread's first record and never destroyed (a
+  // dump must be able to read events from threads that have exited), so
+  // the thread_local below may hold a bare pointer safely.
+  std::mutex rings_mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+
+  std::mutex hook_mu;
+  std::function<void(const std::string&)> hook;
+  std::atomic<bool> default_hook_fired{false};
+
+  ThreadRing* ThisThreadRing() {
+    thread_local ThreadRing* ring = nullptr;
+    if (ring == nullptr) {
+      auto fresh = std::make_unique<ThreadRing>();
+      ring = fresh.get();
+      std::lock_guard<std::mutex> lock(rings_mu);
+      rings.push_back(std::move(fresh));
+    }
+    return ring;
+  }
+};
+
+FlightRecorder::Impl* FlightRecorder::impl() {
+  Impl* existing = impl_.load(std::memory_order_acquire);
+  if (existing != nullptr) return existing;
+  Impl* fresh = new Impl();
+  if (impl_.compare_exchange_strong(existing, fresh,
+                                    std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;
+  return existing;
+}
+
+void FlightRecorder::Record(TraceEventKind kind, const char* category,
+                            std::string_view detail, uint64_t arg) {
+  if (!RuntimeEnabled()) return;
+  Impl* state = impl();
+  ThreadRing* ring = state->ThisThreadRing();
+  const uint64_t seq =
+      state->next_seq.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ring->mu);
+  TraceEvent& event =
+      ring->events[ring->recorded % kFlightRecorderRingEvents];
+  event.seq = seq;
+  event.ns = NowNanos();
+  event.kind = kind;
+  event.category = category;
+  const size_t n = detail.size() < sizeof(event.detail) - 1
+                       ? detail.size()
+                       : sizeof(event.detail) - 1;
+  detail.copy(event.detail, n);
+  event.detail[n] = '\0';
+  event.arg = arg;
+  ++ring->recorded;
+}
+
+std::string FlightRecorder::Dump() const {
+  Impl* state = const_cast<FlightRecorder*>(this)->impl();
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> rings_lock(state->rings_mu);
+    for (const auto& ring : state->rings) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      const uint64_t live =
+          std::min<uint64_t>(ring->recorded, kFlightRecorderRingEvents);
+      for (uint64_t i = 0; i < live; ++i) events.push_back(ring->events[i]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  std::string out = "--- flight recorder dump (" +
+                    std::to_string(events.size()) + " events) ---\n";
+  for (const TraceEvent& event : events) {
+    char line[224];
+    std::snprintf(line, sizeof(line), "[%8llu] %14llu ns %-9s %-10s %s",
+                  static_cast<unsigned long long>(event.seq),
+                  static_cast<unsigned long long>(event.ns),
+                  KindName(event.kind), event.category, event.detail);
+    out += line;
+    if (event.arg != 0) {
+      out += " (arg=" + std::to_string(event.arg) + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void FlightRecorder::RecordError(const char* category,
+                                 std::string_view detail, uint64_t arg) {
+  if (!RuntimeEnabled()) return;
+  Record(TraceEventKind::kError, category, detail, arg);
+  Impl* state = impl();
+  std::function<void(const std::string&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(state->hook_mu);
+    hook = state->hook;
+  }
+  if (hook) {
+    hook(Dump());
+  } else if (!state->default_hook_fired.exchange(true)) {
+    const std::string dump = Dump();
+    std::fputs(dump.c_str(), stderr);
+  }
+}
+
+void FlightRecorder::SetErrorHook(
+    std::function<void(const std::string&)> hook) {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->hook_mu);
+  state->hook = std::move(hook);
+}
+
+#else  // !RS_METRICS_ENABLED
+
+void FlightRecorder::Record(TraceEventKind, const char*, std::string_view,
+                            uint64_t) {}
+std::string FlightRecorder::Dump() const { return ""; }
+void FlightRecorder::RecordError(const char*, std::string_view, uint64_t) {}
+void FlightRecorder::SetErrorHook(std::function<void(const std::string&)>) {}
+
+#endif  // RS_METRICS_ENABLED
+
+}  // namespace obs
+}  // namespace robust_sampling

@@ -21,6 +21,9 @@
 
 #include "core/check.h"
 #include "core/random.h"
+#include "obs/catalog.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "pipeline/batch_pool.h"
 #include "pipeline/sketch_config.h"
 #include "pipeline/sketch_registry.h"
@@ -64,6 +67,12 @@ struct PipelineOptions {
   /// the pool warms up on demand instead (allocation-free only after the
   /// in-flight high-water mark has been seen).
   size_t prewarm_batch_elements = 0;
+  /// Admission bound: batches larger than this are *rejected* by
+  /// Ingest/IngestBorrowed (return false, nothing queued, counted in
+  /// rejected_batches()) rather than silently accepted into one oversized
+  /// pooled buffer. 0 disables the bound. Rejection is distinct from
+  /// backpressure, which delays but never drops.
+  size_t max_batch_elements = 0;
 };
 
 /// Sharded, batched stream-ingestion engine.
@@ -107,6 +116,7 @@ class ShardedPipeline {
       auto shard = std::make_unique<Shard>(options.ring_capacity);
       shard->sketch =
           registry.Create(config, MixSeed(config.seed, uint64_t{s}));
+      shard->elements_metric = &obs::PipelineShardElements(s);
       shards_.push_back(std::move(shard));
     }
     // Cached once, before any worker can touch a sketch: Capabilities()
@@ -135,10 +145,12 @@ class ShardedPipeline {
   /// Partitions one batch across the shards: one copy into a pooled
   /// buffer, then per-shard span slices (no per-shard copies, no
   /// allocation in steady state). Blocks when a target ring is full
-  /// (backpressure).
-  void Ingest(std::span<const T> batch) {
+  /// (backpressure). Returns false — with nothing queued — only when the
+  /// batch exceeds `options.max_batch_elements` (see rejected_batches()).
+  bool Ingest(std::span<const T> batch) {
     RS_CHECK_MSG(!stopped_, "Ingest after Stop");
-    if (batch.empty()) return;
+    if (batch.empty()) return true;
+    if (!Admit(batch.size())) return false;
     total_ingested_ += batch.size();
     if (options_.partition == PartitionPolicy::kRoundRobin ||
         shards_.size() == 1) {
@@ -146,6 +158,7 @@ class ShardedPipeline {
     } else {
       IngestHashed(batch);
     }
+    return true;
   }
 
   /// True zero-copy ingestion for callers that own stable batch memory
@@ -161,25 +174,28 @@ class ShardedPipeline {
   /// freely and produce bit-identical snapshots. Under kHash the scatter
   /// is content-addressed, so per-shard staging copies are still made
   /// (into pooled buffers); the borrowed fast path applies to kRoundRobin
-  /// and single-shard topologies.
-  void IngestBorrowed(std::span<const T> batch) {
+  /// and single-shard topologies. Admission (max_batch_elements) and the
+  /// false-on-reject contract are identical to Ingest.
+  bool IngestBorrowed(std::span<const T> batch) {
     RS_CHECK_MSG(!stopped_, "Ingest after Stop");
-    if (batch.empty()) return;
+    if (batch.empty()) return true;
+    if (!Admit(batch.size())) return false;
+    total_ingested_ += batch.size();
     if (options_.partition != PartitionPolicy::kRoundRobin &&
         shards_.size() > 1) {
-      total_ingested_ += batch.size();
       IngestHashed(batch);
-      return;
+      return true;
     }
-    total_ingested_ += batch.size();
     ScatterRoundRobin(batch.size(), [&](size_t offset, size_t len) {
       return BatchSlice<T>::Borrowed(batch.data() + offset, len);
     });
+    return true;
   }
 
   /// Blocks until every queued batch has been folded into its shard's
   /// sketch and all workers are idle.
   void Flush() {
+    obs::ScopedLatencyTimer timer(obs::PipelineFlushNs());
     for (auto& shard : shards_) {
       if (shard->completed.load(std::memory_order_acquire) == shard->pushed) {
         continue;
@@ -275,12 +291,19 @@ class ShardedPipeline {
   /// Theorem 1.4 *analysis* CheckpointSchedule in core/checkpoints.h —
   /// see docs/wire.md.
   bool Checkpoint(const std::string& path, std::string* error = nullptr) {
+    obs::ScopedLatencyTimer timer(obs::PipelineCheckpointNs());
+    obs::TraceSpan span("pipeline", "checkpoint");
     if ((capabilities_ & kCapSerialize) == 0) {
-      return Fail(error, "sketch kind is not serializable: " + config_.kind);
+      return CheckpointFail(
+          error, "sketch kind is not serializable: " + config_.kind);
     }
     // Same validation Restore applies: a config outside the wire limits
     // must fail *now*, not produce a checkpoint that can never revive.
-    if (!wire::ValidateWireConfig(config_, error)) return false;
+    if (!wire::ValidateWireConfig(config_, error)) {
+      obs::FlightRecorder::Global().RecordError(
+          "pipeline", "checkpoint rejected: config outside wire limits");
+      return false;
+    }
     Flush();
     wire::BufferSink body;
     wire::PutString(body, wire::ElementTypeTag<T>());
@@ -293,6 +316,7 @@ class ShardedPipeline {
       shard->sketch.SerializeTo(payload);
       wire::PutBytes(body, payload.bytes());
     }
+    obs::PipelineCheckpointBytes().Observe(body.bytes().size());
     const std::string tmp = path + ".tmp";
     {
       wire::FileSink file(tmp);
@@ -302,12 +326,13 @@ class ShardedPipeline {
                                  kCheckpointFormatVersion, body.bytes()) ||
           !file.SyncAndClose()) {
         std::remove(tmp.c_str());
-        return Fail(error, "cannot write checkpoint: " + tmp);
+        return CheckpointFail(error, "cannot write checkpoint: " + tmp);
       }
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
       std::remove(tmp.c_str());
-      return Fail(error, "cannot rename checkpoint into place: " + path);
+      return CheckpointFail(error,
+                            "cannot rename checkpoint into place: " + path);
     }
     SyncParentDirectory(path);
     return true;
@@ -324,20 +349,26 @@ class ShardedPipeline {
   static std::unique_ptr<ShardedPipeline> Restore(
       const std::string& path, const PipelineOptions& options,
       std::string* error = nullptr) {
+    obs::ScopedLatencyTimer timer(obs::PipelineRestoreNs());
+    obs::TraceSpan span("pipeline", "restore");
     wire::FileSource file(path);
     if (!file.open()) {
-      Fail(error, "cannot open checkpoint: " + path);
+      RestoreFail(error, "cannot open checkpoint: " + path);
       return nullptr;
     }
     std::vector<uint8_t> body;
     if (!wire::ReadFramedBody(file, kCheckpointMagic,
                               kCheckpointFormatVersion, &body, error)) {
+      // The codec already recorded the frame-level error event.
       return nullptr;
     }
     wire::BufferSource source(body);
     SketchConfig config;
     if (!wire::ReadRevivalPrologue(source, &config, error,
                                    SketchRegistry<T>::Global())) {
+      // Keep the prologue's specific reason in *error; just trace it.
+      obs::FlightRecorder::Global().RecordError(
+          "pipeline", "restore: checkpoint prologue rejected");
       return nullptr;
     }
     uint64_t num_shards = 0, rr_start = 0, total_ingested = 0;
@@ -345,19 +376,19 @@ class ShardedPipeline {
         !wire::GetVarint(source, &rr_start) ||
         !wire::GetVarint(source, &total_ingested) || num_shards < 1 ||
         rr_start >= num_shards) {
-      Fail(error, "malformed checkpoint topology");
+      RestoreFail(error, "malformed checkpoint topology");
       return nullptr;
     }
     if (num_shards != options.num_shards) {
-      Fail(error, "checkpoint has " + std::to_string(num_shards) +
-                      " shards, options request " +
-                      std::to_string(options.num_shards));
+      RestoreFail(error, "checkpoint has " + std::to_string(num_shards) +
+                             " shards, options request " +
+                             std::to_string(options.num_shards));
       return nullptr;
     }
     auto pipeline = std::make_unique<ShardedPipeline>(config, options);
     if ((pipeline->capabilities_ & kCapSerialize) == 0) {
-      Fail(error, "kind is not serializable for this element type: " +
-                      config.kind);
+      RestoreFail(error, "kind is not serializable for this element type: " +
+                             config.kind);
       return nullptr;
     }
     // Workers are parked in Pop and only touch a sketch after a push, so
@@ -366,18 +397,18 @@ class ShardedPipeline {
     for (auto& shard : pipeline->shards_) {
       std::vector<uint8_t> payload;
       if (!wire::GetBytes(source, &payload, wire::kMaxBodyBytes)) {
-        Fail(error, "malformed shard payload");
+        RestoreFail(error, "malformed shard payload");
         return nullptr;
       }
       wire::BufferSource payload_source(payload);
       if (!shard->sketch.DeserializeFrom(payload_source) ||
           payload_source.remaining() != uint64_t{0}) {
-        Fail(error, "malformed shard sketch state");
+        RestoreFail(error, "malformed shard sketch state");
         return nullptr;
       }
     }
     if (source.remaining() != uint64_t{0}) {
-      Fail(error, "trailing bytes after checkpoint body");
+      RestoreFail(error, "trailing bytes after checkpoint body");
       return nullptr;
     }
     pipeline->rr_start_ = static_cast<size_t>(rr_start);
@@ -385,8 +416,19 @@ class ShardedPipeline {
     return pipeline;
   }
 
-  /// Elements handed to Ingest so far (including ones still queued).
+  /// Elements handed to Ingest so far (including ones still queued;
+  /// excluding rejected batches).
   size_t total_ingested() const { return total_ingested_; }
+
+  /// Batches refused by Ingest/IngestBorrowed for exceeding
+  /// options.max_batch_elements. These were *dropped at the door* —
+  /// nothing from them was queued or sketched.
+  size_t rejected_batches() const { return rejected_batches_; }
+
+  /// Publishes that found their target shard ring full and had to block.
+  /// Nonzero means producers outran workers (backpressure engaged); unlike
+  /// rejection, no data was lost.
+  size_t backpressure_waits() const { return backpressure_waits_; }
 
   /// Per-shard stream sizes (flushes first).
   std::vector<size_t> ShardStreamSizes() {
@@ -414,6 +456,33 @@ class ShardedPipeline {
   static bool Fail(std::string* error, std::string reason) {
     if (error != nullptr) *error = std::move(reason);
     return false;
+  }
+
+  static bool CheckpointFail(std::string* error, std::string reason) {
+    obs::FlightRecorder::Global().RecordError("pipeline",
+                                              "checkpoint: " + reason);
+    return Fail(error, std::move(reason));
+  }
+
+  static void RestoreFail(std::string* error, std::string reason) {
+    obs::FlightRecorder::Global().RecordError("pipeline",
+                                              "restore: " + reason);
+    Fail(error, std::move(reason));
+  }
+
+  /// Admission check shared by Ingest/IngestBorrowed: counts the accept
+  /// or the rejection (the silent-drop blind spot this closes: rejected
+  /// work must be *visible*, not inferred from missing elements).
+  bool Admit(size_t batch_size) {
+    if (options_.max_batch_elements != 0 &&
+        batch_size > options_.max_batch_elements) {
+      ++rejected_batches_;
+      obs::PipelineRejectedBatches().Increment();
+      return false;
+    }
+    obs::PipelineIngestBatches().Increment();
+    obs::PipelineIngestElements().Increment(batch_size);
+    return true;
   }
 
   /// Makes the rename itself durable: fsync the containing directory so
@@ -444,6 +513,10 @@ class ShardedPipeline {
     std::mutex done_mu;
     std::condition_variable done_cv;
     std::atomic<bool> flush_waiting{false};
+
+    // Cached at construction so the worker's per-batch increment never
+    // takes the registry lock (null only before the constructor wires it).
+    obs::Counter* elements_metric = nullptr;
   };
 
   static uint64_t HashElement(const T& x) {
@@ -512,14 +585,20 @@ class ShardedPipeline {
   }
 
   void PushSlice(Shard& shard, BatchSlice<T> slice) {
-    shard.ring.Push(std::move(slice));
+    if (shard.ring.Push(std::move(slice))) {
+      ++backpressure_waits_;
+      obs::PipelineBackpressureStalls().Increment();
+    }
     ++shard.pushed;
+    obs::PipelineRingOccupancyHwm().SetMax(
+        static_cast<int64_t>(shard.ring.SizeApprox()));
   }
 
   void WorkerLoop(Shard* shard) {
     BatchSlice<T> slice;
     while (shard->ring.Pop(slice)) {
       shard->sketch.InsertBatch(slice.span());
+      shard->elements_metric->Increment(slice.span().size());
       slice.Release();  // recycle the buffer before signaling completion
       shard->completed.fetch_add(1, std::memory_order_release);
       // Wake a Flush() waiter, if any (same declare/recheck protocol as
@@ -539,6 +618,8 @@ class ShardedPipeline {
   std::vector<BatchBuffer<T>*> staging_;  // per-shard scatter targets (kHash)
   size_t rr_start_ = 0;
   size_t total_ingested_ = 0;
+  size_t rejected_batches_ = 0;     // producer-thread only, like Ingest
+  size_t backpressure_waits_ = 0;   // producer-thread only
   bool stopped_ = false;
   uint32_t capabilities_ = 0;
 };

@@ -81,8 +81,12 @@ class SpscRing {
   }
 
   /// Producer: pushes, blocking while the ring is full (backpressure).
-  void Push(V v) {
+  /// Returns true iff the push blocked at least once — the caller's
+  /// backpressure-stall signal; the push itself always succeeds.
+  bool Push(V v) {
+    bool stalled = false;
     while (!TryPush(v)) {
+      stalled = true;
       std::unique_lock<std::mutex> lock(mu_);
       producer_waiting_.store(true, std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -93,6 +97,15 @@ class SpscRing {
       });
       producer_waiting_.store(false, std::memory_order_relaxed);
     }
+    return stalled;
+  }
+
+  /// Approximate occupancy (racy by design: relaxed loads of both
+  /// cursors). For monitoring — never for flow-control decisions.
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
   }
 
   /// Consumer: attempts to pop into `out`. Returns false when empty.

@@ -10,6 +10,10 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/catalog.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
 namespace robust_sampling {
 namespace wire {
 
@@ -31,13 +35,21 @@ FileSink::~FileSink() {
 
 void FileSink::Append(const void* data, size_t n) {
   if (!ok_ || n == 0) return;
-  if (std::fwrite(data, 1, n, file_) != n) ok_ = false;
+  if (std::fwrite(data, 1, n, file_) != n) {
+    ok_ = false;
+    return;
+  }
+  obs::WireBytesOut().Increment(n);
 }
 
 bool FileSink::SyncAndClose() {
   if (file_ == nullptr) return ok_;
   if (std::fflush(file_) != 0) ok_ = false;
-  if (ok_ && fsync(fileno(file_)) != 0) ok_ = false;
+  if (ok_) {
+    const uint64_t start_ns = obs::NowNanos();
+    if (fsync(fileno(file_)) != 0) ok_ = false;
+    obs::WireFsyncNs().Observe(obs::NowNanos() - start_ns);
+  }
   if (std::fclose(file_) != 0) ok_ = false;
   file_ = nullptr;
   return ok_;
@@ -62,6 +74,7 @@ void FdSink::Append(const void* data, size_t n) {
       ok_ = false;
       break;
     }
+    obs::WireBytesOut().Increment(static_cast<uint64_t>(written));
     p += written;
     n -= static_cast<size_t>(written);
   }
@@ -107,6 +120,7 @@ bool FileSource::ReadImpl(void* out, size_t n) {
   if (file_ == nullptr) return false;
   if (std::fread(out, 1, n, file_) != n) return false;
   pos_ += n;
+  obs::WireBytesIn().Increment(n);
   return true;
 }
 
@@ -119,6 +133,7 @@ bool FdSource::ReadImpl(void* out, size_t n) {
       return false;
     }
     if (got == 0) return false;  // EOF mid-read: truncated stream
+    obs::WireBytesIn().Increment(static_cast<uint64_t>(got));
     p += got;
     n -= static_cast<size_t>(got);
     bytes_read_ += static_cast<uint64_t>(got);
@@ -350,8 +365,16 @@ bool WriteFramedBody(ByteSink& sink, const char magic[4],
 
 namespace {
 
-bool FramedError(std::string* error, const char* reason) {
+// Every frame rejection is counted and leaves a flight-recorder error
+// event naming the expected frame magic and the reason, so a corrupt
+// checkpoint or stream is diagnosable after the fact from the dump alone.
+bool FramedError(std::string* error, const char magic[4],
+                 const char* reason) {
   if (error != nullptr) *error = reason;
+  obs::WireFrameFailures().Increment();
+  const char frame[5] = {magic[0], magic[1], magic[2], magic[3], '\0'};
+  obs::FlightRecorder::Global().RecordError(
+      "wire", std::string("frame ") + frame + ": " + reason);
   return false;
 }
 
@@ -362,44 +385,44 @@ bool ReadFramedBody(ByteSource& source, const char magic[4],
                     std::string* error) {
   char got_magic[4];
   if (!source.Read(got_magic, 4)) {
-    return FramedError(error, "truncated header");
+    return FramedError(error, magic, "truncated header");
   }
   if (std::memcmp(got_magic, magic, 4) != 0) {
     source.Fail();
-    return FramedError(error, "bad magic");
+    return FramedError(error, magic, "bad magic");
   }
   uint64_t version = 0;
   if (!GetVarint(source, &version)) {
-    return FramedError(error, "truncated version");
+    return FramedError(error, magic, "truncated version");
   }
   if (version != expected_version) {
     source.Fail();
-    return FramedError(error, "unsupported format version");
+    return FramedError(error, magic, "unsupported format version");
   }
   uint64_t body_len = 0;
   if (!GetVarint(source, &body_len)) {
-    return FramedError(error, "truncated body length");
+    return FramedError(error, magic, "truncated body length");
   }
   if (body_len > kMaxBodyBytes) {
     source.Fail();
-    return FramedError(error, "body length exceeds limit");
+    return FramedError(error, magic, "body length exceeds limit");
   }
   // The trailing checksum costs 8 more bytes, so a known-size source must
   // still hold body_len + 8.
   if (const auto rem = source.remaining(); rem && body_len + 8 > *rem) {
     source.Fail();
-    return FramedError(error, "body length exceeds available bytes");
+    return FramedError(error, magic, "body length exceeds available bytes");
   }
   if (!ReadChunked(source, body, body_len)) {
-    return FramedError(error, "truncated body");
+    return FramedError(error, magic, "truncated body");
   }
   uint64_t expected_checksum = 0;
   if (!GetFixed64(source, &expected_checksum)) {
-    return FramedError(error, "truncated checksum");
+    return FramedError(error, magic, "truncated checksum");
   }
   if (Checksum(*body) != expected_checksum) {
     source.Fail();
-    return FramedError(error, "checksum mismatch");
+    return FramedError(error, magic, "checksum mismatch");
   }
   return true;
 }

@@ -7,6 +7,8 @@
 #include <typeinfo>
 #include <vector>
 
+#include "obs/catalog.h"
+#include "obs/metrics.h"
 #include "pipeline/sketch_config.h"
 #include "pipeline/sketch_registry.h"
 #include "pipeline/stream_sketch.h"
@@ -115,6 +117,7 @@ bool ReadRevivalPrologue(ByteSource& source, SketchConfig* config,
 template <typename T>
 bool WriteSnapshot(const StreamSketch<T>& sketch, const SketchConfig& config,
                    ByteSink& sink) {
+  obs::ScopedLatencyTimer timer(obs::WireSerializeNs(config.kind));
   if (!sketch.valid() || !sketch.Supports(kCapSerialize)) return false;
   if (!ValidateWireConfig(config, nullptr)) return false;
   BufferSink payload;
@@ -123,6 +126,7 @@ bool WriteSnapshot(const StreamSketch<T>& sketch, const SketchConfig& config,
   PutString(body, ElementTypeTag<T>());
   WriteSketchConfig(body, config);
   PutBytes(body, payload.bytes());
+  obs::WireSnapshotBytes(config.kind).Observe(body.bytes().size());
   return WriteFramedBody(sink, kSnapshotMagic, kSnapshotFormatVersion,
                          body.bytes());
 }
@@ -138,6 +142,9 @@ template <typename T>
 StreamSketch<T> ReadSnapshot(
     ByteSource& source, std::string* error = nullptr,
     const SketchRegistry<T>& registry = SketchRegistry<T>::Global()) {
+  // Timed manually (not ScopedLatencyTimer): the kind label is only known
+  // once the prologue parses, and failed reads have no kind to charge.
+  const uint64_t start_ns = obs::NowNanos();
   std::vector<uint8_t> body;
   if (!ReadFramedBody(source, kSnapshotMagic, kSnapshotFormatVersion, &body,
                       error)) {
@@ -167,6 +174,7 @@ StreamSketch<T> ReadSnapshot(
     internal::SnapshotError(error, "malformed sketch state");
     return {};
   }
+  obs::WireDeserializeNs(config.kind).Observe(obs::NowNanos() - start_ns);
   return sketch;
 }
 

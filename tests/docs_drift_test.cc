@@ -14,19 +14,22 @@
 #include "attacklab/adversary_registry.h"
 #include "core/big_uint.h"
 #include "gtest/gtest.h"
+#include "obs/catalog.h"
 #include "pipeline/sketch_registry.h"
 
 namespace robust_sampling {
 namespace {
 
-std::string ReadRegistryDoc() {
-  const std::string path = std::string(RS_SOURCE_DIR) + "/docs/registry.md";
+std::string ReadDoc(const std::string& relative) {
+  const std::string path = std::string(RS_SOURCE_DIR) + "/" + relative;
   std::ifstream in(path);
   EXPECT_TRUE(in.is_open()) << "cannot open " << path;
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();
 }
+
+std::string ReadRegistryDoc() { return ReadDoc("docs/registry.md"); }
 
 // `key` must appear as an inline code span — the convention every
 // registry table in docs/registry.md uses.
@@ -67,6 +70,22 @@ TEST(DocsDriftTest, CapabilityMatrixCoversTheCapabilityEnum) {
                            "HeavyHitters", "SerializeTo", "DeserializeFrom"}) {
     EXPECT_TRUE(doc.find(name) != std::string::npos)
         << "capability '" << name << "' missing from docs/registry.md";
+  }
+}
+
+// Every metric in the obs catalog must be documented in
+// docs/observability.md — same inline-code-span convention as the
+// registry doc. The catalog is static data, so this holds in both
+// RS_METRICS build modes.
+TEST(DocsDriftTest, EveryRegisteredMetricIsDocumented) {
+  const std::string doc = ReadDoc("docs/observability.md");
+  ASSERT_FALSE(doc.empty());
+  const auto descriptors = obs::AllMetricDescriptors();
+  ASSERT_GE(descriptors.size(), 20u);
+  for (const auto& d : descriptors) {
+    EXPECT_TRUE(DocumentsKey(doc, d.name))
+        << "metric '" << d.name
+        << "' is registered but not documented in docs/observability.md";
   }
 }
 

@@ -1,0 +1,285 @@
+// Tests for src/obs/: striped counters/gauges/histograms, the registry's
+// deterministic exports, the flight recorder, and the RS_METRICS=OFF
+// no-op surface. The concurrency tests double as the TSan target for the
+// striped-update design (ci runs this binary under -DRS_TSAN=ON).
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/catalog.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace robust_sampling {
+namespace obs {
+namespace {
+
+// --- catalog: static data, identical in both build modes ------------------
+
+TEST(ObsCatalogTest, DescriptorsAreUniqueAndWellFormed) {
+  const auto& catalog = AllMetricDescriptors();
+  ASSERT_GE(catalog.size(), 20u);
+  std::set<std::string> names;
+  for (const MetricDescriptor& d : catalog) {
+    EXPECT_TRUE(names.insert(d.name).second) << "duplicate name " << d.name;
+    EXPECT_TRUE(std::string(d.name).starts_with("rs_")) << d.name;
+    const std::string type = d.type;
+    EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+        << d.name << " has type " << type;
+    EXPECT_FALSE(std::string(d.help).empty()) << d.name;
+  }
+}
+
+TEST(ObsCatalogTest, AccessorsReturnStableInstances) {
+  Counter& a = PipelineIngestBatches();
+  Counter& b = PipelineIngestBatches();
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = WireSerializeNs("robust_sample");
+  Histogram& h2 = WireSerializeNs("robust_sample");
+  EXPECT_EQ(&h1, &h2);
+}
+
+#if RS_METRICS_ENABLED
+
+// --- primitives under concurrency -----------------------------------------
+
+TEST(ObsMetricsTest, CounterIsExactAfterConcurrentIncrements) {
+  Counter counter;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetricsTest, HistogramIsExactAfterConcurrentObserves) {
+  Histogram histogram;
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Observe(t * 1000 + (i % 7));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const Histogram::Aggregate agg = histogram.Read();
+  EXPECT_EQ(agg.count, kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) bucket_total += agg.buckets[b];
+  EXPECT_EQ(bucket_total, agg.count);
+  EXPECT_GT(agg.sum, 0u);
+}
+
+TEST(ObsMetricsTest, GaugeSetMaxIsMonotoneUnderConcurrency) {
+  Gauge gauge;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (int64_t v = 0; v < 10'000; ++v) gauge.SetMax(t * 10'000 + v);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(gauge.Value(), 3 * 10'000 + 9'999);
+}
+
+TEST(ObsMetricsTest, HistogramBucketsAreLog2Spaced) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // Values past the last finite bucket land in the +Inf overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), kHistogramBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+}
+
+TEST(ObsMetricsTest, HistogramQuantilesReturnBucketUpperBounds) {
+  Histogram histogram;
+  for (int i = 0; i < 90; ++i) histogram.Observe(100);   // bucket 7 (<=127)
+  for (int i = 0; i < 10; ++i) histogram.Observe(5000);  // bucket 13 (<=8191)
+  const Histogram::Aggregate agg = histogram.Read();
+  EXPECT_EQ(agg.ApproxQuantile(0.5), 127u);
+  EXPECT_EQ(agg.ApproxQuantile(0.99), 8191u);
+  EXPECT_EQ(agg.ApproxMax(), 8191u);
+}
+
+TEST(ObsMetricsTest, RuntimeDisableStopsUpdates) {
+  Counter counter;
+  counter.Increment();
+  SetRuntimeEnabled(false);
+  counter.Increment(100);
+  SetRuntimeEnabled(true);
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 2u);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(ObsRegistryTest, SameNameSameInstanceLabeledDistinct) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  Counter* a = registry.GetCounter("rs_test_repeat_total", "help");
+  Counter* b = registry.GetCounter("rs_test_repeat_total");
+  EXPECT_EQ(a, b);
+  Counter* labeled_x =
+      registry.GetCounter("rs_test_labeled_total", "", {"kind", "x"});
+  Counter* labeled_y =
+      registry.GetCounter("rs_test_labeled_total", "", {"kind", "y"});
+  EXPECT_NE(labeled_x, labeled_y);
+  EXPECT_EQ(labeled_x,
+            registry.GetCounter("rs_test_labeled_total", "", {"kind", "x"}));
+}
+
+TEST(ObsRegistryTest, SnapshotsAreDeterministicAndSorted) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("rs_test_det_b_total")->Increment(2);
+  registry.GetCounter("rs_test_det_a_total")->Increment(1);
+  registry.GetHistogram("rs_test_det_h_ns")->Observe(42);
+  const std::string first = registry.ToJson();
+  const std::string second = registry.ToJson();
+  EXPECT_EQ(first, second);
+  const std::vector<std::string> names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_LT(first.find("rs_test_det_a_total"),
+            first.find("rs_test_det_b_total"));
+}
+
+TEST(ObsRegistryTest, PrometheusTextExposesSeries) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("rs_test_prom_total", "a counter")->Increment(7);
+  registry.GetHistogram("rs_test_prom_ns", "a histogram")->Observe(100);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# HELP rs_test_prom_total a counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rs_test_prom_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("rs_test_prom_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rs_test_prom_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("rs_test_prom_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rs_test_prom_ns_sum 100"), std::string::npos);
+  EXPECT_NE(text.find("rs_test_prom_ns_count 1"), std::string::npos);
+}
+
+TEST(ObsRegistryTest, ToJsonRowsCarryNumericCells) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("rs_test_json_total")->Increment(5);
+  const std::string json = registry.ToJson();
+  // The value cell must be an unquoted number for bench_diff to compare.
+  EXPECT_NE(json.find("\"metric\": \"rs_test_json_total\", \"type\": "
+                      "\"counter\", \"value\": 5"),
+            std::string::npos)
+      << json;
+}
+
+// --- flight recorder --------------------------------------------------------
+
+TEST(ObsFlightRecorderTest, DumpMergesThreadsInSequenceOrder) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < 8; ++i) {
+        recorder.Record(TraceEventKind::kMark, "obs_test",
+                        "thread " + std::to_string(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const std::string dump = recorder.Dump();
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_NE(dump.find("thread " + std::to_string(t)), std::string::npos);
+  }
+}
+
+TEST(ObsFlightRecorderTest, RingOverwritesOldestEvents) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Record(TraceEventKind::kMark, "obs_test", "overwritten-marker");
+  for (size_t i = 0; i < kFlightRecorderRingEvents + 8; ++i) {
+    recorder.Record(TraceEventKind::kMark, "obs_test", "filler");
+  }
+  // This thread's ring holds only the newest kFlightRecorderRingEvents
+  // events, so the early marker is gone.
+  EXPECT_EQ(recorder.Dump().find("overwritten-marker"), std::string::npos);
+}
+
+TEST(ObsFlightRecorderTest, ErrorHookReceivesDumpNamingTheFailure) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  std::string captured;
+  recorder.SetErrorHook([&captured](const std::string& dump) {
+    captured = dump;
+  });
+  recorder.Record(TraceEventKind::kMark, "obs_test", "context before");
+  recorder.RecordError("obs_test", "the failing operation", 17);
+  recorder.SetErrorHook(nullptr);
+  EXPECT_NE(captured.find("context before"), std::string::npos);
+  EXPECT_NE(captured.find("the failing operation"), std::string::npos);
+  EXPECT_NE(captured.find("ERROR"), std::string::npos);
+  EXPECT_NE(captured.find("(arg=17)"), std::string::npos);
+}
+
+TEST(ObsFlightRecorderTest, TraceSpanRecordsBeginAndEnd) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  { TraceSpan span("obs_test", "span-under-test"); }
+  const std::string dump = recorder.Dump();
+  const size_t begin = dump.find("begin");
+  EXPECT_NE(begin, std::string::npos);
+  EXPECT_NE(dump.find("span-under-test"), std::string::npos);
+  EXPECT_NE(dump.find("end"), std::string::npos);
+}
+
+#else  // !RS_METRICS_ENABLED
+
+// The OFF build keeps the whole API callable but inert: no counts, empty
+// exports, empty dumps. This is what the ci metrics-off job asserts.
+
+TEST(ObsOffTest, UpdatesAreNoOps) {
+  Counter counter;
+  counter.Increment(100);
+  EXPECT_EQ(counter.Value(), 0u);
+  Gauge gauge;
+  gauge.SetMax(5);
+  EXPECT_EQ(gauge.Value(), 0);
+  Histogram histogram;
+  histogram.Observe(42);
+  EXPECT_EQ(histogram.Read().count, 0u);
+  EXPECT_EQ(NowNanos(), 0u);
+}
+
+TEST(ObsOffTest, ExportsAreEmpty) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("rs_test_off_total")->Increment();
+  EXPECT_EQ(registry.ToJson(), "[]");
+  EXPECT_EQ(registry.ToPrometheusText(), "");
+  EXPECT_TRUE(registry.Names().empty());
+}
+
+TEST(ObsOffTest, FlightRecorderIsInert) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Record(TraceEventKind::kMark, "obs_test", "ignored");
+  recorder.RecordError("obs_test", "ignored too");
+  EXPECT_EQ(recorder.Dump(), "");
+  { TraceSpan span("obs_test", "ignored span"); }
+  EXPECT_EQ(recorder.Dump(), "");
+}
+
+#endif  // RS_METRICS_ENABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace robust_sampling

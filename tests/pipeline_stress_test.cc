@@ -20,6 +20,8 @@
 
 #include "core/random.h"
 #include "gtest/gtest.h"
+#include "obs/catalog.h"
+#include "obs/metrics.h"
 #include "pipeline/batch_pool.h"
 #include "pipeline/sharded_pipeline.h"
 #include "pipeline/spsc_ring.h"
@@ -374,6 +376,59 @@ TEST(PipelineStressTest, SteadyStateIngestIsAllocationFreeRoundRobin) {
 
 TEST(PipelineStressTest, SteadyStateIngestIsAllocationFreeHash) {
   ExpectZeroProducerAllocations(PartitionPolicy::kHash);
+}
+
+// Rejection (oversized batch, dropped at the door) and backpressure (ring
+// full, producer blocks but nothing is lost) are different events and must
+// be counted separately — the silent-drop blind spot the obs/ layer
+// closes. A single-slot ring with max-size batches makes stalls certain;
+// an over-limit batch makes rejection certain.
+TEST(PipelineStressTest, RejectionAndBackpressureAreDistinctlyCounted) {
+  SketchConfig config;
+  config.kind = "count_min";
+  config.width = 256;
+  config.depth = 4;
+  config.seed = 91;
+  PipelineOptions options;
+  options.num_shards = 1;
+  options.ring_capacity = 1;
+  options.max_batch_elements = 1 << 16;
+  ShardedPipeline<int64_t> pipeline(config, options);
+  const auto stream = UniformIntStream(1 << 16, 1 << 20, 93);
+
+#if RS_METRICS_ENABLED
+  const uint64_t rejected_before = obs::PipelineRejectedBatches().Value();
+  const uint64_t stalls_before = obs::PipelineBackpressureStalls().Value();
+#endif
+
+  // Oversized batches: refused by both ingest paths, nothing queued or
+  // sketched, and the return value says so.
+  const std::vector<int64_t> oversized(options.max_batch_elements + 1, 7);
+  EXPECT_FALSE(pipeline.Ingest(oversized));
+  EXPECT_FALSE(pipeline.IngestBorrowed(std::span<const int64_t>(oversized)));
+  EXPECT_EQ(pipeline.rejected_batches(), 2u);
+  EXPECT_EQ(pipeline.backpressure_waits(), 0u);
+  EXPECT_EQ(pipeline.total_ingested(), 0u);
+
+  // Admitted max-size batches through a single-slot ring: the producer
+  // outruns the worker and must block at least once — and loses nothing.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pipeline.Ingest(stream));
+  }
+  pipeline.Flush();
+  EXPECT_GT(pipeline.backpressure_waits(), 0u);
+  EXPECT_EQ(pipeline.rejected_batches(), 2u);
+  EXPECT_EQ(pipeline.total_ingested(), 50u * stream.size());
+  EXPECT_EQ(pipeline.Snapshot().StreamSize(), 50u * stream.size());
+
+#if RS_METRICS_ENABLED
+  // The obs counters saw exactly this pipeline's events (tests in this
+  // binary run sequentially, so deltas are attributable).
+  EXPECT_EQ(obs::PipelineRejectedBatches().Value() - rejected_before, 2u);
+  EXPECT_EQ(obs::PipelineBackpressureStalls().Value() - stalls_before,
+            pipeline.backpressure_waits());
+  EXPECT_GE(obs::PipelineRingOccupancyHwm().Value(), 1);
+#endif
 }
 
 }  // namespace

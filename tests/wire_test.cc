@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "pipeline/sharded_pipeline.h"
 #include "pipeline/sketch_config.h"
 #include "pipeline/sketch_registry.h"
@@ -578,6 +580,71 @@ TEST(WireCheckpointTest, RestoreRejectsBadInputs) {
             nullptr);
   EXPECT_FALSE(error.empty());
   std::remove(path.c_str());
+}
+
+// ------------------------------------------------- flight recorder ----
+
+// A forced wire-codec failure must leave a flight-recorder dump naming
+// the failing frame — the observability contract for corrupt snapshots
+// and checkpoints (no silent rejection).
+TEST(WireFlightRecorderTest, CorruptSnapshotLeavesDumpNamingTheFrame) {
+  const SketchConfig config = SmallConfig("reservoir");
+  auto sketch = SketchRegistry<int64_t>::Global().Create(config);
+  sketch.InsertBatch(TestStream(1000, 0x77));
+  wire::BufferSink sink;
+  ASSERT_TRUE(wire::WriteSnapshot(sketch, config, sink));
+
+  // Flip one byte in the middle of the body so the envelope checksum
+  // catches it.
+  std::vector<uint8_t> corrupt(sink.bytes().begin(), sink.bytes().end());
+  corrupt[corrupt.size() / 2] ^= 0x40;
+
+  std::string captured;
+  obs::FlightRecorder::Global().SetErrorHook(
+      [&captured](const std::string& dump) { captured = dump; });
+  wire::BufferSource source(corrupt);
+  std::string error;
+  EXPECT_FALSE(wire::ReadSnapshot<int64_t>(source, &error).valid());
+  obs::FlightRecorder::Global().SetErrorHook(nullptr);
+
+#if RS_METRICS_ENABLED
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+  // The dump names the snapshot frame magic and the rejection reason.
+  EXPECT_NE(captured.find("frame RSNP"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("checksum mismatch"), std::string::npos)
+      << captured;
+#else
+  EXPECT_TRUE(captured.empty());
+#endif
+}
+
+TEST(WireFlightRecorderTest, CorruptCheckpointLeavesDumpNamingTheFrame) {
+  const SketchConfig config = SmallConfig("reservoir");
+  PipelineOptions options;
+  options.num_shards = 2;
+  const std::string path = TempPath("wire_fr_checkpoint.ck");
+  std::string error;
+  {
+    ShardedPipeline<int64_t> pipeline(config, options);
+    pipeline.Ingest(TestStream(2000, 0x88));
+    ASSERT_TRUE(pipeline.Checkpoint(path, &error)) << error;
+  }
+  // Truncate the file so the framed read fails partway.
+  ASSERT_EQ(truncate(path.c_str(), 20), 0);
+
+  std::string captured;
+  obs::FlightRecorder::Global().SetErrorHook(
+      [&captured](const std::string& dump) { captured = dump; });
+  EXPECT_EQ(ShardedPipeline<int64_t>::Restore(path, options, &error),
+            nullptr);
+  obs::FlightRecorder::Global().SetErrorHook(nullptr);
+  std::remove(path.c_str());
+
+#if RS_METRICS_ENABLED
+  EXPECT_NE(captured.find("frame RSCK"), std::string::npos) << captured;
+#else
+  EXPECT_TRUE(captured.empty());
+#endif
 }
 
 }  // namespace

@@ -1,24 +1,43 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_*.json files and print per-row deltas.
+"""Compare BENCH_*.json files and print per-row deltas and drifts.
 
-Usage: bench_diff.py BASELINE.json CURRENT.json
+Usage:
+  bench_diff.py BASELINE.json CURRENT.json
+  bench_diff.py --window BASELINE_DIR CURRENT.json
+
+Two-file mode diffs CURRENT against BASELINE row by row. Window mode
+diffs CURRENT against a rolling window of baselines kept in
+BASELINE_DIR: `<name>.json` is the newest baseline, `<name>.json.1` the
+one before it, `.2` older still, and so on (CI rotates them each run).
+The per-row delta is printed against the newest baseline; in addition,
+any row whose value moved in the SAME direction across every snapshot
+from the oldest baseline through the current run (>= 3 points) with a
+net relative change >= 5% is flagged as a DRIFT — the slow monotone
+regression a single-pair diff waves through.
 
 Understands both JSON shapes the repo produces:
-  * google-benchmark output (bench_t1..t3): {"benchmarks": [{"name": ...,
-    "real_time": ..., "items_per_second"?: ...}, ...]} — rows are keyed by
-    benchmark name; throughput (items_per_second) is compared when present,
-    else real_time (lower is better).
-  * harness WriteBenchJson output (bench_t4_wire): {"bench": ..., "rows":
-    [{col: value, ...}, ...]} — rows are keyed by their non-numeric
-    columns; every numeric column is compared.
+  * google-benchmark output (bench_t1/t2): {"benchmarks": [{"name": ...,
+    "real_time": ..., "items_per_second"?: ...}, ...]} — rows are keyed
+    by benchmark name; throughput (items_per_second) is compared when
+    present, else real_time (lower is better).
+  * harness WriteBenchJson output (bench_t3/t4): {"bench": ..., "meta":
+    {...}, "rows": [{col: value, ...}], "metrics"?: [...]} — rows are
+    keyed by their non-numeric columns; every numeric column is
+    compared. An embedded "metrics" snapshot (from --metrics) is diffed
+    the same way under a "[metrics] " key prefix.
 
-Exit code is always 0: the diff is a visibility tool for the CI job log
-(perf regressions across PRs), not a gate — machine noise on shared
-runners would make a hard threshold flaky.
+Exit code is always 0 (on well-formed input): the diff is a visibility
+tool for the CI job log, not a gate — machine noise on shared runners
+would make a hard threshold flaky. DRIFT lines are prefixed so a human
+(or a log grep) can spot them.
 """
 
 import json
+import os
 import sys
+
+DRIFT_THRESHOLD = 0.05  # net relative change for a monotone run to matter
+MIN_DRIFT_POINTS = 3    # oldest baseline .. current, inclusive
 
 
 def load(path):
@@ -46,12 +65,11 @@ def google_benchmark_rows(doc):
     return rows
 
 
-def harness_rows(doc):
-    """row-key -> {column: value} for WriteBenchJson output."""
-    rows = {}
-    for row in doc.get("rows", []):
+def add_table_rows(rows, table, prefix):
+    """Fold a list of {col: value} dicts into rows, keyed by text columns."""
+    for row in table:
         key = " ".join(str(v) for v in row.values() if not is_number(v))
-        key = key or "?"
+        key = prefix + (key or "?")
         # Same textual key on several rows (e.g. a sweep over a numeric
         # knob): disambiguate by order so pairing stays stable.
         if key in rows:
@@ -65,21 +83,22 @@ def harness_rows(doc):
     return rows
 
 
+def harness_rows(doc):
+    """row-key -> {column: value} for WriteBenchJson output."""
+    rows = {}
+    add_table_rows(rows, doc.get("rows", []), "")
+    add_table_rows(rows, doc.get("metrics", []), "[metrics] ")
+    return rows
+
+
 def parse(doc):
     if "benchmarks" in doc:
         return google_benchmark_rows(doc)
     return harness_rows(doc)
 
 
-def main():
-    if len(sys.argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    baseline_path, current_path = sys.argv[1], sys.argv[2]
-    baseline = parse(load(baseline_path))
-    current = parse(load(current_path))
-
-    print(f"# bench diff: {baseline_path} -> {current_path}")
+def print_diff(baseline, current, header):
+    print(header)
     width = max([len(k) for k in current] + [len("row")])
     print(f"{'row':<{width}}  {'metric':<18} {'baseline':>14} "
           f"{'current':>14} {'delta':>8}")
@@ -97,11 +116,107 @@ def main():
     for key in baseline:
         if key not in current:
             print(f"{key:<{width}}  (row disappeared)")
+
+
+def monotone_drift(series, threshold=DRIFT_THRESHOLD,
+                   min_points=MIN_DRIFT_POINTS):
+    """('up'|'down', net_relative_change) for a strictly monotone series
+    with enough points and enough net movement, else None."""
+    if len(series) < min_points:
+        return None
+    deltas = [b - a for a, b in zip(series, series[1:])]
+    if all(d > 0 for d in deltas):
+        direction = "up"
+    elif all(d < 0 for d in deltas):
+        direction = "down"
+    else:
+        return None
+    first = series[0]
+    if first == 0:
+        return None
+    net = (series[-1] - first) / abs(first)
+    if abs(net) < threshold:
+        return None
+    return direction, net
+
+
+def find_drifts(snapshots):
+    """snapshots: parsed row-dicts ordered oldest -> ... -> current.
+    Yields (row_key, metric, direction, net) for every monotone drift on
+    a row/metric present in ALL snapshots."""
+    drifts = []
+    current = snapshots[-1]
+    for key in current:
+        if not all(key in snap for snap in snapshots):
+            continue
+        for metric in current[key]:
+            if not all(metric in snap[key] for snap in snapshots):
+                continue
+            series = [snap[key][metric] for snap in snapshots]
+            verdict = monotone_drift(series)
+            if verdict is not None:
+                drifts.append((key, metric, verdict[0], verdict[1]))
+    return drifts
+
+
+def window_baseline_paths(directory, current_path):
+    """Baseline files for current_path, newest first: <name>, <name>.1, ..."""
+    base = os.path.basename(current_path)
+    paths = []
+    newest = os.path.join(directory, base)
+    if os.path.isfile(newest):
+        paths.append(newest)
+        i = 1
+        while os.path.isfile(os.path.join(directory, f"{base}.{i}")):
+            paths.append(os.path.join(directory, f"{base}.{i}"))
+            i += 1
+    return paths
+
+
+def run_two_file(baseline_path, current_path):
+    baseline = parse(load(baseline_path))
+    current = parse(load(current_path))
+    print_diff(baseline, current,
+               f"# bench diff: {baseline_path} -> {current_path}")
     return 0
+
+
+def run_window(directory, current_path):
+    baselines = window_baseline_paths(directory, current_path)
+    current = parse(load(current_path))
+    if not baselines:
+        print(f"# bench diff: no baseline for "
+              f"{os.path.basename(current_path)} in {directory} "
+              f"(first run?)")
+        return 0
+    print_diff(parse(load(baselines[0])), current,
+               f"# bench diff: {baselines[0]} -> {current_path} "
+               f"(window of {len(baselines)})")
+    # Oldest -> newest baseline -> current for the drift scan.
+    snapshots = [parse(load(p)) for p in reversed(baselines)] + [current]
+    drifts = find_drifts(snapshots)
+    if drifts:
+        print(f"# monotone drifts over {len(snapshots)} snapshots "
+              f"(net change >= {DRIFT_THRESHOLD:.0%}):")
+        for key, metric, direction, net in drifts:
+            print(f"DRIFT {key}  {metric}  {direction} {net:+.1%} "
+                  f"over {len(snapshots)} runs")
+    else:
+        print(f"# no monotone drifts over {len(snapshots)} snapshots")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 4 and argv[1] == "--window":
+        return run_window(argv[2], argv[3])
+    if len(argv) == 3 and not argv[1].startswith("--"):
+        return run_two_file(argv[1], argv[2])
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":
     try:
-        sys.exit(main())
+        sys.exit(main(sys.argv))
     except BrokenPipeError:  # e.g. piped into head
         sys.exit(0)

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py: row parsing (both JSON shapes + embedded
+metrics), monotone-drift detection, and the rolling-window mode end to
+end against temp files. Registered as a ctest so CI runs it with the
+C++ suites."""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402
+
+
+def harness_doc(secs, metrics=None):
+    doc = {
+        "bench": "t3",
+        "meta": {"git_sha": "abc1234", "build_type": "Release"},
+        "rows": [
+            {"impl": "ring-zc", "shards": "4", "secs": secs,
+             "melems_per_sec": 100.0 / secs},
+        ],
+    }
+    if metrics is not None:
+        doc["metrics"] = metrics
+    return doc
+
+
+class ParseTest(unittest.TestCase):
+    def test_harness_rows_keyed_by_text_columns(self):
+        rows = bench_diff.parse(harness_doc(2.0))
+        self.assertEqual(list(rows), ["ring-zc 4"])
+        self.assertEqual(rows["ring-zc 4"]["secs"], 2.0)
+        self.assertEqual(rows["ring-zc 4"]["melems_per_sec"], 50.0)
+
+    def test_duplicate_keys_get_stable_suffixes(self):
+        doc = {"rows": [{"impl": "a", "v": 1}, {"impl": "a", "v": 2}]}
+        rows = bench_diff.parse(doc)
+        self.assertEqual(list(rows), ["a", "a #2"])
+        self.assertEqual(rows["a #2"]["v"], 2)
+
+    def test_embedded_metrics_rows_get_prefix(self):
+        metrics = [{"metric": "rs_pipeline_ingest_elements_total",
+                    "type": "counter", "value": 4096}]
+        rows = bench_diff.parse(harness_doc(1.0, metrics))
+        key = "[metrics] rs_pipeline_ingest_elements_total counter"
+        self.assertIn(key, rows)
+        self.assertEqual(rows[key]["value"], 4096)
+
+    def test_google_benchmark_rows_prefer_throughput(self):
+        doc = {"benchmarks": [
+            {"name": "BM_X", "real_time": 5.0, "items_per_second": 9.0},
+            {"name": "BM_Y", "real_time": 7.0},
+            {"name": "BM_Y_mean", "real_time": 7.0, "run_type": "aggregate"},
+        ]}
+        rows = bench_diff.parse(doc)
+        self.assertEqual(rows["BM_X"], {"items_per_second": 9.0})
+        self.assertEqual(rows["BM_Y"], {"real_time": 7.0})
+        self.assertNotIn("BM_Y_mean", rows)
+
+    def test_booleans_are_key_text_not_metrics(self):
+        rows = bench_diff.parse({"rows": [{"impl": "a", "ok": True, "v": 3}]})
+        self.assertEqual(rows["a True"], {"v": 3})
+
+
+class DriftTest(unittest.TestCase):
+    def test_monotone_up_over_threshold(self):
+        self.assertEqual(bench_diff.monotone_drift([1.0, 1.1, 1.2])[0], "up")
+
+    def test_monotone_down(self):
+        direction, net = bench_diff.monotone_drift([2.0, 1.5, 1.0])
+        self.assertEqual(direction, "down")
+        self.assertAlmostEqual(net, -0.5)
+
+    def test_non_monotone_is_ignored(self):
+        self.assertIsNone(bench_diff.monotone_drift([1.0, 1.5, 1.2]))
+
+    def test_small_net_change_is_ignored(self):
+        self.assertIsNone(bench_diff.monotone_drift([1.00, 1.01, 1.02]))
+
+    def test_too_few_points_is_ignored(self):
+        self.assertIsNone(bench_diff.monotone_drift([1.0, 2.0]))
+
+    def test_zero_start_is_ignored(self):
+        self.assertIsNone(bench_diff.monotone_drift([0.0, 1.0, 2.0]))
+
+    def test_find_drifts_requires_presence_in_all_snapshots(self):
+        snaps = [
+            {"a": {"secs": 1.0}},
+            {"a": {"secs": 1.2}, "b": {"secs": 9.0}},
+            {"a": {"secs": 1.4}, "b": {"secs": 1.0}},
+        ]
+        drifts = bench_diff.find_drifts(snaps)
+        self.assertEqual([(d[0], d[2]) for d in drifts], [("a", "up")])
+
+
+class WindowTest(unittest.TestCase):
+    def write(self, directory, name, doc):
+        path = os.path.join(directory, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_main(self, argv):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = bench_diff.main(["bench_diff.py"] + argv)
+        return code, out.getvalue()
+
+    def test_window_mode_diffs_newest_and_flags_drift(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_dir = os.path.join(tmp, "baselines")
+            os.mkdir(base_dir)
+            # Rolling window: BENCH_t3.json newest, .1 older, .2 oldest.
+            self.write(base_dir, "BENCH_t3.json.2", harness_doc(1.0))
+            self.write(base_dir, "BENCH_t3.json.1", harness_doc(1.2))
+            self.write(base_dir, "BENCH_t3.json", harness_doc(1.4))
+            current = self.write(tmp, "BENCH_t3.json", harness_doc(1.6))
+            code, out = self.run_main(["--window", base_dir, current])
+            self.assertEqual(code, 0)
+            self.assertIn("window of 3", out)
+            # secs drifts up (1.0 -> 1.6); throughput drifts down.
+            self.assertIn("DRIFT ring-zc 4  secs  up", out)
+            self.assertIn("DRIFT ring-zc 4  melems_per_sec  down", out)
+
+    def test_window_mode_without_baselines_is_first_run(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_dir = os.path.join(tmp, "baselines")
+            os.mkdir(base_dir)
+            current = self.write(tmp, "BENCH_t3.json", harness_doc(1.0))
+            code, out = self.run_main(["--window", base_dir, current])
+            self.assertEqual(code, 0)
+            self.assertIn("first run", out)
+
+    def test_window_mode_no_drift_on_noise(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_dir = os.path.join(tmp, "baselines")
+            os.mkdir(base_dir)
+            self.write(base_dir, "BENCH_t3.json.1", harness_doc(1.3))
+            self.write(base_dir, "BENCH_t3.json", harness_doc(1.1))
+            current = self.write(tmp, "BENCH_t3.json", harness_doc(1.2))
+            code, out = self.run_main(["--window", base_dir, current])
+            self.assertEqual(code, 0)
+            self.assertIn("no monotone drifts", out)
+
+    def test_two_file_mode_still_works(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            a = self.write(tmp, "a.json", harness_doc(1.0))
+            b = self.write(tmp, "b.json", harness_doc(2.0))
+            code, out = self.run_main([a, b])
+            self.assertEqual(code, 0)
+            self.assertIn("+100.0%", out)
+
+    def test_bad_usage_exits_2(self):
+        code, _ = self.run_main(["--window", "only-one-arg"])
+        self.assertEqual(code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
