@@ -21,8 +21,12 @@ constexpr MetricDescriptor kCatalog[] = {
      "Publishes that blocked on a full shard ring before succeeding"},
     {"rs_pipeline_shard_elements_total", "counter", "shard",
      "Elements folded into this shard's sketch"},
+    {"rs_pipeline_producer_elements_total", "counter", "producer",
+     "Elements accepted through this producer handle"},
     {"rs_pipeline_ring_occupancy_hwm", "gauge", "",
      "High-water mark of shard ring occupancy (batch slices queued)"},
+    {"rs_pipeline_partition_ns", "histogram", "",
+     "Hash-partition pass latency per batch (hash, bucket, scatter)"},
     {"rs_pipeline_flush_ns", "histogram", "",
      "ShardedPipeline Flush latency (wait for all workers idle)"},
     {"rs_pipeline_checkpoint_ns", "histogram", "",
@@ -121,9 +125,20 @@ Counter& PipelineShardElements(size_t shard) {
       d.name, d.help, {d.label_key, std::to_string(shard)});
 }
 
+Counter& PipelineProducerElements(size_t producer) {
+  const MetricDescriptor& d = Find("rs_pipeline_producer_elements_total");
+  return *MetricRegistry::Global().GetCounter(
+      d.name, d.help, {d.label_key, std::to_string(producer)});
+}
+
 Gauge& PipelineRingOccupancyHwm() {
   static Gauge& g = CatalogGauge("rs_pipeline_ring_occupancy_hwm");
   return g;
+}
+
+Histogram& PipelinePartitionNs() {
+  static Histogram& h = CatalogHistogram("rs_pipeline_partition_ns");
+  return h;
 }
 
 Histogram& PipelineFlushNs() {

@@ -47,7 +47,13 @@ Counter& PipelineRejectedBatches();
 Counter& PipelineBackpressureStalls();
 /// Elements folded into shard `shard`'s sketch (label: shard index).
 Counter& PipelineShardElements(size_t shard);
+/// Elements accepted through producer handle `producer` (label: producer
+/// index) — the per-column view of the P x S fan-in matrix.
+Counter& PipelineProducerElements(size_t producer);
 Gauge& PipelineRingOccupancyHwm();
+/// Hash-partition pass latency per batch (hash + bucket + scatter +
+/// publish, both the vectorized and per-element paths).
+Histogram& PipelinePartitionNs();
 Histogram& PipelineFlushNs();
 Histogram& PipelineCheckpointNs();
 Histogram& PipelineCheckpointBytes();

@@ -88,7 +88,7 @@ class BatchSlice {
   size_t size_ = 0;
 };
 
-/// Freelist of refcounted batch buffers.
+/// Freelist of refcounted batch buffers, owned by ONE producer thread.
 ///
 /// Steady-state protocol (per producer batch):
 ///   1. `Acquire()` — pop a warm buffer (refcount starts at 1, the
@@ -99,11 +99,19 @@ class BatchSlice {
 ///   4. `Release(buffer)` — drop the producer reference; from here the
 ///      buffer lives exactly as long as its slices.
 ///
-/// Acquire/recycle take a mutex (once per batch, not per element); the
-/// refcount itself is lock-free so consumers on different threads release
-/// concurrently. The freelist grows on demand: allocation happens only
-/// while the pool is colder than the pipeline's high-water mark of
-/// in-flight batches, after which every Acquire is a freelist pop.
+/// Thread contract: Acquire/MakeSlice/Reserve are producer-side (one
+/// thread — in the multi-producer pipeline each registered producer owns
+/// its own pool, so producers never contend with each other); Release may
+/// be called from any thread (consumers recycle from the shard workers).
+///
+/// Two-level freelist: the producer keeps a private `local_free_` list it
+/// pops without any lock; consumers return buffers to a mutex-protected
+/// `returned_` stack, which the producer splices into its private list in
+/// one lock acquisition only when the private list runs dry. Steady state
+/// therefore costs the producer ~one mutex op per in-flight cycle instead
+/// of two per batch, and the refcount itself stays lock-free. The pool
+/// grows on demand: allocation happens only while it is colder than the
+/// pipeline's high-water mark of in-flight batches.
 template <typename T>
 class BatchPool {
  public:
@@ -124,7 +132,7 @@ class BatchPool {
     while (all_.size() < count) {
       auto owned = std::make_unique<BatchBuffer<T>>();
       owned->pool = this;
-      free_.push_back(owned.get());
+      local_free_.push_back(owned.get());
       all_.push_back(std::move(owned));
     }
     for (const auto& buffer : all_) {
@@ -132,19 +140,33 @@ class BatchPool {
         buffer->data.reserve(element_capacity);
       }
     }
+    // Room for every buffer on either list, so steady-state splices and
+    // returns never reallocate the list storage itself.
+    local_free_.reserve(all_.size());
+    returned_.reserve(all_.size());
   }
 
   /// Producer: returns a buffer with refcount 1 (the producer reference).
   /// Contents of `data` are unspecified; fill with assign/clear+push_back.
   BatchBuffer<T>* Acquire() {
+    if (!local_free_.empty()) {
+      BatchBuffer<T>* buffer = local_free_.back();
+      local_free_.pop_back();
+      buffer->refs.store(1, std::memory_order_relaxed);
+      return buffer;
+    }
     {
+      // Private list dry: splice everything the consumers returned.
       std::lock_guard<std::mutex> lock(mu_);
-      if (!free_.empty()) {
-        BatchBuffer<T>* buffer = free_.back();
-        free_.pop_back();
-        buffer->refs.store(1, std::memory_order_relaxed);
-        return buffer;
-      }
+      local_free_.insert(local_free_.end(), returned_.begin(),
+                         returned_.end());
+      returned_.clear();
+    }
+    if (!local_free_.empty()) {
+      BatchBuffer<T>* buffer = local_free_.back();
+      local_free_.pop_back();
+      buffer->refs.store(1, std::memory_order_relaxed);
+      return buffer;
     }
     // Cold path: the pool is below the in-flight high-water mark.
     auto owned = std::make_unique<BatchBuffer<T>>();
@@ -166,12 +188,12 @@ class BatchPool {
     return BatchSlice<T>(buffer, buffer->data.data() + offset, len);
   }
 
-  /// Drops one reference; recycles the buffer onto the freelist when the
-  /// count reaches zero. Called from any thread.
+  /// Drops one reference; recycles the buffer onto the return stack when
+  /// the count reaches zero. Called from any thread.
   void Release(BatchBuffer<T>* buffer) {
     if (buffer->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mu_);
-      free_.push_back(buffer);
+      returned_.push_back(buffer);
     }
   }
 
@@ -184,9 +206,16 @@ class BatchPool {
   }
 
  private:
+  std::vector<std::unique_ptr<BatchBuffer<T>>> all_;  // guarded by mu_
+
+  // Producer-private freelist: popped/refilled only by the owning
+  // producer thread, never under the lock.
+  std::vector<BatchBuffer<T>*> local_free_;
+
+  // Consumer return stack, guarded by mu_; spliced into local_free_ when
+  // the private list runs dry.
   mutable std::mutex mu_;
-  std::vector<std::unique_ptr<BatchBuffer<T>>> all_;
-  std::vector<BatchBuffer<T>*> free_;
+  std::vector<BatchBuffer<T>*> returned_;
 };
 
 template <typename T>

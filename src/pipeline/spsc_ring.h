@@ -13,6 +13,21 @@
 
 namespace robust_sampling {
 
+/// Shared consumer-side wakeup channel for a *group* of SPSC rings drained
+/// by one consumer thread (the pipeline's P-producers-one-shard fan-in
+/// column). The consumer declares itself waiting in `waiting`, re-checks
+/// every ring in the group, and sleeps on `cv`; any ring's producer that
+/// publishes into the group notifies `cv` iff it observes `waiting` after
+/// its cursor store (the same Dekker-style seq_cst pairing as the ring's
+/// private blocked edge, so a wakeup is never lost across the whole
+/// group). Attach with SpscRing::AttachConsumerGate before the consumer
+/// starts draining.
+struct FanInGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<bool> waiting{false};
+};
+
 /// Fixed-capacity single-producer/single-consumer ring buffer.
 ///
 /// The pipeline's per-shard mailbox: the producer thread pushes batch
@@ -59,6 +74,17 @@ class SpscRing {
 
   size_t capacity() const { return capacity_; }
 
+  /// Routes consumer-side wakeups through a gate shared by several rings
+  /// instead of this ring's private CV, so one consumer thread can sleep
+  /// on N rings at once (the pipeline's P-producer-one-shard fan-in
+  /// column). Must be called before any traffic. A gated ring's consumer
+  /// must drain via TryPop + the gate's declare/recheck/sleep protocol —
+  /// the blocking Pop() wakeup channel is rerouted to the gate, so Pop()
+  /// would sleep through pushes. Producer-side blocking (Push on full)
+  /// is untouched: each ring still has exactly one producer and its own
+  /// not-full CV.
+  void AttachConsumerGate(FanInGate* gate) { gate_ = gate; }
+
   /// Producer: attempts to move `v` into the ring. Returns false (leaving
   /// `v` untouched) when the ring is full.
   bool TryPush(V& v) {
@@ -73,7 +99,12 @@ class SpscRing {
     // sides are ordered by seq_cst fences): either we see its waiting flag
     // and notify, or it sees our new tail and never sleeps.
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (consumer_waiting_.load(std::memory_order_relaxed)) {
+    if (gate_ != nullptr) {
+      if (gate_->waiting.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(gate_->mu);
+        gate_->cv.notify_one();
+      }
+    } else if (consumer_waiting_.load(std::memory_order_relaxed)) {
       std::lock_guard<std::mutex> lock(mu_);
       not_empty_.notify_one();
     }
@@ -106,6 +137,16 @@ class SpscRing {
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     const uint64_t head = head_.load(std::memory_order_relaxed);
     return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  /// Consumer: true when a fresh acquire load of the producer cursor shows
+  /// nothing to pop. Unlike SizeApprox this is *exact from the consumer's
+  /// side*: after EmptyApprox() returns true inside the fan-in gate's
+  /// declare-then-recheck window, any later push is guaranteed to notify
+  /// the gate (the TryPush seq_cst pairing), so the consumer may sleep.
+  bool EmptyApprox() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
   }
 
   /// Consumer: attempts to pop into `out`. Returns false when empty.
@@ -148,7 +189,9 @@ class SpscRing {
   }
 
   /// Producer: marks the ring closed. The consumer drains any remaining
-  /// items, then Pop returns false. Idempotent.
+  /// items, then Pop returns false. Idempotent. Notifies the fan-in gate
+  /// too, so a gated consumer parked across the whole ring group wakes to
+  /// observe shutdown.
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -156,6 +199,10 @@ class SpscRing {
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+    if (gate_ != nullptr) {
+      std::lock_guard<std::mutex> lock(gate_->mu);
+      gate_->cv.notify_all();
+    }
   }
 
  private:
@@ -184,6 +231,10 @@ class SpscRing {
   std::atomic<bool> producer_waiting_{false};
   std::atomic<bool> consumer_waiting_{false};
   std::atomic<bool> closed_{false};
+
+  // Optional shared consumer-side wakeup channel (multi-ring fan-in); set
+  // once before traffic starts, then read-only on the hot path.
+  FanInGate* gate_ = nullptr;
 };
 
 }  // namespace robust_sampling

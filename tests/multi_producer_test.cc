@@ -1,0 +1,341 @@
+// Multi-producer ingestion correctness: P producer threads publishing
+// concurrently through their own SPSC ring columns (the P x S fan-in
+// matrix) must lose nothing, duplicate nothing, and keep every control-
+// surface contract — mid-stream snapshots, per-producer flush fencing,
+// and checkpoint/restore — while the workers race them. Tiny ring
+// capacities keep every blocking edge hot.
+//
+// Also the bit-identity oracle for the vectorized hash-partition pass:
+// with a single producer, the counting-sort scatter must yield exactly
+// the per-shard sequences of the per-element routing path, asserted as
+// checkpoint *byte* equality for CountMin and SpaceSaving.
+//
+// This file is part of the TSan CI job (test regex `^(pipeline|obs|
+// multi_producer)`): the per-lane pushed/completed flush fence replaced a
+// plain uint64_t `pushed` that raced once Flush could run concurrently
+// with ingestion — FlushRacesIngestionCleanly is the regression test that
+// fails under TSan on the old protocol.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/random.h"
+#include "gtest/gtest.h"
+#include "pipeline/sharded_pipeline.h"
+#include "pipeline/stream_sketch.h"
+#include "stream/generators.h"
+
+namespace robust_sampling {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+std::vector<char> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+SketchConfig CountMinConfig(uint64_t seed) {
+  SketchConfig config;
+  config.kind = "count_min";
+  config.width = 256;
+  config.depth = 4;
+  config.seed = seed;
+  return config;
+}
+
+/// Runs P producer threads, each ingesting its contiguous slice of
+/// `stream` through its own registered handle in seeded-random batch
+/// sizes (mixing copying and borrowed ingestion — the stream outlives the
+/// pipeline, satisfying the borrow contract). Returns after all joined.
+void RunProducers(ShardedPipeline<int64_t>& pipeline,
+                  std::span<const int64_t> stream, size_t num_producers,
+                  uint64_t seed) {
+  std::vector<std::thread> threads;
+  const size_t chunk = stream.size() / num_producers;
+  for (size_t p = 0; p < num_producers; ++p) {
+    const size_t begin = p * chunk;
+    const size_t end =
+        p + 1 == num_producers ? stream.size() : begin + chunk;
+    threads.emplace_back([&pipeline, stream, begin, end, seed, p] {
+      auto& producer = pipeline.RegisterProducer();
+      Rng rng(MixSeed(seed, uint64_t{p}));
+      size_t offset = begin;
+      while (offset < end) {
+        const size_t len =
+            std::min<size_t>(1 + rng.NextBelow(501), end - offset);
+        if (rng.NextBelow(2) == 0) {
+          producer.Ingest(stream.subspan(offset, len));
+        } else {
+          producer.IngestBorrowed(stream.subspan(offset, len));
+        }
+        offset += len;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// --- no loss, no duplication ------------------------------------------------
+
+// CountMin is linear, so its state is invariant under any reordering of
+// the same element multiset: a 4-shard hash-partitioned pipeline fed by 4
+// racing producers must answer every frequency query exactly like a
+// 1-shard reference fed serially — any lost or duplicated element would
+// shift some counter.
+TEST(MultiProducerTest, NoLossNoDuplicateAgainstSerialReference) {
+  constexpr size_t kProducers = 4;
+  const auto stream = ZipfIntStream(160000, 5000, 1.2, 1201);
+
+  PipelineOptions options;
+  options.num_shards = 4;
+  options.partition = PartitionPolicy::kHash;
+  options.ring_capacity = 2;  // tiny rings: constant backpressure
+  options.max_producers = kProducers;
+  ShardedPipeline<int64_t> pipeline(CountMinConfig(1297), options);
+  RunProducers(pipeline, stream, kProducers, 1301);
+
+  PipelineOptions reference_options;
+  reference_options.num_shards = 1;
+  ShardedPipeline<int64_t> reference(CountMinConfig(1297),
+                                     reference_options);
+  reference.Ingest(stream);
+
+  EXPECT_EQ(pipeline.total_ingested(), stream.size());
+  EXPECT_EQ(pipeline.registered_producers(), kProducers);
+  const auto sizes = pipeline.ShardStreamSizes();
+  size_t total = 0;
+  for (size_t s : sizes) total += s;
+  EXPECT_EQ(total, stream.size());
+
+  const auto merged = pipeline.Snapshot();
+  const auto single = reference.Snapshot();
+  ASSERT_EQ(merged.StreamSize(), single.StreamSize());
+  for (int64_t x = 1; x <= 5000; x += 7) {
+    ASSERT_EQ(merged.EstimateFrequency(x), single.EstimateFrequency(x))
+        << x;
+  }
+}
+
+// Round-robin with a sampler: conservation (StreamSize == everything the
+// producers pushed) under racing producers and single-slot rings.
+TEST(MultiProducerTest, RoundRobinConservesEveryElement) {
+  constexpr size_t kProducers = 4;
+  const auto stream = UniformIntStream(200000, 1 << 20, 1303);
+  SketchConfig config;
+  config.kind = "robust_sample";
+  config.eps = 0.1;
+  config.delta = 0.05;
+  config.seed = 1307;
+  PipelineOptions options;
+  options.num_shards = 4;
+  options.ring_capacity = 1;  // single-slot: worst-case contention
+  options.max_producers = kProducers;
+  ShardedPipeline<int64_t> pipeline(config, options);
+  RunProducers(pipeline, stream, kProducers, 1309);
+  EXPECT_EQ(pipeline.total_ingested(), stream.size());
+  EXPECT_EQ(pipeline.Snapshot().StreamSize(), stream.size());
+}
+
+// --- control surface under concurrent producers -----------------------------
+
+// Snapshots taken from a control thread while 4 producers race: each one
+// flushes first, so observed StreamSize must be monotone non-decreasing
+// and end exactly at the stream length after the producers join.
+TEST(MultiProducerTest, MidStreamSnapshotsAreMonotoneUnderIngestion) {
+  constexpr size_t kProducers = 4;
+  const auto stream = UniformIntStream(150000, 1 << 20, 1319);
+  PipelineOptions options;
+  options.num_shards = 2;
+  options.partition = PartitionPolicy::kHash;
+  options.ring_capacity = 2;
+  options.max_producers = kProducers;
+  ShardedPipeline<int64_t> pipeline(CountMinConfig(1321), options);
+
+  std::atomic<bool> done{false};
+  size_t last = 0;
+  bool monotone = true;
+  std::thread snapshotter([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const size_t size = pipeline.Snapshot().StreamSize();
+      if (size < last) monotone = false;
+      last = size;
+    }
+  });
+  RunProducers(pipeline, stream, kProducers, 1327);
+  done.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  EXPECT_TRUE(monotone);
+  EXPECT_LE(last, stream.size());
+  EXPECT_EQ(pipeline.Snapshot().StreamSize(), stream.size());
+}
+
+// Checkpoints written while producers are still publishing must be
+// valid, restorable files (the flush-fenced prefix plus possibly more,
+// nothing half-folded); a checkpoint after quiescence must capture the
+// exact final state.
+TEST(MultiProducerTest, CheckpointRestoreUnderConcurrentIngestion) {
+  constexpr size_t kProducers = 4;
+  const auto stream = ZipfIntStream(120000, 4000, 1.2, 1361);
+  const std::string mid_path = TempPath("multi_producer_mid.ck");
+  const std::string final_path = TempPath("multi_producer_final.ck");
+
+  PipelineOptions options;
+  options.num_shards = 2;
+  options.partition = PartitionPolicy::kHash;
+  options.ring_capacity = 4;
+  options.max_producers = kProducers;
+  ShardedPipeline<int64_t> pipeline(CountMinConfig(1367), options);
+
+  std::atomic<bool> done{false};
+  std::thread checkpointer([&] {
+    std::string error;
+    while (!done.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(pipeline.Checkpoint(mid_path, &error)) << error;
+    }
+  });
+  RunProducers(pipeline, stream, kProducers, 1373);
+  done.store(true, std::memory_order_relaxed);
+  checkpointer.join();
+
+  // The mid-stream checkpoint restores into a queryable pipeline whose
+  // stream size never exceeds what was published.
+  std::string error;
+  auto mid = ShardedPipeline<int64_t>::Restore(mid_path, options, &error);
+  ASSERT_NE(mid, nullptr) << error;
+  EXPECT_LE(mid->Snapshot().StreamSize(), stream.size());
+  EXPECT_LE(mid->total_ingested(), stream.size());
+
+  // Producers quiescent: the checkpoint is exact and the restored
+  // pipeline continues ingestion.
+  ASSERT_TRUE(pipeline.Checkpoint(final_path, &error)) << error;
+  auto restored =
+      ShardedPipeline<int64_t>::Restore(final_path, options, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  EXPECT_EQ(restored->Snapshot().StreamSize(), stream.size());
+  for (int64_t x = 1; x <= 4000; x += 13) {
+    ASSERT_EQ(restored->Snapshot().EstimateFrequency(x),
+              pipeline.Snapshot().EstimateFrequency(x))
+        << x;
+  }
+  restored->Ingest(std::span<const int64_t>(stream.data(), 1000));
+  EXPECT_EQ(restored->Snapshot().StreamSize(), stream.size() + 1000);
+  std::remove(mid_path.c_str());
+  std::remove(final_path.c_str());
+}
+
+// --- vectorized hash partition bit-identity ---------------------------------
+
+// The counting-sort scatter and the per-element routing loop must deliver
+// the same elements in the same order to every shard. Order matters for
+// SpaceSaving (evictions depend on arrival order), so checkpoint *byte*
+// equality across the two paths is the strongest possible statement:
+// every shard's full serialized state — counters, heap order and all — is
+// identical.
+void ExpectPartitionPathsBitIdentical(const SketchConfig& config) {
+  const auto stream = ZipfIntStream(100000, 3000, 1.1, 1399);
+  auto run = [&](bool vectorized) {
+    PipelineOptions options;
+    options.num_shards = 4;
+    options.partition = PartitionPolicy::kHash;
+    options.ring_capacity = 8;
+    options.vectorized_hash_partition = vectorized;
+    ShardedPipeline<int64_t> pipeline(config, options);
+    Rng rng(1409);  // same batch boundaries for both runs
+    size_t offset = 0;
+    while (offset < stream.size()) {
+      const size_t len = std::min<size_t>(1 + rng.NextBelow(777),
+                                          stream.size() - offset);
+      pipeline.Ingest(std::span<const int64_t>(stream.data() + offset, len));
+      offset += len;
+    }
+    const std::string path = TempPath(
+        "multi_producer_identity_" + config.kind +
+        (vectorized ? "_vec.ck" : "_ref.ck"));
+    std::string error;
+    EXPECT_TRUE(pipeline.Checkpoint(path, &error)) << error;
+    std::vector<char> bytes = ReadAllBytes(path);
+    std::remove(path.c_str());
+    EXPECT_FALSE(bytes.empty());
+    return bytes;
+  };
+  EXPECT_EQ(run(true), run(false)) << config.kind;
+}
+
+TEST(MultiProducerTest, VectorizedPartitionBitIdenticalCountMin) {
+  ExpectPartitionPathsBitIdentical(CountMinConfig(1423));
+}
+
+TEST(MultiProducerTest, VectorizedPartitionBitIdenticalSpaceSaving) {
+  SketchConfig config;
+  config.kind = "space_saving";
+  config.capacity = 64;
+  config.seed = 1427;
+  ExpectPartitionPathsBitIdentical(config);
+}
+
+// --- flush fencing ----------------------------------------------------------
+
+// Regression test for the latent Flush race: the old protocol read a
+// plain (non-atomic) per-shard `pushed` counter while the producer thread
+// incremented it — a data race TSan reports the moment Flush runs
+// concurrently with ingestion. The per-lane atomic pushed/completed fence
+// must keep this exact interleaving clean AND honor the semantic
+// contract: Flush observes every element published before it.
+TEST(MultiProducerTest, FlushRacesIngestionCleanly) {
+  const auto stream = UniformIntStream(120000, 1 << 20, 1429);
+  PipelineOptions options;
+  options.num_shards = 4;
+  options.partition = PartitionPolicy::kHash;
+  options.ring_capacity = 2;
+  options.max_producers = 2;
+  ShardedPipeline<int64_t> pipeline(CountMinConfig(1433), options);
+
+  constexpr size_t kBatch = 256;
+  constexpr size_t kPrefixBatches = 100;  // flag raised after this many
+  std::atomic<size_t> published_before_flag{0};
+  std::atomic<bool> flag{false};
+  std::thread producer([&] {
+    auto& handle = pipeline.RegisterProducer();
+    size_t published = 0;
+    for (size_t i = 0; i + kBatch <= stream.size(); i += kBatch) {
+      handle.Ingest(std::span<const int64_t>(stream.data() + i, kBatch));
+      published += kBatch;
+      if (i / kBatch + 1 == kPrefixBatches) {
+        published_before_flag.store(published, std::memory_order_release);
+        flag.store(true, std::memory_order_release);
+      }
+    }
+  });
+
+  // Race Flush against the ingesting producer the whole way through (the
+  // TSan half of the regression), then verify the fence semantics once
+  // the flag is up.
+  while (!flag.load(std::memory_order_acquire)) {
+    pipeline.Flush();
+  }
+  pipeline.Flush();
+  const size_t fenced = published_before_flag.load(std::memory_order_acquire);
+  // Every element published before the Flush must already be folded; the
+  // snapshot may contain more (the producer kept going), never less.
+  EXPECT_GE(pipeline.Snapshot().StreamSize(), fenced);
+  producer.join();
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.Snapshot().StreamSize(), pipeline.total_ingested());
+}
+
+}  // namespace
+}  // namespace robust_sampling

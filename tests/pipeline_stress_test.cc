@@ -378,6 +378,166 @@ TEST(PipelineStressTest, SteadyStateIngestIsAllocationFreeHash) {
   ExpectZeroProducerAllocations(PartitionPolicy::kHash);
 }
 
+// The zero-allocation contract extends to the multi-producer hot path:
+// every registered producer owns its own pre-warmed pool and its own
+// partition scratch, so each producer *thread* performs zero heap
+// allocations per Ingest in steady state (asserted per thread with the
+// thread-local counter — worker-thread recycling is out of scope).
+TEST(PipelineStressTest, SteadyStateMultiProducerIngestIsAllocationFree) {
+  constexpr size_t kBatch = 4096;
+  constexpr size_t kProducers = 2;
+  SketchConfig config;
+  config.kind = "count_min";
+  config.width = 256;
+  config.depth = 4;
+  config.seed = 97;
+  PipelineOptions options;
+  options.num_shards = 2;
+  options.partition = PartitionPolicy::kHash;  // exercises scatter scratch
+  options.ring_capacity = 8;
+  options.prewarm_batch_elements = kBatch;
+  options.max_producers = kProducers;
+  ShardedPipeline<int64_t> pipeline(config, options);
+  const auto stream = UniformIntStream(kBatch, 1 << 20, 101);
+  const size_t pooled_before = pipeline.PooledBuffers();
+
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&pipeline, &stream] {
+      auto& producer = pipeline.RegisterProducer();
+      // Warm-up: first hashed batches size the partition scratch vectors
+      // (their capacity is sticky afterwards).
+      for (int i = 0; i < 16; ++i) producer.Ingest(stream);
+      const uint64_t allocs_before = t_alloc_count;
+      for (int i = 0; i < 256; ++i) producer.Ingest(stream);
+      const uint64_t allocs_after = t_alloc_count;
+      EXPECT_EQ(allocs_after - allocs_before, 0u)
+          << "steady-state multi-producer Ingest allocated on its "
+             "producer thread";
+    });
+  }
+  for (auto& t : threads) t.join();
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.PooledBuffers(), pooled_before)
+      << "a producer pool grew past its pre-warmed size";
+  EXPECT_EQ(pipeline.total_ingested(), kProducers * 272 * kBatch);
+  EXPECT_EQ(pipeline.Snapshot().StreamSize(), kProducers * 272 * kBatch);
+}
+
+// --- seeded schedule fuzzer -------------------------------------------------
+
+// Property test: randomized interleavings of RegisterProducer / Ingest /
+// Flush / Snapshot / Checkpoint / ShardStreamSizes across random
+// topologies (shards, ring sizes, producer counts, both partition
+// policies, both hash-partition implementations). Two invariants checked
+// on every schedule:
+//   1. conservation — after the producers join, total_ingested and the
+//      merged snapshot's StreamSize equal the stream length exactly;
+//   2. flush fencing — every element whose Ingest call returned before a
+//      Flush is folded by the time that Flush returns (observed via the
+//      per-shard stream sizes, which flush first).
+void FuzzOneSchedule(uint64_t seed) {
+  Rng rng(seed);
+  const size_t num_producers = 1 + rng.NextBelow(4);
+  SketchConfig config;
+  config.kind = "count_min";  // linear: conservation is exact
+  config.width = 128;
+  config.depth = 4;
+  config.seed = MixSeed(seed, 0xfu);
+  PipelineOptions options;
+  options.num_shards = 1 + rng.NextBelow(4);
+  options.partition = rng.NextBelow(2) == 0 ? PartitionPolicy::kHash
+                                            : PartitionPolicy::kRoundRobin;
+  options.ring_capacity = 1 + rng.NextBelow(4);
+  options.max_producers = num_producers;
+  options.vectorized_hash_partition = rng.NextBelow(2) == 0;
+  ShardedPipeline<int64_t> pipeline(config, options);
+
+  const auto stream = UniformIntStream(60000, 1 << 20, MixSeed(seed, 0x5u));
+  // Elements whose Ingest has RETURNED (bumped after the call), the
+  // fuzzer's published-before-flush clock.
+  std::atomic<size_t> published{0};
+  std::atomic<size_t> active{0};
+
+  std::vector<std::thread> threads;
+  const size_t chunk = stream.size() / num_producers;
+  for (size_t p = 0; p < num_producers; ++p) {
+    const size_t begin = p * chunk;
+    const size_t end = p + 1 == num_producers ? stream.size() : begin + chunk;
+    active.fetch_add(1, std::memory_order_relaxed);
+    threads.emplace_back([&, begin, end, p] {
+      // RegisterProducer itself is part of the fuzzed schedule: it races
+      // the control actions below and other registrations.
+      Rng thread_rng(MixSeed(seed, 0x100 + p));
+      auto& producer = pipeline.RegisterProducer();
+      size_t offset = begin;
+      while (offset < end) {
+        const size_t len =
+            std::min<size_t>(1 + thread_rng.NextBelow(301), end - offset);
+        const auto batch = std::span<const int64_t>(
+            stream.data() + offset, len);
+        if (thread_rng.NextBelow(2) == 0) {
+          producer.Ingest(batch);
+        } else {
+          producer.IngestBorrowed(batch);
+        }
+        offset += len;
+        published.fetch_add(len, std::memory_order_acq_rel);
+      }
+      active.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // Control-plane driver: random control actions racing the producers.
+  const std::string path =
+      "/tmp/pipeline_fuzz_" + std::to_string(seed) + ".ck";
+  std::string error;
+  bool checkpointed = false;
+  while (active.load(std::memory_order_acquire) != 0) {
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        const size_t before = published.load(std::memory_order_acquire);
+        pipeline.Flush();
+        const auto sizes = pipeline.ShardStreamSizes();
+        size_t folded = 0;
+        for (size_t s : sizes) folded += s;
+        ASSERT_GE(folded, before)
+            << "Flush missed elements published before it (seed " << seed
+            << ")";
+        break;
+      }
+      case 1:
+        ASSERT_LE(pipeline.Snapshot().StreamSize(), stream.size());
+        break;
+      case 2:
+        ASSERT_TRUE(pipeline.Checkpoint(path, &error)) << error;
+        checkpointed = true;
+        break;
+      case 3:
+        ASSERT_LE(pipeline.ShardQueueDepth(rng.NextBelow(
+                      options.num_shards)),
+                  num_producers * pipeline.options().ring_capacity * 2);
+        break;
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.total_ingested(), stream.size());
+  EXPECT_EQ(pipeline.Snapshot().StreamSize(), stream.size());
+  if (checkpointed) {
+    auto restored =
+        ShardedPipeline<int64_t>::Restore(path, options, &error);
+    ASSERT_NE(restored, nullptr) << error;
+    EXPECT_LE(restored->Snapshot().StreamSize(), stream.size());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PipelineStressTest, FuzzedControlScheduleSeed1) { FuzzOneSchedule(1); }
+TEST(PipelineStressTest, FuzzedControlScheduleSeed2) { FuzzOneSchedule(2); }
+TEST(PipelineStressTest, FuzzedControlScheduleSeed3) { FuzzOneSchedule(3); }
+
 // Rejection (oversized batch, dropped at the door) and backpressure (ring
 // full, producer blocks but nothing is lost) are different events and must
 // be counted separately — the silent-drop blind spot the obs/ layer

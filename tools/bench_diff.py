@@ -4,6 +4,7 @@
 Usage:
   bench_diff.py BASELINE.json CURRENT.json
   bench_diff.py --window BASELINE_DIR CURRENT.json
+  bench_diff.py --gate t3 CURRENT.json
 
 Two-file mode diffs CURRENT against BASELINE row by row. Window mode
 diffs CURRENT against a rolling window of baselines kept in
@@ -26,18 +27,39 @@ Understands both JSON shapes the repo produces:
     compared. An embedded "metrics" snapshot (from --metrics) is diffed
     the same way under a "[metrics] " key prefix.
 
-Exit code is always 0 (on well-formed input): the diff is a visibility
-tool for the CI job log, not a gate — machine noise on shared runners
-would make a hard threshold flaky. DRIFT lines are prefixed so a human
-(or a log grep) can spot them.
+In diff/window modes the exit code is always 0 (on well-formed input):
+the diff is a visibility tool for the CI job log, not a gate — machine
+noise on shared runners would make a hard threshold flaky. DRIFT lines
+are prefixed so a human (or a log grep) can spot them.
+
+Gate mode (`--gate t3`) IS a hard gate: it enforces the two ROADMAP
+scaling acceptance criteria on a BENCH_t3.json produced by
+bench_t3_pipeline and exits 1 on violation:
+  1. ring-zc throughput (`ring-zc/p{P}s{S}` rows, Melem/s) monotone
+     non-decreasing across shard counts at every producer count P >= 4,
+     within a 0.90 noise floor per step;
+  2. hash partitioning (`hash/p{P}s4` rows) >= the single-thread
+     insert-loop baseline at 4 shards for P >= 4, within a 0.95 noise
+     floor.
+Both rules only score (P, S) points the host can actually run
+concurrently (P + S <= meta.hardware_threads) — on smaller machines the
+infeasible points are reported as GATE SKIP, not failed, so the gate is
+meaningful on big CI runners and vacuous rather than flaky on laptops.
 """
 
 import json
 import os
+import re
 import sys
 
 DRIFT_THRESHOLD = 0.05  # net relative change for a monotone run to matter
 MIN_DRIFT_POINTS = 3    # oldest baseline .. current, inclusive
+
+GATE_STEP_FLOOR = 0.90  # per-step noise floor for the monotone rule
+GATE_BASELINE_FLOOR = 0.95  # noise floor for hash-vs-baseline
+GATE_MIN_PRODUCERS = 4
+ZC_ROW_RE = re.compile(r"^ring-zc/p(\d+)s(\d+)$")
+HASH_ROW_RE = re.compile(r"^hash/p(\d+)s(\d+)$")
 
 
 def load(path):
@@ -206,9 +228,111 @@ def run_window(directory, current_path):
     return 0
 
 
+def gate_points(rows, pattern, throughput_col):
+    """(producers, shards) -> Melem/s for rows whose engine matches."""
+    points = {}
+    for row in rows:
+        match = pattern.match(str(row.get("engine", "")))
+        if match and is_number(row.get(throughput_col)):
+            points[(int(match.group(1)), int(match.group(2)))] = \
+                row[throughput_col]
+    return points
+
+
+def run_gate_t3(doc):
+    """Returns (violations, skips, checks) line lists for the two scaling
+    gates; a violation means exit 1."""
+    rows = doc.get("rows", [])
+    hw = doc.get("meta", {}).get("hardware_threads")
+    if not is_number(hw):
+        return (["BENCH_t3.json meta has no hardware_threads — "
+                 "cannot scope the gate to feasible points"], [], [])
+    violations, skips, checks = [], [], []
+
+    def feasible(producers, shards):
+        return producers + shards <= hw
+
+    # Rule 1: ring-zc Melem/s monotone non-decreasing across shards at
+    # every producer count >= GATE_MIN_PRODUCERS.
+    zc = gate_points(rows, ZC_ROW_RE, "Melem/s")
+    for producers in sorted({p for p, _ in zc}):
+        if producers < GATE_MIN_PRODUCERS:
+            continue
+        shard_counts = sorted(s for p, s in zc if p == producers
+                              and feasible(producers, s))
+        if len(shard_counts) < 2:
+            skips.append(f"GATE SKIP ring-zc/p{producers}: "
+                         f"<2 feasible shard points on "
+                         f"{int(hw)} hardware threads")
+            continue
+        for prev, cur in zip(shard_counts, shard_counts[1:]):
+            was, now = zc[(producers, prev)], zc[(producers, cur)]
+            label = (f"ring-zc/p{producers}: s{prev} -> s{cur} "
+                     f"{was:.1f} -> {now:.1f} Melem/s")
+            if now < GATE_STEP_FLOOR * was:
+                violations.append(
+                    f"GATE FAIL {label} (< {GATE_STEP_FLOOR:.2f}x step "
+                    f"floor — shard scaling regressed)")
+            else:
+                checks.append(f"GATE OK   {label}")
+
+    # Rule 2: hash partitioning >= insert-loop baseline at 4 shards.
+    baseline = None
+    for row in rows:
+        if row.get("engine") == "insert-loop" and \
+                is_number(row.get("Melem/s")):
+            baseline = row["Melem/s"]
+            break
+    hashed = gate_points(rows, HASH_ROW_RE, "Melem/s")
+    if baseline is None:
+        violations.append("GATE FAIL no insert-loop baseline row in "
+                          "BENCH_t3.json")
+    else:
+        for (producers, shards), melems in sorted(hashed.items()):
+            if producers < GATE_MIN_PRODUCERS or shards != 4:
+                continue
+            if not feasible(producers, shards):
+                skips.append(f"GATE SKIP hash/p{producers}s4: infeasible "
+                             f"on {int(hw)} hardware threads")
+                continue
+            label = (f"hash/p{producers}s4: {melems:.1f} vs baseline "
+                     f"{baseline:.1f} Melem/s")
+            if melems < GATE_BASELINE_FLOOR * baseline:
+                violations.append(
+                    f"GATE FAIL {label} (< {GATE_BASELINE_FLOOR:.2f}x "
+                    f"baseline floor — hash partition below the "
+                    f"single-thread insert loop)")
+            else:
+                checks.append(f"GATE OK   {label}")
+        if not any(p >= GATE_MIN_PRODUCERS and s == 4
+                   for p, s in hashed):
+            skips.append("GATE SKIP hash: no hash/p{P}s4 rows with "
+                         f"P >= {GATE_MIN_PRODUCERS}")
+    return violations, skips, checks
+
+
+def run_gate(bench, current_path):
+    if bench != "t3":
+        print(f"unknown gate '{bench}' (only t3 is defined)",
+              file=sys.stderr)
+        return 2
+    violations, skips, checks = run_gate_t3(load(current_path))
+    print(f"# bench gate: t3 scaling criteria on {current_path}")
+    for line in checks + skips + violations:
+        print(line)
+    if violations:
+        print(f"# gate verdict: FAIL ({len(violations)} violation(s))")
+        return 1
+    print("# gate verdict: "
+          + ("PASS" if checks else "SKIP (no feasible points)"))
+    return 0
+
+
 def main(argv):
     if len(argv) == 4 and argv[1] == "--window":
         return run_window(argv[2], argv[3])
+    if len(argv) == 4 and argv[1] == "--gate":
+        return run_gate(argv[2], argv[3])
     if len(argv) == 3 and not argv[1].startswith("--"):
         return run_two_file(argv[1], argv[2])
     print(__doc__.strip(), file=sys.stderr)

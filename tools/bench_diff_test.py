@@ -160,5 +160,113 @@ class WindowTest(unittest.TestCase):
         self.assertEqual(code, 2)
 
 
+def gate_doc(hardware_threads, zc_melems, hash_melems, baseline=100.0):
+    """A minimal BENCH_t3.json: zc_melems maps (P, S) -> Melem/s for
+    ring-zc/p{P}s{S} rows, hash_melems maps P -> Melem/s for
+    hash/p{P}s4 rows."""
+    rows = [{"engine": "insert-loop", "partition": "-", "shards": 1,
+             "Melem/s": baseline}]
+    for (p, s), melems in zc_melems.items():
+        rows.append({"engine": f"ring-zc/p{p}s{s}",
+                     "partition": "round-robin", "shards": s,
+                     "Melem/s": melems})
+    for p, melems in hash_melems.items():
+        rows.append({"engine": f"hash/p{p}s4", "partition": "hash",
+                     "shards": 4, "Melem/s": melems})
+    return {"bench": "t3",
+            "meta": {"hardware_threads": hardware_threads},
+            "rows": rows}
+
+
+class GateTest(unittest.TestCase):
+    def write(self, directory, doc):
+        path = os.path.join(directory, "BENCH_t3.json")
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_gate(self, doc):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self.write(tmp, doc)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                code = bench_diff.main(["bench_diff.py", "--gate", "t3",
+                                        path])
+            return code, out.getvalue()
+
+    def test_monotone_scaling_and_hash_above_baseline_pass(self):
+        doc = gate_doc(16,
+                       {(4, 1): 100.0, (4, 2): 180.0, (4, 4): 300.0,
+                        (4, 8): 500.0},
+                       {4: 120.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 0)
+        self.assertIn("# gate verdict: PASS", out)
+        self.assertNotIn("GATE FAIL", out)
+
+    def test_step_within_noise_floor_passes(self):
+        # 300 -> 285 is a 5% dip: inside the 0.90 per-step floor.
+        doc = gate_doc(16, {(4, 4): 300.0, (4, 8): 285.0}, {4: 120.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 0)
+
+    def test_anti_scaling_fails(self):
+        # The pre-rewrite shape: throughput falls as shards grow.
+        doc = gate_doc(16,
+                       {(4, 1): 320.0, (4, 2): 200.0, (4, 4): 120.0,
+                        (4, 8): 56.0},
+                       {4: 120.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("GATE FAIL ring-zc/p4", out)
+        self.assertIn("# gate verdict: FAIL", out)
+
+    def test_hash_below_baseline_fails(self):
+        doc = gate_doc(16, {(4, 4): 300.0, (4, 8): 400.0}, {4: 70.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("GATE FAIL hash/p4s4", out)
+
+    def test_small_host_skips_instead_of_failing(self):
+        # 1 hardware thread: no (P, S) point is feasible — the anti-scaling
+        # numbers must NOT fail the gate, they are unmeasurable here.
+        doc = gate_doc(1,
+                       {(4, 1): 320.0, (4, 2): 200.0, (4, 4): 120.0},
+                       {4: 70.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 0)
+        self.assertIn("GATE SKIP", out)
+        self.assertIn("# gate verdict: SKIP", out)
+
+    def test_infeasible_points_are_excluded_not_scored(self):
+        # 8 threads: (4, 8) needs 12 — excluded; the feasible prefix
+        # (s1, s2, s4) still gates and passes.
+        doc = gate_doc(8,
+                       {(4, 1): 100.0, (4, 2): 180.0, (4, 4): 300.0,
+                        (4, 8): 10.0},
+                       {4: 120.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 0)
+        self.assertIn("s2 -> s4", out)
+        self.assertNotIn("s8", out)
+
+    def test_producers_below_four_are_not_gated(self):
+        doc = gate_doc(16, {(1, 1): 500.0, (1, 8): 50.0, (2, 4): 90.0},
+                       {1: 10.0, 2: 10.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 0)
+        self.assertIn("SKIP", out)
+
+    def test_missing_hardware_threads_fails_closed(self):
+        doc = gate_doc(16, {(4, 4): 300.0, (4, 8): 400.0}, {4: 120.0})
+        del doc["meta"]["hardware_threads"]
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 1)
+
+    def test_unknown_gate_name_exits_2(self):
+        code = bench_diff.main(["bench_diff.py", "--gate", "t9", "x.json"])
+        self.assertEqual(code, 2)
+
+
 if __name__ == "__main__":
     unittest.main()
