@@ -27,7 +27,7 @@ void BM_BernoulliSampler(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(stream.size()));
 }
-BENCHMARK(BM_BernoulliSampler)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_BernoulliSampler)->Name("t1/bernoulli")->Arg(1)->Arg(10)->Arg(100);
 
 void BM_ReservoirAlgorithmR(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -40,7 +40,7 @@ void BM_ReservoirAlgorithmR(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(stream.size()));
 }
-BENCHMARK(BM_ReservoirAlgorithmR)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_ReservoirAlgorithmR)->Name("t1/reservoir_r")->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_ReservoirAlgorithmL(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -53,7 +53,7 @@ void BM_ReservoirAlgorithmL(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(stream.size()));
 }
-BENCHMARK(BM_ReservoirAlgorithmL)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_ReservoirAlgorithmL)->Name("t1/reservoir_l")->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_WeightedReservoir(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -66,7 +66,7 @@ void BM_WeightedReservoir(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(stream.size()));
 }
-BENCHMARK(BM_WeightedReservoir)->Arg(64)->Arg(1024);
+BENCHMARK(BM_WeightedReservoir)->Name("t1/weighted_reservoir")->Arg(64)->Arg(1024);
 
 void BM_PrefixDiscrepancy(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -77,7 +77,7 @@ void BM_PrefixDiscrepancy(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
-BENCHMARK(BM_PrefixDiscrepancy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_PrefixDiscrepancy)->Name("t1/prefix_discrepancy")->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_IntervalDiscrepancy(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -88,7 +88,7 @@ void BM_IntervalDiscrepancy(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
-BENCHMARK(BM_IntervalDiscrepancy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_IntervalDiscrepancy)->Name("t1/interval_discrepancy")->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 }  // namespace
 }  // namespace robust_sampling

@@ -43,7 +43,7 @@ void BM_GkSketchInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(kStreamLen));
 }
-BENCHMARK(BM_GkSketchInsert)->Arg(20)->Arg(100);
+BENCHMARK(BM_GkSketchInsert)->Name("t2/gk_insert")->Arg(20)->Arg(100);
 
 void BM_KllSketchInsert(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -55,7 +55,7 @@ void BM_KllSketchInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(kStreamLen));
 }
-BENCHMARK(BM_KllSketchInsert)->Arg(128)->Arg(512);
+BENCHMARK(BM_KllSketchInsert)->Name("t2/kll_insert")->Arg(128)->Arg(512);
 
 void BM_SampleQuantileInsert(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -67,7 +67,7 @@ void BM_SampleQuantileInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(kStreamLen));
 }
-BENCHMARK(BM_SampleQuantileInsert)->Arg(512)->Arg(4096);
+BENCHMARK(BM_SampleQuantileInsert)->Name("t2/sample_quantile_insert")->Arg(512)->Arg(4096);
 
 void BM_MisraGriesInsert(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -79,7 +79,7 @@ void BM_MisraGriesInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(kStreamLen));
 }
-BENCHMARK(BM_MisraGriesInsert)->Arg(64)->Arg(1024);
+BENCHMARK(BM_MisraGriesInsert)->Name("t2/misra_gries_insert")->Arg(64)->Arg(1024);
 
 void BM_SpaceSavingInsert(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -91,7 +91,7 @@ void BM_SpaceSavingInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(kStreamLen));
 }
-BENCHMARK(BM_SpaceSavingInsert)->Arg(64)->Arg(1024);
+BENCHMARK(BM_SpaceSavingInsert)->Name("t2/space_saving_insert")->Arg(64)->Arg(1024);
 
 void BM_CountMinInsert(benchmark::State& state) {
   const size_t width = static_cast<size_t>(state.range(0));
@@ -103,7 +103,7 @@ void BM_CountMinInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(kStreamLen));
 }
-BENCHMARK(BM_CountMinInsert)->Arg(256)->Arg(4096);
+BENCHMARK(BM_CountMinInsert)->Name("t2/count_min_insert")->Arg(256)->Arg(4096);
 
 void BM_SampleHeavyHittersInsert(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -115,7 +115,7 @@ void BM_SampleHeavyHittersInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(kStreamLen));
 }
-BENCHMARK(BM_SampleHeavyHittersInsert)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_SampleHeavyHittersInsert)->Name("t2/sample_heavy_hitters_insert")->Arg(1024)->Arg(8192);
 
 void BM_GkSketchQuery(benchmark::State& state) {
   GkSketch g(0.01);
@@ -124,7 +124,7 @@ void BM_GkSketchQuery(benchmark::State& state) {
     benchmark::DoNotOptimize(g.Quantile(0.5));
   }
 }
-BENCHMARK(BM_GkSketchQuery);
+BENCHMARK(BM_GkSketchQuery)->Name("t2/gk_query");
 
 void BM_KllSketchQuery(benchmark::State& state) {
   KllSketch s(512, 42);
@@ -133,7 +133,7 @@ void BM_KllSketchQuery(benchmark::State& state) {
     benchmark::DoNotOptimize(s.Quantile(0.5));
   }
 }
-BENCHMARK(BM_KllSketchQuery);
+BENCHMARK(BM_KllSketchQuery)->Name("t2/kll_query");
 
 }  // namespace
 }  // namespace robust_sampling

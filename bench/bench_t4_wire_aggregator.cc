@@ -1,21 +1,34 @@
-// T4: cross-process snapshot aggregation over the wire subsystem.
+// T4: cross-process snapshot aggregation + wire codec throughput.
 //
-// N forked worker processes each run a ShardedPipeline over a disjoint
-// slice of one stream, serialize their merged snapshot (wire/snapshot.h)
-// and ship it to the parent over a pipe; the parent revives and merges the
-// N snapshots into one summary of the whole stream. The run *asserts* the
-// distributed answers match a single-process pipeline over the same
-// stream — within 2*eps for the robust sampler (each side is an
-// eps-approximation of the identical union, Theorem 1.2 + mergeability),
-// bit-exactly for CountMin (counter addition is associative and the row
-// hashes are shared via config.seed) — and reports snapshot sizes and
-// ship throughput (serialize + pipe + revive) per row.
+// Two row families in one table (shared columns, "-" where a cell does
+// not apply), distinguished by the `op` column:
+//
+//  * op = "aggregate": N forked worker processes each run a
+//    ShardedPipeline over a disjoint slice of one stream, serialize their
+//    merged snapshot (wire/snapshot.h) and ship it to the parent over a
+//    pipe; the parent revives and merges the N snapshots into one summary
+//    of the whole stream. The run *asserts* the distributed answers match
+//    a single-process pipeline over the same stream — within 2*eps for
+//    the robust sampler (each side is an eps-approximation of the
+//    identical union, Theorem 1.2 + mergeability), bit-exactly for
+//    CountMin (counter addition is associative and the row hashes are
+//    shared via config.seed). Workers signal readiness with one byte
+//    after building their snapshot, so the parent-side clock covers
+//    transfer + revive + merge only, not the children's pipeline compute.
+//
+//  * op = "wire/serialize" and op = "wire/ship": per-kind codec
+//    throughput for every registered kind. serialize times repeated
+//    in-memory WriteSnapshot calls; ship forks one child that writes R
+//    snapshot copies through BufferedSink over a pipe while the parent
+//    clocks reading + reviving them through one BufferedSource. These are
+//    the rows tools/bench_diff.py --gate t4 enforces floors on.
 //
 // Writes BENCH_t4_wire.json; RS_BENCH_SMOKE=1 shrinks the stream for CI.
 
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -30,6 +43,7 @@
 #include "obs/metrics.h"
 #include "pipeline/sharded_pipeline.h"
 #include "pipeline/sketch_config.h"
+#include "pipeline/sketch_registry.h"
 #include "pipeline/stream_sketch.h"
 #include "wire/codec.h"
 #include "wire/snapshot.h"
@@ -41,6 +55,12 @@ constexpr double kEps = 0.05;
 constexpr double kDelta = 0.05;
 constexpr uint64_t kUniverse = 4096;
 constexpr uint64_t kBaseSeed = 0x7A11;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 std::vector<int64_t> MakeStream(size_t n) {
   Rng rng(kBaseSeed);
@@ -83,10 +103,13 @@ struct AggregateResult {
   double ship_seconds = 0.0;  // parent-side: read + revive + merge
 };
 
-// Forks `workers` children; child w pipelines slice w and ships its
-// snapshot through a pipe. CountMin keeps config.seed shared across
-// workers (hash mergeability); the samplers get an independent seed per
-// worker, exactly like ShardedPipeline derives per-shard instance seeds.
+// Forks `workers` children; child w pipelines slice w, serializes its
+// snapshot in memory, signals readiness with one byte, then streams the
+// bytes down the pipe. The parent waits for every ready byte before
+// starting the ship clock, so pipeline compute never pollutes the wire
+// measurement. CountMin keeps config.seed shared across workers (hash
+// mergeability); the samplers get an independent seed per worker, exactly
+// like ShardedPipeline derives per-shard instance seeds.
 AggregateResult ForkAndAggregate(const std::string& kind,
                                  std::span<const int64_t> stream,
                                  size_t workers, size_t batch_size) {
@@ -110,25 +133,41 @@ AggregateResult ForkAndAggregate(const std::string& kind,
           w + 1 == workers ? stream.size() - off : slice_len;
       auto snapshot = RunPipeline(config, stream.subspan(off, len),
                                   batch_size);
-      wire::FdSink sink(pipes[w][1]);
-      const bool sent = wire::WriteSnapshot(snapshot, config, sink);
+      wire::BufferSink staged;
+      const bool sent = wire::WriteSnapshot(snapshot, config, staged);
+      const uint8_t ready = 1;
+      bool ok = sent && write(pipes[w][1], &ready, 1) == 1;
+      if (ok) {
+        wire::FdSink sink(pipes[w][1]);
+        sink.Append(staged.bytes().data(), staged.bytes().size());
+        ok = sink.ok();
+      }
       close(pipes[w][1]);
-      _exit(sent ? 0 : 1);
+      _exit(ok ? 0 : 1);
     }
     children[w] = pid;
     close(pipes[w][1]);
   }
 
-  AggregateResult result;
-  const auto start = std::chrono::steady_clock::now();
+  // Barrier: every worker has finished pipelining and serializing.
   for (size_t w = 0; w < workers; ++w) {
-    // Decode straight off the pipe: FdSource has no size knowledge, so
-    // this exercises the codec's hard-cap validation path end to end.
-    wire::FdSource source(pipes[w][0]);
+    uint8_t ready = 0;
+    RS_CHECK_MSG(read(pipes[w][0], &ready, 1) == 1 && ready == 1,
+                 "worker failed before signaling ready");
+  }
+
+  AggregateResult result;
+  const auto start = Clock::now();
+  for (size_t w = 0; w < workers; ++w) {
+    // Decode off the pipe through the buffered adapter — FdSource still
+    // has no size knowledge (remaining() is nullopt), so this exercises
+    // the codec's hard-cap validation path end to end.
+    wire::FdSource fd_source(pipes[w][0]);
+    wire::BufferedSource source(fd_source);
     std::string error;
     auto revived = wire::ReadSnapshot<int64_t>(source, &error);
     RS_CHECK_MSG(revived.valid(), error.c_str());
-    result.snapshot_bytes += source.bytes_read();
+    result.snapshot_bytes += fd_source.bytes_read();
     close(pipes[w][0]);
     if (!result.merged.valid()) {
       result.merged = std::move(revived);
@@ -136,9 +175,7 @@ AggregateResult ForkAndAggregate(const std::string& kind,
       result.merged.MergeFrom(revived);
     }
   }
-  result.ship_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.ship_seconds = SecondsSince(start);
   for (pid_t pid : children) {
     int status = 0;
     RS_CHECK(waitpid(pid, &status, 0) == pid);
@@ -176,6 +213,97 @@ double AssertAccuracy(const std::string& kind,
   return worst;
 }
 
+// Repetitions that move ~4 MiB per measurement, bounded so tiny and huge
+// snapshots both finish promptly.
+size_t RepsFor(size_t snapshot_bytes) {
+  constexpr size_t kTargetBytes = size_t{4} * 1024 * 1024;
+  const size_t reps = (kTargetBytes + snapshot_bytes - 1) / snapshot_bytes;
+  return std::clamp<size_t>(reps, 4, 64);
+}
+
+// Child writes `reps` copies of the snapshot through BufferedSink over the
+// pipe; the parent clocks reading + reviving all of them through one
+// BufferedSource. Returns parent-side seconds.
+double TimeShip(const StreamSketch<int64_t>& sketch,
+                const SketchConfig& config, size_t reps) {
+  int fds[2];
+  RS_CHECK(pipe(fds) == 0);
+  const pid_t pid = fork();
+  RS_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    close(fds[0]);
+    const uint8_t ready = 1;
+    bool ok = write(fds[1], &ready, 1) == 1;
+    {
+      wire::FdSink fd_sink(fds[1]);
+      wire::BufferedSink sink(fd_sink);
+      for (size_t r = 0; ok && r < reps; ++r) {
+        ok = wire::WriteSnapshot(sketch, config, sink);
+      }
+      sink.Flush();
+      ok = ok && fd_sink.ok();
+    }
+    close(fds[1]);
+    _exit(ok ? 0 : 1);
+  }
+  close(fds[1]);
+  uint8_t ready = 0;
+  RS_CHECK_MSG(read(fds[0], &ready, 1) == 1 && ready == 1,
+               "ship worker failed before signaling ready");
+  const auto start = Clock::now();
+  wire::FdSource fd_source(fds[0]);
+  wire::BufferedSource source(fd_source);
+  for (size_t r = 0; r < reps; ++r) {
+    std::string error;
+    auto revived = wire::ReadSnapshot<int64_t>(source, &error);
+    RS_CHECK_MSG(revived.valid(), error.c_str());
+  }
+  const double seconds = SecondsSince(start);
+  close(fds[0]);
+  int status = 0;
+  RS_CHECK(waitpid(pid, &status, 0) == pid);
+  RS_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+               "ship worker failed");
+  return seconds;
+}
+
+// Per-kind codec throughput rows for every registered kind — the floors
+// tools/bench_diff.py --gate t4 enforces in CI.
+void AddCodecRows(MarkdownTable& table, std::span<const int64_t> stream) {
+  for (const auto& kind : SketchRegistry<int64_t>::Global().Kinds()) {
+    const SketchConfig config = ConfigFor(kind, kBaseSeed);
+    auto sketch = SketchRegistry<int64_t>::Global().Create(config);
+    sketch.InsertBatch(stream);
+
+    wire::BufferSink first;
+    RS_CHECK_MSG(wire::WriteSnapshot(sketch, config, first),
+                 "snapshot serialization failed");
+    const size_t snapshot_bytes = first.bytes().size();
+    const size_t reps = RepsFor(snapshot_bytes);
+    const double total_mib =
+        static_cast<double>(snapshot_bytes) * static_cast<double>(reps) /
+        (1024.0 * 1024.0);
+
+    const auto serialize_start = Clock::now();
+    for (size_t r = 0; r < reps; ++r) {
+      wire::BufferSink sink;
+      RS_CHECK(wire::WriteSnapshot(sketch, config, sink));
+    }
+    const double serialize_s = SecondsSince(serialize_start);
+    const double ship_s = TimeShip(sketch, config, reps);
+
+    const std::string kib =
+        FormatDouble(static_cast<double>(snapshot_bytes) / 1024.0, 1);
+    const std::string n_str = std::to_string(stream.size());
+    table.AddRow({"wire/serialize", kind, "-", n_str, kib,
+                  FormatDouble(serialize_s * 1e3, 2),
+                  FormatDouble(total_mib / serialize_s, 1), "-", "-"});
+    table.AddRow({"wire/ship", kind, "-", n_str, kib,
+                  FormatDouble(ship_s * 1e3, 2),
+                  FormatDouble(total_mib / ship_s, 1), "-", "-"});
+  }
+}
+
 void Run(bool with_metrics) {
   const bool smoke = []() {
     const char* env = std::getenv("RS_BENCH_SMOKE");
@@ -186,14 +314,17 @@ void Run(bool with_metrics) {
   const auto stream = MakeStream(n);
 
   std::cout << "# T4: cross-process snapshot aggregation (src/wire/)\n";
-  std::cout << "N forked workers pipeline disjoint stream slices and ship "
-               "snapshots over pipes; the parent revives and merges them. "
-               "Asserts merged-vs-single accuracy (2*eps ranks for the "
-               "sampler, exact for CountMin). n = "
+  std::cout << "aggregate rows: N forked workers pipeline disjoint stream "
+               "slices and ship snapshots over pipes; the parent revives "
+               "and merges them after a ready-byte barrier, so ship time "
+               "is wire-only. Asserts merged-vs-single accuracy (2*eps "
+               "ranks for the sampler, exact for CountMin).\n"
+               "wire/serialize + wire/ship rows: per-kind codec "
+               "throughput, gated in CI by bench_diff --gate t4. n = "
             << n << ", eps = " << kEps << ".\n\n";
 
-  MarkdownTable table({"kind", "workers", "n", "snapshot KiB", "ship ms",
-                       "ship MiB/s", "worst |merged - single|", "bound"});
+  MarkdownTable table({"op", "kind", "workers", "n", "KiB", "ms", "MiB/s",
+                       "worst |merged - single|", "bound"});
   for (const std::string kind : {"robust_sample", "count_min"}) {
     const SketchConfig single_config = ConfigFor(kind, kBaseSeed);
     auto single = RunPipeline(single_config, stream, kBatchSize);
@@ -202,14 +333,15 @@ void Run(bool with_metrics) {
       const double worst = AssertAccuracy(kind, result.merged, single, n);
       const double mib = static_cast<double>(result.snapshot_bytes) /
                          (1024.0 * 1024.0);
-      table.AddRow({kind, std::to_string(workers), std::to_string(n),
-                    FormatDouble(mib * 1024.0, 1),
+      table.AddRow({"aggregate", kind, std::to_string(workers),
+                    std::to_string(n), FormatDouble(mib * 1024.0, 1),
                     FormatDouble(result.ship_seconds * 1e3, 2),
                     FormatDouble(mib / result.ship_seconds, 1),
                     FormatDouble(worst, 4),
                     kind == "count_min" ? "exact" : FormatDouble(2 * kEps, 2)});
     }
   }
+  AddCodecRows(table, stream);
   table.Print(std::cout);
   // Metrics note: the forked workers' counters die with the children; the
   // snapshot embedded here is the parent's view (bytes in, deserialize
@@ -218,6 +350,7 @@ void Run(bool with_metrics) {
       {"stream_length", std::to_string(n)},
       {"batch_size", std::to_string(kBatchSize)},
       {"smoke", smoke ? "true" : "false"},
+      {"zstd", wire::ZstdSupported() ? "true" : "false"},
   };
   std::string metrics_json;
   if (with_metrics) {

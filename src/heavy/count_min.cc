@@ -132,9 +132,12 @@ void CountMinSketch::SerializeTo(wire::ByteSink& sink) const {
   wire::PutVarint(sink, max_candidates_);
   wire::PutVarint(sink, conservative_update_ ? 1 : 0);
   wire::PutVarint(sink, n_);
-  for (uint64_t s : row_seeds_) wire::PutFixed64(sink, s);
+  wire::PutFixed64Array(sink, row_seeds_);
+  // v2: each counter row is one fixed64 bulk Append (width * 8 bytes)
+  // instead of width varints — this was the serializer whose per-cell
+  // emission dominated snapshot shipping.
   for (const auto& row : counters_) {
-    for (uint64_t c : row) wire::PutVarint(sink, c);
+    wire::PutFixed64Array(sink, row);
   }
   wire::PutCountMap(sink, candidates_);
 }
@@ -153,18 +156,30 @@ bool CountMinSketch::DeserializeFrom(wire::ByteSource& source) {
     return source.Fail();
   }
   std::vector<uint64_t> row_seeds(static_cast<size_t>(depth));
-  for (uint64_t& s : row_seeds) {
-    if (!wire::GetFixed64(source, &s)) return false;
+  if (!wire::GetFixed64Array(source, row_seeds.data(), row_seeds.size())) {
+    return false;
   }
   std::vector<std::vector<uint64_t>> counters(
       static_cast<size_t>(depth),
       std::vector<uint64_t>(static_cast<size_t>(width), 0));
-  for (auto& row : counters) {
-    for (uint64_t& c : row) {
-      if (!wire::GetVarint(source, &c)) return false;
-      // Every counter is a sum of insertion increments, so none can
-      // exceed the stream length.
-      if (c > n) return source.Fail();
+  if (source.wire_version() >= wire::kWireFormatV2) {
+    for (auto& row : counters) {
+      if (!wire::GetFixed64Array(source, row.data(), row.size())) {
+        return false;
+      }
+      for (uint64_t c : row) {
+        // Every counter is a sum of insertion increments, so none can
+        // exceed the stream length.
+        if (c > n) return source.Fail();
+      }
+    }
+  } else {
+    // v1 upgrade reader: per-cell varints.
+    for (auto& row : counters) {
+      for (uint64_t& c : row) {
+        if (!wire::GetVarint(source, &c)) return false;
+        if (c > n) return source.Fail();
+      }
     }
   }
   std::unordered_map<int64_t, uint64_t> candidates;

@@ -49,6 +49,10 @@ constexpr MetricDescriptor kCatalog[] = {
      "Snapshot revive latency per sketch kind"},
     {"rs_wire_snapshot_bytes", "histogram", "kind",
      "Serialized snapshot size per sketch kind"},
+    {"rs_wire_buffer_flushes_total", "counter", "",
+     "BufferedSink windows forwarded to the wrapped sink (batched writes)"},
+    {"rs_wire_compress_ratio", "histogram", "",
+     "Compressed framed-body size as percent of raw (zstd frames only)"},
     {"rs_attacklab_trials_total", "counter", "",
      "AttackLab game trials played"},
     {"rs_attacklab_trial_ns", "histogram", "",
@@ -191,6 +195,16 @@ Histogram& WireDeserializeNs(const std::string& kind) {
 
 Histogram& WireSnapshotBytes(const std::string& kind) {
   return LabeledHistogram("rs_wire_snapshot_bytes", kind);
+}
+
+Counter& WireBufferFlushes() {
+  static Counter& c = CatalogCounter("rs_wire_buffer_flushes_total");
+  return c;
+}
+
+Histogram& WireCompressRatio() {
+  static Histogram& h = CatalogHistogram("rs_wire_compress_ratio");
+  return h;
 }
 
 Counter& AttacklabTrials() {

@@ -545,7 +545,12 @@ class ShardedPipeline {
   /// kind is not serializable or on I/O failure. Not to be confused with
   /// the Theorem 1.4 *analysis* CheckpointSchedule in core/checkpoints.h —
   /// see docs/wire.md.
-  bool Checkpoint(const std::string& path, std::string* error = nullptr) {
+  ///
+  /// `encoding` selects the framed-body encoding (kZstd falls back to
+  /// uncompressed when support is missing or compression does not shrink
+  /// the body — Restore handles either transparently).
+  bool Checkpoint(const std::string& path, std::string* error = nullptr,
+                  wire::BodyEncoding encoding = wire::BodyEncoding::kNone) {
     obs::ScopedLatencyTimer timer(obs::PipelineCheckpointNs());
     obs::TraceSpan span("pipeline", "checkpoint");
     std::lock_guard<std::mutex> control(control_mu_);
@@ -589,8 +594,8 @@ class ShardedPipeline {
       wire::FileSink file(tmp);
       // An over-limit body must fail *here*, leaving the previous good
       // checkpoint in place — never produce a file Restore would reject.
-      if (!wire::WriteFramedBody(file, kCheckpointMagic,
-                                 kCheckpointFormatVersion, body.bytes()) ||
+      if (!wire::WriteFramedBody(file, kCheckpointMagic, body.bytes(),
+                                 encoding) ||
           !file.SyncAndClose()) {
         std::remove(tmp.c_str());
         return CheckpointFail(error, "cannot write checkpoint: " + tmp);
@@ -627,12 +632,16 @@ class ShardedPipeline {
       return nullptr;
     }
     std::vector<uint8_t> body;
-    if (!wire::ReadFramedBody(file, kCheckpointMagic,
-                              kCheckpointFormatVersion, &body, error)) {
+    uint64_t version = wire::kWireFormatCurrent;
+    if (!wire::ReadFramedBody(file, kCheckpointMagic, &body, error,
+                              &version)) {
       // The codec already recorded the frame-level error event.
       return nullptr;
     }
+    // The frame version governs the nested payload encodings too — stamp
+    // it onto the body and every per-shard payload source.
     wire::BufferSource source(body);
+    source.set_wire_version(version);
     SketchConfig config;
     if (!wire::ReadRevivalPrologue(source, &config, error,
                                    SketchRegistry<T>::Global())) {
@@ -672,6 +681,7 @@ class ShardedPipeline {
         return nullptr;
       }
       wire::BufferSource payload_source(payload);
+      payload_source.set_wire_version(version);
       if (!shard->sketch.DeserializeFrom(payload_source) ||
           payload_source.remaining() != uint64_t{0}) {
         RestoreFail(error, "malformed shard sketch state");
@@ -750,7 +760,6 @@ class ShardedPipeline {
 
  private:
   static constexpr char kCheckpointMagic[4] = {'R', 'S', 'C', 'K'};
-  static constexpr uint64_t kCheckpointFormatVersion = 1;
 
   static bool Fail(std::string* error, std::string reason) {
     if (error != nullptr) *error = std::move(reason);

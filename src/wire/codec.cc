@@ -10,6 +10,10 @@
 #include <cstring>
 #include <utility>
 
+#if defined(RS_HAVE_ZSTD)
+#include <zstd.h>
+#endif
+
 #include "obs/catalog.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -88,6 +92,31 @@ void FdSink::Append(const void* data, size_t n) {
   pthread_sigmask(SIG_SETMASK, &old_mask, nullptr);
 }
 
+BufferedSink::BufferedSink(ByteSink& base, size_t capacity)
+    : base_(base), capacity_(std::max<size_t>(capacity, 1)) {
+  buf_.reserve(capacity_);
+}
+
+BufferedSink::~BufferedSink() { Flush(); }
+
+void BufferedSink::Append(const void* data, size_t n) {
+  if (n >= capacity_) {
+    Flush();
+    base_.Append(data, n);
+    return;
+  }
+  if (buf_.size() + n > capacity_) Flush();
+  const auto* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void BufferedSink::Flush() {
+  if (buf_.empty()) return;
+  base_.Append(buf_.data(), buf_.size());
+  buf_.clear();
+  obs::WireBufferFlushes().Increment();
+}
+
 // --------------------------------------------------------------- sources ---
 
 bool BufferSource::ReadImpl(void* out, size_t n) {
@@ -95,6 +124,13 @@ bool BufferSource::ReadImpl(void* out, size_t n) {
   std::memcpy(out, bytes_.data() + pos_, n);
   pos_ += n;
   return true;
+}
+
+size_t BufferSource::ReadSomeImpl(void* out, size_t n) {
+  const size_t take = std::min(n, bytes_.size() - pos_);
+  std::memcpy(out, bytes_.data() + pos_, take);
+  pos_ += take;
+  return take;
 }
 
 FileSource::FileSource(const std::string& path) {
@@ -124,6 +160,14 @@ bool FileSource::ReadImpl(void* out, size_t n) {
   return true;
 }
 
+size_t FileSource::ReadSomeImpl(void* out, size_t n) {
+  if (file_ == nullptr) return 0;
+  const size_t got = std::fread(out, 1, n, file_);
+  pos_ += got;
+  if (got > 0) obs::WireBytesIn().Increment(got);
+  return got;
+}
+
 bool FdSource::ReadImpl(void* out, size_t n) {
   auto* p = static_cast<uint8_t*>(out);
   while (n > 0) {
@@ -139,6 +183,73 @@ bool FdSource::ReadImpl(void* out, size_t n) {
     bytes_read_ += static_cast<uint64_t>(got);
   }
   return true;
+}
+
+size_t FdSource::ReadSomeImpl(void* out, size_t n) {
+  for (;;) {
+    const ssize_t got = read(fd_, out, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return 0;
+    }
+    if (got > 0) {
+      obs::WireBytesIn().Increment(static_cast<uint64_t>(got));
+      bytes_read_ += static_cast<uint64_t>(got);
+    }
+    return static_cast<size_t>(got);
+  }
+}
+
+BufferedSource::BufferedSource(ByteSource& base, size_t capacity)
+    : base_(base), buf_(std::max<size_t>(capacity, 1)) {}
+
+std::optional<uint64_t> BufferedSource::remaining() const {
+  const auto rem = base_.remaining();
+  if (!rem) return std::nullopt;
+  return *rem + buffered();
+}
+
+bool BufferedSource::ReadImpl(void* out, size_t n) {
+  auto* p = static_cast<uint8_t*>(out);
+  const size_t from_buf = std::min(n, buffered());
+  std::memcpy(p, buf_.data() + pos_, from_buf);
+  pos_ += from_buf;
+  p += from_buf;
+  n -= from_buf;
+  if (n == 0) return true;
+  if (n >= buf_.size()) {
+    // The window is drained and the rest is at least a full window:
+    // transfer straight into the caller's buffer (no double copy).
+    while (n > 0) {
+      const size_t got = base_.ReadSome(p, n);
+      if (got == 0) return false;
+      p += got;
+      n -= got;
+    }
+    return true;
+  }
+  while (n > 0) {
+    pos_ = 0;
+    fill_ = base_.ReadSome(buf_.data(), buf_.size());
+    if (fill_ == 0) return false;
+    const size_t take = std::min(n, fill_);
+    std::memcpy(p, buf_.data(), take);
+    pos_ = take;
+    p += take;
+    n -= take;
+  }
+  return true;
+}
+
+size_t BufferedSource::ReadSomeImpl(void* out, size_t n) {
+  if (buffered() == 0) {
+    pos_ = 0;
+    fill_ = base_.ReadSome(buf_.data(), buf_.size());
+  }
+  const size_t take = std::min(n, buffered());
+  std::memcpy(out, buf_.data() + pos_, take);
+  pos_ += take;
+  return take;
 }
 
 // ------------------------------------------------------------ primitives ---
@@ -198,6 +309,25 @@ bool GetFixed64(ByteSource& source, uint64_t* out) {
   for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf[i]) << (8 * i);
   *out = v;
   return true;
+}
+
+void PutFixed64Array(ByteSink& sink, std::span<const uint64_t> values) {
+  if constexpr (std::endian::native == std::endian::little) {
+    sink.Append(values.data(), values.size() * sizeof(uint64_t));
+  } else {
+    for (uint64_t v : values) PutFixed64(sink, v);
+  }
+}
+
+bool GetFixed64Array(ByteSource& source, uint64_t* out, size_t count) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return source.Read(out, count * sizeof(uint64_t));
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      if (!GetFixed64(source, &out[i])) return false;
+    }
+    return true;
+  }
 }
 
 void PutDouble(ByteSink& sink, double v) {
@@ -264,14 +394,11 @@ bool GetBytes(ByteSource& source, std::vector<uint8_t>* out,
 }
 
 void PutStateWords(ByteSink& sink, const std::array<uint64_t, 4>& words) {
-  for (uint64_t w : words) PutFixed64(sink, w);
+  PutFixed64Array(sink, words);
 }
 
 bool GetStateWords(ByteSource& source, std::array<uint64_t, 4>* words) {
-  for (uint64_t& w : *words) {
-    if (!GetFixed64(source, &w)) return false;
-  }
-  return true;
+  return GetFixed64Array(source, words->data(), words->size());
 }
 
 void PutCountMap(ByteSink& sink,
@@ -279,10 +406,17 @@ void PutCountMap(ByteSink& sink,
   std::vector<std::pair<int64_t, uint64_t>> entries(map.begin(), map.end());
   std::sort(entries.begin(), entries.end());
   PutVarint(sink, entries.size());
+  // v2 shape: elements row then counts row, two bulk Appends total.
+  std::vector<int64_t> elements;
+  std::vector<uint64_t> counts;
+  elements.reserve(entries.size());
+  counts.reserve(entries.size());
   for (const auto& [element, count] : entries) {
-    PutVarint(sink, ZigzagEncode(element));
-    PutVarint(sink, count);
+    elements.push_back(element);
+    counts.push_back(count);
   }
+  PutValueArray<int64_t>(sink, elements);
+  PutFixed64Array(sink, counts);
 }
 
 bool GetCountMap(ByteSource& source,
@@ -291,7 +425,31 @@ bool GetCountMap(ByteSource& source,
   uint64_t count = 0;
   if (!GetVarint(source, &count)) return false;
   if (count > max_entries) return source.Fail();
-  // Every entry costs >= 2 bytes on the wire.
+  if (source.wire_version() >= kWireFormatV2) {
+    // v2: every entry costs exactly 16 bytes (two fixed64 rows).
+    if (const auto rem = source.remaining(); rem && count > *rem / 16) {
+      return source.Fail();
+    }
+    std::vector<int64_t> elements;
+    std::vector<uint64_t> counts;
+    elements.reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
+    counts.reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
+    if (!GetValueArray(source, &elements, count) ||
+        !GetValueArray(source, &counts, count)) {
+      return false;
+    }
+    out->clear();
+    out->reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
+    for (uint64_t i = 0; i < count; ++i) {
+      // The writer sorts, so anything non-ascending is malformed (this
+      // also makes duplicates impossible).
+      if (i > 0 && elements[i] <= elements[i - 1]) return source.Fail();
+      if (counts[i] == 0) return source.Fail();
+      out->emplace(elements[i], counts[i]);
+    }
+    return true;
+  }
+  // v1 upgrade reader: interleaved per-entry varints, >= 2 bytes each.
   if (const auto rem = source.remaining(); rem && count > *rem / 2) {
     return source.Fail();
   }
@@ -351,19 +509,45 @@ uint64_t Checksum(std::span<const uint8_t> bytes) {
 
 // ----------------------------------------------------------- body framing ---
 
-bool WriteFramedBody(ByteSink& sink, const char magic[4],
-                     uint64_t format_version,
-                     std::span<const uint8_t> body) {
-  if (body.size() > kMaxBodyBytes) return false;
-  sink.Append(magic, 4);
-  PutVarint(sink, format_version);
-  PutVarint(sink, body.size());
-  sink.Append(body.data(), body.size());
-  PutFixed64(sink, Checksum(body));
-  return sink.ok();
+bool ZstdSupported() {
+#if defined(RS_HAVE_ZSTD)
+  return true;
+#else
+  return false;
+#endif
 }
 
 namespace {
+
+bool ZstdCompress(std::span<const uint8_t> raw, std::vector<uint8_t>* out) {
+#if defined(RS_HAVE_ZSTD)
+  out->resize(ZSTD_compressBound(raw.size()));
+  const size_t n = ZSTD_compress(out->data(), out->size(), raw.data(),
+                                 raw.size(), /*compressionLevel=*/3);
+  if (ZSTD_isError(n)) return false;
+  out->resize(n);
+  return true;
+#else
+  (void)raw;
+  (void)out;
+  return false;
+#endif
+}
+
+bool ZstdDecompress(std::span<const uint8_t> stored, size_t raw_len,
+                    std::vector<uint8_t>* out) {
+#if defined(RS_HAVE_ZSTD)
+  out->resize(raw_len);
+  const size_t n = ZSTD_decompress(out->data(), raw_len, stored.data(),
+                                   stored.size());
+  return !ZSTD_isError(n) && n == raw_len;
+#else
+  (void)stored;
+  (void)raw_len;
+  (void)out;
+  return false;
+#endif
+}
 
 // Every frame rejection is counted and leaves a flight-recorder error
 // event naming the expected frame magic and the reason, so a corrupt
@@ -380,9 +564,36 @@ bool FramedError(std::string* error, const char magic[4],
 
 }  // namespace
 
+bool WriteFramedBody(ByteSink& sink, const char magic[4],
+                     std::span<const uint8_t> body, BodyEncoding encoding) {
+  if (body.size() > kMaxBodyBytes) return false;
+  std::vector<uint8_t> compressed;
+  std::span<const uint8_t> stored = body;
+  if (encoding == BodyEncoding::kZstd) {
+    if (!ZstdCompress(body, &compressed) ||
+        compressed.size() >= body.size()) {
+      // No support compiled in, or no size win: ship raw. The frame says
+      // kNone, so the reader never needs zstd for this message.
+      encoding = BodyEncoding::kNone;
+    } else {
+      stored = compressed;
+      obs::WireCompressRatio().Observe(stored.size() * 100 / body.size());
+    }
+  }
+  sink.Append(magic, 4);
+  PutVarint(sink, kWireFormatCurrent);
+  const uint8_t encoding_byte = static_cast<uint8_t>(encoding);
+  sink.Append(&encoding_byte, 1);
+  if (encoding != BodyEncoding::kNone) PutVarint(sink, body.size());
+  PutVarint(sink, stored.size());
+  sink.Append(stored.data(), stored.size());
+  PutFixed64(sink, Checksum(stored));
+  return sink.ok();
+}
+
 bool ReadFramedBody(ByteSource& source, const char magic[4],
-                    uint64_t expected_version, std::vector<uint8_t>* body,
-                    std::string* error) {
+                    std::vector<uint8_t>* body, std::string* error,
+                    uint64_t* format_version) {
   char got_magic[4];
   if (!source.Read(got_magic, 4)) {
     return FramedError(error, magic, "truncated header");
@@ -395,35 +606,72 @@ bool ReadFramedBody(ByteSource& source, const char magic[4],
   if (!GetVarint(source, &version)) {
     return FramedError(error, magic, "truncated version");
   }
-  if (version != expected_version) {
+  if (version < kWireFormatV1 || version > kWireFormatCurrent) {
     source.Fail();
     return FramedError(error, magic, "unsupported format version");
   }
-  uint64_t body_len = 0;
-  if (!GetVarint(source, &body_len)) {
+  bool compressed = false;
+  uint64_t raw_len = 0;
+  if (version >= kWireFormatV2) {
+    uint8_t encoding_byte = 0;
+    if (!source.Read(&encoding_byte, 1)) {
+      return FramedError(error, magic, "truncated encoding byte");
+    }
+    if (encoding_byte > static_cast<uint8_t>(BodyEncoding::kZstd)) {
+      source.Fail();
+      return FramedError(error, magic, "unknown body encoding");
+    }
+    compressed = encoding_byte == static_cast<uint8_t>(BodyEncoding::kZstd);
+    if (compressed && !ZstdSupported()) {
+      source.Fail();
+      return FramedError(error, magic,
+                         "zstd body but zstd support not compiled in");
+    }
+    if (compressed) {
+      if (!GetVarint(source, &raw_len)) {
+        return FramedError(error, magic, "truncated raw body length");
+      }
+      if (raw_len > kMaxBodyBytes) {
+        source.Fail();
+        return FramedError(error, magic, "body length exceeds limit");
+      }
+    }
+  }
+  uint64_t stored_len = 0;
+  if (!GetVarint(source, &stored_len)) {
     return FramedError(error, magic, "truncated body length");
   }
-  if (body_len > kMaxBodyBytes) {
+  if (stored_len > kMaxBodyBytes) {
     source.Fail();
     return FramedError(error, magic, "body length exceeds limit");
   }
   // The trailing checksum costs 8 more bytes, so a known-size source must
-  // still hold body_len + 8.
-  if (const auto rem = source.remaining(); rem && body_len + 8 > *rem) {
+  // still hold stored_len + 8.
+  if (const auto rem = source.remaining(); rem && stored_len + 8 > *rem) {
     source.Fail();
     return FramedError(error, magic, "body length exceeds available bytes");
   }
-  if (!ReadChunked(source, body, body_len)) {
+  if (!ReadChunked(source, body, stored_len)) {
     return FramedError(error, magic, "truncated body");
   }
   uint64_t expected_checksum = 0;
   if (!GetFixed64(source, &expected_checksum)) {
     return FramedError(error, magic, "truncated checksum");
   }
+  // Integrity before interpretation: the checksum covers the stored bytes,
+  // so corruption is caught here and never reaches the decompressor.
   if (Checksum(*body) != expected_checksum) {
     source.Fail();
     return FramedError(error, magic, "checksum mismatch");
   }
+  if (compressed) {
+    std::vector<uint8_t> stored = std::move(*body);
+    if (!ZstdDecompress(stored, static_cast<size_t>(raw_len), body)) {
+      source.Fail();
+      return FramedError(error, magic, "body decompression failed");
+    }
+  }
+  if (format_version != nullptr) *format_version = version;
   return true;
 }
 

@@ -35,7 +35,6 @@ namespace wire {
 // ---------------------------------------------------------------------------
 
 inline constexpr char kSnapshotMagic[4] = {'R', 'S', 'N', 'P'};
-inline constexpr uint64_t kSnapshotFormatVersion = 1;
 
 /// Canonical wire tag of a sketch's element type, written into every
 /// snapshot/checkpoint and checked at revival — the config block alone is
@@ -116,7 +115,8 @@ bool ReadRevivalPrologue(ByteSource& source, SketchConfig* config,
 /// write.
 template <typename T>
 bool WriteSnapshot(const StreamSketch<T>& sketch, const SketchConfig& config,
-                   ByteSink& sink) {
+                   ByteSink& sink,
+                   BodyEncoding encoding = BodyEncoding::kNone) {
   obs::ScopedLatencyTimer timer(obs::WireSerializeNs(config.kind));
   if (!sketch.valid() || !sketch.Supports(kCapSerialize)) return false;
   if (!ValidateWireConfig(config, nullptr)) return false;
@@ -127,8 +127,7 @@ bool WriteSnapshot(const StreamSketch<T>& sketch, const SketchConfig& config,
   WriteSketchConfig(body, config);
   PutBytes(body, payload.bytes());
   obs::WireSnapshotBytes(config.kind).Observe(body.bytes().size());
-  return WriteFramedBody(sink, kSnapshotMagic, kSnapshotFormatVersion,
-                         body.bytes());
+  return WriteFramedBody(sink, kSnapshotMagic, body.bytes(), encoding);
 }
 
 /// Reads one snapshot and revives it through `registry`: parse + verify
@@ -146,11 +145,14 @@ StreamSketch<T> ReadSnapshot(
   // once the prologue parses, and failed reads have no kind to charge.
   const uint64_t start_ns = obs::NowNanos();
   std::vector<uint8_t> body;
-  if (!ReadFramedBody(source, kSnapshotMagic, kSnapshotFormatVersion, &body,
-                      error)) {
+  uint64_t version = kWireFormatCurrent;
+  if (!ReadFramedBody(source, kSnapshotMagic, &body, error, &version)) {
     return {};
   }
+  // The frame version governs the nested payload encodings too (vectors,
+  // count maps) — stamp it onto every source the decoders will see.
   BufferSource body_source(body);
+  body_source.set_wire_version(version);
   SketchConfig config;
   if (!ReadRevivalPrologue(body_source, &config, error, registry)) {
     return {};
@@ -169,6 +171,7 @@ StreamSketch<T> ReadSnapshot(
     return {};
   }
   BufferSource payload_source(payload);
+  payload_source.set_wire_version(version);
   if (!sketch.DeserializeFrom(payload_source) ||
       payload_source.remaining() != uint64_t{0}) {
     internal::SnapshotError(error, "malformed sketch state");

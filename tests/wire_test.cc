@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -98,6 +99,41 @@ TEST(WireCodecTest, LengthPrefixesAreValidatedAgainstRemainingBytes) {
 
 TEST(WireCodecTest, CountMapRejectsDuplicatesAndZeroCounts) {
   {
+    // v2 shape: count | elements fixed64 row | counts fixed64 row.
+    wire::BufferSink sink;
+    wire::PutVarint(sink, 2);
+    wire::PutFixed64(sink, wire::FixedEncodeValue<int64_t>(7));
+    wire::PutFixed64(sink, wire::FixedEncodeValue<int64_t>(7));  // duplicate
+    wire::PutFixed64(sink, 3);
+    wire::PutFixed64(sink, 5);
+    wire::BufferSource source(sink.bytes());
+    std::unordered_map<int64_t, uint64_t> map;
+    EXPECT_FALSE(wire::GetCountMap(source, &map));
+  }
+  {
+    // Elements must arrive sorted (the canonical writer order).
+    wire::BufferSink sink;
+    wire::PutVarint(sink, 2);
+    wire::PutFixed64(sink, wire::FixedEncodeValue<int64_t>(9));
+    wire::PutFixed64(sink, wire::FixedEncodeValue<int64_t>(7));
+    wire::PutFixed64(sink, 3);
+    wire::PutFixed64(sink, 5);
+    wire::BufferSource source(sink.bytes());
+    std::unordered_map<int64_t, uint64_t> map;
+    EXPECT_FALSE(wire::GetCountMap(source, &map));
+  }
+  {
+    wire::BufferSink sink;
+    wire::PutVarint(sink, 1);
+    wire::PutFixed64(sink, wire::FixedEncodeValue<int64_t>(7));
+    wire::PutFixed64(sink, 0);  // zero count
+    wire::BufferSource source(sink.bytes());
+    std::unordered_map<int64_t, uint64_t> map;
+    EXPECT_FALSE(wire::GetCountMap(source, &map));
+  }
+  // The v1 upgrade reader applies the same rejections to the interleaved
+  // varint shape.
+  {
     wire::BufferSink sink;
     wire::PutVarint(sink, 2);
     wire::PutVarint(sink, wire::ZigzagEncode(7));
@@ -105,6 +141,7 @@ TEST(WireCodecTest, CountMapRejectsDuplicatesAndZeroCounts) {
     wire::PutVarint(sink, wire::ZigzagEncode(7));  // duplicate element
     wire::PutVarint(sink, 5);
     wire::BufferSource source(sink.bytes());
+    source.set_wire_version(wire::kWireFormatV1);
     std::unordered_map<int64_t, uint64_t> map;
     EXPECT_FALSE(wire::GetCountMap(source, &map));
   }
@@ -114,22 +151,66 @@ TEST(WireCodecTest, CountMapRejectsDuplicatesAndZeroCounts) {
     wire::PutVarint(sink, wire::ZigzagEncode(7));
     wire::PutVarint(sink, 0);  // zero count
     wire::BufferSource source(sink.bytes());
+    source.set_wire_version(wire::kWireFormatV1);
     std::unordered_map<int64_t, uint64_t> map;
     EXPECT_FALSE(wire::GetCountMap(source, &map));
   }
 }
 
+TEST(WireCodecTest, BufferedSinkMatchesUnbufferedBytes) {
+  wire::BufferSink direct;
+  wire::BufferSink base;
+  {
+    // A tiny window forces flushes, window-straddling appends and
+    // bypass-sized appends; bytes out must be identical regardless.
+    wire::BufferedSink buffered(base, /*capacity=*/16);
+    Rng rng(42);
+    for (int i = 0; i < 200; ++i) {
+      std::vector<uint8_t> chunk(rng.NextBelow(40),
+                                 static_cast<uint8_t>(i));
+      direct.Append(chunk.data(), chunk.size());
+      buffered.Append(chunk.data(), chunk.size());
+    }
+  }  // destructor flushes the tail
+  EXPECT_EQ(base.bytes(), direct.bytes());
+}
+
+TEST(WireCodecTest, BufferedSourceReadsMatchTheUnderlyingBytes) {
+  std::vector<uint8_t> data(10000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31);
+  }
+  wire::BufferSource base(data);
+  wire::BufferedSource source(base, /*capacity=*/64);
+  std::vector<uint8_t> got;
+  Rng rng(7);
+  while (got.size() < data.size()) {
+    // Read sizes straddle the window (including bypass-sized reads).
+    const size_t want = std::min<size_t>(1 + rng.NextBelow(150),
+                                         data.size() - got.size());
+    std::vector<uint8_t> chunk(want);
+    ASSERT_TRUE(source.Read(chunk.data(), want));
+    got.insert(got.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(got, data);
+  uint8_t extra = 0;
+  EXPECT_FALSE(source.Read(&extra, 1));  // past EOF fails cleanly
+}
+
 TEST(WireCodecTest, FramedBodyDetectsFlippedBitsAnywhere) {
   std::vector<uint8_t> body = {1, 2, 3, 4, 5, 6, 7, 8};
   wire::BufferSink sink;
-  wire::WriteFramedBody(sink, "TEST", 1, body);
+  wire::WriteFramedBody(sink, "TEST", body);
   const std::vector<uint8_t> good = sink.bytes();
   {
     std::vector<uint8_t> ok_copy = good;
     wire::BufferSource source(ok_copy);
     std::vector<uint8_t> out;
-    EXPECT_TRUE(wire::ReadFramedBody(source, "TEST", 1, &out, nullptr));
+    uint64_t version = 0;
+    EXPECT_TRUE(
+        wire::ReadFramedBody(source, "TEST", &out, nullptr, &version));
     EXPECT_EQ(out, body);
+    EXPECT_EQ(version, wire::kWireFormatCurrent);
   }
   for (size_t i = 0; i < good.size(); ++i) {
     std::vector<uint8_t> corrupt = good;
@@ -137,9 +218,74 @@ TEST(WireCodecTest, FramedBodyDetectsFlippedBitsAnywhere) {
     wire::BufferSource source(corrupt);
     std::vector<uint8_t> out;
     std::string error;
-    EXPECT_FALSE(wire::ReadFramedBody(source, "TEST", 1, &out, &error))
+    EXPECT_FALSE(wire::ReadFramedBody(source, "TEST", &out, &error))
         << "flip at byte " << i << " was accepted";
     EXPECT_FALSE(error.empty());
+  }
+}
+
+// v1 frames (no encoding byte, varint body length) must keep reading
+// through the upgrade path — hand-built exactly as the v1 writer framed.
+TEST(WireCodecTest, FramedBodyReadsV1Frames) {
+  const std::vector<uint8_t> body = {9, 8, 7, 6, 5};
+  wire::BufferSink sink;
+  sink.Append("TEST", 4);
+  wire::PutVarint(sink, wire::kWireFormatV1);
+  wire::PutVarint(sink, body.size());
+  sink.Append(body.data(), body.size());
+  wire::PutFixed64(sink, wire::Checksum(body));
+  wire::BufferSource source(sink.bytes());
+  std::vector<uint8_t> out;
+  uint64_t version = 0;
+  EXPECT_TRUE(wire::ReadFramedBody(source, "TEST", &out, nullptr, &version));
+  EXPECT_EQ(out, body);
+  EXPECT_EQ(version, wire::kWireFormatV1);
+}
+
+TEST(WireCodecTest, UnknownBodyEncodingIsRejected) {
+  std::vector<uint8_t> body = {1, 2, 3};
+  wire::BufferSink sink;
+  wire::WriteFramedBody(sink, "TEST", body);
+  std::vector<uint8_t> bytes = sink.bytes();
+  // Layout: magic (4) | version varint (1 byte) | encoding byte | ...
+  ASSERT_EQ(bytes[5], 0u);
+  bytes[5] = 7;
+  wire::BufferSource source(bytes);
+  std::vector<uint8_t> out;
+  std::string error;
+  EXPECT_FALSE(wire::ReadFramedBody(source, "TEST", &out, &error));
+  EXPECT_NE(error.find("encoding"), std::string::npos) << error;
+}
+
+TEST(WireCodecTest, CompressedFramedBodyRoundTripsOrFallsBack) {
+  // Highly compressible body, so zstd always wins when available.
+  std::vector<uint8_t> body(4096, 0xAB);
+  wire::BufferSink sink;
+  wire::WriteFramedBody(sink, "TEST", body, wire::BodyEncoding::kZstd);
+  const std::vector<uint8_t> good = sink.bytes();
+  if (wire::ZstdSupported()) {
+    EXPECT_EQ(good[5], 1u);                // encoding byte says zstd
+    EXPECT_LT(good.size(), body.size());   // and it actually shrank
+  } else {
+    EXPECT_EQ(good[5], 0u);  // silent fallback: readable on any build
+  }
+  {
+    std::vector<uint8_t> ok_copy = good;
+    wire::BufferSource source(ok_copy);
+    std::vector<uint8_t> out;
+    EXPECT_TRUE(wire::ReadFramedBody(source, "TEST", &out, nullptr));
+    EXPECT_EQ(out, body);
+  }
+  // Every single-byte flip must reject — the raw-length prefix and the
+  // compressed stream included, not just the checksummed stored body.
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::vector<uint8_t> corrupt = good;
+    corrupt[i] ^= 0x40;
+    wire::BufferSource source(corrupt);
+    std::vector<uint8_t> out;
+    std::string error;
+    EXPECT_FALSE(wire::ReadFramedBody(source, "TEST", &out, &error))
+        << "flip at byte " << i << " was accepted";
   }
 }
 
@@ -355,8 +501,7 @@ TEST(WireSnapshotTest, UnknownKindAndBadVersionAreRejected) {
     wire::WriteSketchConfig(body, alien);
     wire::PutBytes(body, payload.bytes());
     wire::BufferSink sink;
-    wire::WriteFramedBody(sink, wire::kSnapshotMagic,
-                          wire::kSnapshotFormatVersion, body.bytes());
+    wire::WriteFramedBody(sink, wire::kSnapshotMagic, body.bytes());
     wire::BufferSource source(sink.bytes());
     std::string error;
     EXPECT_FALSE(wire::ReadSnapshot<int64_t>(source, &error).valid());
@@ -367,7 +512,7 @@ TEST(WireSnapshotTest, UnknownKindAndBadVersionAreRejected) {
     wire::BufferSink sink;
     ASSERT_TRUE(wire::WriteSnapshot(sketch, config, sink));
     std::vector<uint8_t> bytes = sink.bytes();
-    bytes[4] = 2;  // the version varint sits right after the 4-byte magic
+    bytes[4] = 9;  // the version varint sits right after the 4-byte magic
     wire::BufferSource source(bytes);
     std::string error;
     EXPECT_FALSE(wire::ReadSnapshot<int64_t>(source, &error).valid());
@@ -471,6 +616,103 @@ TEST(WireFdTest, TruncatedPipeStreamFailsCleanly) {
   close(fds[0]);
 }
 
+// Consecutive snapshots on one pipe must ship through a single
+// BufferedSource: its read-ahead window may hold the head of the next
+// message, so the aggregator's ship protocol keeps one adapter per
+// stream. Three messages through one adapter is the regression check.
+TEST(WireFdTest, ConsecutiveSnapshotsShipThroughOneBufferedSource) {
+  SketchConfig config = SmallConfig("robust_sample");
+  auto original = SketchRegistry<int64_t>::Global().Create(config);
+  original.InsertBatch(TestStream(3000, 0xB1F));
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  {
+    // Three small snapshots stay far below the pipe buffer, so a
+    // same-thread write-then-read cannot block.
+    wire::FdSink fd_sink(fds[1]);
+    wire::BufferedSink sink(fd_sink);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(wire::WriteSnapshot(original, config, sink)) << i;
+    }
+    sink.Flush();
+    ASSERT_TRUE(sink.ok());
+    close(fds[1]);
+  }
+  wire::FdSource fd_source(fds[0]);
+  wire::BufferedSource source(fd_source);
+  for (int i = 0; i < 3; ++i) {
+    std::string error;
+    auto revived = wire::ReadSnapshot<int64_t>(source, &error);
+    ASSERT_TRUE(revived.valid()) << "message " << i << ": " << error;
+    ExpectIdenticalAnswers(original, revived, "buffered pipe message");
+  }
+  uint8_t extra = 0;
+  EXPECT_FALSE(source.Read(&extra, 1));  // stream fully consumed
+  close(fds[0]);
+}
+
+// ------------------------------------------------- compression (zstd) ----
+
+// Snapshots requested with BodyEncoding::kZstd must round-trip with
+// identical answers for every kind — compressed when support is compiled
+// in, silently falling back to an uncompressed (still readable) frame
+// when it is not. Either way no caller ever sees an unreadable file.
+TEST(WireCompressionTest, CompressedSnapshotsRoundTripEveryKind) {
+  const auto stream = TestStream(8000, 0x25D);
+  for (const auto& kind : SketchRegistry<int64_t>::Global().Kinds()) {
+    const SketchConfig config = SmallConfig(kind);
+    auto original = SketchRegistry<int64_t>::Global().Create(config);
+    original.InsertBatch(stream);
+    wire::BufferSink sink;
+    ASSERT_TRUE(wire::WriteSnapshot(original, config, sink,
+                                    wire::BodyEncoding::kZstd))
+        << kind;
+    const uint8_t encoding = sink.bytes()[5];
+    EXPECT_EQ(encoding, wire::ZstdSupported() ? 1u : 0u) << kind;
+    wire::BufferSource source(sink.bytes());
+    std::string error;
+    auto revived = wire::ReadSnapshot<int64_t>(source, &error);
+    ASSERT_TRUE(revived.valid()) << kind << ": " << error;
+    ExpectIdenticalAnswers(original, revived, kind + " zstd snapshot");
+  }
+}
+
+// The corruption contract holds for compressed bodies too: every
+// truncation prefix and random bit flip must be rejected, never crash,
+// never revive.
+TEST(WireCompressionTest, CompressedSnapshotTruncationAndFlipsAreRejected) {
+  if (!wire::ZstdSupported()) {
+    GTEST_SKIP() << "zstd not compiled in; kZstd falls back to uncompressed "
+                    "frames already covered by the v2 sweeps";
+  }
+  const SketchConfig config = SmallConfig("robust_sample");
+  auto original = SketchRegistry<int64_t>::Global().Create(config);
+  original.InsertBatch(TestStream(4000, 0x25E));
+  wire::BufferSink sink;
+  ASSERT_TRUE(wire::WriteSnapshot(original, config, sink,
+                                  wire::BodyEncoding::kZstd));
+  ASSERT_EQ(sink.bytes()[5], 1u);  // actually compressed
+  const std::vector<uint8_t> good = sink.bytes();
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::vector<uint8_t> truncated(good.begin(), good.begin() + len);
+    wire::BufferSource source(truncated);
+    std::string error;
+    EXPECT_FALSE(wire::ReadSnapshot<int64_t>(source, &error).valid())
+        << "prefix of " << len << " bytes was accepted";
+  }
+  Rng rng(0x25F);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> corrupt = good;
+    const size_t pos = static_cast<size_t>(rng.NextBelow(corrupt.size()));
+    corrupt[pos] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    wire::BufferSource source(corrupt);
+    std::string error;
+    EXPECT_FALSE(wire::ReadSnapshot<int64_t>(source, &error).valid())
+        << "flip at byte " << pos << " was accepted";
+  }
+}
+
 // ------------------------------------------------- checkpoint / restore ----
 
 // Checkpoint -> kill -> Restore -> continue must equal a run that never
@@ -533,6 +775,42 @@ TEST(WireCheckpointTest, CheckpointIsRepeatableAndRestorableMidStream) {
   ASSERT_NE(restored, nullptr) << error;
   ExpectIdenticalAnswers(pipeline.Snapshot(), restored->Snapshot(),
                          "repeated checkpoint");
+  std::remove(path.c_str());
+}
+
+// A zstd-compressed checkpoint must restore and continue bit-identically
+// to an uninterrupted run — same contract as the uncompressed path. This
+// is the round trip the sanitizer CI job exercises under ASan when
+// libzstd is present (and the fallback path when it is not).
+TEST(WireCheckpointTest, ZstdCheckpointRestoresBitIdentically) {
+  const SketchConfig config = SmallConfig("robust_sample");
+  PipelineOptions options;
+  options.num_shards = 2;
+  constexpr size_t kBatches = 8;
+
+  std::vector<std::vector<int64_t>> batches;
+  for (size_t b = 0; b < kBatches; ++b) {
+    batches.push_back(TestStream(500, 0x25D0 + b));
+  }
+  ShardedPipeline<int64_t> uninterrupted(config, options);
+  for (const auto& batch : batches) uninterrupted.Ingest(batch);
+
+  const std::string path = TempPath("wire_checkpoint_zstd.ck");
+  std::string error;
+  {
+    ShardedPipeline<int64_t> first(config, options);
+    for (size_t b = 0; b < kBatches / 2; ++b) first.Ingest(batches[b]);
+    ASSERT_TRUE(
+        first.Checkpoint(path, &error, wire::BodyEncoding::kZstd))
+        << error;
+  }
+  auto restored = ShardedPipeline<int64_t>::Restore(path, options, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  for (size_t b = kBatches / 2; b < kBatches; ++b) {
+    restored->Ingest(batches[b]);
+  }
+  ExpectIdenticalAnswers(uninterrupted.Snapshot(), restored->Snapshot(),
+                         "zstd checkpoint/restore");
   std::remove(path.c_str());
 }
 

@@ -5,6 +5,7 @@ Usage:
   bench_diff.py BASELINE.json CURRENT.json
   bench_diff.py --window BASELINE_DIR CURRENT.json
   bench_diff.py --gate t3 CURRENT.json
+  bench_diff.py --gate t4 CURRENT.json
 
 Two-file mode diffs CURRENT against BASELINE row by row. Window mode
 diffs CURRENT against a rolling window of baselines kept in
@@ -45,6 +46,18 @@ Both rules only score (P, S) points the host can actually run
 concurrently (P + S <= meta.hardware_threads) — on smaller machines the
 infeasible points are reported as GATE SKIP, not failed, so the gate is
 meaningful on big CI runners and vacuous rather than flaky on laptops.
+
+Gate mode (`--gate t4`) enforces wire-codec throughput floors on a
+BENCH_t4_wire.json produced by bench_t4_wire_aggregator and exits 1 on
+violation:
+  1. every `wire/serialize` and `wire/ship` row (one pair per registered
+     sketch kind) must reach >= 5 MiB/s;
+  2. the `wire/ship` row for count_min must reach >= 10 MiB/s — the
+     serializer whose per-cell varint emission used to cap shipping at
+     well under 1 MiB/s.
+Missing codec rows (no `wire/*` rows at all, or no count_min ship row)
+are a FAIL, not a skip: the gate must not pass vacuously when the bench
+stops emitting the rows it scores.
 """
 
 import json
@@ -58,6 +71,9 @@ MIN_DRIFT_POINTS = 3    # oldest baseline .. current, inclusive
 GATE_STEP_FLOOR = 0.90  # per-step noise floor for the monotone rule
 GATE_BASELINE_FLOOR = 0.95  # noise floor for hash-vs-baseline
 GATE_MIN_PRODUCERS = 4
+
+GATE_T4_FLOOR_MIBS = 5.0  # every wire/serialize + wire/ship row
+GATE_T4_COUNT_MIN_SHIP_MIBS = 10.0  # the row the tentpole optimised
 ZC_ROW_RE = re.compile(r"^ring-zc/p(\d+)s(\d+)$")
 HASH_ROW_RE = re.compile(r"^hash/p(\d+)s(\d+)$")
 
@@ -311,13 +327,57 @@ def run_gate_t3(doc):
     return violations, skips, checks
 
 
+def run_gate_t4(doc):
+    """Wire-codec throughput floors on BENCH_t4_wire.json rows. Returns
+    (violations, skips, checks); a violation means exit 1."""
+    rows = doc.get("rows", [])
+    violations, skips, checks = [], [], []
+    wire_rows = [r for r in rows
+                 if str(r.get("op", "")).startswith("wire/")
+                 and is_number(r.get("MiB/s"))]
+    if not wire_rows:
+        return (["GATE FAIL no wire/* rows with numeric MiB/s — bench_t4 "
+                 "stopped emitting the codec throughput rows this gate "
+                 "scores"], [], [])
+    count_min_ship = None
+    for row in wire_rows:
+        op, kind = row["op"], row.get("kind", "?")
+        mibs = row["MiB/s"]
+        if op == "wire/ship" and kind == "count_min":
+            count_min_ship = mibs
+        label = f"{op} {kind}: {mibs:.1f} MiB/s"
+        if mibs < GATE_T4_FLOOR_MIBS:
+            violations.append(
+                f"GATE FAIL {label} (< {GATE_T4_FLOOR_MIBS:.1f} MiB/s "
+                f"floor — codec throughput regressed)")
+        else:
+            checks.append(f"GATE OK   {label}")
+    if count_min_ship is None:
+        violations.append("GATE FAIL no wire/ship row for count_min — "
+                          "the gated kind is missing")
+    elif count_min_ship < GATE_T4_COUNT_MIN_SHIP_MIBS:
+        violations.append(
+            f"GATE FAIL wire/ship count_min: {count_min_ship:.1f} MiB/s "
+            f"(< {GATE_T4_COUNT_MIN_SHIP_MIBS:.1f} MiB/s floor — the "
+            f"bulk-row serializer regressed)")
+    else:
+        checks.append(f"GATE OK   wire/ship count_min "
+                      f"{count_min_ship:.1f} >= "
+                      f"{GATE_T4_COUNT_MIN_SHIP_MIBS:.1f} MiB/s")
+    return violations, skips, checks
+
+
+GATES = {"t3": run_gate_t3, "t4": run_gate_t4}
+
+
 def run_gate(bench, current_path):
-    if bench != "t3":
-        print(f"unknown gate '{bench}' (only t3 is defined)",
+    if bench not in GATES:
+        known = ", ".join(sorted(GATES))
+        print(f"unknown gate '{bench}' (defined gates: {known})",
               file=sys.stderr)
         return 2
-    violations, skips, checks = run_gate_t3(load(current_path))
-    print(f"# bench gate: t3 scaling criteria on {current_path}")
+    violations, skips, checks = GATES[bench](load(current_path))
+    print(f"# bench gate: {bench} criteria on {current_path}")
     for line in checks + skips + violations:
         print(line)
     if violations:

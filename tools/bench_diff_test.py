@@ -268,5 +268,81 @@ class GateTest(unittest.TestCase):
         self.assertEqual(code, 2)
 
 
+def t4_doc(wire_rows):
+    """A minimal BENCH_t4_wire.json: wire_rows maps (op, kind) -> MiB/s;
+    an aggregate row rides along to prove non-wire rows are not scored."""
+    rows = [{"op": "aggregate", "kind": "count_min", "workers": 4,
+             "n": 200000, "KiB": 120.0, "ms": 8.0, "MiB/s": 2.0,
+             "worst |merged - single|": 0.0, "bound": "exact"}]
+    for (op, kind), mibs in wire_rows.items():
+        rows.append({"op": op, "kind": kind, "workers": "-", "n": 200000,
+                     "KiB": 64.0, "ms": 10.0, "MiB/s": mibs,
+                     "worst |merged - single|": "-", "bound": "-"})
+    return {"bench": "t4_wire", "meta": {"smoke": "true"}, "rows": rows}
+
+
+class GateT4Test(unittest.TestCase):
+    def run_gate(self, doc):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "BENCH_t4_wire.json")
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                code = bench_diff.main(["bench_diff.py", "--gate", "t4",
+                                        path])
+            return code, out.getvalue()
+
+    def test_all_rows_above_floors_pass(self):
+        doc = t4_doc({("wire/serialize", "count_min"): 900.0,
+                      ("wire/ship", "count_min"): 250.0,
+                      ("wire/serialize", "kll"): 80.0,
+                      ("wire/ship", "kll"): 40.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 0)
+        self.assertIn("# gate verdict: PASS", out)
+        self.assertNotIn("GATE FAIL", out)
+
+    def test_any_kind_below_general_floor_fails(self):
+        doc = t4_doc({("wire/serialize", "count_min"): 900.0,
+                      ("wire/ship", "count_min"): 250.0,
+                      ("wire/ship", "kll"): 3.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("GATE FAIL wire/ship kll", out)
+
+    def test_count_min_ship_below_its_floor_fails(self):
+        # 8 MiB/s clears the 5 MiB/s general floor but not the 10 MiB/s
+        # count_min ship floor.
+        doc = t4_doc({("wire/serialize", "count_min"): 900.0,
+                      ("wire/ship", "count_min"): 8.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("GATE FAIL wire/ship count_min", out)
+
+    def test_missing_wire_rows_fail_closed(self):
+        code, out = self.run_gate(t4_doc({}))
+        self.assertEqual(code, 1)
+        self.assertIn("no wire/", out)
+
+    def test_missing_count_min_ship_row_fails(self):
+        doc = t4_doc({("wire/serialize", "count_min"): 900.0,
+                      ("wire/ship", "kll"): 40.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("count_min", out)
+        self.assertIn("# gate verdict: FAIL", out)
+
+    def test_aggregate_rows_are_not_scored(self):
+        # The aggregate row in t4_doc sits at 2 MiB/s (below both floors)
+        # and must not trip the gate.
+        doc = t4_doc({("wire/serialize", "count_min"): 900.0,
+                      ("wire/ship", "count_min"): 250.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 0)
+        self.assertNotIn("aggregate", [l for l in out.splitlines()
+                                       if l.startswith("GATE FAIL")])
+
+
 if __name__ == "__main__":
     unittest.main()
