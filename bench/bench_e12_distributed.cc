@@ -2,21 +2,29 @@
 // systems"): K query servers with uniform random routing. Each server's
 // substream is a Bernoulli(1/K) sample of the query stream, so Theorem 1.2
 // predicts every server stays representative — even against an adversary
-// that observes the routing (here: the bisection attack replayed against
-// server 0, treating "landed on server 0" as "sampled"). Sweeps K and n.
+// that observes the routing.
+//
+// This experiment runs through the AttackLab GameDriver: by exchangeability
+// every server has the same substream law, so server 0's marginal — a
+// Bernoulli(1/K) sampler whose "kept" bit is "the query landed on server
+// 0" — is the per-server object under study. The adaptive arm replays the
+// Fig. 3 bisection strategy against that sampler (exactly the
+// routing-observer of the old hand-rolled harness); the static arm plays a
+// fixed Zipf workload through a runtime-registered adversary. Both score
+// prefix (KS) discrepancy of the substream against the full stream, with
+// the driver's seeded, parallel trial loop.
 
-#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <iostream>
-#include <vector>
+#include <string>
 
-#include "adversary/bisection_adversary.h"
+#include "attacklab/adversary_registry.h"
+#include "attacklab/game_driver.h"
+#include "attacklab/game_spec.h"
+#include "core/random.h"
 #include "core/sample_bounds.h"
-#include "distributed/load_balancer.h"
 #include "harness/table.h"
-#include "harness/trial_runner.h"
-#include "setsystem/discrepancy.h"
 #include "stream/generators.h"
 
 namespace robust_sampling {
@@ -25,53 +33,67 @@ namespace {
 constexpr double kEps = 0.1;
 constexpr double kDelta = 0.1;
 constexpr size_t kTrials = 4;
+constexpr uint64_t kBaseSeed = 0xE12;
 
-// Worst per-server KS discrepancy with a static Zipf workload.
-double StaticTrial(int servers, size_t n, uint64_t seed) {
-  LoadBalancedCluster cluster(servers, seed);
-  for (int64_t q : ZipfIntStream(n, 100000, 1.1, MixSeed(seed, 61))) {
-    cluster.Route(q);
-  }
-  const auto discs = cluster.PerServerPrefixDiscrepancy();
-  return *std::max_element(discs.begin(), discs.end());
-}
-
-// Adaptive routing-observer: plays the Fig. 3 bisection strategy against
-// server 0 ("sampled" = query landed on server 0) and reports server 0's
-// substream discrepancy.
-double AdaptiveTrial(int servers, size_t n, uint64_t seed) {
-  LoadBalancedCluster cluster(servers, seed);
-  BisectionAdversaryInt64 adv(int64_t{1} << 62,
-                              1.0 - 1.0 / static_cast<double>(servers));
-  for (size_t i = 1; i <= n; ++i) {
-    const int64_t q = adv.NextElement(cluster.ServerStream(0), i);
-    const int server = cluster.Route(q);
-    adv.Observe(cluster.ServerStream(0), server == 0, i);
-  }
-  return PrefixDiscrepancy(cluster.FullStream(), cluster.ServerStream(0));
+/// The spec for one (K, n, workload) cell: a Bernoulli(1/K) sampler (=
+/// server 0's routing marginal) scored by prefix discrepancy at kEps.
+GameSpec SpecFor(int servers, size_t n, const std::string& adversary) {
+  GameSpec spec;
+  spec.sketch.kind = "bernoulli";
+  spec.sketch.probability = 1.0 / static_cast<double>(servers);
+  // The adaptive arm bisects over the routing-key universe {1..2^62}
+  // (ln N = 43), matching the original routing-observer's key space.
+  spec.sketch.universe_size = uint64_t{1} << 62;
+  spec.sketch.expected_stream_size = n;
+  spec.sketch.eps = kEps;
+  spec.sketch.delta = kDelta;
+  spec.adversary = adversary;
+  // Fig. 3's split for a Bernoulli(1/K) target: keep narrowing while a
+  // fraction 1 - 1/K of the range stays unrouted-to-server-0.
+  spec.split = 1.0 - 1.0 / static_cast<double>(servers);
+  spec.n = n;
+  spec.eps = kEps;
+  spec.discrepancy = DiscrepancyKind::kPrefix;
+  spec.schedule = ScheduleKind::kFinalOnly;
+  spec.trials = kTrials;
+  spec.base_seed = kBaseSeed;
+  return spec;
 }
 
 void Run() {
+  // The static workload as an adversary: a Zipf(1.1) query stream fixed
+  // before the game — the classical non-adaptive traffic model, routed
+  // through the same driver so both arms share seeding and scoring.
+  AdversaryRegistry<int64_t>::Global().Register(
+      "e12-static-zipf", [](const GameSpec& spec, uint64_t seed) {
+        return AnyAdversary<int64_t>::Wrap(StaticAdversary<int64_t>(
+            ZipfIntStream(spec.n, 100000, 1.1, MixSeed(seed, 61))));
+      });
+
   std::cout << "# E12: distributed query routing as Bernoulli sampling "
                "(Section 1.2)\n";
   std::cout << "Each of K servers receives a Bernoulli(1/K) substream; "
-               "worst per-server KS discrepancy vs the full stream. "
+               "KS discrepancy of server 0's substream vs the full stream "
+               "(per-server law by exchangeability), via the AttackLab "
+               "GameDriver. "
             << kTrials << " trials/row, eps = " << kEps << ".\n\n";
-  MarkdownTable table({"K", "n", "n/K", "workload", "mean worst disc",
-                       "max worst disc", "all servers representative"});
+  MarkdownTable table({"K", "n", "n/K", "workload", "mean disc", "max disc",
+                       "Pr[disc<=eps]", "server representative"});
   for (int servers : {4, 16, 64}) {
     for (size_t n : {size_t{20000}, size_t{200000}}) {
-      for (int workload = 0; workload < 2; ++workload) {
-        const auto stats = RunTrials(kTrials, 0xE12, [&](uint64_t seed) {
-          return workload == 0 ? StaticTrial(servers, n, seed)
-                               : AdaptiveTrial(servers, n, seed);
-        });
+      for (const char* adversary : {"e12-static-zipf", "bisection"}) {
+        const GameSpec spec = SpecFor(servers, n, adversary);
+        const GameReport report = PlayGame<int64_t>(spec);
         table.AddRow(
             {std::to_string(servers), std::to_string(n),
              std::to_string(n / static_cast<size_t>(servers)),
-             workload == 0 ? "static zipf" : "adaptive routing-observer",
-             FormatDouble(stats.mean, 4), FormatDouble(stats.max, 4),
-             FormatBool(stats.max <= kEps)});
+             adversary == std::string("bisection")
+                 ? "adaptive routing-observer"
+                 : "static zipf",
+             FormatDouble(report.discrepancy.mean, 4),
+             FormatDouble(report.discrepancy.max, 4),
+             FormatDouble(report.FractionRobust(kEps), 2),
+             FormatBool(report.discrepancy.max <= kEps)});
       }
     }
   }

@@ -1,0 +1,274 @@
+// T5: loopback aggregation-tier fleet — TCP snapshot shipping into a live
+// Collector, measured end to end (serialize is excluded; the clock covers
+// frame send + collector revive + merged-view rebuild + ack).
+//
+// Row families by the `op` column:
+//
+//  * op = "net/ship": S shippers with disjoint stream slices deliver
+//    their snapshots to one collector, then one shipper re-ships its
+//    snapshot R times; MiB/s is acked ship throughput including the
+//    collector's per-ship merge rebuild. Gated by bench_diff --gate t5.
+//  * op = "net/query": round-trip latency of the erased query surface
+//    over the same connection (CollectorClient), ms per query.
+//
+// Every fleet point *asserts* the collector's answers against a
+// single-process sketch over the identical stream — bit-exact for
+// CountMin, within the 2*eps rank bound for kll quantiles (same
+// acceptance bench_t4 applies to its merge).
+//
+// Writes BENCH_t5_net.json; RS_BENCH_SMOKE=1 shrinks the stream for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "core/random.h"
+#include "harness/table.h"
+#include "net/collector.h"
+#include "net/snapshot_shipper.h"
+#include "obs/metrics.h"
+#include "pipeline/sketch_config.h"
+#include "pipeline/sketch_registry.h"
+#include "pipeline/stream_sketch.h"
+#include "wire/codec.h"
+#include "wire/snapshot.h"
+
+namespace robust_sampling {
+namespace {
+
+constexpr double kEps = 0.05;
+constexpr uint64_t kUniverse = 4096;
+constexpr uint64_t kBaseSeed = 0x7A55;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<int64_t> MakeStream(size_t n) {
+  Rng rng(kBaseSeed);
+  std::vector<int64_t> stream;
+  stream.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    stream.push_back(static_cast<int64_t>(rng.NextBelow(kUniverse)) + 1);
+  }
+  return stream;
+}
+
+SketchConfig ConfigFor(const std::string& kind, uint64_t seed) {
+  SketchConfig config;
+  config.kind = kind;
+  config.eps = kEps;
+  config.delta = 0.05;
+  config.universe_size = kUniverse;
+  config.capacity = 1024;
+  config.width = 2048;
+  config.depth = 4;
+  config.seed = seed;
+  return config;
+}
+
+StreamSketch<int64_t> BuildSketch(const SketchConfig& config,
+                                  std::span<const int64_t> slice) {
+  auto sketch = SketchRegistry<int64_t>::Global().Create(config);
+  sketch.InsertBatch(slice);
+  return sketch;
+}
+
+std::vector<uint8_t> SnapshotBytes(const StreamSketch<int64_t>& sketch,
+                                   const SketchConfig& config) {
+  wire::BufferSink sink;
+  RS_CHECK_MSG(wire::WriteSnapshot(sketch, config, sink),
+               "snapshot serialization failed");
+  return sink.TakeBytes();
+}
+
+// Same acceptance as bench_t4: both views summarize the identical stream.
+double AssertAccuracy(const std::string& kind,
+                      const net::Collector<int64_t>& collector,
+                      const StreamSketch<int64_t>& single) {
+  double worst = 0.0;
+  if (kind == "count_min") {
+    for (uint64_t x = 1; x <= kUniverse; x += 16) {
+      const auto merged =
+          collector.EstimateFrequency(static_cast<int64_t>(x));
+      RS_CHECK(merged.has_value());
+      const double diff = std::abs(
+          *merged - single.EstimateFrequency(static_cast<int64_t>(x)));
+      worst = std::max(worst, diff);
+    }
+    RS_CHECK_MSG(worst == 0.0,
+                 "collector CountMin diverged from single-process");
+  } else {
+    for (double q = 0.05; q < 1.0; q += 0.05) {
+      const auto merged = collector.Quantile(q);
+      RS_CHECK(merged.has_value());
+      // Compare through ranks: each side is an eps-approximation.
+      const double diff =
+          std::abs(single.Rank(*merged) - q);
+      worst = std::max(worst, diff);
+    }
+    RS_CHECK_MSG(worst <= 2.0 * kEps,
+                 "collector quantiles violate the 2*eps rank bound");
+  }
+  return worst;
+}
+
+size_t RepsFor(size_t snapshot_bytes) {
+  constexpr size_t kTargetBytes = size_t{4} * 1024 * 1024;
+  const size_t reps = (kTargetBytes + snapshot_bytes - 1) / snapshot_bytes;
+  return std::clamp<size_t>(reps, 4, 64);
+}
+
+void Run(bool with_metrics) {
+  const bool smoke = []() {
+    const char* env = std::getenv("RS_BENCH_SMOKE");
+    return env != nullptr && *env != '\0';
+  }();
+  const size_t n = smoke ? 200'000 : 2'000'000;
+  const auto stream = MakeStream(n);
+
+  std::cout << "# T5: loopback TCP fleet -> collector (src/net/)\n";
+  std::cout << "net/ship rows: acked snapshot throughput into a live "
+               "collector (send + revive + merged-view rebuild + ack, "
+               "measured at the shipper). net/query rows: query RTT over "
+               "the same protocol. Every fleet point asserts "
+               "collector-vs-single accuracy. n = "
+            << n << ", eps = " << kEps << ".\n\n";
+
+  MarkdownTable table({"op", "kind", "shippers", "n", "KiB", "ms", "MiB/s",
+                       "worst |merged - single|", "bound"});
+
+  for (const std::string kind : {std::string("count_min"),
+                                 std::string("kll")}) {
+    const SketchConfig single_config = ConfigFor(kind, kBaseSeed);
+    const auto single = BuildSketch(single_config, stream);
+
+    for (size_t shippers : {size_t{1}, size_t{2}, size_t{4}}) {
+      net::Collector<int64_t> collector(net::CollectorOptions{});
+      RS_CHECK_MSG(collector.Start(), "collector failed to start");
+
+      // Fleet phase: each shipper covers a disjoint slice; CountMin
+      // shares config.seed (hash mergeability), the rest get independent
+      // per-shipper seeds — the ShardedPipeline convention.
+      const size_t slice_len = stream.size() / shippers;
+      std::vector<std::unique_ptr<net::SnapshotShipper>> fleet;
+      std::vector<std::vector<uint8_t>> frames(shippers);
+      size_t frame_bytes = 0;
+      for (size_t s = 0; s < shippers; ++s) {
+        const SketchConfig config =
+            kind == "count_min"
+                ? ConfigFor(kind, kBaseSeed)
+                : ConfigFor(kind, MixSeed(kBaseSeed, 1000 + s));
+        const size_t off = s * slice_len;
+        const size_t len =
+            s + 1 == shippers ? stream.size() - off : slice_len;
+        frames[s] = SnapshotBytes(
+            BuildSketch(config, std::span(stream).subspan(off, len)),
+            config);
+        frame_bytes += frames[s].size();
+        net::ShipperOptions options;
+        options.port = collector.port();
+        options.shipper_id = s + 1;
+        auto shipper = std::make_unique<net::SnapshotShipper>(options);
+        shipper->Start();
+        fleet.push_back(std::move(shipper));
+      }
+
+      const auto fleet_start = Clock::now();
+      for (size_t s = 0; s < shippers; ++s) {
+        fleet[s]->Offer(frames[s]);
+      }
+      for (auto& shipper : fleet) {
+        RS_CHECK_MSG(shipper->WaitUntilDrained(60'000),
+                     "fleet ship did not drain");
+      }
+      const double fleet_s = SecondsSince(fleet_start);
+      const double worst = AssertAccuracy(kind, collector, single);
+
+      // Sustained phase: shipper 0 re-ships its (cumulative) snapshot R
+      // times — the steady-state "periodic ship" path, every rep acked
+      // and merged.
+      const size_t reps = RepsFor(frames[0].size());
+      const auto sustained_start = Clock::now();
+      for (size_t r = 0; r < reps; ++r) {
+        fleet[0]->Offer(frames[0]);
+        RS_CHECK_MSG(fleet[0]->WaitUntilDrained(60'000),
+                     "sustained ship did not drain");
+      }
+      const double sustained_s = SecondsSince(sustained_start);
+      const double sustained_mib = static_cast<double>(frames[0].size()) *
+                                   static_cast<double>(reps) /
+                                   (1024.0 * 1024.0);
+      for (auto& shipper : fleet) shipper->Stop();
+
+      table.AddRow(
+          {"net/ship", kind, std::to_string(shippers), std::to_string(n),
+           FormatDouble(static_cast<double>(frame_bytes) / 1024.0, 1),
+           FormatDouble(sustained_s * 1e3, 2),
+           FormatDouble(sustained_mib / sustained_s, 1),
+           FormatDouble(worst, 4),
+           kind == "count_min" ? "exact" : FormatDouble(2 * kEps, 2)});
+
+      // Query RTT over the wire, after the fleet merge settled.
+      if (shippers == 1) {
+        net::CollectorClient<int64_t> client;
+        RS_CHECK(client.Connect("127.0.0.1", collector.port()));
+        const size_t queries = smoke ? 200 : 2000;
+        const auto query_start = Clock::now();
+        for (size_t i = 0; i < queries; ++i) {
+          double out = 0.0;
+          if (kind == "count_min") {
+            RS_CHECK(client.EstimateFrequency(
+                static_cast<int64_t>(1 + i % kUniverse), &out));
+          } else {
+            RS_CHECK(client.Quantile(
+                static_cast<double>(i % 99 + 1) / 100.0, &out));
+          }
+        }
+        const double query_s = SecondsSince(query_start);
+        table.AddRow({"net/query", kind, "1", std::to_string(queries), "-",
+                      FormatDouble(query_s * 1e3 /
+                                       static_cast<double>(queries),
+                                   4),
+                      "-", "-", "-"});
+      }
+      collector.Stop();
+      (void)fleet_s;
+    }
+  }
+
+  table.Print(std::cout);
+  const std::vector<std::pair<std::string, std::string>> extra_meta = {
+      {"stream_length", std::to_string(n)},
+      {"smoke", smoke ? "true" : "false"},
+  };
+  std::string metrics_json;
+  if (with_metrics) {
+    metrics_json = obs::MetricRegistry::Global().ToJson();
+  }
+  WriteBenchJson("t5_net", table, extra_meta,
+                 with_metrics ? &metrics_json : nullptr);
+  std::cout << "\nOK: collector-vs-single accuracy asserted for every "
+               "fleet point.\n";
+}
+
+}  // namespace
+}  // namespace robust_sampling
+
+int main(int argc, char** argv) {
+  bool with_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics") with_metrics = true;
+  }
+  robust_sampling::Run(with_metrics);
+  return 0;
+}

@@ -1,0 +1,218 @@
+// Loopback shipper -> collector kill -9 soak (CI release job, wrapped in
+// `timeout`). Sequence, repeated for several cycles:
+//
+//   1. fork a collector child (BEFORE this process creates any threads)
+//      that checkpoints after every accepted snapshot;
+//   2. ship a cumulative snapshot, wait for the ack;
+//   3. SIGKILL the collector mid-run — no destructors, no flush;
+//   4. restart the collector in-process on the same port + checkpoint,
+//      verify it restored the pre-kill answers exactly;
+//   5. grow the stream, re-ship cumulative state through the reconnect
+//      path, and verify queries agree with a single-process sketch.
+//
+// Exits non-zero on any divergence or timeout-worthy hang. Not a
+// measurement — a survival harness.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "net/collector.h"
+#include "net/snapshot_shipper.h"
+#include "net/socket_io.h"
+#include "pipeline/sketch_config.h"
+#include "pipeline/sketch_registry.h"
+#include "pipeline/stream_sketch.h"
+#include "wire/codec.h"
+#include "wire/snapshot.h"
+
+namespace robust_sampling {
+namespace {
+
+constexpr uint64_t kSeed = 0x50AC;
+constexpr uint64_t kUniverse = 2048;
+
+SketchConfig Config() {
+  SketchConfig config;
+  config.kind = "kll";
+  config.capacity = 512;
+  config.universe_size = kUniverse;
+  config.seed = kSeed;
+  return config;
+}
+
+std::vector<int64_t> GrowStream(std::vector<int64_t> base, size_t more,
+                                uint64_t seed) {
+  Rng rng(seed);
+  base.reserve(base.size() + more);
+  for (size_t i = 0; i < more; ++i) {
+    base.push_back(static_cast<int64_t>(rng.NextBelow(kUniverse)) + 1);
+  }
+  return base;
+}
+
+StreamSketch<int64_t> BuildSketch(const std::vector<int64_t>& stream) {
+  auto sketch = SketchRegistry<int64_t>::Global().Create(Config());
+  sketch.InsertBatch(stream);
+  return sketch;
+}
+
+std::vector<uint8_t> SnapshotBytes(const StreamSketch<int64_t>& sketch) {
+  wire::BufferSink sink;
+  if (!wire::WriteSnapshot(sketch, Config(), sink)) {
+    std::cerr << "FATAL: snapshot serialization failed\n";
+    std::exit(1);
+  }
+  return sink.TakeBytes();
+}
+
+bool ShipOnce(uint16_t port, const std::vector<uint8_t>& frame) {
+  net::ShipperOptions options;
+  options.port = port;
+  options.shipper_id = 1;
+  options.backoff_initial_ms = 5;
+  options.backoff_max_ms = 200;
+  net::SnapshotShipper shipper(options);
+  shipper.Start();
+  shipper.Offer(frame);
+  const bool drained = shipper.WaitUntilDrained(30'000);
+  shipper.Stop();
+  return drained;
+}
+
+bool NearlyEqual(double a, double b) { return std::abs(a - b) < 1e-12; }
+
+int RunSoak() {
+  const std::string path = []() {
+    const char* dir = std::getenv("TMPDIR");
+    return std::string(dir != nullptr ? dir : "/tmp") + "/net_soak.ck";
+  }();
+  std::remove(path.c_str());
+
+  uint16_t port = 0;
+  {
+    const int fd = net::ListenLoopback(0, &port);
+    if (fd < 0) {
+      std::cerr << "FATAL: cannot reserve loopback port\n";
+      return 1;
+    }
+    close(fd);
+  }
+
+  // Fork the first collector before any thread exists in this process.
+  int ready_pipe[2];
+  if (pipe(ready_pipe) != 0) return 1;
+  const pid_t child = fork();
+  if (child < 0) return 1;
+  if (child == 0) {
+    close(ready_pipe[0]);
+    net::CollectorOptions options;
+    options.port = port;
+    options.checkpoint_path = path;
+    net::Collector<int64_t> collector(options);
+    if (!collector.Start()) _exit(1);
+    const char ready = 'R';
+    if (write(ready_pipe[1], &ready, 1) != 1) _exit(1);
+    for (;;) pause();
+  }
+  close(ready_pipe[1]);
+  char ready = 0;
+  if (read(ready_pipe[0], &ready, 1) != 1) {
+    std::cerr << "FATAL: collector child failed to start\n";
+    return 1;
+  }
+  close(ready_pipe[0]);
+
+  std::vector<int64_t> stream;
+  constexpr int kCycles = 3;
+  constexpr size_t kGrowth = 50'000;
+
+  // Cycle 0 runs against the forked child; later cycles kill and restart
+  // the collector in-process (fork-once keeps the sanitizers happy).
+  stream = GrowStream(std::move(stream), kGrowth, kSeed);
+  StreamSketch<int64_t> reference = BuildSketch(stream);
+  if (!ShipOnce(port, SnapshotBytes(reference))) {
+    std::cerr << "FATAL: initial ship did not drain\n";
+    return 1;
+  }
+
+  if (kill(child, SIGKILL) != 0) return 1;
+  int wstatus = 0;
+  if (waitpid(child, &wstatus, 0) != child || !WIFSIGNALED(wstatus)) {
+    std::cerr << "FATAL: collector child did not die of SIGKILL\n";
+    return 1;
+  }
+  std::cout << "cycle 0: collector kill -9'd after "
+            << stream.size() << " elements shipped\n";
+
+  for (int cycle = 1; cycle <= kCycles; ++cycle) {
+    // Restart against the surviving checkpoint; pre-kill answers must be
+    // restored exactly (same snapshot bytes -> identical sketch).
+    net::CollectorOptions options;
+    options.port = port;
+    options.checkpoint_path = path;
+    net::Collector<int64_t> collector(options);
+    if (!collector.Start()) {
+      std::cerr << "FATAL: collector restart failed (cycle " << cycle
+                << ")\n";
+      return 1;
+    }
+    for (double q : {0.25, 0.5, 0.75}) {
+      const auto restored = collector.Quantile(q);
+      if (!restored.has_value() ||
+          !NearlyEqual(*restored, reference.Quantile(q))) {
+        std::cerr << "FATAL: restored quantile(" << q
+                  << ") diverged from pre-kill state (cycle " << cycle
+                  << ")\n";
+        return 1;
+      }
+    }
+
+    // Grow the stream, re-ship cumulative state, verify over the wire.
+    stream = GrowStream(std::move(stream), kGrowth,
+                        MixSeed(kSeed, static_cast<uint64_t>(cycle)));
+    reference = BuildSketch(stream);
+    if (!ShipOnce(port, SnapshotBytes(reference))) {
+      std::cerr << "FATAL: re-ship did not drain (cycle " << cycle << ")\n";
+      return 1;
+    }
+    net::CollectorClient<int64_t> client;
+    if (!client.Connect("127.0.0.1", port)) {
+      std::cerr << "FATAL: query client cannot connect (cycle " << cycle
+                << ")\n";
+      return 1;
+    }
+    for (double q : {0.1, 0.5, 0.9}) {
+      double over_wire = -1.0;
+      if (!client.Quantile(q, &over_wire) ||
+          !NearlyEqual(over_wire, reference.Quantile(q))) {
+        std::cerr << "FATAL: post-re-ship quantile(" << q
+                  << ") diverged (cycle " << cycle << ")\n";
+        return 1;
+      }
+    }
+    collector.Stop();  // the next cycle's "kill": abrupt state loss is
+                       // covered by cycle 0; later cycles soak restarts
+    std::cout << "cycle " << cycle << ": restored + re-shipped + verified ("
+              << stream.size() << " elements)\n";
+  }
+
+  std::remove(path.c_str());
+  std::cout << "OK: survived kill -9 and " << kCycles
+            << " restart cycles with exact restored answers\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace robust_sampling
+
+int main() { return robust_sampling::RunSoak(); }

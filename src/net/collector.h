@@ -1,0 +1,627 @@
+#ifndef ROBUST_SAMPLING_NET_COLLECTOR_H_
+#define ROBUST_SAMPLING_NET_COLLECTOR_H_
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "heavy/frequency_estimator.h"
+#include "net/protocol.h"
+#include "net/socket_io.h"
+#include "obs/catalog.h"
+#include "obs/flight_recorder.h"
+#include "pipeline/stream_sketch.h"
+#include "wire/snapshot.h"
+
+namespace robust_sampling {
+namespace net {
+
+// ---------------------------------------------------------------------------
+// Collector: the aggregation-tier service. Accepts N shipper connections,
+// revives every shipped "RSNP" snapshot through SketchRegistry<T>, folds
+// the per-shipper *latest* snapshots into one merged sketch, and serves
+// the erased query surface (Quantile / HeavyHitters / EstimateFrequency)
+// over the same protocol.
+//
+// Correctness under failure rests on two invariants:
+//
+//  * Ships are cumulative and keyed by (shipper_id, seq): the collector
+//    keeps only the newest snapshot per shipper and rebuilds the merged
+//    view by folding those. A shipper that reconnects and re-ships after
+//    an outage (or after the collector itself restarted) replaces its own
+//    contribution — nothing is ever double-counted, at worst the merge is
+//    stale by one outage.
+//  * Checkpoints persist the raw per-shipper frames (each internally
+//    checksummed) via the same write-tmp / fsync / rename / fsync-parent
+//    protocol as ShardedPipeline::Checkpoint, so a kill -9 at any moment
+//    leaves either the previous or the new complete checkpoint on disk.
+//    A restarted collector restores the exact per-shipper state and
+//    answers queries identically.
+//
+// Malformed input never propagates: a frame or snapshot that fails to
+// parse is counted (rs_net_collector_rejects_total), flight-recorded, the
+// shipper gets a kMalformed ack when the channel still works, and the
+// connection is dropped — fail closed, never merge garbage.
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+/// fsync on the directory containing `path` so a rename into it is
+/// durable (same dance as ShardedPipeline's checkpoint, which keeps the
+/// helper private).
+inline void SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  fsync(fd);
+  close(fd);
+}
+
+inline constexpr char kCollectorCheckpointMagic[4] = {'R', 'N', 'C', 'K'};
+
+}  // namespace internal
+
+struct CollectorOptions {
+  /// 0 binds an ephemeral loopback port (read it back via port()).
+  uint16_t port = 0;
+  /// Empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Checkpoint after every N accepted snapshots (>= 1).
+  uint64_t checkpoint_every_snapshots = 1;
+  /// recv/send deadline on established connections.
+  int io_timeout_ms = 2000;
+  /// Granularity at which idle connection/accept loops re-check Stop().
+  int idle_poll_ms = 50;
+};
+
+template <typename T>
+class Collector {
+ public:
+  explicit Collector(CollectorOptions options)
+      : options_(std::move(options)) {}
+
+  ~Collector() { Stop(); }
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Binds, restores any existing checkpoint, and starts accepting.
+  /// False (with a reason) only on bind failure; a corrupt checkpoint is
+  /// recorded and counted but the service starts with empty state —
+  /// fail closed, stay up.
+  bool Start(std::string* error = nullptr) {
+    if (listen_fd_ >= 0) return true;
+    listen_fd_ = ListenLoopback(options_.port, &port_);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = "collector: cannot bind loopback port";
+      return false;
+    }
+    if (!options_.checkpoint_path.empty()) {
+      std::string restore_error;
+      if (!RestoreFromCheckpoint(&restore_error) && !restore_error.empty()) {
+        obs::FlightRecorder::Global().RecordError(
+            "net", "collector restore rejected: " + restore_error);
+      }
+    }
+    stop_.store(false, std::memory_order_release);
+    accept_thread_ = std::thread(&Collector::AcceptLoop, this);
+    return true;
+  }
+
+  void Stop() {
+    if (listen_fd_ < 0) return;
+    stop_.store(true, std::memory_order_release);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    close(listen_fd_);
+    listen_fd_ = -1;
+    std::vector<std::thread> conns;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns.swap(conns_);
+    }
+    for (std::thread& t : conns) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  uint16_t port() const { return port_; }
+
+  uint64_t accepted_snapshots() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejects() const { return rejects_.load(std::memory_order_relaxed); }
+  uint64_t queries_served() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
+  size_t known_shippers() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return latest_.size();
+  }
+
+  /// Local (in-process) views of the merged state — the same lock and
+  /// sketch the network queries use, so a bench can compare in-process
+  /// truth against over-the-wire answers.
+  std::optional<double> Quantile(double q) const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!merged_.valid() || !merged_.Supports(kCapQuantiles)) {
+      return std::nullopt;
+    }
+    return merged_.Quantile(q);
+  }
+
+  std::optional<double> EstimateFrequency(const T& x) const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!merged_.valid() || !merged_.Supports(kCapFrequencies)) {
+      return std::nullopt;
+    }
+    return merged_.EstimateFrequency(x);
+  }
+
+  std::optional<std::vector<HeavyHitter>> HeavyHitters(double phi) const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!merged_.valid() || !merged_.Supports(kCapHeavyHitters)) {
+      return std::nullopt;
+    }
+    return merged_.HeavyHitters(phi);
+  }
+
+  /// Forces a checkpoint now (the periodic path runs automatically).
+  bool Checkpoint(std::string* error = nullptr) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return CheckpointLocked(error);
+  }
+
+ private:
+  struct SourceState {
+    uint64_t seq = 0;
+    std::vector<uint8_t> frame;  // complete "RSNP" snapshot frame
+  };
+
+  void AcceptLoop() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      const int fd = AcceptWithTimeout(listen_fd_, options_.idle_poll_ms);
+      if (fd == -1) continue;  // idle tick; re-check stop
+      if (fd < 0) {
+        if (stop_.load(std::memory_order_acquire)) break;
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.emplace_back(&Collector::ServeConnection, this, fd);
+    }
+  }
+
+  void ServeConnection(int fd) {
+    SetSocketDeadlines(fd, options_.io_timeout_ms, options_.io_timeout_ms);
+    while (!stop_.load(std::memory_order_acquire)) {
+      // Wait for the next frame with poll + MSG_PEEK so a clean
+      // disconnect closes quietly instead of burning a frame-failure
+      // event on the EOF.
+      pollfd pfd = {fd, POLLIN, 0};
+      const int rc = poll(&pfd, 1, options_.idle_poll_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (rc == 0) continue;  // idle; re-check stop
+      uint8_t peek = 0;
+      const ssize_t got = recv(fd, &peek, 1, MSG_PEEK);
+      if (got == 0) break;  // peer closed between messages
+      if (got < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        break;
+      }
+      SocketSource source(fd);
+      MessageType type;
+      std::vector<uint8_t> payload;
+      std::string error;
+      if (!ReadMessage(source, &type, &payload, &error)) {
+        // Mid-frame truncation, bad magic, checksum mismatch, unknown
+        // type: fail closed — count, record, drop the connection. The
+        // peer's reconnect path owns recovery.
+        RecordReject("collector read: " + error);
+        break;
+      }
+      bool keep = false;
+      if (type == MessageType::kShip) {
+        keep = HandleShip(payload, fd);
+      } else if (type == MessageType::kQuery) {
+        keep = HandleQuery(payload, fd);
+      } else {
+        RecordReject("collector: unexpected message type");
+      }
+      if (!keep) break;
+    }
+    close(fd);
+  }
+
+  bool HandleShip(const std::vector<uint8_t>& payload, int fd) {
+    uint64_t shipper_id = 0;
+    uint64_t seq = 0;
+    std::vector<uint8_t> frame;
+    wire::BufferSource src(payload);
+    std::string error;
+    bool ok = wire::GetVarint(src, &shipper_id) &&
+              wire::GetVarint(src, &seq) &&
+              wire::GetBytes(src, &frame, wire::kMaxBodyBytes) &&
+              src.remaining() == uint64_t{0};
+    if (ok) {
+      // Full revival up front: garbage must be refused before it can
+      // touch the merged state or the checkpoint.
+      wire::BufferSource frame_source(frame);
+      ok = wire::ReadSnapshot<T>(frame_source, &error).valid();
+    }
+    SocketSink sink(fd);
+    if (!ok) {
+      RecordReject("collector ship rejected: " +
+                   (error.empty() ? std::string("malformed payload")
+                                  : error));
+      WriteStatusMessage(sink, MessageType::kShipAck, Status::kMalformed);
+      return false;  // fail closed
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      SourceState& entry = latest_[shipper_id];
+      if (entry.frame.empty() || seq >= entry.seq) {
+        entry.seq = seq;
+        entry.frame = std::move(frame);
+      }
+      // An out-of-order duplicate (seq < entry.seq after a reconnect
+      // race) still acks kOk: the collector already holds newer state.
+      RebuildMergedLocked();
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      obs::NetCollectorSnapshots().Increment();
+      if (!options_.checkpoint_path.empty() &&
+          ++since_checkpoint_ >= options_.checkpoint_every_snapshots) {
+        since_checkpoint_ = 0;
+        CheckpointLocked(nullptr);
+      }
+    }
+    return WriteStatusMessage(sink, MessageType::kShipAck, Status::kOk);
+  }
+
+  bool HandleQuery(const std::vector<uint8_t>& payload, int fd) {
+    wire::BufferSource src(payload);
+    uint64_t raw_kind = 0;
+    wire::BufferSink result;
+    SocketSink sink(fd);
+    if (!wire::GetVarint(src, &raw_kind)) {
+      RecordReject("collector query: missing kind");
+      WriteStatusMessage(sink, MessageType::kQueryResult, Status::kMalformed);
+      return false;
+    }
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    obs::NetQueries().Increment();
+    Status status = Status::kOk;
+    switch (static_cast<QueryKind>(raw_kind)) {
+      case QueryKind::kQuantile: {
+        double q = 0.0;
+        if (!wire::GetDouble(src, &q)) {
+          status = Status::kMalformed;
+          break;
+        }
+        std::lock_guard<std::mutex> lock(state_mu_);
+        if (!merged_.valid()) {
+          status = Status::kEmpty;
+        } else if (!merged_.Supports(kCapQuantiles)) {
+          status = Status::kUnsupported;
+        } else {
+          wire::PutDouble(result, merged_.Quantile(q));
+        }
+        break;
+      }
+      case QueryKind::kHeavyHitters: {
+        double phi = 0.0;
+        if (!wire::GetDouble(src, &phi)) {
+          status = Status::kMalformed;
+          break;
+        }
+        std::lock_guard<std::mutex> lock(state_mu_);
+        if (!merged_.valid()) {
+          status = Status::kEmpty;
+        } else if (!merged_.Supports(kCapHeavyHitters)) {
+          status = Status::kUnsupported;
+        } else {
+          const std::vector<HeavyHitter> hits = merged_.HeavyHitters(phi);
+          wire::PutVarint(result, hits.size());
+          for (const HeavyHitter& h : hits) {
+            wire::PutValue<int64_t>(result, h.element);
+            wire::PutDouble(result, h.frequency);
+          }
+        }
+        break;
+      }
+      case QueryKind::kFrequency: {
+        T x{};
+        if (!wire::GetValue(src, &x)) {
+          status = Status::kMalformed;
+          break;
+        }
+        std::lock_guard<std::mutex> lock(state_mu_);
+        if (!merged_.valid()) {
+          status = Status::kEmpty;
+        } else if (!merged_.Supports(kCapFrequencies)) {
+          status = Status::kUnsupported;
+        } else {
+          wire::PutDouble(result, merged_.EstimateFrequency(x));
+        }
+        break;
+      }
+      default:
+        status = Status::kMalformed;
+    }
+    if (status == Status::kMalformed) {
+      RecordReject("collector query: malformed payload");
+      WriteStatusMessage(sink, MessageType::kQueryResult, Status::kMalformed);
+      return false;
+    }
+    wire::BufferSink response;
+    wire::PutVarint(response, static_cast<uint64_t>(status));
+    response.Append(result.bytes().data(), result.bytes().size());
+    return WriteMessage(sink, MessageType::kQueryResult, response.bytes());
+  }
+
+  /// Re-folds the latest snapshot of every shipper into merged_. Cost is
+  /// O(#shippers x snapshot size) per accepted ship — the price of the
+  /// no-double-count invariant under cumulative re-ships.
+  void RebuildMergedLocked() {
+    const uint64_t start_ns = obs::NowNanos();
+    StreamSketch<T> merged;
+    for (const auto& [id, state] : latest_) {
+      wire::BufferSource source(state.frame);
+      StreamSketch<T> revived = wire::ReadSnapshot<T>(source);
+      if (!revived.valid()) continue;  // validated at accept; never here
+      if (!merged.valid()) {
+        merged = std::move(revived);
+      } else {
+        merged.MergeFrom(revived);
+      }
+    }
+    merged_ = std::move(merged);
+    obs::NetCollectorMergeNs().Observe(obs::NowNanos() - start_ns);
+  }
+
+  bool CheckpointLocked(std::string* error) {
+    obs::ScopedLatencyTimer timer(obs::NetCheckpointNs());
+    wire::BufferSink body;
+    wire::PutVarint(body, latest_.size());
+    for (const auto& [id, state] : latest_) {
+      wire::PutVarint(body, id);
+      wire::PutVarint(body, state.seq);
+      wire::PutBytes(body, state.frame);
+    }
+    const std::string& path = options_.checkpoint_path;
+    const std::string tmp = path + ".tmp";
+    {
+      wire::FileSink file(tmp);
+      if (!wire::WriteFramedBody(file, internal::kCollectorCheckpointMagic,
+                                 body.bytes()) ||
+          !file.SyncAndClose()) {
+        std::remove(tmp.c_str());
+        return CheckpointFail(error, "collector: cannot write " + tmp);
+      }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return CheckpointFail(error, "collector: cannot rename " + path);
+    }
+    internal::SyncParentDirectory(path);
+    return true;
+  }
+
+  /// Loads options_.checkpoint_path. False with empty error = no file
+  /// (fresh start); false with a reason = corrupt file, state left empty.
+  bool RestoreFromCheckpoint(std::string* error) {
+    wire::FileSource file(options_.checkpoint_path);
+    if (!file.open()) return false;  // fresh start, not an error
+    std::vector<uint8_t> body;
+    if (!wire::ReadFramedBody(file, internal::kCollectorCheckpointMagic,
+                              &body, error)) {
+      return false;
+    }
+    wire::BufferSource source(body);
+    uint64_t count = 0;
+    if (!wire::GetVarint(source, &count) ||
+        count > wire::kMaxVectorElements) {
+      if (error != nullptr) *error = "malformed checkpoint entry count";
+      return false;
+    }
+    std::map<uint64_t, SourceState> restored;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t id = 0;
+      SourceState state;
+      if (!wire::GetVarint(source, &id) ||
+          !wire::GetVarint(source, &state.seq) ||
+          !wire::GetBytes(source, &state.frame, wire::kMaxBodyBytes)) {
+        if (error != nullptr) *error = "malformed checkpoint entry";
+        return false;
+      }
+      // Same gate as the live path: each frame must revive cleanly.
+      wire::BufferSource frame_source(state.frame);
+      std::string revive_error;
+      if (!wire::ReadSnapshot<T>(frame_source, &revive_error).valid()) {
+        if (error != nullptr) {
+          *error = "checkpoint snapshot rejected: " + revive_error;
+        }
+        return false;
+      }
+      restored[id] = std::move(state);
+    }
+    if (source.remaining() != uint64_t{0}) {
+      if (error != nullptr) *error = "trailing bytes after checkpoint";
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(state_mu_);
+    latest_ = std::move(restored);
+    RebuildMergedLocked();
+    return true;
+  }
+
+  static bool CheckpointFail(std::string* error, std::string reason) {
+    obs::FlightRecorder::Global().RecordError("net", reason);
+    if (error != nullptr) *error = std::move(reason);
+    return false;
+  }
+
+  void RecordReject(const std::string& detail) {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    obs::NetCollectorRejects().Increment();
+    obs::FlightRecorder::Global().RecordError("net", detail);
+  }
+
+  const CollectorOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{true};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conns_;
+
+  mutable std::mutex state_mu_;
+  std::map<uint64_t, SourceState> latest_;  // ordered: stable checkpoints
+  StreamSketch<T> merged_;
+  uint64_t since_checkpoint_ = 0;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejects_{0};
+  std::atomic<uint64_t> queries_{0};
+};
+
+// ---------------------------------------------------------------------------
+// CollectorClient: blocking query client (benches, tests, operator
+// tooling). One connection, request/response in lockstep. Every call
+// returns false on transport failure or a non-kOk status — a degraded
+// collector is visible, never silently wrong.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class CollectorClient {
+ public:
+  CollectorClient() = default;
+  ~CollectorClient() { Close(); }
+  CollectorClient(const CollectorClient&) = delete;
+  CollectorClient& operator=(const CollectorClient&) = delete;
+
+  bool Connect(const std::string& host, uint16_t port,
+               int timeout_ms = 1000) {
+    Close();
+    fd_ = ConnectWithDeadline(host, port, timeout_ms);
+    if (fd_ < 0) return false;
+    SetSocketDeadlines(fd_, timeout_ms, timeout_ms);
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Quantile(double q, double* out, Status* status = nullptr) {
+    wire::BufferSink payload;
+    wire::PutVarint(payload, static_cast<uint64_t>(QueryKind::kQuantile));
+    wire::PutDouble(payload, q);
+    std::vector<uint8_t> result;
+    if (!RoundTrip(payload.bytes(), &result, status)) return false;
+    wire::BufferSource src(result);
+    return wire::GetDouble(src, out);
+  }
+
+  bool EstimateFrequency(const T& x, double* out, Status* status = nullptr) {
+    wire::BufferSink payload;
+    wire::PutVarint(payload, static_cast<uint64_t>(QueryKind::kFrequency));
+    wire::PutValue(payload, x);
+    std::vector<uint8_t> result;
+    if (!RoundTrip(payload.bytes(), &result, status)) return false;
+    wire::BufferSource src(result);
+    return wire::GetDouble(src, out);
+  }
+
+  bool HeavyHitters(double phi, std::vector<HeavyHitter>* out,
+                    Status* status = nullptr) {
+    wire::BufferSink payload;
+    wire::PutVarint(payload,
+                    static_cast<uint64_t>(QueryKind::kHeavyHitters));
+    wire::PutDouble(payload, phi);
+    std::vector<uint8_t> result;
+    if (!RoundTrip(payload.bytes(), &result, status)) return false;
+    wire::BufferSource src(result);
+    uint64_t count = 0;
+    if (!wire::GetVarint(src, &count) || count > wire::kMaxVectorElements) {
+      return false;
+    }
+    out->clear();
+    for (uint64_t i = 0; i < count; ++i) {
+      HeavyHitter h{};
+      if (!wire::GetValue<int64_t>(src, &h.element) ||
+          !wire::GetDouble(src, &h.frequency)) {
+        return false;
+      }
+      out->push_back(h);
+    }
+    return true;
+  }
+
+ private:
+  bool RoundTrip(std::span<const uint8_t> query_payload,
+                 std::vector<uint8_t>* result, Status* status_out) {
+    if (fd_ < 0) return false;
+    SocketSink sink(fd_);
+    if (!WriteMessage(sink, MessageType::kQuery, query_payload)) {
+      Close();
+      return false;
+    }
+    SocketSource source(fd_);
+    MessageType type;
+    std::vector<uint8_t> payload;
+    std::string error;
+    if (!ReadMessage(source, &type, &payload, &error) ||
+        type != MessageType::kQueryResult) {
+      Close();
+      return false;
+    }
+    wire::BufferSource src(payload);
+    uint64_t raw_status = 0;
+    if (!wire::GetVarint(src, &raw_status) ||
+        raw_status > static_cast<uint64_t>(Status::kEmpty)) {
+      Close();
+      return false;
+    }
+    if (status_out != nullptr) {
+      *status_out = static_cast<Status>(raw_status);
+    }
+    if (static_cast<Status>(raw_status) != Status::kOk) return false;
+    const uint64_t consumed = payload.size() - *src.remaining();
+    result->assign(payload.begin() + static_cast<ptrdiff_t>(consumed),
+                   payload.end());
+    return true;
+  }
+
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_NET_COLLECTOR_H_

@@ -1,0 +1,59 @@
+#include "net/protocol.h"
+
+namespace robust_sampling {
+namespace net {
+
+bool WriteMessage(wire::ByteSink& sink, MessageType type,
+                  std::span<const uint8_t> payload) {
+  wire::BufferSink body;
+  wire::PutVarint(body, static_cast<uint64_t>(type));
+  body.Append(payload.data(), payload.size());
+  if (!wire::WriteFramedBody(sink, kNetMagic, body.bytes())) return false;
+  return sink.ok();
+}
+
+bool ReadMessage(wire::ByteSource& source, MessageType* type,
+                 std::vector<uint8_t>* payload, std::string* error) {
+  std::vector<uint8_t> body;
+  if (!wire::ReadFramedBody(source, kNetMagic, &body, error)) return false;
+  wire::BufferSource body_source(body);
+  uint64_t raw_type = 0;
+  if (!wire::GetVarint(body_source, &raw_type)) {
+    if (error != nullptr) *error = "net message: missing type";
+    return false;
+  }
+  switch (static_cast<MessageType>(raw_type)) {
+    case MessageType::kShip:
+    case MessageType::kShipAck:
+    case MessageType::kQuery:
+    case MessageType::kQueryResult:
+      break;
+    default:
+      if (error != nullptr) *error = "net message: unknown type";
+      return false;
+  }
+  *type = static_cast<MessageType>(raw_type);
+  const uint64_t consumed = body.size() - *body_source.remaining();
+  payload->assign(body.begin() + static_cast<ptrdiff_t>(consumed),
+                  body.end());
+  return true;
+}
+
+bool WriteStatusMessage(wire::ByteSink& sink, MessageType type,
+                        Status status) {
+  wire::BufferSink payload;
+  wire::PutVarint(payload, static_cast<uint64_t>(status));
+  return WriteMessage(sink, type, payload.bytes());
+}
+
+bool ParseStatusPayload(std::span<const uint8_t> payload, Status* status) {
+  wire::BufferSource source(payload);
+  uint64_t raw = 0;
+  if (!wire::GetVarint(source, &raw)) return false;
+  if (raw > static_cast<uint64_t>(Status::kEmpty)) return false;
+  *status = static_cast<Status>(raw);
+  return true;
+}
+
+}  // namespace net
+}  // namespace robust_sampling

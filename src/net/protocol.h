@@ -1,0 +1,80 @@
+#ifndef ROBUST_SAMPLING_NET_PROTOCOL_H_
+#define ROBUST_SAMPLING_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wire/codec.h"
+
+namespace robust_sampling {
+namespace net {
+
+// ---------------------------------------------------------------------------
+// The shipper <-> collector message protocol (docs/distributed.md).
+//
+// Every message is one standard wire frame (magic "RNET", versioned,
+// checksummed — WriteFramedBody/ReadFramedBody provide truncation and
+// corruption rejection for free) whose body is `type varint | payload`.
+// Payload shapes by type:
+//
+//   kShip        shipper_id varint | seq varint | PutBytes(snapshot frame)
+//                The nested bytes are a complete self-describing "RSNP"
+//                snapshot frame, checksummed independently of the outer
+//                frame; the collector revives it through SketchRegistry.
+//                `seq` increases per shipper; the collector keeps only the
+//                newest (last-writer-wins across reconnects).
+//   kShipAck     status varint
+//   kQuery       kind varint | arg (kind-specific, see collector.h)
+//   kQueryResult status varint | result (kind-specific)
+//
+// Ship payloads are cumulative state, not deltas: each snapshot fully
+// replaces the previous one from the same shipper, which is what makes
+// keep-latest degradation and crash recovery safe (no gap can corrupt the
+// merge — at worst the collector serves slightly stale totals).
+// ---------------------------------------------------------------------------
+
+inline constexpr char kNetMagic[4] = {'R', 'N', 'E', 'T'};
+
+enum class MessageType : uint64_t {
+  kShip = 1,
+  kShipAck = 2,
+  kQuery = 3,
+  kQueryResult = 4,
+};
+
+enum class QueryKind : uint64_t {
+  kQuantile = 1,
+  kHeavyHitters = 2,
+  kFrequency = 3,
+};
+
+/// Response / ack status codes.
+enum class Status : uint64_t {
+  kOk = 0,
+  kMalformed = 1,    // payload failed to parse or snapshot failed revival
+  kUnsupported = 2,  // merged sketch lacks the queried capability
+  kEmpty = 3,        // no snapshots merged yet
+};
+
+/// Frames `type | payload` and writes it to `sink`. Returns sink.ok().
+bool WriteMessage(wire::ByteSink& sink, MessageType type,
+                  std::span<const uint8_t> payload);
+
+/// Reads one "RNET" frame and splits off the type. On failure returns
+/// false with a one-line reason in `*error` (when non-null); the caller
+/// decides whether that means disconnect (source failed before any byte)
+/// or a corrupt peer (fail closed, drop the connection). Does NOT bump
+/// metrics or the flight recorder beyond what ReadFramedBody does.
+bool ReadMessage(wire::ByteSource& source, MessageType* type,
+                 std::vector<uint8_t>* payload, std::string* error);
+
+/// One-varint payloads (acks, simple statuses).
+bool WriteStatusMessage(wire::ByteSink& sink, MessageType type, Status status);
+bool ParseStatusPayload(std::span<const uint8_t> payload, Status* status);
+
+}  // namespace net
+}  // namespace robust_sampling
+
+#endif  // ROBUST_SAMPLING_NET_PROTOCOL_H_

@@ -53,6 +53,28 @@ constexpr MetricDescriptor kCatalog[] = {
      "BufferedSink windows forwarded to the wrapped sink (batched writes)"},
     {"rs_wire_compress_ratio", "histogram", "",
      "Compressed framed-body size as percent of raw (zstd frames only)"},
+    {"rs_net_reconnects_total", "counter", "",
+     "Shipper reconnect attempts (successful or not) after a lost link"},
+    {"rs_net_backoff_wait_ns", "histogram", "",
+     "Backoff sleep before each reconnect attempt (exponential + jitter)"},
+    {"rs_net_ship_rtt_ns", "histogram", "",
+     "Snapshot ship round-trip: send frame to collector ack received"},
+    {"rs_net_snapshots_shipped_total", "counter", "",
+     "Snapshots acknowledged by the collector"},
+    {"rs_net_snapshots_superseded_total", "counter", "",
+     "Snapshots dropped from the keep-latest outbox by a newer one"},
+    {"rs_net_ship_failures_total", "counter", "",
+     "Ship attempts that failed (send error, bad/missing ack)"},
+    {"rs_net_collector_merge_ns", "histogram", "",
+     "Collector latency to revive a snapshot and rebuild the merged view"},
+    {"rs_net_collector_snapshots_total", "counter", "",
+     "Snapshots the collector accepted and merged"},
+    {"rs_net_collector_rejects_total", "counter", "",
+     "Frames or snapshots the collector rejected as malformed (fail closed)"},
+    {"rs_net_queries_total", "counter", "",
+     "Queries served by the collector over shipper/client connections"},
+    {"rs_net_checkpoint_ns", "histogram", "",
+     "Collector checkpoint end-to-end duration (serialize, write, rename)"},
     {"rs_attacklab_trials_total", "counter", "",
      "AttackLab game trials played"},
     {"rs_attacklab_trial_ns", "histogram", "",
@@ -204,6 +226,61 @@ Counter& WireBufferFlushes() {
 
 Histogram& WireCompressRatio() {
   static Histogram& h = CatalogHistogram("rs_wire_compress_ratio");
+  return h;
+}
+
+Counter& NetReconnects() {
+  static Counter& c = CatalogCounter("rs_net_reconnects_total");
+  return c;
+}
+
+Histogram& NetBackoffWaitNs() {
+  static Histogram& h = CatalogHistogram("rs_net_backoff_wait_ns");
+  return h;
+}
+
+Histogram& NetShipRttNs() {
+  static Histogram& h = CatalogHistogram("rs_net_ship_rtt_ns");
+  return h;
+}
+
+Counter& NetSnapshotsShipped() {
+  static Counter& c = CatalogCounter("rs_net_snapshots_shipped_total");
+  return c;
+}
+
+Counter& NetSnapshotsSuperseded() {
+  static Counter& c = CatalogCounter("rs_net_snapshots_superseded_total");
+  return c;
+}
+
+Counter& NetShipFailures() {
+  static Counter& c = CatalogCounter("rs_net_ship_failures_total");
+  return c;
+}
+
+Histogram& NetCollectorMergeNs() {
+  static Histogram& h = CatalogHistogram("rs_net_collector_merge_ns");
+  return h;
+}
+
+Counter& NetCollectorSnapshots() {
+  static Counter& c = CatalogCounter("rs_net_collector_snapshots_total");
+  return c;
+}
+
+Counter& NetCollectorRejects() {
+  static Counter& c = CatalogCounter("rs_net_collector_rejects_total");
+  return c;
+}
+
+Counter& NetQueries() {
+  static Counter& c = CatalogCounter("rs_net_queries_total");
+  return c;
+}
+
+Histogram& NetCheckpointNs() {
+  static Histogram& h = CatalogHistogram("rs_net_checkpoint_ns");
   return h;
 }
 

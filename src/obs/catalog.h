@@ -78,6 +78,27 @@ Counter& WireBufferFlushes();
 /// only; uncompressed fallbacks are not observed).
 Histogram& WireCompressRatio();
 
+// --- net (src/net/) ------------------------------------------------------
+
+/// Reconnect attempts the shipper made after losing its link (counts the
+/// attempt, not just successes — a flapping collector shows up here).
+Counter& NetReconnects();
+Histogram& NetBackoffWaitNs();
+Histogram& NetShipRttNs();
+Counter& NetSnapshotsShipped();
+/// Keep-latest outbox drops: a newer snapshot replaced one that never got
+/// shipped. Rising while the collector is down is the designed degradation,
+/// rising while it is up means shipping cannot keep pace.
+Counter& NetSnapshotsSuperseded();
+Counter& NetShipFailures();
+Histogram& NetCollectorMergeNs();
+Counter& NetCollectorSnapshots();
+/// Malformed frames/snapshots the collector refused (fail closed). Each
+/// rejection also leaves a flight-recorder error event.
+Counter& NetCollectorRejects();
+Counter& NetQueries();
+Histogram& NetCheckpointNs();
+
 // --- attacklab (src/attacklab/) ------------------------------------------
 
 Counter& AttacklabTrials();

@@ -3,6 +3,7 @@
 #include <errno.h>
 #include <pthread.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -59,29 +60,53 @@ bool FileSink::SyncAndClose() {
   return ok_;
 }
 
-void FdSink::Append(const void* data, size_t n) {
-  if (!ok_ || n == 0) return;
-  // Block SIGPIPE around the write so a hung-up reader surfaces as EPIPE
-  // -> ok_ == false (the documented clean-failure contract) instead of
-  // the default signal disposition killing the process.
-  sigset_t pipe_mask, old_mask;
-  sigemptyset(&pipe_mask);
-  sigaddset(&pipe_mask, SIGPIPE);
-  pthread_sigmask(SIG_BLOCK, &pipe_mask, &old_mask);
-  bool raised_epipe = false;
-  const auto* p = static_cast<const uint8_t*>(data);
-  while (ok_ && n > 0) {
-    const ssize_t written = write(fd_, p, n);
+namespace {
+
+// The write-everything loop shared by both WriteAllFd modes. `emit` is
+// write(2) or send(2); returns false on unrecoverable error and reports
+// whether that error was EPIPE (so the sigmask mode can consume the
+// pending signal).
+template <typename EmitFn>
+bool WriteLoop(const uint8_t* p, size_t n, bool* raised_epipe,
+               EmitFn&& emit) {
+  while (n > 0) {
+    const ssize_t written = emit(p, n);
     if (written < 0) {
       if (errno == EINTR) continue;
-      raised_epipe = errno == EPIPE;
-      ok_ = false;
-      break;
+      *raised_epipe = errno == EPIPE;
+      return false;
     }
     obs::WireBytesOut().Increment(static_cast<uint64_t>(written));
     p += written;
     n -= static_cast<size_t>(written);
   }
+  return true;
+}
+
+}  // namespace
+
+bool WriteAllFd(int fd, const void* data, size_t n, bool socket_nosignal) {
+  if (n == 0) return true;
+  const auto* p = static_cast<const uint8_t*>(data);
+  bool raised_epipe = false;
+  if (socket_nosignal) {
+    // Sockets suppress SIGPIPE per call: no sigmask dance on the hot
+    // network path, EPIPE comes back as a plain errno.
+    return WriteLoop(p, n, &raised_epipe, [fd](const uint8_t* q, size_t m) {
+      return send(fd, q, m, MSG_NOSIGNAL);
+    });
+  }
+  // Block SIGPIPE around the write so a hung-up reader surfaces as EPIPE
+  // -> false (the documented clean-failure contract) instead of the
+  // default signal disposition killing the process.
+  sigset_t pipe_mask, old_mask;
+  sigemptyset(&pipe_mask);
+  sigaddset(&pipe_mask, SIGPIPE);
+  pthread_sigmask(SIG_BLOCK, &pipe_mask, &old_mask);
+  const bool ok =
+      WriteLoop(p, n, &raised_epipe, [fd](const uint8_t* q, size_t m) {
+        return write(fd, q, m);
+      });
   // Consume the SIGPIPE our own write generated (it is pending while
   // blocked) before restoring the caller's mask — unless the caller had
   // it blocked already, in which case any pending instance is theirs.
@@ -90,6 +115,12 @@ void FdSink::Append(const void* data, size_t n) {
     sigtimedwait(&pipe_mask, nullptr, &zero);
   }
   pthread_sigmask(SIG_SETMASK, &old_mask, nullptr);
+  return ok;
+}
+
+void FdSink::Append(const void* data, size_t n) {
+  if (!ok_ || n == 0) return;
+  ok_ = WriteAllFd(fd_, data, n, /*socket_nosignal=*/false);
 }
 
 BufferedSink::BufferedSink(ByteSink& base, size_t capacity)

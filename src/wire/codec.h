@@ -110,13 +110,25 @@ class FileSink final : public ByteSink {
   bool ok_ = true;
 };
 
+/// Writes all `n` bytes to `fd`, retrying short writes and EINTR; returns
+/// false on any unrecoverable error (the caller latches its failure
+/// state). Two SIGPIPE-safety modes: with `socket_nosignal` the bytes go
+/// out via send(fd, ..., MSG_NOSIGNAL) — sockets only, no per-write
+/// sigmask syscalls, the hot network path — otherwise write(2) runs with
+/// SIGPIPE blocked around the loop (works on any fd, costs two sigmask
+/// syscalls plus a possible sigtimedwait per call). Either way a hung-up
+/// reader surfaces as EPIPE -> false instead of killing the process.
+/// Successful chunks count toward rs_wire_bytes_out_total.
+bool WriteAllFd(int fd, const void* data, size_t n,
+                bool socket_nosignal = false);
+
 /// Unbuffered writes to a caller-owned file descriptor (pipe shipping in
 /// the cross-process aggregator). Retries short writes and EINTR; does not
-/// close the fd. SIGPIPE-safe: the signal is blocked around each write,
-/// so a hung-up reader latches ok() == false (EPIPE) instead of killing
-/// the process. Each Append costs a write(2) plus two sigmask syscalls —
-/// wrap in a BufferedSink so serializers pay that per window, not per
-/// field.
+/// close the fd. SIGPIPE-safe: the signal is blocked around each write
+/// (WriteAllFd), so a hung-up reader latches ok() == false (EPIPE)
+/// instead of killing the process. Each Append costs a write(2) plus two
+/// sigmask syscalls — wrap in a BufferedSink so serializers pay that per
+/// window, not per field.
 class FdSink final : public ByteSink {
  public:
   explicit FdSink(int fd) : fd_(fd) {}

@@ -1,0 +1,660 @@
+// Aggregation-tier suite: socket transport semantics, the ship/query
+// protocol, fault-proxy failure modes (every one must end in recovery via
+// backoff or a clean fail-closed rejection — no hang, no crash, no
+// silently wrong merge), keep-latest shipper degradation, and the
+// collector's checkpoint / kill -9 / restore contract.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/random.h"
+#include "net/collector.h"
+#include "net/fault_proxy.h"
+#include "net/protocol.h"
+#include "net/snapshot_shipper.h"
+#include "net/socket_io.h"
+#include "pipeline/sketch_config.h"
+#include "pipeline/sketch_registry.h"
+#include "pipeline/stream_sketch.h"
+#include "wire/codec.h"
+#include "wire/snapshot.h"
+
+namespace robust_sampling {
+namespace {
+
+SketchConfig KllConfig() {
+  SketchConfig config;
+  config.kind = "kll";
+  config.capacity = 256;
+  config.universe_size = 1024;
+  config.seed = 0x4E7;
+  return config;
+}
+
+SketchConfig CountMinConfig() {
+  SketchConfig config;
+  config.kind = "count_min";
+  config.width = 512;
+  config.depth = 4;
+  config.universe_size = 1024;
+  config.seed = 0x4E7;
+  return config;
+}
+
+std::vector<int64_t> TestStream(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int64_t>(rng.NextBelow(1024)) + 1);
+  }
+  return out;
+}
+
+StreamSketch<int64_t> MakeSketch(const SketchConfig& config,
+                                 const std::vector<int64_t>& stream) {
+  StreamSketch<int64_t> sketch =
+      SketchRegistry<int64_t>::Global().Create(config);
+  sketch.InsertBatch(stream);
+  return sketch;
+}
+
+std::vector<uint8_t> SnapshotBytes(const StreamSketch<int64_t>& sketch,
+                                   const SketchConfig& config) {
+  wire::BufferSink sink;
+  EXPECT_TRUE(wire::WriteSnapshot(sketch, config, sink));
+  return sink.TakeBytes();
+}
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+/// Binds an ephemeral loopback port, closes it, and returns the number —
+/// a port a collector can claim a moment later (loopback test idiom).
+uint16_t ReservePort() {
+  uint16_t port = 0;
+  const int fd = net::ListenLoopback(0, &port);
+  EXPECT_GE(fd, 0);
+  close(fd);
+  return port;
+}
+
+// ----------------------------------------------------------- transport ----
+
+TEST(SocketIoTest, SinkAndSourceRoundTripAcrossLoopback) {
+  uint16_t port = 0;
+  const int listen_fd = net::ListenLoopback(0, &port);
+  ASSERT_GE(listen_fd, 0);
+  const int client = net::ConnectWithDeadline("127.0.0.1", port, 1000);
+  ASSERT_GE(client, 0);
+  const int server = net::AcceptWithTimeout(listen_fd, 1000);
+  ASSERT_GE(server, 0);
+
+  net::SocketSink sink(client);
+  wire::PutVarint(sink, 12345);
+  wire::PutString(sink, "loopback");
+  ASSERT_TRUE(sink.ok());
+
+  net::SocketSource source(server);
+  uint64_t v = 0;
+  std::string s;
+  EXPECT_TRUE(wire::GetVarint(source, &v));
+  EXPECT_EQ(v, uint64_t{12345});
+  EXPECT_TRUE(wire::GetString(source, &s));
+  EXPECT_EQ(s, "loopback");
+  EXPECT_GT(source.bytes_read(), uint64_t{0});
+  EXPECT_EQ(source.remaining(), std::nullopt);
+
+  close(client);
+  close(server);
+  close(listen_fd);
+}
+
+TEST(SocketIoTest, ReadDeadlinePoisonsSourceInsteadOfHanging) {
+  uint16_t port = 0;
+  const int listen_fd = net::ListenLoopback(0, &port);
+  ASSERT_GE(listen_fd, 0);
+  const int client = net::ConnectWithDeadline("127.0.0.1", port, 1000);
+  ASSERT_GE(client, 0);
+  const int server = net::AcceptWithTimeout(listen_fd, 1000);
+  ASSERT_GE(server, 0);
+
+  // The peer never writes: a half-open read must fail within the
+  // deadline, not block forever.
+  ASSERT_TRUE(net::SetSocketDeadlines(server, /*recv_timeout_ms=*/100,
+                                      /*send_timeout_ms=*/100));
+  net::SocketSource source(server);
+  uint8_t byte = 0;
+  EXPECT_FALSE(source.Read(&byte, 1));
+  EXPECT_TRUE(source.failed());
+
+  close(client);
+  close(server);
+  close(listen_fd);
+}
+
+TEST(SocketIoTest, ConnectToDeadPortFailsFast) {
+  const uint16_t dead = ReservePort();  // bound then released: nobody home
+  EXPECT_LT(net::ConnectWithDeadline("127.0.0.1", dead, 200), 0);
+}
+
+TEST(SocketIoTest, WriteToClosedPeerLatchesSinkNotSigpipe) {
+  uint16_t port = 0;
+  const int listen_fd = net::ListenLoopback(0, &port);
+  ASSERT_GE(listen_fd, 0);
+  const int client = net::ConnectWithDeadline("127.0.0.1", port, 1000);
+  ASSERT_GE(client, 0);
+  const int server = net::AcceptWithTimeout(listen_fd, 1000);
+  ASSERT_GE(server, 0);
+  close(server);
+
+  // Large repeated writes eventually hit the reset; the sink must latch
+  // failed, and the process must not die of SIGPIPE.
+  net::SocketSink sink(client);
+  const std::vector<uint8_t> chunk(64 * 1024, 0xAB);
+  for (int i = 0; i < 64 && sink.ok(); ++i) {
+    sink.Append(chunk.data(), chunk.size());
+  }
+  EXPECT_FALSE(sink.ok());
+
+  close(client);
+  close(listen_fd);
+}
+
+// ------------------------------------------------------------ protocol ----
+
+TEST(NetProtocolTest, MessageRoundTripAndUnknownTypeRejected) {
+  wire::BufferSink sink;
+  const std::vector<uint8_t> payload = {1, 2, 3, 4};
+  ASSERT_TRUE(net::WriteMessage(sink, net::MessageType::kShip, payload));
+
+  wire::BufferSource source(sink.bytes());
+  net::MessageType type;
+  std::vector<uint8_t> got;
+  std::string error;
+  ASSERT_TRUE(net::ReadMessage(source, &type, &got, &error));
+  EXPECT_EQ(type, net::MessageType::kShip);
+  EXPECT_EQ(got, payload);
+
+  // A frame whose body carries an unknown type parses as a frame but is
+  // rejected at the protocol layer.
+  wire::BufferSink bad_body;
+  wire::PutVarint(bad_body, 99);
+  wire::BufferSink bad_frame;
+  ASSERT_TRUE(
+      wire::WriteFramedBody(bad_frame, net::kNetMagic, bad_body.bytes()));
+  wire::BufferSource bad_source(bad_frame.bytes());
+  EXPECT_FALSE(net::ReadMessage(bad_source, &type, &got, &error));
+  EXPECT_NE(error.find("unknown type"), std::string::npos);
+}
+
+TEST(NetProtocolTest, CorruptFrameFailsClosed) {
+  wire::BufferSink sink;
+  ASSERT_TRUE(net::WriteStatusMessage(sink, net::MessageType::kShipAck,
+                                      net::Status::kOk));
+  std::vector<uint8_t> bytes = sink.bytes();
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one bit mid-frame
+  wire::BufferSource source(bytes);
+  net::MessageType type;
+  std::vector<uint8_t> payload;
+  std::string error;
+  EXPECT_FALSE(net::ReadMessage(source, &type, &payload, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------- ship + query happy ----
+
+TEST(CollectorTest, TwoShippersMergeAndServeQueries) {
+  net::CollectorOptions options;
+  net::Collector<int64_t> collector(options);
+  ASSERT_TRUE(collector.Start());
+
+  const SketchConfig config = CountMinConfig();
+  const std::vector<int64_t> stream_a = TestStream(4000, 11);
+  const std::vector<int64_t> stream_b = TestStream(4000, 22);
+  StreamSketch<int64_t> sketch_a = MakeSketch(config, stream_a);
+  StreamSketch<int64_t> sketch_b = MakeSketch(config, stream_b);
+
+  net::ShipperOptions ship_a;
+  ship_a.port = collector.port();
+  ship_a.shipper_id = 1;
+  net::ShipperOptions ship_b = ship_a;
+  ship_b.shipper_id = 2;
+  net::SnapshotShipper shipper_a(ship_a);
+  net::SnapshotShipper shipper_b(ship_b);
+  shipper_a.Start();
+  shipper_b.Start();
+  shipper_a.Offer(SnapshotBytes(sketch_a, config));
+  shipper_b.Offer(SnapshotBytes(sketch_b, config));
+  ASSERT_TRUE(shipper_a.WaitUntilDrained(5000));
+  ASSERT_TRUE(shipper_b.WaitUntilDrained(5000));
+  shipper_a.Stop();
+  shipper_b.Stop();
+
+  EXPECT_EQ(collector.accepted_snapshots(), uint64_t{2});
+  EXPECT_EQ(collector.known_shippers(), size_t{2});
+
+  // Reference: the same two snapshots merged locally in the collector's
+  // order (shipper_id ascending) must answer identically over the wire.
+  StreamSketch<int64_t> reference = MakeSketch(config, stream_a);
+  reference.MergeFrom(sketch_b);
+
+  net::CollectorClient<int64_t> client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", collector.port()));
+  for (int64_t x : {int64_t{1}, int64_t{7}, int64_t{512}, int64_t{1024}}) {
+    double over_wire = -1.0;
+    ASSERT_TRUE(client.EstimateFrequency(x, &over_wire));
+    EXPECT_DOUBLE_EQ(over_wire, reference.EstimateFrequency(x)) << x;
+  }
+  std::vector<HeavyHitter> wire_hits;
+  ASSERT_TRUE(client.HeavyHitters(0.001, &wire_hits));
+  const std::vector<HeavyHitter> local_hits = reference.HeavyHitters(0.001);
+  ASSERT_EQ(wire_hits.size(), local_hits.size());
+  for (size_t i = 0; i < wire_hits.size(); ++i) {
+    EXPECT_EQ(wire_hits[i].element, local_hits[i].element);
+    EXPECT_DOUBLE_EQ(wire_hits[i].frequency, local_hits[i].frequency);
+  }
+
+  // Quantile on a frequency sketch: clean kUnsupported, not an abort.
+  double q = 0.0;
+  net::Status status = net::Status::kOk;
+  EXPECT_FALSE(client.Quantile(0.5, &q, &status));
+  EXPECT_EQ(status, net::Status::kUnsupported);
+  collector.Stop();
+}
+
+TEST(CollectorTest, QuantileQueriesMatchLocalMerge) {
+  net::CollectorOptions options;
+  net::Collector<int64_t> collector(options);
+  ASSERT_TRUE(collector.Start());
+
+  const SketchConfig config = KllConfig();
+  const std::vector<int64_t> stream = TestStream(8000, 33);
+  StreamSketch<int64_t> sketch = MakeSketch(config, stream);
+
+  net::ShipperOptions ship;
+  ship.port = collector.port();
+  ship.shipper_id = 7;
+  net::SnapshotShipper shipper(ship);
+  shipper.Start();
+  shipper.Offer(SnapshotBytes(sketch, config));
+  ASSERT_TRUE(shipper.WaitUntilDrained(5000));
+  shipper.Stop();
+
+  net::CollectorClient<int64_t> client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", collector.port()));
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double over_wire = -1.0;
+    ASSERT_TRUE(client.Quantile(q, &over_wire));
+    EXPECT_DOUBLE_EQ(over_wire, sketch.Quantile(q)) << q;
+  }
+  collector.Stop();
+}
+
+TEST(CollectorTest, QueryBeforeAnyShipReportsEmpty) {
+  net::Collector<int64_t> collector(net::CollectorOptions{});
+  ASSERT_TRUE(collector.Start());
+  net::CollectorClient<int64_t> client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", collector.port()));
+  double q = 0.0;
+  net::Status status = net::Status::kOk;
+  EXPECT_FALSE(client.Quantile(0.5, &q, &status));
+  EXPECT_EQ(status, net::Status::kEmpty);
+  collector.Stop();
+}
+
+// ------------------------------------------------ degradation / outbox ----
+
+TEST(ShipperTest, KeepLatestOutboxSupersedesWhileCollectorDown) {
+  const uint16_t port = ReservePort();  // nobody listening yet
+  const SketchConfig config = CountMinConfig();
+
+  net::ShipperOptions options;
+  options.port = port;
+  options.shipper_id = 1;
+  options.connect_timeout_ms = 100;
+  options.backoff_initial_ms = 5;
+  options.backoff_max_ms = 40;
+  net::SnapshotShipper shipper(options);
+  shipper.Start();
+
+  // Five successive states offered into a dead port: the outbox keeps
+  // only the newest, counting the rest as superseded (bounded memory,
+  // honest accounting).
+  std::vector<int64_t> cumulative;
+  std::vector<uint8_t> latest;
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<int64_t> more = TestStream(500, 100 + i);
+    cumulative.insert(cumulative.end(), more.begin(), more.end());
+    latest = SnapshotBytes(MakeSketch(config, cumulative), config);
+    shipper.Offer(latest);
+  }
+  EXPECT_FALSE(shipper.WaitUntilDrained(300));  // degraded, visibly
+  EXPECT_GE(shipper.superseded(), uint64_t{3});
+  EXPECT_GE(shipper.reconnect_attempts(), uint64_t{2});
+  EXPECT_EQ(shipper.shipped(), uint64_t{0});
+
+  // Collector comes up on the same port: backoff recovers, only the
+  // latest cumulative state arrives, and it answers like a local revive.
+  net::CollectorOptions coptions;
+  coptions.port = port;
+  net::Collector<int64_t> collector(coptions);
+  ASSERT_TRUE(collector.Start());
+  ASSERT_TRUE(shipper.WaitUntilDrained(10000));
+  shipper.Stop();
+  EXPECT_EQ(collector.accepted_snapshots(), uint64_t{1});
+
+  StreamSketch<int64_t> reference = MakeSketch(config, cumulative);
+  const auto freq = collector.EstimateFrequency(7);
+  ASSERT_TRUE(freq.has_value());
+  EXPECT_DOUBLE_EQ(*freq, reference.EstimateFrequency(7));
+  collector.Stop();
+}
+
+// ------------------------------------------------------- fault matrix ----
+
+struct FaultCase {
+  net::FaultMode mode;
+  const char* name;
+};
+
+/// Shared skeleton: shipper -> proxy(faulty connection first, then clean
+/// ones) -> collector. Every mode must converge to exactly the reference
+/// answers with no hang and no garbage merge.
+void RunFaultRecovery(net::FaultMode mode) {
+  net::Collector<int64_t> collector(net::CollectorOptions{});
+  ASSERT_TRUE(collector.Start());
+
+  net::FaultProxyOptions poptions;
+  poptions.upstream_port = collector.port();
+  poptions.seed = 0xFA01;
+  poptions.schedule = {mode, mode, net::FaultMode::kPass};
+  net::FaultProxy proxy(poptions);
+  ASSERT_TRUE(proxy.Start());
+
+  const SketchConfig config = CountMinConfig();
+  const std::vector<int64_t> stream = TestStream(4000, 55);
+  StreamSketch<int64_t> sketch = MakeSketch(config, stream);
+
+  net::ShipperOptions soptions;
+  soptions.port = proxy.port();
+  soptions.shipper_id = 3;
+  soptions.connect_timeout_ms = 300;
+  soptions.io_timeout_ms = 400;  // bounds the blackhole ack wait
+  soptions.backoff_initial_ms = 5;
+  soptions.backoff_max_ms = 50;
+  net::SnapshotShipper shipper(soptions);
+  shipper.Start();
+  shipper.Offer(SnapshotBytes(sketch, config));
+
+  // Two faulty connections then a clean one: the shipper must push
+  // through within the drain window or the mode failed to recover.
+  ASSERT_TRUE(shipper.WaitUntilDrained(20000)) << "mode did not recover";
+  EXPECT_EQ(shipper.shipped(), uint64_t{1});
+  if (mode != net::FaultMode::kDelay) {
+    // Delay is survivable in-band (the io deadline outlasts it); every
+    // other mode kills the first two connections, forcing retries.
+    EXPECT_GE(shipper.failures() + shipper.reconnect_attempts(),
+              uint64_t{2});
+  }
+  shipper.Stop();
+
+  // The merge is the clean snapshot, never a corrupted one.
+  ASSERT_EQ(collector.accepted_snapshots(), uint64_t{1});
+  const auto freq = collector.EstimateFrequency(7);
+  ASSERT_TRUE(freq.has_value());
+  EXPECT_DOUBLE_EQ(*freq, sketch.EstimateFrequency(7));
+  if (mode == net::FaultMode::kBitFlip || mode == net::FaultMode::kTruncate) {
+    EXPECT_GE(collector.rejects(), uint64_t{1});
+  }
+  proxy.Stop();
+  collector.Stop();
+}
+
+TEST(FaultMatrixTest, DropBlackholeRecoversViaAckDeadline) {
+  RunFaultRecovery(net::FaultMode::kDrop);
+}
+
+TEST(FaultMatrixTest, DelayedLinkStillDelivers) {
+  RunFaultRecovery(net::FaultMode::kDelay);
+}
+
+TEST(FaultMatrixTest, MidFrameTruncationFailsClosedThenRecovers) {
+  RunFaultRecovery(net::FaultMode::kTruncate);
+}
+
+TEST(FaultMatrixTest, BitFlipRejectedByChecksumThenRecovers) {
+  RunFaultRecovery(net::FaultMode::kBitFlip);
+}
+
+TEST(FaultMatrixTest, HardCloseRecoversViaBackoff) {
+  RunFaultRecovery(net::FaultMode::kHardClose);
+}
+
+TEST(FaultMatrixTest, ReconnectStormSettlesWithoutDuplicateState) {
+  // A long run of consecutive hard-closes: the shipper storms through
+  // reconnects with growing backoff and still lands exactly one copy.
+  net::Collector<int64_t> collector(net::CollectorOptions{});
+  ASSERT_TRUE(collector.Start());
+  net::FaultProxyOptions poptions;
+  poptions.upstream_port = collector.port();
+  poptions.schedule.assign(6, net::FaultMode::kHardClose);
+  poptions.schedule.push_back(net::FaultMode::kPass);
+  net::FaultProxy proxy(poptions);
+  ASSERT_TRUE(proxy.Start());
+
+  const SketchConfig config = CountMinConfig();
+  StreamSketch<int64_t> sketch = MakeSketch(config, TestStream(2000, 66));
+  net::ShipperOptions soptions;
+  soptions.port = proxy.port();
+  soptions.shipper_id = 9;
+  soptions.io_timeout_ms = 300;
+  soptions.backoff_initial_ms = 2;
+  soptions.backoff_max_ms = 30;
+  net::SnapshotShipper shipper(soptions);
+  shipper.Start();
+  shipper.Offer(SnapshotBytes(sketch, config));
+  ASSERT_TRUE(shipper.WaitUntilDrained(30000));
+  shipper.Stop();
+  EXPECT_GE(shipper.reconnect_attempts(), uint64_t{7});
+  EXPECT_EQ(collector.accepted_snapshots(), uint64_t{1});
+  EXPECT_EQ(collector.known_shippers(), size_t{1});
+  proxy.Stop();
+  collector.Stop();
+}
+
+TEST(CollectorTest, HalfOpenPeerDoesNotBlockOtherShippers) {
+  net::Collector<int64_t> collector(net::CollectorOptions{});
+  ASSERT_TRUE(collector.Start());
+
+  // A peer that connects and then goes silent forever.
+  const int mute = net::ConnectWithDeadline("127.0.0.1", collector.port(),
+                                            1000);
+  ASSERT_GE(mute, 0);
+
+  // A real shipper must still get through concurrently.
+  const SketchConfig config = CountMinConfig();
+  StreamSketch<int64_t> sketch = MakeSketch(config, TestStream(1000, 77));
+  net::ShipperOptions soptions;
+  soptions.port = collector.port();
+  soptions.shipper_id = 4;
+  net::SnapshotShipper shipper(soptions);
+  shipper.Start();
+  shipper.Offer(SnapshotBytes(sketch, config));
+  EXPECT_TRUE(shipper.WaitUntilDrained(5000));
+  shipper.Stop();
+  EXPECT_EQ(collector.accepted_snapshots(), uint64_t{1});
+  close(mute);
+  collector.Stop();
+}
+
+// --------------------------------------------- checkpoint / kill -9 ----
+
+TEST(CollectorCheckpointTest, CorruptCheckpointStartsEmptyNotWrong) {
+  const std::string path = TempPath("net_collector_corrupt.ck");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "not a checkpoint at all";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+  }
+  net::CollectorOptions options;
+  options.checkpoint_path = path;
+  net::Collector<int64_t> collector(options);
+  ASSERT_TRUE(collector.Start());  // fail closed: up, but empty
+  EXPECT_EQ(collector.known_shippers(), size_t{0});
+  EXPECT_FALSE(collector.Quantile(0.5).has_value());
+  collector.Stop();
+  std::remove(path.c_str());
+}
+
+TEST(CollectorCheckpointTest, CheckpointRestoresIdenticalAnswers) {
+  const std::string path = TempPath("net_collector_roundtrip.ck");
+  std::remove(path.c_str());
+  const SketchConfig config = KllConfig();
+  const std::vector<int64_t> stream = TestStream(6000, 88);
+  StreamSketch<int64_t> sketch = MakeSketch(config, stream);
+
+  uint16_t port = 0;
+  {
+    net::CollectorOptions options;
+    options.checkpoint_path = path;
+    net::Collector<int64_t> collector(options);
+    ASSERT_TRUE(collector.Start());
+    port = collector.port();
+    net::ShipperOptions soptions;
+    soptions.port = port;
+    soptions.shipper_id = 5;
+    net::SnapshotShipper shipper(soptions);
+    shipper.Start();
+    shipper.Offer(SnapshotBytes(sketch, config));
+    ASSERT_TRUE(shipper.WaitUntilDrained(5000));
+    shipper.Stop();
+    collector.Stop();  // checkpoint_every_snapshots=1 already wrote it
+  }
+
+  // A brand-new collector restores the identical merged state from disk
+  // before any shipper reconnects.
+  net::CollectorOptions options;
+  options.checkpoint_path = path;
+  net::Collector<int64_t> restored(options);
+  ASSERT_TRUE(restored.Start());
+  EXPECT_EQ(restored.known_shippers(), size_t{1});
+  for (double q : {0.1, 0.5, 0.9}) {
+    const auto got = restored.Quantile(q);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_DOUBLE_EQ(*got, sketch.Quantile(q)) << q;
+  }
+  restored.Stop();
+  std::remove(path.c_str());
+}
+
+// The acceptance-criteria scenario: collector kill -9'd mid-merge (child
+// process), restarted against the same checkpoint + port, shippers
+// reconnect and re-ship cumulative state, queries agree with a
+// single-process run. The child forks BEFORE this process creates any
+// threads (fork-with-threads is UB-adjacent under the sanitizers).
+TEST(CollectorCheckpointTest, Kill9MidMergeRestoresAndConverges) {
+  const std::string path = TempPath("net_collector_kill9.ck");
+  std::remove(path.c_str());
+  const uint16_t port = ReservePort();
+
+  int ready_pipe[2];
+  ASSERT_EQ(pipe(ready_pipe), 0);
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: run a checkpointing collector until killed.
+    close(ready_pipe[0]);
+    net::CollectorOptions options;
+    options.port = port;
+    options.checkpoint_path = path;
+    net::Collector<int64_t> collector(options);
+    if (!collector.Start()) _exit(1);
+    const char ready = 'R';
+    if (write(ready_pipe[1], &ready, 1) != 1) _exit(1);
+    for (;;) pause();  // SIGKILL is the only exit
+  }
+  close(ready_pipe[1]);
+  char ready = 0;
+  ASSERT_EQ(read(ready_pipe[0], &ready, 1), 1);
+  close(ready_pipe[0]);
+
+  const SketchConfig config = KllConfig();
+  const std::vector<int64_t> first_half = TestStream(4000, 99);
+  std::vector<int64_t> full = first_half;
+  const std::vector<int64_t> second_half = TestStream(4000, 101);
+  full.insert(full.end(), second_half.begin(), second_half.end());
+
+  // Phase 1: ship the first half, acked + checkpointed by the child.
+  StreamSketch<int64_t> first_sketch = MakeSketch(config, first_half);
+  {
+    net::ShipperOptions soptions;
+    soptions.port = port;
+    soptions.shipper_id = 6;
+    net::SnapshotShipper shipper(soptions);
+    shipper.Start();
+    shipper.Offer(SnapshotBytes(first_sketch, config));
+    ASSERT_TRUE(shipper.WaitUntilDrained(10000));
+    shipper.Stop();
+  }
+
+  // kill -9 mid-run: no destructors, no flush, no goodbye.
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  // Phase 2: restart in-process on the same port + checkpoint. The
+  // restored state must answer exactly like the pre-kill merge...
+  net::CollectorOptions options;
+  options.port = port;
+  options.checkpoint_path = path;
+  net::Collector<int64_t> restored(options);
+  ASSERT_TRUE(restored.Start());
+  EXPECT_EQ(restored.known_shippers(), size_t{1});
+  {
+    const auto got = restored.Quantile(0.5);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_DOUBLE_EQ(*got, first_sketch.Quantile(0.5));
+  }
+
+  // ...and after the shipper re-ships cumulative state, match a
+  // single-process run over the full stream exactly (one shipper, so the
+  // merge IS the single sketch).
+  StreamSketch<int64_t> full_sketch = MakeSketch(config, full);
+  {
+    net::ShipperOptions soptions;
+    soptions.port = port;
+    soptions.shipper_id = 6;
+    soptions.backoff_initial_ms = 5;
+    net::SnapshotShipper shipper(soptions);
+    shipper.Start();
+    shipper.Offer(SnapshotBytes(full_sketch, config));
+    ASSERT_TRUE(shipper.WaitUntilDrained(10000));
+    shipper.Stop();
+  }
+  net::CollectorClient<int64_t> client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port));
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    double over_wire = -1.0;
+    ASSERT_TRUE(client.Quantile(q, &over_wire));
+    EXPECT_DOUBLE_EQ(over_wire, full_sketch.Quantile(q)) << q;
+  }
+  restored.Stop();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace robust_sampling

@@ -6,6 +6,7 @@ Usage:
   bench_diff.py --window BASELINE_DIR CURRENT.json
   bench_diff.py --gate t3 CURRENT.json
   bench_diff.py --gate t4 CURRENT.json
+  bench_diff.py --gate t5 CURRENT.json
 
 Two-file mode diffs CURRENT against BASELINE row by row. Window mode
 diffs CURRENT against a rolling window of baselines kept in
@@ -58,6 +59,14 @@ violation:
 Missing codec rows (no `wire/*` rows at all, or no count_min ship row)
 are a FAIL, not a skip: the gate must not pass vacuously when the bench
 stops emitting the rows it scores.
+
+Gate mode (`--gate t5`) enforces the aggregation-tier floor on a
+BENCH_t5_net.json produced by bench_t5_net_collector: every `net/ship`
+row (acked TCP snapshot shipping into a live collector, merge rebuild
+included) must reach >= 2 MiB/s, and both gated kinds (count_min, kll)
+must be present. The floor sits far below healthy loopback numbers on
+purpose — it exists to catch order-of-magnitude regressions without
+flaking on slow shared runners. Missing rows FAIL, as for t4.
 """
 
 import json
@@ -74,6 +83,7 @@ GATE_MIN_PRODUCERS = 4
 
 GATE_T4_FLOOR_MIBS = 5.0  # every wire/serialize + wire/ship row
 GATE_T4_COUNT_MIN_SHIP_MIBS = 10.0  # the row the tentpole optimised
+GATE_T5_SHIP_FLOOR_MIBS = 2.0  # every net/ship row (TCP RTT + merge incl.)
 ZC_ROW_RE = re.compile(r"^ring-zc/p(\d+)s(\d+)$")
 HASH_ROW_RE = re.compile(r"^hash/p(\d+)s(\d+)$")
 
@@ -367,7 +377,46 @@ def run_gate_t4(doc):
     return violations, skips, checks
 
 
-GATES = {"t3": run_gate_t3, "t4": run_gate_t4}
+def run_gate_t5(doc):
+    """Net-collector ship-throughput floor on BENCH_t5_net.json rows.
+    Returns (violations, skips, checks); a violation means exit 1.
+
+    Every `net/ship` row — acked TCP snapshot shipping into a live
+    collector, merge rebuild included — must reach
+    GATE_T5_SHIP_FLOOR_MIBS. The floor is deliberately far below healthy
+    loopback numbers (tens of MiB/s): it catches order-of-magnitude
+    regressions (unbuffered per-byte socket writes, a merge rebuild gone
+    quadratic, an accidental sleep in the ack path) without flaking on
+    slow shared runners. Missing rows are a FAIL, not a skip, and both
+    gated kinds must be present."""
+    rows = doc.get("rows", [])
+    violations, skips, checks = [], [], []
+    ship_rows = [r for r in rows
+                 if str(r.get("op", "")) == "net/ship"
+                 and is_number(r.get("MiB/s"))]
+    if not ship_rows:
+        return (["GATE FAIL no net/ship rows with numeric MiB/s — "
+                 "bench_t5 stopped emitting the ship throughput rows "
+                 "this gate scores"], [], [])
+    for row in ship_rows:
+        kind = row.get("kind", "?")
+        shippers = row.get("shippers", "?")
+        mibs = row["MiB/s"]
+        label = f"net/ship {kind} x{shippers}: {mibs:.1f} MiB/s"
+        if mibs < GATE_T5_SHIP_FLOOR_MIBS:
+            violations.append(
+                f"GATE FAIL {label} (< {GATE_T5_SHIP_FLOOR_MIBS:.1f} "
+                f"MiB/s floor — acked ship throughput regressed)")
+        else:
+            checks.append(f"GATE OK   {label}")
+    for kind in ("count_min", "kll"):
+        if not any(r.get("kind") == kind for r in ship_rows):
+            violations.append(f"GATE FAIL no net/ship row for {kind} — "
+                              f"a gated kind is missing")
+    return violations, skips, checks
+
+
+GATES = {"t3": run_gate_t3, "t4": run_gate_t4, "t5": run_gate_t5}
 
 
 def run_gate(bench, current_path):

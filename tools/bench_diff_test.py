@@ -344,5 +344,67 @@ class GateT4Test(unittest.TestCase):
                                        if l.startswith("GATE FAIL")])
 
 
+def t5_doc(ship_rows):
+    """A minimal BENCH_t5_net.json: ship_rows maps (kind, shippers) ->
+    MiB/s; a net/query row rides along to prove RTT rows are not scored
+    by the throughput floor."""
+    rows = [{"op": "net/query", "kind": "kll", "shippers": "1", "n": 200,
+             "KiB": "-", "ms": 0.08, "MiB/s": "-",
+             "worst |merged - single|": "-", "bound": "-"}]
+    for (kind, shippers), mibs in ship_rows.items():
+        rows.append({"op": "net/ship", "kind": kind,
+                     "shippers": str(shippers), "n": 200000, "KiB": 80.0,
+                     "ms": 45.0, "MiB/s": mibs,
+                     "worst |merged - single|": 0.0, "bound": "exact"})
+    return {"bench": "t5_net", "meta": {"smoke": "true"}, "rows": rows}
+
+
+class GateT5Test(unittest.TestCase):
+    def run_gate(self, doc):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "BENCH_t5_net.json")
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                code = bench_diff.main(["bench_diff.py", "--gate", "t5",
+                                        path])
+            return code, out.getvalue()
+
+    def test_all_ship_rows_above_floor_pass(self):
+        doc = t5_doc({("count_min", 1): 90.0, ("count_min", 4): 30.0,
+                      ("kll", 1): 88.0, ("kll", 4): 25.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 0)
+        self.assertIn("# gate verdict: PASS", out)
+        self.assertNotIn("GATE FAIL", out)
+
+    def test_any_ship_row_below_floor_fails(self):
+        doc = t5_doc({("count_min", 1): 90.0, ("kll", 1): 0.5})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("GATE FAIL net/ship kll", out)
+
+    def test_missing_ship_rows_fail_closed(self):
+        code, out = self.run_gate(t5_doc({}))
+        self.assertEqual(code, 1)
+        self.assertIn("no net/ship", out)
+
+    def test_missing_gated_kind_fails(self):
+        doc = t5_doc({("count_min", 1): 90.0, ("count_min", 4): 30.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("no net/ship row for kll", out)
+
+    def test_query_rows_are_not_scored(self):
+        # The net/query row carries "-" for MiB/s; it must be ignored,
+        # not parsed or failed.
+        doc = t5_doc({("count_min", 1): 90.0, ("kll", 1): 88.0})
+        code, out = self.run_gate(doc)
+        self.assertEqual(code, 0)
+        self.assertNotIn("net/query", "".join(
+            l for l in out.splitlines() if l.startswith("GATE FAIL")))
+
+
 if __name__ == "__main__":
     unittest.main()
