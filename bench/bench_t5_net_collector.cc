@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -128,7 +129,7 @@ size_t RepsFor(size_t snapshot_bytes) {
   return std::clamp<size_t>(reps, 4, 64);
 }
 
-void Run(bool with_metrics) {
+void Run(bool with_metrics, const std::string& trace_out) {
   const bool smoke = []() {
     const char* env = std::getenv("RS_BENCH_SMOKE");
     return env != nullptr && *env != '\0';
@@ -185,7 +186,10 @@ void Run(bool with_metrics) {
 
       const auto fleet_start = Clock::now();
       for (size_t s = 0; s < shippers; ++s) {
-        fleet[s]->Offer(frames[s]);
+        const size_t off = s * slice_len;
+        const size_t len =
+            s + 1 == shippers ? stream.size() - off : slice_len;
+        fleet[s]->Offer(frames[s], /*total_ingested=*/len);
       }
       for (auto& shipper : fleet) {
         RS_CHECK_MSG(shipper->WaitUntilDrained(60'000),
@@ -257,6 +261,17 @@ void Run(bool with_metrics) {
   }
   WriteBenchJson("t5_net", table, extra_meta,
                  with_metrics ? &metrics_json : nullptr);
+  if (!trace_out.empty()) {
+    // Whole-run chrome-trace export: load the file in Perfetto or
+    // chrome://tracing to see the ship/merge spans per thread.
+    std::FILE* f = std::fopen(trace_out.c_str(), "w");
+    RS_CHECK_MSG(f != nullptr, "cannot open --trace-out file");
+    const std::string trace =
+        obs::FlightRecorder::Global().DumpChromeTraceJson();
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::cout << "\nchrome-trace written to " << trace_out << "\n";
+  }
   std::cout << "\nOK: collector-vs-single accuracy asserted for every "
                "fleet point.\n";
 }
@@ -266,9 +281,15 @@ void Run(bool with_metrics) {
 
 int main(int argc, char** argv) {
   bool with_metrics = false;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--metrics") with_metrics = true;
+    const std::string arg(argv[i]);
+    if (arg == "--metrics") {
+      with_metrics = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
   }
-  robust_sampling::Run(with_metrics);
+  robust_sampling::Run(with_metrics, trace_out);
   return 0;
 }

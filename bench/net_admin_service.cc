@@ -1,0 +1,113 @@
+// net_admin_service: a long-running collector with the admin plane up, for
+// smoke-testing the introspection endpoints from outside the process (CI
+// curls /healthz, /metrics, /shippers, /trace.json against it).
+//
+// It starts a Collector<int64_t> with an ephemeral admin port, ships one
+// count_min snapshot through a real SnapshotShipper (so the freshness
+// table and metrics are non-empty), writes the admin port to --port-file,
+// and stays alive for --run-for-ms before exiting 0.
+//
+//   net_admin_service [--admin-port N] [--port-file PATH] [--run-for-ms N]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/check.h"
+#include "net/collector.h"
+#include "net/snapshot_shipper.h"
+#include "obs/flight_recorder.h"
+#include "pipeline/sketch_config.h"
+#include "pipeline/sketch_registry.h"
+#include "pipeline/stream_sketch.h"
+#include "wire/codec.h"
+#include "wire/snapshot.h"
+
+namespace robust_sampling {
+namespace {
+
+int RunService(int admin_port, const std::string& port_file,
+               int run_for_ms) {
+  net::CollectorOptions options;
+  options.admin_port = admin_port;
+  net::Collector<int64_t> collector(options);
+  std::string error;
+  RS_CHECK_MSG(collector.Start(&error), "collector failed to start");
+  RS_CHECK_MSG(collector.admin_port() != 0, "admin plane failed to bind");
+
+  // Populate the plane: one real ship so /shippers, the freshness gauges,
+  // and the flight recorder all have something to show.
+  SketchConfig config;
+  config.kind = "count_min";
+  config.eps = 0.01;
+  config.delta = 0.01;
+  config.universe_size = 4096;
+  config.width = 2048;
+  config.depth = 4;
+  config.seed = 0x7A55;
+  auto sketch = SketchRegistry<int64_t>::Global().Create(config);
+  std::vector<int64_t> stream;
+  for (int64_t i = 0; i < 10'000; ++i) stream.push_back(i % 4096 + 1);
+  {
+    obs::TraceSpan span("net", "admin-service seed ingest");
+    sketch.InsertBatch(stream);
+  }
+  wire::BufferSink sink;
+  RS_CHECK_MSG(wire::WriteSnapshot(sketch, config, sink),
+               "snapshot serialization failed");
+
+  net::ShipperOptions ship_options;
+  ship_options.port = collector.port();
+  ship_options.shipper_id = 1;
+  net::SnapshotShipper shipper(ship_options);
+  shipper.Start();
+  shipper.Offer(sink.TakeBytes(), /*total_ingested=*/stream.size());
+  RS_CHECK_MSG(shipper.WaitUntilDrained(30'000), "seed ship did not drain");
+
+  if (!port_file.empty()) {
+    const std::string tmp = port_file + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    RS_CHECK_MSG(f != nullptr, "cannot open --port-file");
+    std::fprintf(f, "%u\n", collector.admin_port());
+    std::fclose(f);
+    // Rename so a polling reader never sees a half-written port.
+    RS_CHECK_MSG(std::rename(tmp.c_str(), port_file.c_str()) == 0,
+                 "cannot rename --port-file");
+  }
+  std::cout << "admin plane on 127.0.0.1:" << collector.admin_port()
+            << " (collector on " << collector.port() << "), serving for "
+            << run_for_ms << " ms\n";
+  std::this_thread::sleep_for(std::chrono::milliseconds(run_for_ms));
+  shipper.Stop();
+  collector.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace robust_sampling
+
+int main(int argc, char** argv) {
+  int admin_port = 0;
+  std::string port_file;
+  int run_for_ms = 30'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--admin-port" && i + 1 < argc) {
+      admin_port = std::atoi(argv[++i]);
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (arg == "--run-for-ms" && i + 1 < argc) {
+      run_for_ms = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: net_admin_service [--admin-port N] "
+                   "[--port-file PATH] [--run-for-ms N]\n";
+      return 2;
+    }
+  }
+  return robust_sampling::RunService(admin_port, port_file, run_for_ms);
+}

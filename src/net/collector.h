@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -21,6 +22,7 @@
 #include "heavy/frequency_estimator.h"
 #include "net/protocol.h"
 #include "net/socket_io.h"
+#include "obs/admin_server.h"
 #include "obs/catalog.h"
 #include "obs/flight_recorder.h"
 #include "pipeline/stream_sketch.h"
@@ -88,6 +90,11 @@ struct CollectorOptions {
   int io_timeout_ms = 2000;
   /// Granularity at which idle connection/accept loops re-check Stop().
   int idle_poll_ms = 50;
+  /// Admin plane (GET /metrics, /healthz, /shippers, /trace[.json]):
+  /// -1 disables it, 0 binds an ephemeral loopback port (read it back via
+  /// admin_port()), anything else binds that port. A failed admin bind is
+  /// recorded but never stops the collector — the data plane wins.
+  int admin_port = -1;
 };
 
 template <typename T>
@@ -118,6 +125,19 @@ class Collector {
             "net", "collector restore rejected: " + restore_error);
       }
     }
+    if (options_.admin_port >= 0) {
+      obs::AdminServerOptions admin_options;
+      admin_options.port = static_cast<uint16_t>(options_.admin_port);
+      admin_ = std::make_unique<obs::AdminServer>(admin_options);
+      admin_->RegisterHandler("/shippers", "application/json",
+                              [this] { return ShippersJson(); });
+      std::string admin_error;
+      if (!admin_->Start(&admin_error)) {
+        obs::FlightRecorder::Global().RecordError(
+            "net", "collector admin plane failed: " + admin_error);
+        admin_.reset();
+      }
+    }
     stop_.store(false, std::memory_order_release);
     accept_thread_ = std::thread(&Collector::AcceptLoop, this);
     return true;
@@ -125,6 +145,10 @@ class Collector {
 
   void Stop() {
     if (listen_fd_ < 0) return;
+    if (admin_ != nullptr) {
+      admin_->Stop();
+      admin_.reset();
+    }
     stop_.store(true, std::memory_order_release);
     if (accept_thread_.joinable()) accept_thread_.join();
     close(listen_fd_);
@@ -140,6 +164,11 @@ class Collector {
   }
 
   uint16_t port() const { return port_; }
+
+  /// The admin plane's bound port; 0 when disabled or failed to bind.
+  uint16_t admin_port() const {
+    return admin_ != nullptr ? admin_->port() : 0;
+  }
 
   uint64_t accepted_snapshots() const {
     return accepted_.load(std::memory_order_relaxed);
@@ -191,6 +220,12 @@ class Collector {
   struct SourceState {
     uint64_t seq = 0;
     std::vector<uint8_t> frame;  // complete "RSNP" snapshot frame
+    // Protocol-v2 freshness stamps (0 when the shipper sent a v1 payload).
+    uint64_t produced_ns = 0;      // shipper wall clock at Offer time
+    uint64_t total_ingested = 0;   // producer watermark the frame covers
+    // Derived at merge time, frozen until the next accepted ship.
+    uint64_t seq_lag = 0;          // snapshots superseded before this ship
+    uint64_t elements_behind = 0;  // watermark delta this ship caught up
   };
 
   void AcceptLoop() {
@@ -256,12 +291,21 @@ class Collector {
     uint64_t shipper_id = 0;
     uint64_t seq = 0;
     std::vector<uint8_t> frame;
+    uint64_t produced_ns = 0;
+    uint64_t total_ingested = 0;
     wire::BufferSource src(payload);
     std::string error;
     bool ok = wire::GetVarint(src, &shipper_id) &&
               wire::GetVarint(src, &seq) &&
-              wire::GetBytes(src, &frame, wire::kMaxBodyBytes) &&
-              src.remaining() == uint64_t{0};
+              wire::GetBytes(src, &frame, wire::kMaxBodyBytes);
+    if (ok && src.remaining() != uint64_t{0}) {
+      // Protocol-v2 freshness tail. A v1 payload ends at the snapshot
+      // bytes and keeps the zero defaults (docs/wire.md evolution policy:
+      // appended fields, reader defaults them when absent).
+      ok = wire::GetVarint(src, &produced_ns) &&
+           wire::GetVarint(src, &total_ingested) &&
+           src.remaining() == uint64_t{0};
+    }
     if (ok) {
       // Full revival up front: garbage must be refused before it can
       // touch the merged state or the checkpoint.
@@ -277,15 +321,35 @@ class Collector {
       return false;  // fail closed
     }
     {
+      char span_detail[64];
+      std::snprintf(span_detail, sizeof(span_detail),
+                    "ship merge shipper=%llu seq=%llu",
+                    static_cast<unsigned long long>(shipper_id),
+                    static_cast<unsigned long long>(seq));
+      obs::TraceSpan span("net", span_detail);
       std::lock_guard<std::mutex> lock(state_mu_);
       SourceState& entry = latest_[shipper_id];
       if (entry.frame.empty() || seq >= entry.seq) {
+        // Derive the lag this ship closes before overwriting: seq gaps are
+        // outbox supersessions, watermark deltas are the elements the
+        // merged view was missing until now.
+        entry.seq_lag = seq > entry.seq ? seq - entry.seq - 1 : 0;
+        entry.elements_behind = total_ingested > entry.total_ingested
+                                    ? total_ingested - entry.total_ingested
+                                    : 0;
         entry.seq = seq;
         entry.frame = std::move(frame);
+        entry.produced_ns = produced_ns;
+        entry.total_ingested = total_ingested;
+        const uint64_t merge_wall_ns = WallClockNanos();
+        if (produced_ns != 0 && merge_wall_ns > produced_ns) {
+          obs::NetE2eProduceMergeNs().Observe(merge_wall_ns - produced_ns);
+        }
       }
       // An out-of-order duplicate (seq < entry.seq after a reconnect
       // race) still acks kOk: the collector already holds newer state.
       RebuildMergedLocked();
+      RefreshFreshnessLocked(WallClockNanos());
       accepted_.fetch_add(1, std::memory_order_relaxed);
       obs::NetCollectorSnapshots().Increment();
       if (!options_.checkpoint_path.empty() &&
@@ -374,8 +438,78 @@ class Collector {
     }
     wire::BufferSink response;
     wire::PutVarint(response, static_cast<uint64_t>(status));
+    {
+      // Every answer carries its freshness: callers learn what the merge
+      // was missing (watermark floor, staleness ceiling) alongside the
+      // result instead of assuming the view is current.
+      std::lock_guard<std::mutex> lock(state_mu_);
+      const QueryFreshness fresh = RefreshFreshnessLocked(WallClockNanos());
+      wire::PutVarint(response, fresh.contributing_shippers);
+      wire::PutVarint(response, fresh.min_watermark);
+      wire::PutVarint(response, fresh.max_staleness_ns);
+    }
     response.Append(result.bytes().data(), result.bytes().size());
     return WriteMessage(sink, MessageType::kQueryResult, response.bytes());
+  }
+
+  /// Recomputes the per-shipper staleness gauges against `now_wall_ns` and
+  /// folds them into the fleet-wide annotation. Called with state_mu_ held
+  /// on every merge, query, and /shippers render, so the gauges track the
+  /// freshest view an observer could have asked for.
+  QueryFreshness RefreshFreshnessLocked(uint64_t now_wall_ns) const {
+    QueryFreshness fresh;
+    fresh.contributing_shippers = latest_.size();
+    bool first = true;
+    for (const auto& [id, state] : latest_) {
+      const uint64_t staleness_ns =
+          state.produced_ns != 0 && now_wall_ns > state.produced_ns
+              ? now_wall_ns - state.produced_ns
+              : 0;
+      obs::NetStalenessNs(id).Set(static_cast<int64_t>(staleness_ns));
+      obs::NetStalenessSeqLag(id).Set(static_cast<int64_t>(state.seq_lag));
+      obs::NetStalenessElementsBehind(id).Set(
+          static_cast<int64_t>(state.elements_behind));
+      if (staleness_ns > fresh.max_staleness_ns) {
+        fresh.max_staleness_ns = staleness_ns;
+      }
+      if (first || state.total_ingested < fresh.min_watermark) {
+        fresh.min_watermark = state.total_ingested;
+      }
+      first = false;
+    }
+    return fresh;
+  }
+
+  /// The /shippers admin view: one JSON row per known shipper plus the
+  /// fleet-wide freshness summary a query would have been annotated with.
+  std::string ShippersJson() const {
+    const uint64_t now_wall_ns = WallClockNanos();
+    std::lock_guard<std::mutex> lock(state_mu_);
+    const QueryFreshness fresh = RefreshFreshnessLocked(now_wall_ns);
+    std::string out = "{\"shippers\":[";
+    bool first = true;
+    for (const auto& [id, state] : latest_) {
+      if (!first) out += ",";
+      first = false;
+      const uint64_t staleness_ns =
+          state.produced_ns != 0 && now_wall_ns > state.produced_ns
+              ? now_wall_ns - state.produced_ns
+              : 0;
+      out += "{\"shipper\":" + std::to_string(id) +
+             ",\"seq\":" + std::to_string(state.seq) +
+             ",\"produced_ns\":" + std::to_string(state.produced_ns) +
+             ",\"total_ingested\":" + std::to_string(state.total_ingested) +
+             ",\"staleness_ns\":" + std::to_string(staleness_ns) +
+             ",\"seq_lag\":" + std::to_string(state.seq_lag) +
+             ",\"elements_behind\":" + std::to_string(state.elements_behind) +
+             ",\"frame_bytes\":" + std::to_string(state.frame.size()) + "}";
+    }
+    out += "],\"contributing_shippers\":" +
+           std::to_string(fresh.contributing_shippers) +
+           ",\"min_watermark\":" + std::to_string(fresh.min_watermark) +
+           ",\"max_staleness_ns\":" + std::to_string(fresh.max_staleness_ns) +
+           "}";
+    return out;
   }
 
   /// Re-folds the latest snapshot of every shipper into merged_. Cost is
@@ -406,6 +540,10 @@ class Collector {
       wire::PutVarint(body, id);
       wire::PutVarint(body, state.seq);
       wire::PutBytes(body, state.frame);
+      // Freshness stamps survive restarts so a restored collector still
+      // reports honest watermarks/staleness for state it answered from.
+      wire::PutVarint(body, state.produced_ns);
+      wire::PutVarint(body, state.total_ingested);
     }
     const std::string& path = options_.checkpoint_path;
     const std::string tmp = path + ".tmp";
@@ -436,6 +574,27 @@ class Collector {
                               &body, error)) {
       return false;
     }
+    // Current checkpoints carry per-entry freshness stamps; pre-freshness
+    // files do not. Try the new layout first and fall back to the old one
+    // (the outer frame checksum already vouches for the bytes, so a parse
+    // mismatch here is a layout difference, not corruption).
+    std::map<uint64_t, SourceState> restored;
+    if (!ParseCheckpointBody(body, /*with_freshness=*/true, &restored,
+                             error) &&
+        !ParseCheckpointBody(body, /*with_freshness=*/false, &restored,
+                             error)) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(state_mu_);
+    latest_ = std::move(restored);
+    RebuildMergedLocked();
+    return true;
+  }
+
+  bool ParseCheckpointBody(const std::vector<uint8_t>& body,
+                           bool with_freshness,
+                           std::map<uint64_t, SourceState>* out,
+                           std::string* error) {
     wire::BufferSource source(body);
     uint64_t count = 0;
     if (!wire::GetVarint(source, &count) ||
@@ -453,6 +612,12 @@ class Collector {
         if (error != nullptr) *error = "malformed checkpoint entry";
         return false;
       }
+      if (with_freshness &&
+          (!wire::GetVarint(source, &state.produced_ns) ||
+           !wire::GetVarint(source, &state.total_ingested))) {
+        if (error != nullptr) *error = "malformed checkpoint freshness";
+        return false;
+      }
       // Same gate as the live path: each frame must revive cleanly.
       wire::BufferSource frame_source(state.frame);
       std::string revive_error;
@@ -468,9 +633,7 @@ class Collector {
       if (error != nullptr) *error = "trailing bytes after checkpoint";
       return false;
     }
-    std::lock_guard<std::mutex> lock(state_mu_);
-    latest_ = std::move(restored);
-    RebuildMergedLocked();
+    *out = std::move(restored);
     return true;
   }
 
@@ -492,6 +655,7 @@ class Collector {
   uint16_t port_ = 0;
   std::atomic<bool> stop_{true};
   std::thread accept_thread_;
+  std::unique_ptr<obs::AdminServer> admin_;
   std::mutex conns_mu_;
   std::vector<std::thread> conns_;
 
@@ -538,34 +702,43 @@ class CollectorClient {
 
   bool connected() const { return fd_ >= 0; }
 
-  bool Quantile(double q, double* out, Status* status = nullptr) {
+  bool Quantile(double q, double* out, Status* status = nullptr,
+                QueryFreshness* freshness = nullptr) {
     wire::BufferSink payload;
     wire::PutVarint(payload, static_cast<uint64_t>(QueryKind::kQuantile));
     wire::PutDouble(payload, q);
     std::vector<uint8_t> result;
-    if (!RoundTrip(payload.bytes(), &result, status)) return false;
+    if (!RoundTrip(payload.bytes(), &result, status, freshness)) {
+      return false;
+    }
     wire::BufferSource src(result);
     return wire::GetDouble(src, out);
   }
 
-  bool EstimateFrequency(const T& x, double* out, Status* status = nullptr) {
+  bool EstimateFrequency(const T& x, double* out, Status* status = nullptr,
+                         QueryFreshness* freshness = nullptr) {
     wire::BufferSink payload;
     wire::PutVarint(payload, static_cast<uint64_t>(QueryKind::kFrequency));
     wire::PutValue(payload, x);
     std::vector<uint8_t> result;
-    if (!RoundTrip(payload.bytes(), &result, status)) return false;
+    if (!RoundTrip(payload.bytes(), &result, status, freshness)) {
+      return false;
+    }
     wire::BufferSource src(result);
     return wire::GetDouble(src, out);
   }
 
   bool HeavyHitters(double phi, std::vector<HeavyHitter>* out,
-                    Status* status = nullptr) {
+                    Status* status = nullptr,
+                    QueryFreshness* freshness = nullptr) {
     wire::BufferSink payload;
     wire::PutVarint(payload,
                     static_cast<uint64_t>(QueryKind::kHeavyHitters));
     wire::PutDouble(payload, phi);
     std::vector<uint8_t> result;
-    if (!RoundTrip(payload.bytes(), &result, status)) return false;
+    if (!RoundTrip(payload.bytes(), &result, status, freshness)) {
+      return false;
+    }
     wire::BufferSource src(result);
     uint64_t count = 0;
     if (!wire::GetVarint(src, &count) || count > wire::kMaxVectorElements) {
@@ -585,7 +758,8 @@ class CollectorClient {
 
  private:
   bool RoundTrip(std::span<const uint8_t> query_payload,
-                 std::vector<uint8_t>* result, Status* status_out) {
+                 std::vector<uint8_t>* result, Status* status_out,
+                 QueryFreshness* freshness_out = nullptr) {
     if (fd_ < 0) return false;
     SocketSink sink(fd_);
     if (!WriteMessage(sink, MessageType::kQuery, query_payload)) {
@@ -610,6 +784,19 @@ class CollectorClient {
     }
     if (status_out != nullptr) {
       *status_out = static_cast<Status>(raw_status);
+    }
+    // Freshness annotation (status | freshness | result). Early-rejection
+    // responses are status-only; everything else carries it, so surface
+    // it even on kEmpty/kUnsupported answers.
+    if (src.remaining() != uint64_t{0}) {
+      QueryFreshness fresh;
+      if (!wire::GetVarint(src, &fresh.contributing_shippers) ||
+          !wire::GetVarint(src, &fresh.min_watermark) ||
+          !wire::GetVarint(src, &fresh.max_staleness_ns)) {
+        Close();
+        return false;
+      }
+      if (freshness_out != nullptr) *freshness_out = fresh;
     }
     if (static_cast<Status>(raw_status) != Status::kOk) return false;
     const uint64_t consumed = payload.size() - *src.remaining();

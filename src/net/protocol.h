@@ -1,6 +1,7 @@
 #ifndef ROBUST_SAMPLING_NET_PROTOCOL_H_
 #define ROBUST_SAMPLING_NET_PROTOCOL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -20,14 +21,25 @@ namespace net {
 // Payload shapes by type:
 //
 //   kShip        shipper_id varint | seq varint | PutBytes(snapshot frame)
+//                | produced_ns varint | total_ingested varint
 //                The nested bytes are a complete self-describing "RSNP"
 //                snapshot frame, checksummed independently of the outer
 //                frame; the collector revives it through SketchRegistry.
 //                `seq` increases per shipper; the collector keeps only the
-//                newest (last-writer-wins across reconnects).
+//                newest (last-writer-wins across reconnects). Protocol v2
+//                appended the trailing freshness pair — `produced_ns`
+//                (WallClockNanos at Offer time) and the shipper's
+//                `total_ingested` watermark; per the docs/wire.md
+//                evolution policy the collector still accepts v1 payloads
+//                that end after the snapshot bytes and defaults both to 0.
 //   kShipAck     status varint
 //   kQuery       kind varint | arg (kind-specific, see collector.h)
-//   kQueryResult status varint | result (kind-specific)
+//   kQueryResult status varint | freshness | result (kind-specific)
+//                freshness = contributing_shippers varint | min_watermark
+//                varint | max_staleness_ns varint (see QueryFreshness) —
+//                every answer says what it might be missing. Rejections
+//                produced before the collector consults its state
+//                (malformed query payloads) are status-only.
 //
 // Ship payloads are cumulative state, not deltas: each snapshot fully
 // replaces the previous one from the same shipper, which is what makes
@@ -56,6 +68,29 @@ enum class Status : uint64_t {
   kMalformed = 1,    // payload failed to parse or snapshot failed revival
   kUnsupported = 2,  // merged sketch lacks the queried capability
   kEmpty = 3,        // no snapshots merged yet
+};
+
+/// Wall-clock nanoseconds since the Unix epoch. Freshness stamps cross
+/// node boundaries, so this is system_clock — not the steady clock behind
+/// obs::NowNanos() — and deliberately independent of RS_METRICS (the
+/// stamps are protocol data, not instrumentation).
+inline uint64_t WallClockNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The freshness annotation carried by every kQueryResult: how complete
+/// the merged answer was at query time. `min_watermark` is the smallest
+/// total_ingested across contributing shippers (every contribution covers
+/// at least this many producer elements); `max_staleness_ns` is the
+/// largest produce->query wall-clock age. Both are 0 when a contributing
+/// shipper predates protocol v2 (no stamp shipped).
+struct QueryFreshness {
+  uint64_t contributing_shippers = 0;
+  uint64_t min_watermark = 0;
+  uint64_t max_staleness_ns = 0;
 };
 
 /// Frames `type | payload` and writes it to `sink`. Returns sink.ok().

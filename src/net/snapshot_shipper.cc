@@ -48,7 +48,12 @@ void SnapshotShipper::Stop() {
   CloseConnection();
 }
 
-void SnapshotShipper::Offer(std::vector<uint8_t> snapshot_frame) {
+void SnapshotShipper::Offer(std::vector<uint8_t> snapshot_frame,
+                            uint64_t total_ingested) {
+  PendingSnapshot snapshot;
+  snapshot.frame = std::move(snapshot_frame);
+  snapshot.produced_ns = WallClockNanos();
+  snapshot.total_ingested = total_ingested;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (pending_.has_value()) {
@@ -57,7 +62,7 @@ void SnapshotShipper::Offer(std::vector<uint8_t> snapshot_frame) {
       ++superseded_;
       obs::NetSnapshotsSuperseded().Increment();
     }
-    pending_ = std::move(snapshot_frame);
+    pending_ = std::move(snapshot);
     ++next_seq_;
   }
   cv_.notify_all();
@@ -134,7 +139,7 @@ bool SnapshotShipper::EnsureConnectedLocked(
   return !stop_ && fd_ >= 0;
 }
 
-bool SnapshotShipper::ShipOne(const std::vector<uint8_t>& frame,
+bool SnapshotShipper::ShipOne(const PendingSnapshot& snapshot,
                               uint64_t seq) {
   const uint64_t start_ns = obs::NowNanos();
   SocketSink raw_sink(fd_);
@@ -143,7 +148,12 @@ bool SnapshotShipper::ShipOne(const std::vector<uint8_t>& frame,
     wire::BufferSink payload;
     wire::PutVarint(payload, options_.shipper_id);
     wire::PutVarint(payload, seq);
-    wire::PutBytes(payload, frame);
+    wire::PutBytes(payload, snapshot.frame);
+    // Protocol v2 freshness tail (appended fields; a v1 collector never
+    // sees them because it predates this writer, and the v2 collector
+    // defaults them to 0 when absent).
+    wire::PutVarint(payload, snapshot.produced_ns);
+    wire::PutVarint(payload, snapshot.total_ingested);
     if (!WriteMessage(sink, MessageType::kShip, payload.bytes())) {
       return false;
     }
@@ -174,12 +184,12 @@ void SnapshotShipper::Run() {
     if (stop_) break;
     if (!EnsureConnectedLocked(lock)) break;
     if (!pending_.has_value()) continue;  // superseded into nothing? keep it
-    std::vector<uint8_t> frame = std::move(*pending_);
+    PendingSnapshot snapshot = std::move(*pending_);
     pending_.reset();
     const uint64_t seq = next_seq_;
     in_flight_ = true;
     lock.unlock();
-    const bool ok = ShipOne(frame, seq);
+    const bool ok = ShipOne(snapshot, seq);
     lock.lock();
     in_flight_ = false;
     if (ok) {
@@ -196,7 +206,7 @@ void SnapshotShipper::Run() {
       // Re-queue unless a newer offer arrived while we were shipping —
       // then the failed frame is stale and the newer one wins.
       if (!pending_.has_value()) {
-        pending_ = std::move(frame);
+        pending_ = std::move(snapshot);
       } else {
         ++superseded_;
         obs::NetSnapshotsSuperseded().Increment();

@@ -64,7 +64,13 @@ class SnapshotShipper {
   /// Queues `snapshot_frame` (complete "RSNP" frame bytes) as the latest
   /// state. Replaces — and counts as superseded — any pending frame that
   /// has not shipped yet. Callable from any thread.
-  void Offer(std::vector<uint8_t> snapshot_frame);
+  ///
+  /// `total_ingested` is the producer's watermark at snapshot time (how
+  /// many elements the snapshot covers); it ships to the collector along
+  /// with a produced_ns wall-clock stamp taken here, and comes back to
+  /// query callers as the freshness annotation. 0 means "not tracked"
+  /// (protocol v1 behavior).
+  void Offer(std::vector<uint8_t> snapshot_frame, uint64_t total_ingested = 0);
 
   /// Blocks until the outbox is empty and no ship is in flight, or
   /// `timeout_ms` elapses. True on drained. A down collector makes this
@@ -79,20 +85,27 @@ class SnapshotShipper {
   uint64_t reconnect_attempts() const;
 
  private:
+  /// An offered frame plus the freshness stamps that ship with it.
+  struct PendingSnapshot {
+    std::vector<uint8_t> frame;
+    uint64_t produced_ns = 0;  // WallClockNanos() at Offer time
+    uint64_t total_ingested = 0;
+  };
+
   void Run();
   /// Ensures fd_ is connected, sleeping backoff between attempts; returns
   /// false if Stop() interrupted the wait.
   bool EnsureConnectedLocked(std::unique_lock<std::mutex>& lock);
   void CloseConnection();
-  /// Ships `frame` (seq `seq`) over the live connection and waits for the
-  /// ack; true only on an explicit kOk ack.
-  bool ShipOne(const std::vector<uint8_t>& frame, uint64_t seq);
+  /// Ships `snapshot` (seq `seq`) over the live connection and waits for
+  /// the ack; true only on an explicit kOk ack.
+  bool ShipOne(const PendingSnapshot& snapshot, uint64_t seq);
 
   const ShipperOptions options_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::optional<std::vector<uint8_t>> pending_;
+  std::optional<PendingSnapshot> pending_;
   uint64_t next_seq_ = 0;
   bool in_flight_ = false;
   bool stop_ = true;

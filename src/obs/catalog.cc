@@ -75,6 +75,14 @@ constexpr MetricDescriptor kCatalog[] = {
      "Queries served by the collector over shipper/client connections"},
     {"rs_net_checkpoint_ns", "histogram", "",
      "Collector checkpoint end-to-end duration (serialize, write, rename)"},
+    {"rs_net_staleness_ns", "gauge", "shipper",
+     "Wall-clock age of this shipper's latest merged snapshot"},
+    {"rs_net_staleness_seq_lag", "gauge", "shipper",
+     "Snapshots superseded between the two most recent merged ships"},
+    {"rs_net_staleness_elements_behind", "gauge", "shipper",
+     "Watermark delta between the previous and latest merged snapshots"},
+    {"rs_net_e2e_produce_merge_ns", "histogram", "",
+     "Produce-to-merge latency (collector merge time minus produced_ns)"},
     {"rs_attacklab_trials_total", "counter", "",
      "AttackLab game trials played"},
     {"rs_attacklab_trial_ns", "histogram", "",
@@ -281,6 +289,29 @@ Counter& NetQueries() {
 
 Histogram& NetCheckpointNs() {
   static Histogram& h = CatalogHistogram("rs_net_checkpoint_ns");
+  return h;
+}
+
+Gauge& NetStalenessNs(uint64_t shipper) {
+  const MetricDescriptor& d = Find("rs_net_staleness_ns");
+  return *MetricRegistry::Global().GetGauge(
+      d.name, d.help, {d.label_key, std::to_string(shipper)});
+}
+
+Gauge& NetStalenessSeqLag(uint64_t shipper) {
+  const MetricDescriptor& d = Find("rs_net_staleness_seq_lag");
+  return *MetricRegistry::Global().GetGauge(
+      d.name, d.help, {d.label_key, std::to_string(shipper)});
+}
+
+Gauge& NetStalenessElementsBehind(uint64_t shipper) {
+  const MetricDescriptor& d = Find("rs_net_staleness_elements_behind");
+  return *MetricRegistry::Global().GetGauge(
+      d.name, d.help, {d.label_key, std::to_string(shipper)});
+}
+
+Histogram& NetE2eProduceMergeNs() {
+  static Histogram& h = CatalogHistogram("rs_net_e2e_produce_merge_ns");
   return h;
 }
 

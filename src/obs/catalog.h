@@ -17,6 +17,7 @@
 // ---------------------------------------------------------------------------
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "obs/metrics.h"
@@ -98,6 +99,20 @@ Counter& NetCollectorSnapshots();
 Counter& NetCollectorRejects();
 Counter& NetQueries();
 Histogram& NetCheckpointNs();
+/// Wall-clock age of this shipper's latest merged snapshot (label:
+/// shipper id), refreshed at merge, query, and /shippers render time.
+Gauge& NetStalenessNs(uint64_t shipper);
+/// Snapshots superseded between the two most recent merged ships from
+/// this shipper (seq gap minus one) — how much the keep-latest outbox
+/// skipped while the link was down.
+Gauge& NetStalenessSeqLag(uint64_t shipper);
+/// Producer elements ingested between the previous and latest merged
+/// snapshots from this shipper (total_ingested watermark delta) — how far
+/// behind the merged view was just before the latest ship landed.
+Gauge& NetStalenessElementsBehind(uint64_t shipper);
+/// End-to-end produce-to-merge latency: collector merge wall time minus
+/// the produced_ns the shipper stamped at Offer time.
+Histogram& NetE2eProduceMergeNs();
 
 // --- attacklab (src/attacklab/) ------------------------------------------
 

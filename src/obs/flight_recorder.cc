@@ -23,6 +23,7 @@ struct ThreadRing {
   std::mutex mu;
   TraceEvent events[kFlightRecorderRingEvents];
   uint64_t recorded = 0;  // total ever; live slots = min(recorded, ring)
+  uint32_t id = 0;        // dense per-ring id, assigned at creation
 };
 
 const char* KindName(TraceEventKind kind) {
@@ -37,6 +38,52 @@ const char* KindName(TraceEventKind kind) {
       return "ERROR";
   }
   return "?";
+}
+
+// chrome://tracing phase letters: spans pair up as B/E, everything else is
+// an instant.
+const char* PhaseName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSpanBegin:
+      return "B";
+    case TraceEventKind::kSpanEnd:
+      return "E";
+    case TraceEventKind::kMark:
+    case TraceEventKind::kError:
+      return "i";
+  }
+  return "i";
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
 }
 
 }  // namespace
@@ -54,16 +101,25 @@ struct FlightRecorder::Impl {
   std::function<void(const std::string&)> hook;
   std::atomic<bool> default_hook_fired{false};
 
+  // Most recent RecordError() dump, kept so the admin plane can serve the
+  // post-mortem after the print-once default hook has already fired.
+  mutable std::mutex last_error_mu;
+  std::string last_error_dump;
+
   ThreadRing* ThisThreadRing() {
     thread_local ThreadRing* ring = nullptr;
     if (ring == nullptr) {
       auto fresh = std::make_unique<ThreadRing>();
       ring = fresh.get();
       std::lock_guard<std::mutex> lock(rings_mu);
+      ring->id = static_cast<uint32_t>(rings.size() + 1);
       rings.push_back(std::move(fresh));
     }
     return ring;
   }
+
+  /// Every ring's surviving events, merged and sorted by global seq.
+  std::vector<TraceEvent> Snapshot();
 };
 
 FlightRecorder::Impl* FlightRecorder::impl() {
@@ -90,6 +146,7 @@ void FlightRecorder::Record(TraceEventKind kind, const char* category,
       ring->events[ring->recorded % kFlightRecorderRingEvents];
   event.seq = seq;
   event.ns = NowNanos();
+  event.tid = ring->id;
   event.kind = kind;
   event.category = category;
   const size_t n = detail.size() < sizeof(event.detail) - 1
@@ -101,12 +158,11 @@ void FlightRecorder::Record(TraceEventKind kind, const char* category,
   ++ring->recorded;
 }
 
-std::string FlightRecorder::Dump() const {
-  Impl* state = const_cast<FlightRecorder*>(this)->impl();
+std::vector<TraceEvent> FlightRecorder::Impl::Snapshot() {
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> rings_lock(state->rings_mu);
-    for (const auto& ring : state->rings) {
+    std::lock_guard<std::mutex> rings_lock(rings_mu);
+    for (const auto& ring : rings) {
       std::lock_guard<std::mutex> ring_lock(ring->mu);
       const uint64_t live =
           std::min<uint64_t>(ring->recorded, kFlightRecorderRingEvents);
@@ -117,6 +173,12 @@ std::string FlightRecorder::Dump() const {
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.seq < b.seq;
             });
+  return events;
+}
+
+std::string FlightRecorder::Dump() const {
+  Impl* state = const_cast<FlightRecorder*>(this)->impl();
+  const std::vector<TraceEvent> events = state->Snapshot();
   std::string out = "--- flight recorder dump (" +
                     std::to_string(events.size()) + " events) ---\n";
   for (const TraceEvent& event : events) {
@@ -134,20 +196,69 @@ std::string FlightRecorder::Dump() const {
   return out;
 }
 
+std::string FlightRecorder::DumpChromeTraceJson() const {
+  Impl* state = const_cast<FlightRecorder*>(this)->impl();
+  const std::vector<TraceEvent> events = state->Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, event.detail);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(out, event.category);
+    out += "\",\"ph\":\"";
+    out += PhaseName(event.kind);
+    out += "\"";
+    if (event.kind == TraceEventKind::kMark ||
+        event.kind == TraceEventKind::kError) {
+      out += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    // ts is microseconds by convention; keep sub-µs precision as a decimal.
+    char ts[64];
+    std::snprintf(ts, sizeof(ts), ",\"ts\":%llu.%03llu",
+                  static_cast<unsigned long long>(event.ns / 1000),
+                  static_cast<unsigned long long>(event.ns % 1000));
+    out += ts;
+    out += ",\"pid\":1,\"tid\":" + std::to_string(event.tid);
+    out += ",\"args\":{\"seq\":" + std::to_string(event.seq);
+    if (event.kind == TraceEventKind::kError) {
+      out += ",\"error\":true";
+    }
+    if (event.arg != 0) {
+      out += ",\"arg\":" + std::to_string(event.arg);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string FlightRecorder::LastErrorDump() const {
+  Impl* state = const_cast<FlightRecorder*>(this)->impl();
+  std::lock_guard<std::mutex> lock(state->last_error_mu);
+  return state->last_error_dump;
+}
+
 void FlightRecorder::RecordError(const char* category,
                                  std::string_view detail, uint64_t arg) {
   if (!RuntimeEnabled()) return;
   Record(TraceEventKind::kError, category, detail, arg);
   Impl* state = impl();
+  const std::string dump = Dump();
+  {
+    std::lock_guard<std::mutex> lock(state->last_error_mu);
+    state->last_error_dump = dump;
+  }
   std::function<void(const std::string&)> hook;
   {
     std::lock_guard<std::mutex> lock(state->hook_mu);
     hook = state->hook;
   }
   if (hook) {
-    hook(Dump());
+    hook(dump);
   } else if (!state->default_hook_fired.exchange(true)) {
-    const std::string dump = Dump();
     std::fputs(dump.c_str(), stderr);
   }
 }
@@ -164,6 +275,10 @@ void FlightRecorder::SetErrorHook(
 void FlightRecorder::Record(TraceEventKind, const char*, std::string_view,
                             uint64_t) {}
 std::string FlightRecorder::Dump() const { return ""; }
+std::string FlightRecorder::LastErrorDump() const { return ""; }
+std::string FlightRecorder::DumpChromeTraceJson() const {
+  return "{\"traceEvents\":[]}";
+}
 void FlightRecorder::RecordError(const char*, std::string_view, uint64_t) {}
 void FlightRecorder::SetErrorHook(std::function<void(const std::string&)>) {}
 

@@ -44,15 +44,21 @@ enum class TraceEventKind : uint8_t {
 /// recorder, not a log).
 inline constexpr size_t kFlightRecorderRingEvents = 256;
 
+/// Inline detail buffer size shared by TraceEvent and TraceSpan, so span
+/// details survive to the dump exactly as marks do (they used to be
+/// truncated harder because the span kept a smaller private copy).
+inline constexpr size_t kTraceDetailBytes = 96;
+
 /// One recorded event. `category` must be a string with static storage
 /// duration ("wire", "pipeline", ...); `detail` is copied (truncated) into
 /// the inline buffer so recording never allocates.
 struct TraceEvent {
   uint64_t seq = 0;  // global order
   uint64_t ns = 0;   // NowNanos() at record time
+  uint32_t tid = 0;  // recording thread's ring id (stable, dense from 1)
   TraceEventKind kind = TraceEventKind::kMark;
   const char* category = "";
-  char detail[96] = {};
+  char detail[kTraceDetailBytes] = {};
   uint64_t arg = 0;
 };
 
@@ -71,6 +77,19 @@ class FlightRecorder {
   /// Every surviving event from every thread, merged in sequence order,
   /// one line per event. Empty under RS_METRICS=OFF.
   std::string Dump() const;
+
+  /// The merged dump captured by the most recent RecordError(), even after
+  /// the print-once default hook has fired (services scrape it via the
+  /// admin plane's /trace endpoint). Empty until the first error and under
+  /// RS_METRICS=OFF.
+  std::string LastErrorDump() const;
+
+  /// Every surviving event as Perfetto-loadable chrome-trace JSON
+  /// ({"traceEvents":[...]}): span begin/end become "B"/"E" events, marks
+  /// and errors become instants; ts is microseconds, tid is the recording
+  /// thread's ring id. Always valid JSON — `{"traceEvents":[]}` when empty
+  /// or under RS_METRICS=OFF.
+  std::string DumpChromeTraceJson() const;
 
   /// Replaces the error hook; nullptr restores the default (print the
   /// dump to stderr, first error only).
@@ -108,7 +127,7 @@ class TraceSpan {
  private:
   const char* category_;
   uint64_t start_ns_;
-  char detail_[64] = {};
+  char detail_[kTraceDetailBytes] = {};
 #else
   TraceSpan(const char*, std::string_view) {}
 #endif

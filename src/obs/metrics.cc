@@ -104,6 +104,40 @@ const char* TypeName(MetricType type) {
   return "?";
 }
 
+// Prometheus exposition-format escaping: label values escape backslash,
+// double-quote, and line-feed; HELP text escapes backslash and line-feed.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeHelpText(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 struct MetricRegistry::Impl {
@@ -214,14 +248,16 @@ std::string MetricRegistry::ToPrometheusText() const {
     if (entry.name != last_base) {
       last_base = entry.name;
       if (!entry.help.empty()) {
-        out += "# HELP " + entry.name + " " + entry.help + "\n";
+        out += "# HELP " + entry.name + " " + EscapeHelpText(entry.help) +
+               "\n";
       }
       out += "# TYPE " + entry.name + " " + TypeName(entry.type) + "\n";
     }
     const std::string label_pair =
         entry.label.empty()
             ? ""
-            : entry.label.key + "=\"" + entry.label.value + "\"";
+            : entry.label.key + "=\"" + EscapeLabelValue(entry.label.value) +
+                  "\"";
     auto series = [&](const std::string& suffix, const std::string& extra,
                       uint64_t value) {
       out += entry.name + suffix;

@@ -21,6 +21,8 @@
 #include "net/protocol.h"
 #include "net/snapshot_shipper.h"
 #include "net/socket_io.h"
+#include "obs/catalog.h"
+#include "obs/metrics.h"
 #include "pipeline/sketch_config.h"
 #include "pipeline/sketch_registry.h"
 #include "pipeline/stream_sketch.h"
@@ -654,6 +656,290 @@ TEST(CollectorCheckpointTest, Kill9MidMergeRestoresAndConverges) {
   }
   restored.Stop();
   std::remove(path.c_str());
+}
+
+TEST(CollectorCheckpointTest, PreFreshnessCheckpointStillRestores) {
+  // Hand-craft a v1 checkpoint body — count | id | seq | frame, no
+  // freshness stamps — and let the restore fall back to the old layout.
+  const std::string path = TempPath("net_collector_v1.ck");
+  std::remove(path.c_str());
+  const SketchConfig config = KllConfig();
+  const std::vector<int64_t> stream = TestStream(3000, 91);
+  StreamSketch<int64_t> sketch = MakeSketch(config, stream);
+  {
+    wire::BufferSink body;
+    wire::PutVarint(body, 1);   // one entry
+    wire::PutVarint(body, 13);  // shipper id
+    wire::PutVarint(body, 2);   // seq
+    wire::PutBytes(body, SnapshotBytes(sketch, config));
+    wire::FileSink file(path);
+    ASSERT_TRUE(wire::WriteFramedBody(
+        file, net::internal::kCollectorCheckpointMagic, body.bytes()));
+    ASSERT_TRUE(file.SyncAndClose());
+  }
+
+  net::CollectorOptions options;
+  options.checkpoint_path = path;
+  net::Collector<int64_t> collector(options);
+  ASSERT_TRUE(collector.Start());
+  EXPECT_EQ(collector.known_shippers(), size_t{1});
+  const auto got = collector.Quantile(0.5);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(*got, sketch.Quantile(0.5));
+  collector.Stop();
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------ freshness / v2 ships ----
+
+TEST(FreshnessTest, QueryResultsCarryTheShippedWatermark) {
+  net::Collector<int64_t> collector(net::CollectorOptions{});
+  ASSERT_TRUE(collector.Start());
+
+  const SketchConfig config = CountMinConfig();
+  const std::vector<int64_t> stream_a = TestStream(4000, 111);
+  const std::vector<int64_t> stream_b = TestStream(6000, 112);
+
+  net::ShipperOptions ship_a;
+  ship_a.port = collector.port();
+  ship_a.shipper_id = 31;
+  net::ShipperOptions ship_b = ship_a;
+  ship_b.shipper_id = 32;
+  net::SnapshotShipper shipper_a(ship_a);
+  net::SnapshotShipper shipper_b(ship_b);
+  shipper_a.Start();
+  shipper_b.Start();
+  shipper_a.Offer(SnapshotBytes(MakeSketch(config, stream_a), config),
+                  /*total_ingested=*/stream_a.size());
+  shipper_b.Offer(SnapshotBytes(MakeSketch(config, stream_b), config),
+                  /*total_ingested=*/stream_b.size());
+  ASSERT_TRUE(shipper_a.WaitUntilDrained(5000));
+  ASSERT_TRUE(shipper_b.WaitUntilDrained(5000));
+  shipper_a.Stop();
+  shipper_b.Stop();
+
+  // Every answer is annotated: the watermark floor is the LEAST advanced
+  // shipper (what the merge is guaranteed to cover), and both shipped in
+  // the past so staleness is strictly positive.
+  net::CollectorClient<int64_t> client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", collector.port()));
+  double out = 0.0;
+  net::QueryFreshness fresh;
+  ASSERT_TRUE(client.EstimateFrequency(int64_t{7}, &out, nullptr, &fresh));
+  EXPECT_EQ(fresh.contributing_shippers, uint64_t{2});
+  EXPECT_EQ(fresh.min_watermark, uint64_t{4000});
+  EXPECT_GT(fresh.max_staleness_ns, uint64_t{0});
+
+  // The annotation rides error statuses too: an unsupported query still
+  // tells the caller how fresh the view it could not serve was.
+  double q = 0.0;
+  net::Status status = net::Status::kOk;
+  net::QueryFreshness fresh_on_error;
+  EXPECT_FALSE(client.Quantile(0.5, &q, &status, &fresh_on_error));
+  EXPECT_EQ(status, net::Status::kUnsupported);
+  EXPECT_EQ(fresh_on_error.min_watermark, uint64_t{4000});
+  EXPECT_EQ(fresh_on_error.contributing_shippers, uint64_t{2});
+  collector.Stop();
+}
+
+TEST(FreshnessTest, StalenessGaugesMoveUnderTheFaultMatrix) {
+  // A faulted link forces supersession: snapshot A dies on two hard-closed
+  // connections while B replaces it, so the collector's first accepted
+  // ship arrives with seq 2 — one snapshot superseded (seq_lag 1) and the
+  // full watermark caught up in one merge (elements_behind 3000).
+  net::Collector<int64_t> collector(net::CollectorOptions{});
+  ASSERT_TRUE(collector.Start());
+
+  net::FaultProxyOptions poptions;
+  poptions.upstream_port = collector.port();
+  poptions.seed = 0xFA02;
+  poptions.schedule = {net::FaultMode::kHardClose, net::FaultMode::kHardClose,
+                       net::FaultMode::kPass, net::FaultMode::kPass};
+  net::FaultProxy proxy(poptions);
+  ASSERT_TRUE(proxy.Start());
+
+  const SketchConfig config = CountMinConfig();
+  const std::vector<int64_t> first_part = TestStream(1000, 121);
+  std::vector<int64_t> cumulative = first_part;
+  const std::vector<int64_t> second_part = TestStream(2000, 122);
+  cumulative.insert(cumulative.end(), second_part.begin(), second_part.end());
+
+  constexpr uint64_t kShipperId = 41;  // unique: gauges are process-global
+  net::ShipperOptions soptions;
+  soptions.port = proxy.port();
+  soptions.shipper_id = kShipperId;
+  soptions.connect_timeout_ms = 300;
+  soptions.io_timeout_ms = 400;
+  soptions.backoff_initial_ms = 5;
+  soptions.backoff_max_ms = 50;
+  net::SnapshotShipper shipper(soptions);
+  shipper.Start();
+  shipper.Offer(SnapshotBytes(MakeSketch(config, first_part), config),
+                /*total_ingested=*/first_part.size());
+  shipper.Offer(SnapshotBytes(MakeSketch(config, cumulative), config),
+                /*total_ingested=*/cumulative.size());
+  ASSERT_TRUE(shipper.WaitUntilDrained(20000));
+  shipper.Stop();
+
+  // Only the latest cumulative snapshot lands (seq 2 of 2 offered).
+  EXPECT_EQ(collector.accepted_snapshots(), uint64_t{1});
+  EXPECT_GE(shipper.superseded(), uint64_t{1});
+
+#if RS_METRICS_ENABLED
+  // RefreshFreshnessLocked ran at merge time, so the per-shipper gauges
+  // already reflect the degraded delivery.
+  EXPECT_EQ(obs::NetStalenessSeqLag(kShipperId).Value(), 1);
+  EXPECT_EQ(obs::NetStalenessElementsBehind(kShipperId).Value(), 3000);
+  EXPECT_GT(obs::NetStalenessNs(kShipperId).Value(), 0);
+  // The e2e produce->merge histogram saw exactly the merged ship.
+  EXPECT_GE(obs::NetE2eProduceMergeNs().Read().count, uint64_t{1});
+#endif
+
+  // The wire annotation agrees with the gauges.
+  net::CollectorClient<int64_t> client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", collector.port()));
+  double out = 0.0;
+  net::QueryFreshness fresh;
+  ASSERT_TRUE(client.EstimateFrequency(int64_t{7}, &out, nullptr, &fresh));
+  EXPECT_EQ(fresh.contributing_shippers, uint64_t{1});
+  EXPECT_EQ(fresh.min_watermark, cumulative.size());
+  EXPECT_GT(fresh.max_staleness_ns, uint64_t{0});
+  proxy.Stop();
+  collector.Stop();
+}
+
+TEST(FreshnessTest, V1ShipFrameWithoutFreshnessTailStillAccepted) {
+  // Wire-evolution contract (docs/wire.md): a v2 reader accepts v1
+  // payloads. Hand-craft the pre-freshness kShip layout — shipper_id, seq,
+  // snapshot frame, nothing after — and deliver it over a raw socket.
+  net::Collector<int64_t> collector(net::CollectorOptions{});
+  ASSERT_TRUE(collector.Start());
+
+  const SketchConfig config = CountMinConfig();
+  const std::vector<int64_t> stream = TestStream(3000, 131);
+  StreamSketch<int64_t> sketch = MakeSketch(config, stream);
+
+  const int fd = net::ConnectWithDeadline("127.0.0.1", collector.port(),
+                                          1000);
+  ASSERT_GE(fd, 0);
+  net::SetSocketDeadlines(fd, 5000, 5000);
+  {
+    wire::BufferSink payload;
+    wire::PutVarint(payload, 51);  // shipper_id
+    wire::PutVarint(payload, 1);   // seq
+    wire::PutBytes(payload, SnapshotBytes(sketch, config));
+    // v1 ends here: no produced_ns, no total_ingested.
+    net::SocketSink sink(fd);
+    ASSERT_TRUE(
+        net::WriteMessage(sink, net::MessageType::kShip, payload.bytes()));
+    ASSERT_TRUE(sink.ok());
+  }
+  {
+    net::SocketSource source(fd);
+    net::MessageType type;
+    std::vector<uint8_t> ack;
+    std::string error;
+    ASSERT_TRUE(net::ReadMessage(source, &type, &ack, &error)) << error;
+    ASSERT_EQ(type, net::MessageType::kShipAck);
+    net::Status status = net::Status::kMalformed;
+    ASSERT_TRUE(net::ParseStatusPayload(ack, &status));
+    EXPECT_EQ(status, net::Status::kOk);
+  }
+  close(fd);
+
+  // The v1 ship merged for real, and its absent stamps read as zero in
+  // the freshness annotation (min_watermark 0 = "not tracked").
+  EXPECT_EQ(collector.accepted_snapshots(), uint64_t{1});
+  const auto freq = collector.EstimateFrequency(7);
+  ASSERT_TRUE(freq.has_value());
+  EXPECT_DOUBLE_EQ(*freq, sketch.EstimateFrequency(7));
+
+  net::CollectorClient<int64_t> client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", collector.port()));
+  double out = 0.0;
+  net::QueryFreshness fresh;
+  fresh.min_watermark = 99;
+  fresh.max_staleness_ns = 99;
+  ASSERT_TRUE(client.EstimateFrequency(int64_t{7}, &out, nullptr, &fresh));
+  EXPECT_EQ(fresh.contributing_shippers, uint64_t{1});
+  EXPECT_EQ(fresh.min_watermark, uint64_t{0});
+  EXPECT_EQ(fresh.max_staleness_ns, uint64_t{0});
+  collector.Stop();
+}
+
+// --------------------------------------------------- embedded admin ----
+
+/// Minimal HTTP/1.0 GET against the collector's embedded admin plane
+/// (obs_admin_test covers the server itself; this covers the embedding).
+std::string HttpGetBody(uint16_t port, const std::string& path,
+                        int* status_out) {
+  const int fd = net::ConnectWithDeadline("127.0.0.1", port, 2000);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return "";
+  net::SetSocketDeadlines(fd, 5000, 5000);
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_TRUE(wire::WriteAllFd(fd, request.data(), request.size(),
+                               /*socket_nosignal=*/true));
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos || response.size() < 12) return "";
+  *status_out = std::atoi(response.substr(9, 3).c_str());
+  return response.substr(header_end + 4);
+}
+
+TEST(CollectorAdminTest, EmbeddedPlaneServesShippersView) {
+  net::CollectorOptions options;
+  options.admin_port = 0;  // ephemeral
+  net::Collector<int64_t> collector(options);
+  ASSERT_TRUE(collector.Start());
+  ASSERT_NE(collector.admin_port(), 0);
+
+  const SketchConfig config = CountMinConfig();
+  const std::vector<int64_t> stream = TestStream(2500, 141);
+  net::ShipperOptions soptions;
+  soptions.port = collector.port();
+  soptions.shipper_id = 61;
+  net::SnapshotShipper shipper(soptions);
+  shipper.Start();
+  shipper.Offer(SnapshotBytes(MakeSketch(config, stream), config),
+                /*total_ingested=*/stream.size());
+  ASSERT_TRUE(shipper.WaitUntilDrained(5000));
+  shipper.Stop();
+
+  int status = 0;
+  const std::string body =
+      HttpGetBody(collector.admin_port(), "/shippers", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"shipper\":61"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"total_ingested\":2500"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"seq\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"contributing_shippers\":1"), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"min_watermark\":2500"), std::string::npos) << body;
+
+  int health_status = 0;
+  const std::string health =
+      HttpGetBody(collector.admin_port(), "/healthz", &health_status);
+  EXPECT_EQ(health_status, 200);
+  EXPECT_EQ(health, "ok\n");
+
+  // Stop tears the plane down with the collector.
+  const uint16_t admin_port = collector.admin_port();
+  collector.Stop();
+  EXPECT_LT(net::ConnectWithDeadline("127.0.0.1", admin_port, 200), 0);
+}
+
+TEST(CollectorAdminTest, DisabledByDefault) {
+  net::Collector<int64_t> collector(net::CollectorOptions{});
+  ASSERT_TRUE(collector.Start());
+  EXPECT_EQ(collector.admin_port(), 0);
+  collector.Stop();
 }
 
 }  // namespace

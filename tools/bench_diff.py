@@ -7,6 +7,7 @@ Usage:
   bench_diff.py --gate t3 CURRENT.json
   bench_diff.py --gate t4 CURRENT.json
   bench_diff.py --gate t5 CURRENT.json
+  bench_diff.py --gate obs CURRENT.json
 
 Two-file mode diffs CURRENT against BASELINE row by row. Window mode
 diffs CURRENT against a rolling window of baselines kept in
@@ -67,6 +68,14 @@ included) must reach >= 2 MiB/s, and both gated kinds (count_min, kll)
 must be present. The floor sits far below healthy loopback numbers on
 purpose — it exists to catch order-of-magnitude regressions without
 flaking on slow shared runners. Missing rows FAIL, as for t4.
+
+Gate mode (`--gate obs`) enforces the observability overhead budget on a
+BENCH_t3.json: the `ring-zc-obs-on` row's ingest time must be within 3%
+of the `ring-zc-obs-off` row's (`time (s)` column). This is the ROADMAP
+acceptance criterion ("metrics overhead <= 3% on the hot path") that
+bench_t3 prints as PASS/FAIL advice — here it is a hard exit-1 gate.
+Missing rows FAIL (the gate must not pass vacuously if bench_t3 stops
+emitting the on/off pair).
 """
 
 import json
@@ -84,6 +93,7 @@ GATE_MIN_PRODUCERS = 4
 GATE_T4_FLOOR_MIBS = 5.0  # every wire/serialize + wire/ship row
 GATE_T4_COUNT_MIN_SHIP_MIBS = 10.0  # the row the tentpole optimised
 GATE_T5_SHIP_FLOOR_MIBS = 2.0  # every net/ship row (TCP RTT + merge incl.)
+GATE_OBS_MAX_OVERHEAD = 0.03  # obs-on ingest time vs obs-off, relative
 ZC_ROW_RE = re.compile(r"^ring-zc/p(\d+)s(\d+)$")
 HASH_ROW_RE = re.compile(r"^hash/p(\d+)s(\d+)$")
 
@@ -416,7 +426,50 @@ def run_gate_t5(doc):
     return violations, skips, checks
 
 
-GATES = {"t3": run_gate_t3, "t4": run_gate_t4, "t5": run_gate_t5}
+def run_gate_obs(doc):
+    """Observability-overhead budget on BENCH_t3.json rows. Returns
+    (violations, skips, checks); a violation means exit 1.
+
+    bench_t3 times the identical ring-zc 4-shard ingest twice — metrics
+    runtime-disabled (`ring-zc-obs-off`) and enabled (`ring-zc-obs-on`)
+    — so the pair isolates the striped-counter hot-path cost from
+    machine noise sources the absolute numbers are exposed to. The
+    obs-on time must be within GATE_OBS_MAX_OVERHEAD of obs-off.
+    Missing either row is a FAIL, not a skip: the gate must not pass
+    vacuously when the bench stops emitting the pair it scores."""
+    rows = doc.get("rows", [])
+    violations, skips, checks = [], [], []
+    times = {}
+    for row in rows:
+        engine = str(row.get("engine", ""))
+        if engine in ("ring-zc-obs-on", "ring-zc-obs-off") and \
+                is_number(row.get("time (s)")):
+            times[engine] = row["time (s)"]
+    missing = [e for e in ("ring-zc-obs-off", "ring-zc-obs-on")
+               if e not in times]
+    if missing:
+        return ([f"GATE FAIL missing row(s) with numeric 'time (s)': "
+                 f"{', '.join(missing)} — bench_t3 stopped emitting the "
+                 f"obs on/off pair this gate scores"], [], [])
+    off, on = times["ring-zc-obs-off"], times["ring-zc-obs-on"]
+    if off <= 0:
+        return (["GATE FAIL ring-zc-obs-off time is not positive — "
+                 "cannot compute overhead"], [], [])
+    overhead = on / off - 1.0
+    label = (f"obs overhead: on {on:.3f}s vs off {off:.3f}s = "
+             f"{overhead:+.1%}")
+    if overhead > GATE_OBS_MAX_OVERHEAD:
+        violations.append(
+            f"GATE FAIL {label} (> {GATE_OBS_MAX_OVERHEAD:.0%} budget — "
+            f"metrics instrumentation slowed the hot ingest path)")
+    else:
+        checks.append(f"GATE OK   {label} "
+                      f"(<= {GATE_OBS_MAX_OVERHEAD:.0%} budget)")
+    return violations, skips, checks
+
+
+GATES = {"t3": run_gate_t3, "t4": run_gate_t4, "t5": run_gate_t5,
+         "obs": run_gate_obs}
 
 
 def run_gate(bench, current_path):

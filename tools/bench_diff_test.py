@@ -406,5 +406,65 @@ class GateT5Test(unittest.TestCase):
             l for l in out.splitlines() if l.startswith("GATE FAIL")))
 
 
+def obs_doc(off_secs, on_secs):
+    """A minimal BENCH_t3.json carrying the obs on/off ingest pair (plus
+    an unrelated engine row to prove only the pair is scored)."""
+    rows = [{"engine": "insert-loop", "partition": "-", "shards": 1,
+             "time (s)": 9.99, "Melem/s": 100.0}]
+    if off_secs is not None:
+        rows.append({"engine": "ring-zc-obs-off", "partition": "round-robin",
+                     "shards": 4, "time (s)": off_secs})
+    if on_secs is not None:
+        rows.append({"engine": "ring-zc-obs-on", "partition": "round-robin",
+                     "shards": 4, "time (s)": on_secs})
+    return {"bench": "t3", "meta": {"hardware_threads": 16}, "rows": rows}
+
+
+class GateObsTest(unittest.TestCase):
+    def run_gate(self, doc):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "BENCH_t3.json")
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                code = bench_diff.main(["bench_diff.py", "--gate", "obs",
+                                        path])
+            return code, out.getvalue()
+
+    def test_overhead_within_budget_passes(self):
+        code, out = self.run_gate(obs_doc(1.000, 1.020))  # +2.0%
+        self.assertEqual(code, 0)
+        self.assertIn("# gate verdict: PASS", out)
+        self.assertNotIn("GATE FAIL", out)
+
+    def test_obs_on_faster_than_off_passes(self):
+        # Negative overhead (machine noise in our favor) is fine.
+        code, out = self.run_gate(obs_doc(1.000, 0.980))
+        self.assertEqual(code, 0)
+
+    def test_overhead_over_budget_fails(self):
+        code, out = self.run_gate(obs_doc(1.000, 1.080))  # +8.0%
+        self.assertEqual(code, 1)
+        self.assertIn("GATE FAIL obs overhead", out)
+        self.assertIn("# gate verdict: FAIL", out)
+
+    def test_missing_on_row_fails_closed(self):
+        code, out = self.run_gate(obs_doc(1.000, None))
+        self.assertEqual(code, 1)
+        self.assertIn("ring-zc-obs-on", out)
+
+    def test_missing_both_rows_fails_closed(self):
+        code, out = self.run_gate(obs_doc(None, None))
+        self.assertEqual(code, 1)
+        self.assertIn("ring-zc-obs-off", out)
+        self.assertIn("ring-zc-obs-on", out)
+
+    def test_non_positive_off_time_fails_closed(self):
+        code, out = self.run_gate(obs_doc(0.0, 1.0))
+        self.assertEqual(code, 1)
+        self.assertIn("not positive", out)
+
+
 if __name__ == "__main__":
     unittest.main()
